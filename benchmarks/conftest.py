@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Every benchmark module reproduces one table or figure of the paper: it
+times a representative kernel with pytest-benchmark AND regenerates the
+full paper artifact, writing it to ``benchmarks/results/<name>.txt`` (and
+stdout when run with ``-s``).
+
+Set ``REPRO_BENCH_QUICK=1`` to run everything on the seconds-scale tiny
+configuration (used by CI smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.config import ExperimentConfig, default_config, quick_config
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def is_quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The experiment configuration all benchmarks share."""
+    return quick_config() if is_quick() else default_config()
+
+
+@pytest.fixture(scope="session")
+def strict() -> bool:
+    """Whether to assert the paper's quantitative orderings.
+
+    The quick (tiny-schema) configuration exists to smoke-test plumbing;
+    its timings are nanosecond-noise, so shape assertions only run on the
+    full configuration.
+    """
+    return not is_quick()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist a reproduced paper artifact and echo it to stdout."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

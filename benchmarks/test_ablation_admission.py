@@ -1,0 +1,23 @@
+"""Ablation A4: WATCHMAN-style profit admission on vs off.
+
+The paper cites [SSV] for admission schemes but admits everything; this
+ablation measures what profit-gated admission changes on the same stream.
+Results go to ``results/ablation_a4.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import run_admission_ablation
+
+
+def test_a4_admission_ablation(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_admission_ablation(config), rounds=1, iterations=1
+    )
+    emit("ablation_a4", result.format())
+    # Admission gating can only reduce churn, never break correctness;
+    # hit ratios must stay in a sane band of each other.
+    for fraction in config.cache_fractions:
+        off = result.results[(False, fraction)]
+        on = result.results[(True, fraction)]
+        assert abs(on.hit_ratio - off.hit_ratio) <= 0.35

@@ -1,0 +1,23 @@
+"""Ablation A2: pre-load selection rule.
+
+The paper pre-loads the group-by with the most lattice descendants that
+fits (rule 3 of the two-level policy).  This ablation compares that rule
+against 'largest group-by that fits' and no pre-loading; results go to
+``results/ablation_a2.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import run_preload_ablation
+
+
+def test_a2_preload_ablation(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_preload_ablation(config), rounds=1, iterations=1
+    )
+    emit("ablation_a2", result.format())
+    large = max(config.cache_fractions)
+    paper_rule = result.results[("max_descendants", large)]
+    none = result.results[("none", large)]
+    # Pre-loading must pay off at large caches (the paper's 100%-hit case).
+    assert paper_rule.hit_ratio >= none.hit_ratio

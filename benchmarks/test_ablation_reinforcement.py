@@ -1,0 +1,23 @@
+"""Ablation A1: two-level policy with vs without group reinforcement.
+
+The paper's rule 2 keeps aggregatable groups together by bumping the
+clock of every chunk used to compute another chunk.  This ablation
+quantifies its contribution; results go to ``results/ablation_a1.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import run_reinforcement_ablation
+
+
+def test_a1_reinforcement_ablation(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_reinforcement_ablation(config), rounds=1, iterations=1
+    )
+    emit("ablation_a1", result.format())
+    # Reinforcement must never hurt the hit ratio badly; at some cache
+    # size it should help or tie (groups stay aggregatable).
+    for fraction in config.cache_fractions:
+        on = result.results[(True, fraction)]
+        off = result.results[(False, fraction)]
+        assert on.hit_ratio >= off.hit_ratio - 0.15

@@ -1,0 +1,30 @@
+"""Figure 10 (E9): lookup/aggregation/update breakdown on complete hits.
+
+Uses the same memoised stream runs as Figure 9; writes the breakdown to
+``results/fig10.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.streams import run_scheme_comparison
+
+
+def test_fig10_full_reproduction(benchmark, config, emit, strict):
+    result = benchmark.pedantic(
+        lambda: run_scheme_comparison(config), rounds=1, iterations=1
+    )
+    emit("fig10", result.format_fig10())
+    if not strict:
+        return
+    small = min(config.cache_fractions)
+    large = max(config.cache_fractions)
+    esm_small = result.get("esm", small).hit_avg_breakdown()
+    vcmc_small = result.get("vcmc", small).hit_avg_breakdown()
+    # Paper: at small caches ESM's lookup dominates; VCMC's is negligible.
+    assert vcmc_small.lookup_ms < esm_small.lookup_ms
+    # Paper: ESM's lookup collapses once the base table fits (first path
+    # succeeds immediately).
+    esm_large = result.get("esm", large).hit_avg_breakdown()
+    assert esm_large.lookup_ms < esm_small.lookup_ms
+    # Paper: ESM pays no update cost at all; VCMC maintains state.
+    assert esm_large.update_ms < vcmc_small.update_ms + 1.0

@@ -1,0 +1,49 @@
+"""Figure 7 (E6): complete-hit ratio vs cache size, two-level vs benefit.
+
+Benchmarked kernel: one full query-stream run under the two-level policy
+at the largest cache.  The Figure 7 series is written to
+``results/fig7.txt``.  Stream runs are memoised inside the harness, so
+the figure benchmarks share work within one pytest session.
+"""
+
+from __future__ import annotations
+
+from repro.harness.streams import (
+    SchemeSpec,
+    run_policy_comparison,
+    run_stream,
+)
+
+
+def test_stream_run_two_level(benchmark, config):
+    spec = SchemeSpec(strategy="vcmc", policy="two_level")
+    fraction = max(config.cache_fractions)
+    run_stream.cache_clear()
+    result = benchmark.pedantic(
+        lambda: run_stream(config, spec, fraction), rounds=1, iterations=1
+    )
+    assert result.queries == config.num_queries
+
+
+def test_fig7_full_reproduction(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_policy_comparison(config), rounds=1, iterations=1
+    )
+    emit("fig7", result.format_fig7())
+    import pathlib
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    from repro.harness.export import export_policy_comparison
+
+    export_policy_comparison(result, results_dir)
+    fractions = config.cache_fractions
+    small, large = min(fractions), max(fractions)
+    two_level = {
+        f: result.results[("two_level", f)].hit_ratio for f in fractions
+    }
+    benefit = {f: result.results[("benefit", f)].hit_ratio for f in fractions}
+    # Paper: hit ratio grows with cache size, and the two-level policy
+    # wins at large caches (100% once the base table fits).
+    assert two_level[large] >= two_level[small]
+    assert two_level[large] >= benefit[large]
+    assert two_level[large] == 1.0

@@ -1,0 +1,24 @@
+"""Figure 8 (E7): average execution time vs cache size, per policy.
+
+Uses the same memoised stream runs as Figure 7; writes the series to
+``results/fig8.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.streams import run_policy_comparison
+
+
+def test_fig8_full_reproduction(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_policy_comparison(config), rounds=1, iterations=1
+    )
+    emit("fig8", result.format_fig8())
+    fractions = config.cache_fractions
+    small, large = min(fractions), max(fractions)
+    two_level = {f: result.results[("two_level", f)].avg_ms for f in fractions}
+    benefit = {f: result.results[("benefit", f)].avg_ms for f in fractions}
+    # Paper: execution time falls as the cache grows, and the two-level
+    # policy is at least as fast as plain benefit at large caches.
+    assert two_level[large] < two_level[small]
+    assert two_level[large] <= benefit[large] * 1.25

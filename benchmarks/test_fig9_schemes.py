@@ -1,0 +1,81 @@
+"""Figure 9 (E8): no-aggregation vs ESM vs VCMC average execution time.
+
+Benchmarked kernel: one query answered by each scheme on a warm cache.
+The Figure 9 series is written to ``results/fig9.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.common import build_components
+from repro.harness.streams import run_scheme_comparison
+from repro.core.manager import AggregateCache
+from repro.workload.query import Query
+
+
+@pytest.fixture(scope="module")
+def warm_managers(config):
+    components = build_components(config)
+    capacity = components.capacity_for(max(config.cache_fractions))
+    managers = {}
+    for strategy, policy, preload in (
+        ("noagg", "benefit", False),
+        ("esm", "two_level", True),
+        ("vcmc", "two_level", True),
+    ):
+        managers[strategy] = AggregateCache(
+            components.schema,
+            components.backend,
+            capacity_bytes=capacity,
+            strategy=strategy,
+            policy=policy,
+            preload=preload,
+            sizes=components.sizes,
+        )
+    return components, managers
+
+
+@pytest.mark.parametrize("strategy", ["noagg", "esm", "vcmc"])
+def test_one_rollup_query_per_scheme(benchmark, warm_managers, strategy):
+    """A roll-up query (the kind only an active cache answers) per scheme."""
+    components, managers = warm_managers
+    schema = components.schema
+    # A roll-up-style level: detailed on the first two dimensions, fully
+    # aggregated on the rest (works for any schema shape).
+    level = tuple(
+        h if i < 2 else 0 for i, h in enumerate(schema.heights)
+    )
+    query = Query.full_level(schema, level)
+    manager = managers[strategy]
+    manager.query(query)  # warm any computed chunks
+
+    result = benchmark.pedantic(
+        lambda: manager.query(query), rounds=3, iterations=1
+    )
+    assert result.chunks
+
+
+def test_fig9_full_reproduction(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_scheme_comparison(config), rounds=1, iterations=1
+    )
+    emit("fig9", result.format_fig9())
+    import pathlib
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    from repro.harness.export import export_scheme_comparison
+
+    export_scheme_comparison(result, results_dir)
+    # Paper: both active schemes beat the conventional cache by a large
+    # margin at every cache size.
+    for fraction in config.cache_fractions:
+        noagg = result.get("noagg", fraction).avg_ms
+        assert result.get("vcmc", fraction).avg_ms < noagg
+        assert result.get("esm", fraction).avg_ms < noagg
+    # And the conventional cache gets far fewer complete hits.
+    large = max(config.cache_fractions)
+    assert (
+        result.get("noagg", large).complete_hits
+        < result.get("vcmc", large).complete_hits
+    )

@@ -1,0 +1,24 @@
+"""E13 (ours): stream locality vs complete hits and the VCMC speedup.
+
+The paper's motivation for speeding up complete-hit queries is that
+high-locality streams produce many of them; this sweep quantifies it.
+Results go to ``results/locality.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.locality import run_locality_sweep
+
+
+def test_locality_sweep(benchmark, config, emit, strict):
+    result = benchmark.pedantic(
+        lambda: run_locality_sweep(config), rounds=1, iterations=1
+    )
+    emit("locality", result.format())
+    assert len(result.points) == 4
+    if not strict:
+        return
+    # Follow-up-heavy streams must hit at least as often as pure-random
+    # ones for the aggregation-capable strategies.
+    first, last = result.points[0], result.points[-1]
+    assert last.hit_ratio["vcmc"] >= first.hit_ratio["vcmc"] - 0.05

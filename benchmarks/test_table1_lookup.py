@@ -1,0 +1,125 @@
+"""Table 1 (E3): cache lookup times for ESM / ESMC / VCM / VCMC.
+
+Benchmarked kernels: the single-chunk lookups whose contrast is the
+paper's headline — the virtual-count methods answer in constant time
+where the exhaustive methods walk the lattice.  The full Table 1 (min /
+max / average over every group-by, empty and preloaded cache) is
+regenerated once and written to ``results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.common import (
+    build_components,
+    empty_cache,
+    preload_level_into,
+    strategy_on,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def components(config):
+    return build_components(config)
+
+
+@pytest.fixture(scope="module")
+def empty_setup(components):
+    cache = empty_cache(components)
+    return {
+        name: strategy_on(name, components, cache)
+        for name in ("esm", "esmc", "vcm", "vcmc")
+    }
+
+
+@pytest.fixture(scope="module")
+def preloaded_setup(components):
+    cache = empty_cache(components)
+    strategies = {
+        name: strategy_on(name, components, cache)
+        for name in ("esm", "vcm", "vcmc")
+    }
+    preload_level_into(
+        components,
+        cache,
+        components.schema.base_level,
+        list(strategies.values()),
+    )
+    return strategies
+
+
+def test_vcm_lookup_empty_cache_is_constant_time(benchmark, empty_setup, components):
+    """VCM rejects a non-computable apex chunk with one count read."""
+    apex = components.schema.apex_level
+    vcm = empty_setup["vcm"]
+    result = benchmark(lambda: vcm.find(apex, 0))
+    assert result is None
+
+
+def test_vcmc_lookup_empty_cache_is_constant_time(
+    benchmark, empty_setup, components
+):
+    apex = components.schema.apex_level
+    vcmc = empty_setup["vcmc"]
+    result = benchmark(lambda: vcmc.find(apex, 0))
+    assert result is None
+
+
+def test_esm_lookup_empty_cache_walks_all_paths(
+    benchmark, empty_setup, components
+):
+    """ESM must explore every lattice walk before giving up (factorially
+    many for the apex — Lemma 1)."""
+    apex = components.schema.apex_level
+    esm = empty_setup["esm"]
+    result = benchmark.pedantic(
+        lambda: esm.find(apex, 0), rounds=1, iterations=1
+    )
+    assert result is None
+
+
+def test_esm_lookup_preloaded_finds_first_path(
+    benchmark, preloaded_setup, components
+):
+    """With the base cached the very first path succeeds: ESM is fast."""
+    apex = components.schema.apex_level
+    esm = preloaded_setup["esm"]
+    result = benchmark.pedantic(
+        lambda: esm.find(apex, 0), rounds=3, iterations=1
+    )
+    assert result is not None
+
+
+def test_vcmc_lookup_preloaded_follows_best_parents(
+    benchmark, preloaded_setup, components
+):
+    apex = components.schema.apex_level
+    vcmc = preloaded_setup["vcmc"]
+    result = benchmark.pedantic(
+        lambda: vcmc.find(apex, 0), rounds=3, iterations=1
+    )
+    assert result is not None
+
+
+def test_table1_full_reproduction(benchmark, config, emit, strict):
+    """Regenerate the complete Table 1 and check its orderings."""
+    result = benchmark.pedantic(
+        lambda: run_table1(config), rounds=1, iterations=1
+    )
+    emit("table1", result.format())
+    import pathlib
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    from repro.harness.export import export_table1
+
+    export_table1(result, results_dir)
+    if not strict:
+        return
+    # Paper orderings: VC methods' empty-cache lookups are ~free compared
+    # to the exhaustive search; ESMC preloaded is the pathological cell.
+    assert result.empty["vcm"].average < result.empty["esm"].average
+    assert result.empty["vcmc"].average < result.empty["esmc"].average
+    assert result.preloaded["esm"].average < result.empty["esm"].average

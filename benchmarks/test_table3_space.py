@@ -1,0 +1,47 @@
+"""Table 3 (E5): space overhead of the virtual-count state.
+
+Benchmarked kernel: constructing the full VCMC state arrays for the
+schema (the one-off cost of enabling the method).  The Table 3 overhead
+census is written to ``results/table3.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import CostStore
+from repro.core.counts import CountStore
+from repro.harness.common import build_components
+from repro.harness.table3 import run_table3
+
+
+@pytest.fixture(scope="module")
+def components(config):
+    return build_components(config)
+
+
+def test_count_store_construction(benchmark, components):
+    store = benchmark(lambda: CountStore(components.schema))
+    assert store.num_entries() == sum(
+        components.schema.num_chunks(level)
+        for level in components.schema.all_levels()
+    )
+
+
+def test_cost_store_construction(benchmark, components):
+    store = benchmark(lambda: CostStore(components.schema, components.sizes))
+    assert store.num_entries() > 0
+
+
+def test_table3_full_reproduction(benchmark, config, emit, strict):
+    result = benchmark.pedantic(
+        lambda: run_table3(config), rounds=1, iterations=1
+    )
+    emit("table3", result.format())
+    # Paper: the exhaustive methods keep no state; VCMC pays 6 bytes per
+    # chunk...
+    assert result.state_bytes["esm"] == 0
+    assert result.state_bytes["vcmc"] == 6 * result.total_chunks
+    if strict:
+        # ...which stays a small fraction of the base table (paper: ~1%).
+        assert result.state_bytes["vcmc"] < 0.05 * result.base_bytes

@@ -1,0 +1,36 @@
+"""Table 4 (E10): VCMC-over-ESM speedup on complete-hit queries.
+
+Uses the same memoised stream runs as Figures 9/10; writes the table to
+``results/table4.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.streams import run_scheme_comparison
+
+
+def test_table4_full_reproduction(benchmark, config, emit, strict):
+    result = benchmark.pedantic(
+        lambda: run_scheme_comparison(config), rounds=1, iterations=1
+    )
+    emit("table4", result.format_table4())
+    if not strict:
+        return
+    fractions = sorted(config.cache_fractions)
+    small, large = fractions[0], fractions[-1]
+
+    def speedup(fraction):
+        esm = result.get("esm", fraction)
+        vcmc = result.get("vcmc", fraction)
+        return esm.hit_avg_ms / vcmc.hit_avg_ms if vcmc.hit_avg_ms else 0.0
+
+    # Paper: the win is largest at small caches (5.8x at 10 MB) and fades
+    # towards parity once the base table fits (1.11x at 25 MB).
+    assert speedup(small) > 1.5
+    assert speedup(small) > speedup(large)
+    # Complete hits grow with cache size, reaching 100%.
+    assert result.get("vcmc", large).hit_ratio == 1.0
+    assert (
+        result.get("vcmc", small).hit_ratio
+        <= result.get("vcmc", large).hit_ratio
+    )

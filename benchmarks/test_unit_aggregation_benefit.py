@@ -1,0 +1,67 @@
+"""Unit experiment E1: benefit of in-cache aggregation.
+
+Benchmarked kernels: answering the apex chunk by aggregating the cached
+base table vs fetching it from the backend.  The full per-group-by
+min/max/avg comparison is written to ``results/unit_benefit.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation import rollup_chunks
+from repro.harness.common import (
+    build_components,
+    empty_cache,
+    preload_level_into,
+    strategy_on,
+)
+from repro.harness.unit_experiments import run_aggregation_benefit
+
+
+@pytest.fixture(scope="module")
+def warm(config):
+    components = build_components(config)
+    cache = empty_cache(components)
+    vcmc = strategy_on("vcmc", components, cache)
+    preload_level_into(
+        components, cache, components.schema.base_level, [vcmc]
+    )
+    return components, cache, vcmc
+
+
+def test_apex_by_cache_aggregation(benchmark, warm):
+    components, cache, vcmc = warm
+    schema = components.schema
+    plan = vcmc.find(schema.apex_level, 0)
+
+    def execute(node):
+        if node.is_leaf:
+            return cache.peek(node.level, node.number)
+        inputs = [execute(child) for child in node.inputs]
+        return rollup_chunks(schema, node.level, node.number, inputs)
+
+    chunk = benchmark(lambda: execute(plan))
+    assert chunk.size_tuples == 1
+
+
+def test_apex_by_backend_fetch(benchmark, warm):
+    components, _, _ = warm
+    apex = components.schema.apex_level
+
+    def fetch():
+        chunks, stats = components.backend.fetch([(apex, 0)])
+        return stats.total_ms
+
+    simulated = benchmark(fetch)
+    assert simulated >= components.backend.cost_model.connection_overhead_ms
+
+
+def test_e1_full_reproduction(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_aggregation_benefit(config), rounds=1, iterations=1
+    )
+    emit("unit_benefit", result.format())
+    # Paper: aggregating in cache beats the backend by ~8x on average.
+    assert result.speedup.average > 2.0
+    assert result.cache_ms.average < result.backend_ms.average

@@ -1,0 +1,25 @@
+"""Unit experiment E2: aggregation cost variation across lattice paths.
+
+Benchmarked kernel: the lattice DP computing cheapest/dearest chain costs
+for every group-by.  The per-distance ratio table is written to
+``results/unit_cost_variation.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.unit_experiments import run_cost_variation
+
+
+def test_e2_full_reproduction(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_cost_variation(config), rounds=1, iterations=1
+    )
+    emit("unit_cost_variation", result.format())
+    assert result.ratio.count > 0
+    # Paper shape: no variation for detailed group-bys (single path),
+    # growing with aggregation distance.
+    distances = sorted(result.by_distance)
+    assert result.by_distance[distances[0]].average <= (
+        result.by_distance[distances[-1]].average + 1e-9
+    )
+    assert result.ratio.min_value >= 1.0 - 1e-9

@@ -1,0 +1,72 @@
+"""An analyst session: drill-downs, roll-ups, and what the cache does.
+
+Walks the cube the way an OLAP user does — start at the top, drill into
+Product, pivot to Time, roll back up — printing for every step whether it
+was answered from the cache (directly or by aggregation) or had to go to
+the backend.  Roll-ups after drill-downs are the showcase: a conventional
+cache misses them; the active cache aggregates.
+
+Run:  python examples/drilldown_session.py
+"""
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    Query,
+    apb_small_schema,
+    generate_fact_table,
+)
+
+
+def describe(step: str, result) -> None:
+    if result.complete_hit:
+        how = (
+            f"cache ({result.direct_hits} direct, "
+            f"{result.aggregated} aggregated)"
+        )
+    else:
+        how = f"backend ({result.from_backend} chunks fetched)"
+    print(
+        f"{step:<52} total={result.total_value():>13,.0f}  "
+        f"{result.total_ms:>8.2f} ms  via {how}"
+    )
+
+
+def main(num_tuples: int = 60_000) -> None:
+    schema = apb_small_schema()
+    facts = generate_fact_table(schema, num_tuples=num_tuples, seed=21)
+    backend = BackendDatabase(schema, facts)
+    cache = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=facts.size_bytes // 3,
+        strategy="vcmc",
+        policy="two_level",
+    )
+    print(f"Session over {facts.num_tuples:,} facts; {cache.describe()}\n")
+
+    # The session: each step is a (description, level) pair.  Levels are
+    # (Product, Customer, Time, Channel, Scenario) hierarchy depths.
+    session = [
+        ("Grand total", (0, 0, 0, 0, 0)),
+        ("Drill: by Product division", (1, 0, 0, 0, 0)),
+        ("Drill: by Product line", (2, 0, 0, 0, 0)),
+        ("Pivot: lines by Year", (2, 0, 1, 0, 0)),
+        ("Drill: lines by Quarter", (2, 0, 2, 0, 0)),
+        ("Roll up: divisions by Quarter", (1, 0, 2, 0, 0)),
+        ("Roll up: divisions by Year", (1, 0, 1, 0, 0)),
+        ("Roll up: grand total again", (0, 0, 0, 0, 0)),
+    ]
+    for step, level in session:
+        result = cache.query(Query.full_level(schema, level))
+        describe(step, result)
+
+    print(
+        f"\nComplete hits: {cache.complete_hits}/{cache.queries_run} "
+        f"({100 * cache.complete_hit_ratio:.0f}%) — every roll-up after "
+        "the first drill-downs was answered by aggregating the cache."
+    )
+
+
+if __name__ == "__main__":
+    main()

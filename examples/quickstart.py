@@ -1,0 +1,71 @@
+"""Quickstart: an aggregate-aware OLAP cache in ~30 lines.
+
+Builds an APB-1-like cube with synthetic sales data, puts an active cache
+(VCMC strategy, two-level replacement) in front of the backend, and shows
+the cache answering queries it never saw — by aggregating cached chunks.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    Query,
+    apb_small_schema,
+    generate_fact_table,
+)
+
+
+def main(num_tuples: int = 50_000) -> None:
+    # 1. The cube: Product/Customer/Time/Channel/Scenario with hierarchies.
+    schema = apb_small_schema()
+    print(f"Schema: {schema}")
+
+    # 2. Synthetic fact data and the backend database serving it.
+    facts = generate_fact_table(schema, num_tuples=num_tuples, seed=7)
+    backend = BackendDatabase(schema, facts)
+    print(
+        f"Fact table: {facts.num_tuples:,} tuples "
+        f"({facts.size_bytes / 1e6:.1f} MB)"
+    )
+
+    # 3. The active cache: half the base table's size, pre-loaded with the
+    #    most useful group-by it can hold.
+    cache = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=facts.size_bytes // 2,
+        strategy="vcmc",
+        policy="two_level",
+    )
+    print(f"Pre-loaded group-by: {schema.level_name(cache.preloaded_level)}")
+
+    # 4. Query: total UnitSales per Product division per Year.
+    by_division_year = Query.full_level(schema, (1, 0, 1, 0, 0))
+    result = cache.query(by_division_year)
+    print(
+        f"\nDivision x Year: total={result.total_value():,.0f} "
+        f"complete_hit={result.complete_hit} "
+        f"({result.aggregated} chunks aggregated in cache, "
+        f"{result.from_backend} fetched)"
+    )
+
+    # 5. Roll up to the grand total — answered entirely from the cache.
+    grand_total = cache.query(Query.full_level(schema, schema.apex_level))
+    print(
+        f"Grand total:     total={grand_total.total_value():,.0f} "
+        f"complete_hit={grand_total.complete_hit} "
+        f"in {grand_total.total_ms:.2f} ms"
+    )
+    assert abs(grand_total.total_value() - facts.total()) < 1e-6
+
+    # 6. The same query again is now a direct hit.
+    again = cache.query(by_division_year)
+    print(
+        f"Repeat query:    direct hits={again.direct_hits}/"
+        f"{again.query.num_chunks} in {again.total_ms:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

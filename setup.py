@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments whose setuptools lacks wheel support for PEP 660 editable
+builds (``python setup.py develop`` works without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""Aggregate-aware chunk caching for multi-dimensional OLAP queries.
+
+A from-scratch reproduction of Deshpande & Naughton, *Aggregate Aware
+Caching for Multi-Dimensional Queries* (EDBT 2000): an active middle-tier
+cache that answers OLAP queries not only from exactly-matching cached
+chunks, but also by *aggregating* finer-grained cached chunks along
+group-by lattice paths.
+
+Quickstart::
+
+    from repro import (
+        AggregateCache, BackendDatabase, Query, apb_small_schema,
+        generate_fact_table,
+    )
+
+    schema = apb_small_schema()
+    facts = generate_fact_table(schema, num_tuples=50_000, seed=7)
+    backend = BackendDatabase(schema, facts)
+    cache = AggregateCache(
+        schema, backend, capacity_bytes=512 * 1024, strategy="vcmc"
+    )
+    result = cache.query(Query.full_level(schema, (0, 0, 0, 0, 0)))
+    print(result.total_value(), result.complete_hit)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+reproduction results.
+"""
+
+from repro.backend import BackendDatabase, CostModel, FactTable, generate_fact_table
+from repro.cache import ChunkCache, make_policy
+from repro.chunks import Chunk, ChunkOrigin
+from repro.core import (
+    AggregateCache,
+    CountStore,
+    CostStore,
+    PlanNode,
+    QueryResult,
+    STRATEGY_NAMES,
+    SizeEstimator,
+    make_strategy,
+)
+from repro.olap import OlapSession
+from repro.schema import (
+    CubeSchema,
+    Dimension,
+    apb_reduced_schema,
+    apb_schema,
+    apb_small_schema,
+    apb_tiny_schema,
+)
+from repro.schema.members import MemberCatalog
+from repro.workload import Query, QueryKind, QueryStreamGenerator, StreamMix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateCache",
+    "BackendDatabase",
+    "Chunk",
+    "ChunkCache",
+    "ChunkOrigin",
+    "CostModel",
+    "CostStore",
+    "CountStore",
+    "CubeSchema",
+    "Dimension",
+    "FactTable",
+    "MemberCatalog",
+    "OlapSession",
+    "PlanNode",
+    "Query",
+    "QueryKind",
+    "QueryResult",
+    "QueryStreamGenerator",
+    "STRATEGY_NAMES",
+    "SizeEstimator",
+    "StreamMix",
+    "apb_reduced_schema",
+    "apb_schema",
+    "apb_small_schema",
+    "apb_tiny_schema",
+    "generate_fact_table",
+    "make_policy",
+    "make_strategy",
+]

@@ -1,0 +1,152 @@
+"""Top-level demo CLI: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``  — print the demo schema (dimensions, levels, chunk census).
+* ``query "SELECT .."`` — run OLAP queries against a demo cube fronted by
+  the aggregate-aware cache (repeat the flag-free argument to run many).
+* ``demo``  — a short scripted tour: drill-down, roll-up, and the cache
+  accounting that shows aggregation at work.
+
+The experiment harness lives under ``python -m repro.harness``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    MemberCatalog,
+    OlapSession,
+    apb_small_schema,
+    generate_fact_table,
+)
+from repro.util.errors import ReproError
+
+DEMO_SEED = 20000  # EDBT 2000
+
+
+def build_demo_session(num_tuples: int = 60_000) -> OlapSession:
+    """A deterministic demo cube with an active cache in front."""
+    schema = apb_small_schema()
+    facts = generate_fact_table(schema, num_tuples=num_tuples, seed=DEMO_SEED)
+    backend = BackendDatabase(schema, facts)
+    cache = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=facts.size_bytes // 2,
+        strategy="vcmc",
+        policy="two_level",
+    )
+    return OlapSession(cache, MemberCatalog.synthetic(schema))
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    schema = apb_small_schema()
+    print(f"{schema}\n")
+    print("Dimensions:")
+    for dim in schema.dimensions:
+        levels = " > ".join(
+            f"{name}({dim.cardinality(level)})"
+            for level, name in enumerate(dim.level_names)
+        )
+        print(f"  {dim.name:<10} {levels}")
+    print(f"\nGroup-by lattice: {schema.num_levels} levels")
+    print(f"Chunks over all levels: {schema.total_chunks():,}")
+    print(f"Paths from the apex to the base: {schema.paths_to_base(schema.apex_level):,}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    session = build_demo_session()
+    status = 0
+    for text in args.sql:
+        print(f">>> {text}")
+        try:
+            print(session.query(text).format())
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+        print()
+    return status
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    session = build_demo_session()
+    steps = [
+        "SELECT SUM(UnitSales)",
+        "SELECT SUM(UnitSales) GROUP BY Product.Division",
+        "SELECT SUM(UnitSales) GROUP BY Product.Division, Time.Year",
+        "SELECT SUM(UnitSales) GROUP BY Time.Year",  # roll-up: cache hit
+        (
+            "SELECT SUM(UnitSales) GROUP BY Product.Line "
+            "ORDER BY SUM(UnitSales) DESC LIMIT 3"
+        ),
+    ]
+    for text in steps:
+        print(f">>> {text}")
+        print(session.query(text).format())
+        print()
+    cache = session.cache
+    print(
+        f"{cache.queries_run} cache queries, "
+        f"{100 * cache.complete_hit_ratio:.0f}% complete hits — roll-ups "
+        "were answered by aggregating cached chunks, not the backend."
+    )
+    return 0
+
+
+def cmd_shell(_args: argparse.Namespace) -> int:
+    """A minimal interactive loop over the demo cube."""
+    session = build_demo_session()
+    print(
+        "Aggregate-aware OLAP shell.  Try:\n"
+        "  SELECT SUM(UnitSales) GROUP BY Product.Division\n"
+        "Type 'exit' (or Ctrl-D) to leave, 'stats' for cache state.\n"
+    )
+    while True:
+        try:
+            line = input("olap> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            continue
+        if line.lower() in ("exit", "quit", r"\q"):
+            return 0
+        if line.lower() == "stats":
+            print(session.cache.describe())
+            continue
+        try:
+            print(session.query(line).format())
+        except ReproError as exc:
+            print(f"error: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Aggregate-aware OLAP caching demo (EDBT 2000 repro).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="describe the demo schema").set_defaults(
+        func=cmd_info
+    )
+    query = sub.add_parser("query", help="run OLAP queries on the demo cube")
+    query.add_argument("sql", nargs="+", help="one or more query strings")
+    query.set_defaults(func=cmd_query)
+    sub.add_parser("demo", help="a short scripted tour").set_defaults(
+        func=cmd_demo
+    )
+    sub.add_parser("shell", help="interactive query loop").set_defaults(
+        func=cmd_shell
+    )
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

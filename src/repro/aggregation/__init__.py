@@ -1,0 +1,5 @@
+"""Chunk roll-up kernels."""
+
+from repro.aggregation.aggregate import rollup_chunks
+
+__all__ = ["rollup_chunks"]

@@ -1,0 +1,13 @@
+"""The backend database substrate: synthetic data, cost model, engine."""
+
+from repro.backend.cost_model import CostModel
+from repro.backend.engine import BackendDatabase, BackendRequestStats
+from repro.backend.generator import FactTable, generate_fact_table
+
+__all__ = [
+    "BackendDatabase",
+    "BackendRequestStats",
+    "CostModel",
+    "FactTable",
+    "generate_fact_table",
+]

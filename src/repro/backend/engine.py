@@ -1,0 +1,228 @@
+"""The backend database engine.
+
+Models the paper's backend: the fact table stored in *chunked file
+organisation* — facts clustered by base chunk number, so a request for a
+set of chunks scans exactly the base chunks that cover them (the paper
+achieved this with a clustered index on the chunk number).
+
+A request is a batch of (level, chunk-number) pairs — the middle tier
+translates all of a query's missing chunks into a single backend request,
+as in Section 2 of the paper.  The engine really computes the answers
+(scanning its numpy chunk files and aggregating), and additionally charges
+the simulated connection/transfer overhead from :class:`CostModel`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aggregation.aggregate import rollup_chunks
+from repro.backend.cost_model import CostModel
+from repro.backend.generator import FactTable
+from repro.chunks.chunk import Chunk, ChunkOrigin
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import ReproError
+from repro.util.timers import Stopwatch
+
+
+@dataclass
+class BackendRequestStats:
+    """Accounting for one backend round trip."""
+
+    chunks_requested: int = 0
+    tuples_scanned: int = 0
+    tuples_returned: int = 0
+    compute_ms: float = 0.0
+    """Real wall-clock spent scanning and aggregating."""
+    simulated_ms: float = 0.0
+    """Simulated connection + scan + transfer charge."""
+
+    @property
+    def total_ms(self) -> float:
+        return self.compute_ms + self.simulated_ms
+
+
+@dataclass
+class BackendTotals:
+    """Lifetime counters for one backend instance."""
+
+    requests: int = 0
+    chunks_served: int = 0
+    tuples_scanned: int = 0
+    total_ms: float = 0.0
+
+    def absorb(self, stats: BackendRequestStats) -> None:
+        self.requests += 1
+        self.chunks_served += stats.chunks_requested
+        self.tuples_scanned += stats.tuples_scanned
+        self.total_ms += stats.total_ms
+
+
+class BackendDatabase:
+    """A chunk-organised fact store that can answer chunk requests.
+
+    Parameters
+    ----------
+    schema:
+        The cube schema.
+    facts:
+        The fact table to load (must match ``schema``).
+    cost_model:
+        Latency constants; defaults to :class:`CostModel` defaults.
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        facts: FactTable,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if facts.schema is not schema:
+            raise ReproError("fact table was generated for a different schema")
+        self.schema = schema
+        self.cost_model = cost_model or CostModel()
+        self.totals = BackendTotals()
+        self._base_chunks = self._cluster_facts(facts)
+        self._num_tuples = facts.num_tuples
+
+    def _cluster_facts(self, facts: FactTable) -> dict[int, Chunk]:
+        """Split the fact table into base-level chunks (the chunked file)."""
+        base = self.schema.base_level
+        chunk_ids = self.schema.chunks.chunk_numbers_of_cells(base, facts.coords)
+        order = np.argsort(chunk_ids, kind="stable")
+        sorted_ids = chunk_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_ids)]))
+        chunks: dict[int, Chunk] = {}
+        for start, end in zip(starts, ends):
+            if start == end:
+                continue
+            rows = order[start:end]
+            number = int(sorted_ids[start])
+            chunks[number] = Chunk(
+                level=base,
+                number=number,
+                coords=tuple(axis[rows] for axis in facts.coords),
+                values=facts.values[rows],
+                counts=facts.counts[rows],
+                origin=ChunkOrigin.BACKEND,
+                extras=tuple(extra[rows] for extra in facts.extras),
+            )
+        return chunks
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    @property
+    def num_tuples(self) -> int:
+        """Distinct base cells stored (the paper's fact-table tuple count)."""
+        return self._num_tuples
+
+    @property
+    def base_size_bytes(self) -> int:
+        return self._num_tuples * self.schema.bytes_per_tuple
+
+    def base_chunk(self, number: int) -> Chunk:
+        """The stored base chunk (empty chunk if no facts fall in it)."""
+        chunk = self._base_chunks.get(number)
+        if chunk is None:
+            return Chunk.empty(
+                self.schema.base_level,
+                number,
+                self.schema.ndims,
+                num_extras=self.schema.num_extra_measures,
+            )
+        return chunk
+
+    def base_chunk_numbers(self) -> list[int]:
+        """Numbers of the non-empty base chunks, ascending."""
+        return sorted(self._base_chunks)
+
+    # ------------------------------------------------------------------ #
+    # serving requests
+
+    def fetch(
+        self, requests: Sequence[tuple[Level, int]]
+    ) -> tuple[list[Chunk], BackendRequestStats]:
+        """Answer a batched chunk request.
+
+        Each requested chunk is computed by scanning the base chunks that
+        cover it and aggregating.  Returns the chunks (origin ``BACKEND``,
+        ``compute_cost`` = the simulated ms to obtain that chunk alone) and
+        the request's accounting.
+        """
+        stats = BackendRequestStats(chunks_requested=len(requests))
+        if not requests:
+            return [], stats
+        watch = Stopwatch()
+        results = []
+        base = self.schema.base_level
+        for level, number in requests:
+            covering = self.schema.get_parent_chunk_numbers(level, number, base)
+            sources = [
+                self._base_chunks[n] for n in covering.tolist()
+                if n in self._base_chunks
+            ]
+            scanned = sum(c.size_tuples for c in sources)
+            chunk = rollup_chunks(
+                self.schema, level, number, sources, origin=ChunkOrigin.BACKEND
+            )
+            chunk.compute_cost = self.cost_model.backend_chunk_ms(
+                scanned, chunk.size_tuples
+            )
+            stats.tuples_scanned += scanned
+            stats.tuples_returned += chunk.size_tuples
+            results.append(chunk)
+        stats.compute_ms = watch.elapsed_ms()
+        stats.simulated_ms = self.cost_model.backend_request_ms(
+            stats.tuples_scanned, stats.tuples_returned
+        )
+        self.totals.absorb(stats)
+        return results, stats
+
+    def append(self, facts: FactTable) -> list[int]:
+        """Merge new fact rows into the store (warehouse refresh).
+
+        Returns the base chunk numbers whose contents changed — the set a
+        middle tier must invalidate (see
+        :meth:`AggregateCache.refresh_from_backend`).  Duplicate cells
+        merge additively, exactly like the initial load.
+        """
+        if facts.schema is not self.schema:
+            raise ReproError("appended facts were generated for a different schema")
+        incoming = self._cluster_facts(facts)
+        affected = []
+        for number, new_chunk in incoming.items():
+            existing = self._base_chunks.get(number)
+            if existing is None:
+                self._base_chunks[number] = new_chunk
+            else:
+                merged = rollup_chunks(
+                    self.schema,
+                    self.schema.base_level,
+                    number,
+                    [existing, new_chunk],
+                    origin=ChunkOrigin.BACKEND,
+                )
+                merged.compute_cost = 0.0
+                self._base_chunks[number] = merged
+            affected.append(number)
+        self._num_tuples = sum(
+            chunk.size_tuples for chunk in self._base_chunks.values()
+        )
+        return sorted(affected)
+
+    def compute_chunk(self, level: Level, number: int) -> Chunk:
+        """Compute one chunk without cost accounting (test/preload helper)."""
+        chunks, _ = self.fetch([(level, number)])
+        return chunks[0]
+
+    def compute_level(self, level: Level) -> list[Chunk]:
+        """Compute every chunk of one group-by (used by the pre-loader)."""
+        requests = [(level, n) for n in range(self.schema.num_chunks(level))]
+        chunks, _ = self.fetch(requests)
+        return chunks

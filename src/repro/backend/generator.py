@@ -1,0 +1,163 @@
+"""Synthetic fact-table generation (APB-1 substitute).
+
+The OLAP Council's APB data generator is unavailable offline; this module
+generates a fact table with the same relevant structure: a configurable
+number of distinct base cells over the cube's base level, with positive
+integer measure values and optional per-dimension skew (hot products / hot
+stores), all from a deterministic RNG.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schema.cube import CubeSchema
+from repro.util.errors import ReproError
+from repro.util.rng import make_rng
+
+
+@dataclass
+class FactTable:
+    """A materialised fact table at the cube's base level.
+
+    ``coords[d][i]`` is the base-level ordinal of fact cell ``i`` along
+    dimension ``d``; ``values[i]`` is the summed measure and ``counts[i]``
+    the number of raw fact rows merged into the cell.  Cells are unique.
+    """
+
+    schema: CubeSchema
+    coords: tuple[np.ndarray, ...]
+    values: np.ndarray
+    counts: np.ndarray
+    extras: tuple[np.ndarray, ...] = ()
+    """Additional additive measures (``schema.measures[1:]``)."""
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self.values)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_tuples * self.schema.bytes_per_tuple
+
+    def total(self) -> float:
+        """Grand total of the measure — the apex cell's value."""
+        return float(self.values.sum())
+
+
+def generate_fact_table(
+    schema: CubeSchema,
+    num_tuples: int,
+    seed: int | np.random.Generator | None = None,
+    skew: float = 0.0,
+    mode: str = "uniform",
+    combo_density: float = 0.7,
+    cell_fill: float = 0.9,
+) -> FactTable:
+    """Generate a synthetic fact table.
+
+    ``mode="uniform"`` throws ``num_tuples`` raw facts uniformly at the
+    base cube (duplicates merge).  ``mode="clustered"`` mimics APB-1's
+    correlated structure: a ``combo_density`` fraction of the
+    (first-dimension x second-dimension) combinations — Product x Customer
+    in APB — have sales at all, and each such combination is dense
+    (``cell_fill``) over the remaining dimensions (Time/Channel/Scenario).
+    Clustered data is what makes aggregation paths differ strongly in
+    cost: rolling up a dense dimension shrinks the data immediately,
+    rolling up a sparse one barely does.  ``num_tuples`` is ignored in
+    clustered mode (size is set by the densities); ``skew`` in [0, 1)
+    biases uniform draws towards low ordinals.
+    """
+    if not 0.0 <= skew < 1.0:
+        raise ReproError(f"skew must be in [0, 1), got {skew}")
+    rng = make_rng(seed)
+    if mode == "uniform":
+        raw_coords = _uniform_coords(schema, num_tuples, rng, skew)
+    elif mode == "clustered":
+        raw_coords = _clustered_coords(schema, rng, combo_density, cell_fill)
+    else:
+        raise ReproError(f"unknown generation mode {mode!r}")
+
+    count = len(raw_coords[0])
+    raw_values = rng.integers(1, 100, size=count).astype(np.float64)
+    raw_extras = [
+        rng.integers(1, 1000, size=count).astype(np.float64)
+        for _ in range(schema.num_extra_measures)
+    ]
+    cell_shape = schema.chunks.cell_shape(schema.base_level)
+    flat = np.ravel_multi_index(raw_coords, cell_shape)
+    unique_flat, inverse = np.unique(flat, return_inverse=True)
+    values = np.bincount(inverse, weights=raw_values, minlength=len(unique_flat))
+    counts = np.bincount(inverse, minlength=len(unique_flat)).astype(np.int64)
+    extras = tuple(
+        np.bincount(inverse, weights=raw, minlength=len(unique_flat)).astype(
+            np.float64
+        )
+        for raw in raw_extras
+    )
+    coords = tuple(
+        axis.astype(np.int64) for axis in np.unravel_index(unique_flat, cell_shape)
+    )
+    return FactTable(
+        schema=schema,
+        coords=coords,
+        values=values.astype(np.float64),
+        counts=counts,
+        extras=extras,
+    )
+
+
+def _uniform_coords(
+    schema: CubeSchema, num_tuples: int, rng: np.random.Generator, skew: float
+) -> list[np.ndarray]:
+    if num_tuples <= 0:
+        raise ReproError(f"num_tuples must be positive, got {num_tuples}")
+    raw_coords = []
+    for dim in schema.dimensions:
+        card = dim.cardinality(dim.height)
+        if skew:
+            # power(a) with a>1 biases towards 1.0; flip to bias towards 0.
+            draws = 1.0 - rng.power(1.0 / (1.0 - skew), size=num_tuples)
+            ords = np.minimum((draws * card).astype(np.int64), card - 1)
+        else:
+            ords = rng.integers(0, card, size=num_tuples, dtype=np.int64)
+        raw_coords.append(ords)
+    return raw_coords
+
+
+def _clustered_coords(
+    schema: CubeSchema,
+    rng: np.random.Generator,
+    combo_density: float,
+    cell_fill: float,
+) -> list[np.ndarray]:
+    if schema.ndims < 3:
+        raise ReproError("clustered generation needs at least 3 dimensions")
+    if not 0.0 < combo_density <= 1.0 or not 0.0 < cell_fill <= 1.0:
+        raise ReproError("combo_density and cell_fill must be in (0, 1]")
+    cards = [dim.cardinality(dim.height) for dim in schema.dimensions]
+    num_combos = max(1, int(round(cards[0] * cards[1] * combo_density)))
+    combo_flat = rng.choice(
+        cards[0] * cards[1], size=num_combos, replace=False
+    )
+    dense_cells = math.prod(cards[2:])
+    # One row per (combo, dense cell), kept with probability cell_fill.
+    keep = rng.random(num_combos * dense_cells) < cell_fill
+    combo_idx, dense_idx = np.divmod(
+        np.flatnonzero(keep), dense_cells
+    )
+    combos = combo_flat[combo_idx]
+    coords = [
+        (combos // cards[1]).astype(np.int64),
+        (combos % cards[1]).astype(np.int64),
+    ]
+    # Unflatten the dense-cell index (row-major over dims 2..n-1),
+    # inserting back-to-front so dims come out in original order.
+    remainder = dense_idx.astype(np.int64)
+    for card in reversed(cards[2:]):
+        coords.insert(2, remainder % card)
+        remainder //= card
+    return coords

@@ -1,0 +1,108 @@
+"""On-disk persistence for fact tables (npz format).
+
+A saved fact table embeds a fingerprint of the schema it was generated
+for: loading against a structurally different schema is refused rather
+than silently mis-addressed, since every chunk number and ordinal would
+otherwise shift meaning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend.generator import FactTable
+from repro.schema.cube import CubeSchema
+from repro.util.errors import ReproError
+
+_FORMAT_VERSION = 1
+
+
+def schema_fingerprint(schema: CubeSchema) -> str:
+    """A stable hash of everything chunk addressing depends on."""
+    description = {
+        "measures": list(schema.measures),
+        "bytes_per_tuple": schema.bytes_per_tuple,
+        "dimensions": [
+            {
+                "name": dim.name,
+                "cardinalities": list(dim.cardinalities),
+                "boundaries": [
+                    dim.chunk_boundaries(level).tolist()
+                    for level in range(dim.height + 1)
+                ],
+                "parents": [
+                    dim.map_ordinals(
+                        level, level - 1, np.arange(dim.cardinality(level))
+                    ).tolist()
+                    for level in range(1, dim.height + 1)
+                ],
+            }
+            for dim in schema.dimensions
+        ],
+    }
+    canonical = json.dumps(description, sort_keys=True).encode()
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def save_fact_table(facts: FactTable, path: str | Path) -> Path:
+    """Write a fact table to ``path`` (npz).  Returns the path written."""
+    path = Path(path)
+    arrays = {
+        f"coords_{d}": axis for d, axis in enumerate(facts.coords)
+    }
+    arrays.update(
+        {f"extra_{m}": extra for m, extra in enumerate(facts.extras)}
+    )
+    np.savez_compressed(
+        path,
+        values=facts.values,
+        counts=facts.counts,
+        fingerprint=np.frombuffer(
+            schema_fingerprint(facts.schema).encode(), dtype=np.uint8
+        ),
+        version=np.asarray([_FORMAT_VERSION]),
+        ndims=np.asarray([facts.schema.ndims]),
+        num_extras=np.asarray([len(facts.extras)]),
+        **arrays,
+    )
+    # np.savez appends .npz when missing; normalise the reported path.
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_fact_table(schema: CubeSchema, path: str | Path) -> FactTable:
+    """Load a fact table saved by :func:`save_fact_table`.
+
+    Raises :class:`ReproError` when the file was written for a schema with
+    a different fingerprint or an unknown format version.
+    """
+    with np.load(Path(path)) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ReproError(
+                f"fact file {path} has format version {version}, "
+                f"this build reads {_FORMAT_VERSION}"
+            )
+        stored = bytes(data["fingerprint"]).decode()
+        actual = schema_fingerprint(schema)
+        if stored != actual:
+            raise ReproError(
+                f"fact file {path} was generated for a different schema "
+                f"(fingerprint {stored[:12]}.. != {actual[:12]}..)"
+            )
+        ndims = int(data["ndims"][0])
+        coords = tuple(data[f"coords_{d}"] for d in range(ndims))
+        num_extras = int(data["num_extras"][0]) if "num_extras" in data else 0
+        extras = tuple(data[f"extra_{m}"] for m in range(num_extras))
+        return FactTable(
+            schema=schema,
+            coords=coords,
+            values=data["values"],
+            counts=data["counts"],
+            extras=extras,
+        )

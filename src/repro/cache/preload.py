@@ -1,0 +1,43 @@
+"""Cache pre-loading (rule 3 of the two-level policy).
+
+Pre-computing a whole group-by seeds the cache with a *complete* group of
+chunks: any chunk at any descendant (more aggregated) level is then
+computable from it.  The paper's rule: load the group-by that fits in the
+cache and has the maximum number of descendants in the lattice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.schema import lattice
+from repro.schema.cube import CubeSchema, Level
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core uses cache)
+    from repro.core.sizes import SizeEstimator
+
+
+def choose_preload_level(
+    schema: CubeSchema,
+    sizes: "SizeEstimator",
+    capacity_bytes: int,
+    headroom: float = 1.0,
+) -> Level | None:
+    """The group-by to pre-load, or ``None`` if nothing fits.
+
+    Picks the level with the most lattice descendants whose estimated size
+    is at most ``capacity_bytes * headroom``; ties go to the larger (more
+    detailed) group-by, which strictly dominates for answering queries.
+    """
+    budget = capacity_bytes * headroom
+    best: Level | None = None
+    best_key: tuple[int, float] | None = None
+    for level in schema.all_levels():
+        est_bytes = sizes.level_bytes(level)
+        if est_bytes > budget:
+            continue
+        key = (lattice.descendant_count(level), est_bytes)
+        if best_key is None or key > best_key:
+            best = level
+            best_key = key
+    return best

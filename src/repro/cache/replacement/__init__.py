@@ -1,0 +1,38 @@
+"""Replacement policies: benefit-weighted CLOCK and the two-level policy."""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.benefit_clock import BenefitClockPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.two_level import TwoLevelPolicy
+from repro.util.errors import ReproError
+
+_POLICIES: dict[str, type[ReplacementPolicy]] = {
+    BenefitClockPolicy.name: BenefitClockPolicy,
+    TwoLevelPolicy.name: TwoLevelPolicy,
+    LRUPolicy.name: LRUPolicy,
+}
+
+POLICY_NAMES = tuple(_POLICIES)
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (one of ``POLICY_NAMES``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown policy {name!r}; choose from {POLICY_NAMES}"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "BenefitClockPolicy",
+    "LRUPolicy",
+    "POLICY_NAMES",
+    "ReplacementPolicy",
+    "TwoLevelPolicy",
+    "make_policy",
+]

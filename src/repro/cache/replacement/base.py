@@ -1,0 +1,80 @@
+"""The replacement policy interface.
+
+A policy observes residency changes and hits, and — when the store needs
+space — yields eviction candidates in preference order.  The store handles
+byte accounting and atomicity; the policy handles only ordering and class
+rules.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.store import CacheEntry
+
+#: Upper bound on a CLOCK value: keeps sweep passes bounded.
+CLOCK_CAP = 48.0
+
+
+def clock_weight(benefit_ms: float) -> float:
+    """Convert a benefit in milliseconds into CLOCK ticks.
+
+    Log-scaled so that a very expensive chunk survives more sweep passes
+    than a cheap one without making the hand loop unboundedly (the paper
+    approximates benefit-LRU with CLOCK; the weighting plays the role of
+    the benefit in DRSN98's policy).
+    """
+    if benefit_ms <= 0:
+        return 0.0
+    return min(math.log2(1.0 + benefit_ms), CLOCK_CAP)
+
+
+class ReplacementPolicy(abc.ABC):
+    """Observes the cache and orders eviction victims."""
+
+    name: ClassVar[str]
+
+    @abc.abstractmethod
+    def on_insert(self, entry: "CacheEntry") -> None:
+        """A chunk became resident."""
+
+    @abc.abstractmethod
+    def on_remove(self, entry: "CacheEntry") -> None:
+        """A chunk stopped being resident (evicted or explicitly removed)."""
+
+    @abc.abstractmethod
+    def on_hit(self, entry: "CacheEntry") -> None:
+        """A resident chunk directly answered (part of) a query."""
+
+    @abc.abstractmethod
+    def victim_iter(self, incoming: "CacheEntry") -> Iterator["CacheEntry"]:
+        """Eviction candidates for ``incoming``, best victim first.
+
+        Must only yield entries the class rules allow ``incoming`` to
+        replace.  The store stops consuming as soon as enough bytes are
+        freed; if the iterator is exhausted first, the insert is rejected.
+        """
+
+    def on_aggregate_use(
+        self, entries: Iterable["CacheEntry"], benefit_ms: float
+    ) -> None:
+        """Chunks were aggregated to answer a query at a higher level.
+
+        Default: no-op.  The two-level policy reinforces such groups
+        (Section 6.3 of the paper).
+        """
+
+    def should_admit(
+        self, incoming: "CacheEntry", victims: list["CacheEntry"]
+    ) -> bool:
+        """Last-say admission check, given the victims eviction would take.
+
+        Default: always admit (the paper's behaviour).  WATCHMAN-style
+        policies ([SSV], cited in the paper's related work) refuse
+        incoming chunks less profitable than what they would displace.
+        """
+        return True

@@ -1,0 +1,60 @@
+"""The plain benefit-based policy (DRSN98).
+
+One CLOCK ring over all chunks.  A chunk's clock value is set from its
+benefit — the cost of reproducing it — on insert and on every hit, so
+expensive (highly aggregated, or backend-fetched) chunks survive more
+sweeps.  This is the baseline the two-level policy is compared against in
+Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.cache.replacement.base import ReplacementPolicy, clock_weight
+from repro.cache.replacement.clock import ClockRing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.store import CacheEntry
+
+
+class BenefitClockPolicy(ReplacementPolicy):
+    """Benefit-weighted CLOCK over a single class of chunks.
+
+    ``profit_admission=True`` adds the WATCHMAN-style admission test the
+    paper cites ([SSV]): an incoming chunk is only admitted if its benefit
+    density (benefit per byte) beats the least profitable chunk it would
+    displace.  Off by default — the paper's experiments admit everything.
+    """
+
+    name: ClassVar[str] = "benefit"
+
+    def __init__(self, profit_admission: bool = False) -> None:
+        self._ring = ClockRing()
+        self.profit_admission = profit_admission
+
+    def on_insert(self, entry: "CacheEntry") -> None:
+        entry.clock = clock_weight(entry.benefit)
+        self._ring.add(entry)
+
+    def on_remove(self, entry: "CacheEntry") -> None:
+        # Lazy: the ring compacts on its next sweep.
+        pass
+
+    def on_hit(self, entry: "CacheEntry") -> None:
+        entry.clock = max(entry.clock, clock_weight(entry.benefit))
+
+    def victim_iter(self, incoming: "CacheEntry") -> Iterator["CacheEntry"]:
+        return self._ring.sweep()
+
+    def should_admit(
+        self, incoming: "CacheEntry", victims: list["CacheEntry"]
+    ) -> bool:
+        if not self.profit_admission or not victims:
+            return True
+        return _density(incoming) >= min(_density(v) for v in victims)
+
+
+def _density(entry: "CacheEntry") -> float:
+    return entry.benefit / max(entry.size_bytes, 1)

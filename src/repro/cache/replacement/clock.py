@@ -1,0 +1,91 @@
+"""A benefit-weighted CLOCK ring.
+
+Entries carry a ``clock`` value set from their benefit.  The sweep hand
+decrements values as it passes; an entry whose value has reached zero is a
+victim.  Expensive chunks therefore survive proportionally (log-scaled)
+more sweeps — this is the CLOCK approximation of benefit-LRU the paper
+uses ("we approximate LRU with CLOCK").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.store import CacheEntry
+
+
+class ClockRing:
+    """Circular buffer of cache entries with a sweep hand.
+
+    Removal is lazy: the store flags entries non-resident and the ring
+    compacts at the start of each sweep, preserving the hand position.
+    """
+
+    def __init__(self, decrement: float = 1.0) -> None:
+        self.decrement = decrement
+        self._slots: list["CacheEntry"] = []
+        self._hand = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._slots if e.resident)
+
+    def add(self, entry: "CacheEntry") -> None:
+        self._slots.append(entry)
+
+    def entries(self) -> list["CacheEntry"]:
+        """Resident entries in ring order (diagnostics/tests)."""
+        return [e for e in self._slots if e.resident]
+
+    def _compact(self) -> None:
+        """Drop dead slots, keeping the hand at the same live entry."""
+        if not self._slots:
+            self._hand = 0
+            return
+        live_before_hand = sum(
+            1 for e in self._slots[: self._hand] if e.resident
+        )
+        self._slots = [e for e in self._slots if e.resident]
+        self._hand = live_before_hand if self._slots else 0
+        if self._hand >= len(self._slots):
+            self._hand = 0
+
+    def sweep(self) -> Iterator["CacheEntry"]:
+        """Yield distinct victims in CLOCK order, decaying clocks en route.
+
+        Victims are *candidates*: the consumer may stop early, and entries
+        it does not ultimately evict simply keep their (now zero) clock.
+        Each entry is yielded at most once per sweep.  Terminates because a
+        victimless revolution strictly decreases the bounded total clock
+        mass of the remaining candidates.
+        """
+        yielded: set[int] = set()
+        while True:
+            self._compact()
+            slots = self._slots
+            n = len(slots)
+            if not n:
+                return
+            if not any(
+                not e.pinned and id(e) not in yielded for e in slots
+            ):
+                return
+            found: "CacheEntry | None" = None
+            for step in range(n):
+                i = (self._hand + step) % n
+                entry = slots[i]
+                if (
+                    entry.pinned
+                    or not entry.resident
+                    or id(entry) in yielded
+                ):
+                    continue
+                if entry.clock <= 0:
+                    found = entry
+                    self._hand = (i + 1) % n
+                    break
+                entry.clock -= self.decrement
+            if found is not None:
+                yielded.add(id(found))
+                yield found

@@ -1,0 +1,45 @@
+"""Plain LRU replacement — the benefit-blind baseline.
+
+Not in the paper's comparison (it evaluates benefit-CLOCK vs two-level),
+but a useful control: LRU ignores how expensive a chunk was to obtain, so
+cheap recently-touched chunks displace dear aggregates.  Implemented with
+an ordered dict (exact LRU, not the CLOCK approximation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.store import CacheEntry
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently inserted-or-hit chunk first."""
+
+    name: ClassVar[str] = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, CacheEntry]" = OrderedDict()
+
+    def on_insert(self, entry: "CacheEntry") -> None:
+        self._order[id(entry)] = entry
+
+    def on_remove(self, entry: "CacheEntry") -> None:
+        self._order.pop(id(entry), None)
+
+    def on_hit(self, entry: "CacheEntry") -> None:
+        key = id(entry)
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def victim_iter(self, incoming: "CacheEntry") -> Iterator["CacheEntry"]:
+        # Oldest first; snapshot so store-side removals don't invalidate
+        # the iteration.
+        for entry in list(self._order.values()):
+            if entry.resident and not entry.pinned:
+                yield entry

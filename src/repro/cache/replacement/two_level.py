@@ -1,0 +1,80 @@
+"""The paper's two-level replacement policy (Section 6.3).
+
+Three rules on top of benefit-CLOCK:
+
+1. **Class priority** — backend-fetched (and pre-loaded) chunks outrank
+   cache-computed chunks: a backend chunk may evict cache-computed chunks
+   (and, failing that, other backend chunks), but a cache-computed chunk
+   may only evict cache-computed chunks.  Replacement *within* each class
+   is ordinary benefit-CLOCK.
+2. **Group reinforcement** — whenever a group of chunks is aggregated to
+   answer a query, every chunk in the group has its clock incremented by
+   the benefit of the aggregated chunk, keeping useful aggregatable groups
+   together.
+3. **Pre-loading** — handled by :mod:`repro.cache.preload`: the cache is
+   seeded with the group-by that fits and has the most lattice
+   descendants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.cache.replacement.base import (
+    CLOCK_CAP,
+    ReplacementPolicy,
+    clock_weight,
+)
+from repro.cache.replacement.clock import ClockRing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.store import CacheEntry
+
+
+class TwoLevelPolicy(ReplacementPolicy):
+    """Backend chunks over cache-computed chunks, with group reinforcement."""
+
+    name: ClassVar[str] = "two_level"
+
+    def __init__(self, reinforce_groups: bool = True) -> None:
+        self._computed_ring = ClockRing()
+        self._backend_ring = ClockRing()
+        self.reinforce_groups = reinforce_groups
+        """Rule 2 switch — disabled by the A1 ablation benchmark."""
+
+    def _ring_of(self, entry: "CacheEntry") -> ClockRing:
+        return (
+            self._backend_ring
+            if entry.is_backend_class
+            else self._computed_ring
+        )
+
+    def on_insert(self, entry: "CacheEntry") -> None:
+        entry.clock = clock_weight(entry.benefit)
+        self._ring_of(entry).add(entry)
+
+    def on_remove(self, entry: "CacheEntry") -> None:
+        pass
+
+    def on_hit(self, entry: "CacheEntry") -> None:
+        entry.clock = max(entry.clock, clock_weight(entry.benefit))
+
+    def on_aggregate_use(
+        self, entries: Iterable["CacheEntry"], benefit_ms: float
+    ) -> None:
+        if not self.reinforce_groups:
+            return
+        bump = clock_weight(benefit_ms)
+        for entry in entries:
+            entry.clock = min(entry.clock + bump, CLOCK_CAP)
+
+    def victim_iter(self, incoming: "CacheEntry") -> Iterator["CacheEntry"]:
+        if incoming.is_backend_class:
+            # Backend chunks may displace computed chunks first, then other
+            # backend chunks.
+            return itertools.chain(
+                self._computed_ring.sweep(), self._backend_ring.sweep()
+            )
+        return self._computed_ring.sweep()

@@ -1,0 +1,116 @@
+"""Cache snapshots: persist a warm cache and restore it later.
+
+A middle tier restarting cold pays the backend for everything again; a
+snapshot written at shutdown restores the chunk contents *and* lets the
+lookup strategy rebuild its count/cost state through the ordinary insert
+path, so Property 1 and the cost invariants hold by construction after a
+restore.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.chunks.chunk import Chunk, ChunkOrigin
+from repro.core.manager import AggregateCache
+from repro.util.errors import ReproError
+
+_FORMAT_VERSION = 1
+
+
+def save_cache_snapshot(manager: AggregateCache, path: str | Path) -> int:
+    """Write every resident chunk (with origin and benefit) to ``path``.
+
+    Returns the number of chunks saved.
+    """
+    entries = list(manager.cache.entries())
+    arrays: dict[str, np.ndarray] = {
+        "version": np.asarray([_FORMAT_VERSION]),
+        "count": np.asarray([len(entries)]),
+        "ndims": np.asarray([manager.schema.ndims]),
+    }
+    metadata = []
+    for i, entry in enumerate(entries):
+        chunk = entry.chunk
+        metadata.append(
+            (
+                list(chunk.level),
+                chunk.number,
+                chunk.origin.value,
+                entry.benefit,
+            )
+        )
+        for d, axis in enumerate(chunk.coords):
+            arrays[f"chunk_{i}_coords_{d}"] = axis
+        arrays[f"chunk_{i}_values"] = chunk.values
+        arrays[f"chunk_{i}_counts"] = chunk.counts
+        for m, extra in enumerate(chunk.extras):
+            arrays[f"chunk_{i}_extra_{m}"] = extra
+    arrays["metadata"] = np.asarray(
+        [
+            (
+                ",".join(map(str, level)),
+                number,
+                origin,
+                benefit,
+            )
+            for level, number, origin, benefit in metadata
+        ],
+        dtype=object,
+    )
+    np.savez_compressed(Path(path), **arrays)
+    return len(entries)
+
+
+def load_cache_snapshot(manager: AggregateCache, path: str | Path) -> int:
+    """Re-insert every snapshotted chunk through the manager's ordinary
+    admission path (policy + strategy state maintenance included).
+
+    Returns the number of chunks restored; chunks the policy declines
+    (e.g. the capacity shrank) are skipped silently — the cache stays
+    correct either way.
+    """
+    with np.load(Path(path), allow_pickle=True) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ReproError(
+                f"cache snapshot {path} has format version {version}, "
+                f"this build reads {_FORMAT_VERSION}"
+            )
+        count = int(data["count"][0])
+        ndims = int(data["ndims"][0])
+        if ndims != manager.schema.ndims:
+            raise ReproError(
+                f"cache snapshot {path} has {ndims} dimensions, the "
+                f"schema has {manager.schema.ndims}"
+            )
+        restored = 0
+        metadata = data["metadata"]
+        for i in range(count):
+            level_text, number, origin, benefit = metadata[i]
+            level = tuple(int(x) for x in str(level_text).split(","))
+            extras = []
+            m = 0
+            while f"chunk_{i}_extra_{m}" in data:
+                extras.append(data[f"chunk_{i}_extra_{m}"])
+                m += 1
+            chunk = Chunk(
+                level=level,
+                number=int(number),
+                coords=tuple(
+                    data[f"chunk_{i}_coords_{d}"] for d in range(ndims)
+                ),
+                values=data[f"chunk_{i}_values"],
+                counts=data[f"chunk_{i}_counts"],
+                origin=ChunkOrigin(str(origin)),
+                extras=tuple(extras),
+            )
+            if manager.cache.contains(level, chunk.number):
+                continue
+            updates = manager._insert(chunk, benefit=float(benefit))
+            del updates
+            if manager.cache.contains(level, chunk.number):
+                restored += 1
+        return restored

@@ -1,0 +1,189 @@
+"""The chunk store: a byte-budgeted map from (level, chunk number) to chunk.
+
+Admission and victim selection are delegated to a
+:class:`~repro.cache.replacement.base.ReplacementPolicy`; the store owns
+the byte accounting and guarantees atomic inserts — either the incoming
+chunk fits after the policy's evictions, or nothing changes at all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.chunks.chunk import Chunk
+from repro.schema.cube import Level
+from repro.util.errors import ReproError
+
+Key = tuple[Level, int]
+
+
+@dataclass
+class CacheEntry:
+    """A resident chunk plus its replacement metadata."""
+
+    chunk: Chunk
+    benefit: float
+    """Milliseconds it would cost to reproduce this chunk (its benefit)."""
+    size_bytes: int
+    clock: float = 0.0
+    pinned: bool = False
+    resident: bool = True
+
+    @property
+    def key(self) -> Key:
+        return self.chunk.key
+
+    @property
+    def is_backend_class(self) -> bool:
+        return self.chunk.origin.is_backend_class
+
+
+@dataclass
+class InsertOutcome:
+    """What happened when a chunk was offered to the cache."""
+
+    inserted: bool
+    evicted: list[Chunk] = field(default_factory=list)
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters for one cache instance."""
+
+    inserts: int = 0
+    rejects: int = 0
+    evictions: int = 0
+    hits: int = 0
+    misses: int = 0
+
+
+class ChunkCache:
+    """A byte-budgeted chunk cache with pluggable replacement.
+
+    Satisfies the ``ChunkPresence`` protocol the lookup strategies expect.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: ReplacementPolicy,
+        bytes_per_tuple: int,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ReproError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.policy = policy
+        self.bytes_per_tuple = int(bytes_per_tuple)
+        self.used_bytes = 0
+        self.stats = CacheStats()
+        self._entries: dict[Key, CacheEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # membership / reads
+
+    def contains(self, level: Level, number: int) -> bool:
+        return (level, number) in self._entries
+
+    def get(self, level: Level, number: int) -> Chunk:
+        """The cached chunk; counts as a cache hit for the policy."""
+        entry = self._entries.get((level, number))
+        if entry is None:
+            self.stats.misses += 1
+            raise ReproError(
+                f"chunk {number} of level {level} is not in the cache"
+            )
+        self.stats.hits += 1
+        self.policy.on_hit(entry)
+        return entry.chunk
+
+    def peek(self, level: Level, number: int) -> Chunk | None:
+        """Read without touching replacement state (plan execution uses
+        this so that intermediate reads don't distort CLOCK positions —
+        group reinforcement handles plan sources explicitly)."""
+        entry = self._entries.get((level, number))
+        return entry.chunk if entry else None
+
+    def entry(self, level: Level, number: int) -> CacheEntry | None:
+        return self._entries.get((level, number))
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def resident_keys(self) -> list[Key]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # writes
+
+    def insert(self, chunk: Chunk, benefit: float) -> InsertOutcome:
+        """Offer a chunk to the cache.
+
+        The policy picks victims until the chunk fits; if it cannot free
+        enough allowed space the insert is rejected and *no* eviction
+        happens (victim clock decay still occurs — that is inherent to
+        CLOCK).  Empty chunks are cached too: knowing a region is empty is
+        as valuable as knowing its contents.
+        """
+        key = chunk.key
+        if key in self._entries:
+            # Re-inserting a resident chunk refreshes its benefit/recency.
+            entry = self._entries[key]
+            entry.benefit = max(entry.benefit, benefit)
+            self.policy.on_hit(entry)
+            return InsertOutcome(inserted=False)
+        size = chunk.size_bytes(self.bytes_per_tuple)
+        entry = CacheEntry(chunk=chunk, benefit=benefit, size_bytes=size)
+        if size > self.capacity_bytes:
+            self.stats.rejects += 1
+            return InsertOutcome(inserted=False)
+
+        victims: list[CacheEntry] = []
+        needed = size - self.free_bytes
+        if needed > 0:
+            freed = 0
+            for victim in self.policy.victim_iter(entry):
+                if victim.pinned or not victim.resident:
+                    continue
+                victims.append(victim)
+                freed += victim.size_bytes
+                if freed >= needed:
+                    break
+            if freed < needed:
+                self.stats.rejects += 1
+                return InsertOutcome(inserted=False)
+            if not self.policy.should_admit(entry, victims):
+                self.stats.rejects += 1
+                return InsertOutcome(inserted=False)
+
+        evicted = [self._remove_entry(victim) for victim in victims]
+        self._entries[key] = entry
+        self.used_bytes += size
+        self.policy.on_insert(entry)
+        self.stats.inserts += 1
+        return InsertOutcome(inserted=True, evicted=evicted)
+
+    def evict(self, level: Level, number: int) -> Chunk:
+        """Forcibly remove one chunk (used by tests and maintenance)."""
+        entry = self._entries.get((level, number))
+        if entry is None:
+            raise ReproError(
+                f"cannot evict: chunk {number} of level {level} not cached"
+            )
+        return self._remove_entry(entry)
+
+    def _remove_entry(self, entry: CacheEntry) -> Chunk:
+        del self._entries[entry.key]
+        self.used_bytes -= entry.size_bytes
+        entry.resident = False
+        self.policy.on_remove(entry)
+        self.stats.evictions += 1
+        return entry.chunk

@@ -1,0 +1,6 @@
+"""Chunk payloads and chunk-number addressing."""
+
+from repro.chunks.addressing import ChunkAddressing
+from repro.chunks.chunk import Chunk, ChunkOrigin
+
+__all__ = ["Chunk", "ChunkAddressing", "ChunkOrigin"]

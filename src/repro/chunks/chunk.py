@@ -1,0 +1,141 @@
+"""Sparse chunk payloads.
+
+A chunk is the unit of caching: the cells of one aligned sub-array of one
+group-by.  Cells are stored sparsely (COO): per-dimension global ordinal
+arrays plus the measure aggregate for each non-empty cell.  ``values`` holds
+the SUM of the measure and ``counts`` the number of contributing base
+tuples, which is enough to derive SUM/COUNT/AVG exactly at any level of
+further aggregation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import ReproError
+
+Level = tuple[int, ...]
+
+
+class ChunkOrigin(enum.Enum):
+    """How a cached chunk was obtained — drives the two-level policy."""
+
+    BACKEND = "backend"
+    CACHE_COMPUTED = "cache"
+    PRELOAD = "preload"
+
+    @property
+    def is_backend_class(self) -> bool:
+        """Backend-fetched and pre-loaded chunks form the high-priority class."""
+        return self is not ChunkOrigin.CACHE_COMPUTED
+
+
+@dataclass
+class Chunk:
+    """One chunk of one group-by, stored sparsely.
+
+    ``coords[d][i]`` is the global ordinal of cell ``i`` along dimension
+    ``d`` *at this chunk's level*; ``values[i]`` is the measure SUM of the
+    cell and ``counts[i]`` its base-tuple count.  Cells are unique and the
+    arrays are parallel.
+    """
+
+    level: Level
+    number: int
+    coords: tuple[np.ndarray, ...]
+    values: np.ndarray
+    counts: np.ndarray
+    origin: ChunkOrigin = ChunkOrigin.BACKEND
+    compute_cost: float = field(default=0.0)
+    """Tuples aggregated (or backend-equivalent cost) to produce this chunk;
+    the replacement policies use it as the chunk's benefit."""
+    extras: tuple[np.ndarray, ...] = ()
+    """Additional additive measures, parallel to ``values`` (the schema's
+    ``measures[1:]``); empty for single-measure cubes."""
+
+    def __post_init__(self) -> None:
+        n = len(self.values)
+        if len(self.counts) != n or any(len(c) != n for c in self.coords):
+            raise ReproError(
+                f"chunk {self.key}: coords/values/counts lengths disagree"
+            )
+        if any(len(extra) != n for extra in self.extras):
+            raise ReproError(
+                f"chunk {self.key}: extra measure lengths disagree"
+            )
+
+    @property
+    def key(self) -> tuple[Level, int]:
+        return (self.level, self.number)
+
+    @property
+    def size_tuples(self) -> int:
+        """Number of non-empty cells (the paper's 'tuples' of the chunk)."""
+        return len(self.values)
+
+    def size_bytes(self, bytes_per_tuple: int) -> int:
+        return self.size_tuples * bytes_per_tuple
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.values) == 0
+
+    def total(self) -> float:
+        """Grand total of the measure over the chunk (handy in tests)."""
+        return float(self.values.sum())
+
+    def averages(self, measure: int = 0) -> np.ndarray:
+        """Per-cell AVG of a measure (SUM/COUNT; exact at any level).
+
+        Chunks carry both the measure sums and the contributing base-tuple
+        count, so AVG is derivable losslessly after any roll-up.
+        """
+        return self.measure_values(measure) / np.maximum(self.counts, 1)
+
+    def measure_values(self, measure: int = 0) -> np.ndarray:
+        """The per-cell sums of one measure (0 = primary)."""
+        if measure == 0:
+            return self.values
+        try:
+            return self.extras[measure - 1]
+        except IndexError:
+            raise ReproError(
+                f"chunk {self.key} carries {1 + len(self.extras)} measures, "
+                f"not {measure + 1}"
+            ) from None
+
+    def cell_dict(self) -> dict[tuple[int, ...], float]:
+        """Cells as ``{coord-tuple: sum}`` — test/diagnostic convenience."""
+        keys = zip(*(c.tolist() for c in self.coords))
+        return {tuple(k): float(v) for k, v in zip(keys, self.values)}
+
+    @classmethod
+    def empty(
+        cls,
+        level: Level,
+        number: int,
+        ndims: int,
+        origin: ChunkOrigin = ChunkOrigin.BACKEND,
+        num_extras: int = 0,
+    ) -> "Chunk":
+        """An empty chunk (no occupied cells) at ``level``/``number``."""
+        return cls(
+            level=level,
+            number=number,
+            coords=tuple(np.empty(0, dtype=np.int64) for _ in range(ndims)),
+            values=np.empty(0, dtype=np.float64),
+            counts=np.empty(0, dtype=np.int64),
+            origin=origin,
+            extras=tuple(
+                np.empty(0, dtype=np.float64) for _ in range(num_extras)
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Chunk(level={self.level}, number={self.number}, "
+            f"cells={self.size_tuples}, origin={self.origin.value})"
+        )

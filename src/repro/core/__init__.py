@@ -1,0 +1,19 @@
+"""The paper's contribution: aggregate-aware cache lookup and management."""
+
+from repro.core.counts import CountStore
+from repro.core.costs import CostStore
+from repro.core.manager import AggregateCache, QueryResult
+from repro.core.plans import PlanNode
+from repro.core.sizes import SizeEstimator
+from repro.core.strategies import STRATEGY_NAMES, make_strategy
+
+__all__ = [
+    "AggregateCache",
+    "CountStore",
+    "CostStore",
+    "PlanNode",
+    "QueryResult",
+    "STRATEGY_NAMES",
+    "SizeEstimator",
+    "make_strategy",
+]

@@ -1,0 +1,286 @@
+"""Cost and best-parent maintenance for VCMC (Section 5.2 of the paper).
+
+For every chunk, VCMC maintains:
+
+* ``Cost`` — the least cost of computing the chunk from the cache (0 when
+  the chunk is directly cached, +inf when not computable).  Cost is the
+  paper's linear metric: the number of tuples aggregated along the path,
+  summed recursively, using the deterministic size estimator.
+* ``BestParent`` — which lattice parent the least-cost path goes through.
+
+Updates propagate towards more aggregated levels whenever a chunk's least
+cost *changes* — this covers both of the paper's trigger cases (newly
+computable, and cheaper/costlier path) and additionally eviction-induced
+increases, which the paper handles in its (omitted) delete algorithm.
+The lattice is a DAG in the propagation direction, so updates terminate.
+
+Propagation is change-directed: when a chunk's cost improves, each child
+only needs the single new path compared against its current cost; a full
+re-minimisation over all of a child's parents happens only when the
+child's *current best* path got worse.  This keeps the per-event work
+near the paper's Lemma 2 bound instead of rescanning whole neighbourhoods.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.sizes import SizeEstimator
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import ReproError
+
+#: sentinel ``BestParent`` values
+BEST_NONE = -1     # not computable
+BEST_CACHED = -2   # directly present in the cache
+
+_TOL = 1e-9
+
+
+class CostStore:
+    """``Cost`` / ``BestParent`` arrays plus their maintenance algorithms.
+
+    ``rel_tol`` bounds propagation: a finite-to-finite cost change smaller
+    than ``rel_tol`` (relative) is recorded locally but not pushed to
+    descendants, trading a bounded relative staleness of the maintained
+    costs for far fewer cascade steps under churn.  Computability changes
+    (inf boundaries) always propagate exactly, so Property-1-style
+    correctness is never affected.  The default 0.0 is exact.
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        sizes: SizeEstimator,
+        rel_tol: float = 0.0,
+    ) -> None:
+        self.schema = schema
+        self.sizes = sizes
+        self.rel_tol = float(rel_tol)
+        self._cost: dict[Level, np.ndarray] = {}
+        self._best: dict[Level, np.ndarray] = {}
+        self._cached: dict[Level, np.ndarray] = {}
+        for level in schema.all_levels():
+            n = schema.num_chunks(level)
+            self._cost[level] = np.full(n, np.inf, dtype=np.float64)
+            self._best[level] = np.full(n, BEST_NONE, dtype=np.int16)
+            self._cached[level] = np.zeros(n, dtype=bool)
+        self._parents: dict[Level, list[Level]] = {
+            level: schema.parents_of(level) for level in schema.all_levels()
+        }
+        self._parent_index: dict[Level, dict[Level, int]] = {
+            level: {parent: i for i, parent in enumerate(parents)}
+            for level, parents in self._parents.items()
+        }
+        self._pcs_lists: dict[tuple[Level, int, Level], list[int]] = {}
+        self._pcs_arrays: dict[tuple[Level, int, Level], np.ndarray] = {}
+        self._agg_cost: dict[tuple[Level, int, Level], float] = {}
+        self._children: dict[tuple[Level, int], list[tuple[Level, int, int]]] = {}
+        self.total_updates = 0
+        """Lifetime number of cost/best-parent modifications."""
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def cost(self, level: Level, number: int) -> float:
+        """Least cost (estimated tuples aggregated) to compute the chunk.
+
+        This is the instantaneous answer the paper highlights as valuable
+        for a cost-based optimizer deciding cache-vs-backend.
+        """
+        return float(self._cost[level][number])
+
+    def is_computable(self, level: Level, number: int) -> bool:
+        return bool(np.isfinite(self._cost[level][number]))
+
+    def is_cached(self, level: Level, number: int) -> bool:
+        return bool(self._cached[level][number])
+
+    def best_parent_level(self, level: Level, number: int) -> Level | None:
+        """The parent level of the least-cost path.
+
+        ``None`` when the chunk is directly cached or not computable —
+        check :meth:`is_cached` / :meth:`is_computable` to distinguish.
+        """
+        best = int(self._best[level][number])
+        if best < 0:
+            return None
+        return self._parents[level][best]
+
+    def num_entries(self) -> int:
+        return sum(arr.size for arr in self._cost.values())
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+
+    def on_insert(self, level: Level, number: int) -> int:
+        """A chunk entered the cache: its cost drops to 0.  Returns the
+        number of cost/best modifications performed."""
+        before = self.total_updates
+        self._cached[level][number] = True
+        self._apply(level, number, 0.0, BEST_CACHED)
+        return self.total_updates - before
+
+    def on_evict(self, level: Level, number: int) -> int:
+        """A chunk left the cache: recompute its cost from its parents."""
+        if not self._cached[level][number]:
+            raise ReproError(
+                f"evicting chunk {number} of level {level} which the cost "
+                "store does not believe is cached"
+            )
+        before = self.total_updates
+        self._cached[level][number] = False
+        cost, best = self._best_option(level, number)
+        self._apply(level, number, cost, best)
+        return self.total_updates - before
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _parent_chunk_list(
+        self, level: Level, number: int, parent: Level
+    ) -> list[int]:
+        """Memoised plain-list view of ``get_parent_chunk_numbers`` (small
+        lists sum faster in Python than through numpy fancy indexing)."""
+        key = (level, number, parent)
+        cached = self._pcs_lists.get(key)
+        if cached is None:
+            cached = self.schema.get_parent_chunk_numbers(
+                level, number, parent
+            ).tolist()
+            self._pcs_lists[key] = cached
+        return cached
+
+    def _aggregation_cost(self, level: Level, number: int, parent: Level) -> float:
+        """Estimated tuples read when aggregating the parent chunks of
+        (level, number) at ``parent`` — the per-step cost of the paper's
+        linear model.  Pure schema arithmetic, memoised."""
+        key = (level, number, parent)
+        cached = self._agg_cost.get(key)
+        if cached is None:
+            cached = float(
+                sum(
+                    self.sizes.chunk_tuples(parent, n)
+                    for n in self._parent_chunk_list(level, number, parent)
+                )
+            )
+            self._agg_cost[key] = cached
+        return cached
+
+    def _cost_via(self, level: Level, number: int, parent: Level) -> float:
+        """Cost of computing the chunk through one specific parent."""
+        costs = self._cost[parent]
+        numbers = self._parent_chunk_list(level, number, parent)
+        if len(numbers) > 24:
+            # Long lists (near-base coverage of aggregated chunks): numpy.
+            key = (level, number, parent)
+            arr = self._pcs_arrays.get(key)
+            if arr is None:
+                arr = np.asarray(numbers, dtype=np.int64)
+                self._pcs_arrays[key] = arr
+            total = float(costs[arr].sum())
+            if math.isinf(total) or math.isnan(total):
+                return math.inf
+            return total + self._aggregation_cost(level, number, parent)
+        total = 0.0
+        for n in numbers:
+            c = costs[n]
+            if c == math.inf:
+                return math.inf
+            total += c
+        return total + self._aggregation_cost(level, number, parent)
+
+    def _best_option(self, level: Level, number: int) -> tuple[float, int]:
+        """Least cost over all parents (assuming the chunk is not cached)."""
+        best_cost = math.inf
+        best_idx = BEST_NONE
+        for idx, parent in enumerate(self._parents[level]):
+            total = self._cost_via(level, number, parent)
+            if total < best_cost:
+                best_cost = total
+                best_idx = idx
+        return best_cost, best_idx
+
+    def _apply(self, level: Level, number: int, cost: float, best: int) -> None:
+        """Write a chunk's (cost, best) and propagate if the cost changed."""
+        old_cost = float(self._cost[level][number])
+        old_best = int(self._best[level][number])
+        cost_changed = _differs(old_cost, cost)
+        if not cost_changed and old_best == best:
+            return
+        self._cost[level][number] = cost
+        self._best[level][number] = best
+        self.total_updates += 1
+        if not cost_changed:
+            # Only the path identity changed; children costs are built from
+            # our cost value, so nothing further to do.
+            return
+        if (
+            self.rel_tol > 0.0
+            and math.isfinite(old_cost)
+            and math.isfinite(cost)
+            and abs(cost - old_cost) <= self.rel_tol * max(old_cost, cost)
+        ):
+            # Sub-tolerance drift: keep descendants' (slightly stale)
+            # costs rather than cascading for noise.
+            return
+        improved = cost < old_cost
+        for child_level, child_number, my_idx in self._child_entries(
+            level, number
+        ):
+            if self._cached[child_level][child_number]:
+                # A cached child stays at cost 0 whatever we do; its own
+                # children depend only on that 0, so propagation stops.
+                continue
+            child_cost = float(self._cost[child_level][child_number])
+            child_best = int(self._best[child_level][child_number])
+            if improved:
+                # Our path can only have gotten cheaper: compare it against
+                # the child's current cost; no full re-minimisation needed.
+                via = self._cost_via(child_level, child_number, level)
+                if via < child_cost - _TOL:
+                    self._apply(child_level, child_number, via, my_idx)
+                elif child_best == my_idx and _differs(via, child_cost):
+                    new_cost, new_best = self._best_option(
+                        child_level, child_number
+                    )
+                    self._apply(child_level, child_number, new_cost, new_best)
+            else:
+                # Our cost rose (or became inf): only children whose best
+                # path ran through us can be affected.
+                if child_best == my_idx or child_best == BEST_NONE:
+                    new_cost, new_best = self._best_option(
+                        child_level, child_number
+                    )
+                    self._apply(child_level, child_number, new_cost, new_best)
+
+
+    def _child_entries(
+        self, level: Level, number: int
+    ) -> list[tuple[Level, int, int]]:
+        """Memoised ``(child_level, child_number, our-parent-index)``
+        triples for one chunk — the propagation fan-out."""
+        key = (level, number)
+        entries = self._children.get(key)
+        if entries is None:
+            entries = []
+            for child_level in self.schema.children_of(level):
+                child_number = self.schema.get_child_chunk_number(
+                    level, number, child_level
+                )
+                entries.append(
+                    (
+                        child_level,
+                        child_number,
+                        self._parent_index[child_level][level],
+                    )
+                )
+            self._children[key] = entries
+        return entries
+
+
+def _differs(a: float, b: float) -> bool:
+    if math.isinf(a) and math.isinf(b):
+        return False
+    return abs(a - b) > _TOL

@@ -1,0 +1,134 @@
+"""Virtual counts (Section 4 of the paper).
+
+The *virtual count* of a chunk is the number of its lattice parents through
+which a successful computation path exists, plus one if the chunk is
+directly present in the cache.  Property 1: a chunk is computable from the
+cache iff its count is non-zero — so VCM answers "is this computable?" with
+a single array read.
+
+Counts are maintained incrementally.  On insert (the paper's
+``VCM_InsertUpdateCount``): increment the chunk's own count; if the chunk
+just became computable, every more-aggregated child whose parent chunks at
+this level are now all computable gains one successful parent path —
+recurse.  Eviction is the exact mirror (the paper omits it for space;
+Section 4.1 notes it is symmetric).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import ReproError
+
+
+class CountStore:
+    """The ``Count`` array family plus its maintenance algorithms.
+
+    One ``int32`` entry per chunk per group-by level (the paper's space
+    accounting assumes 1 byte; we report bytes separately and use int32 in
+    memory for safety).
+    """
+
+    def __init__(self, schema: CubeSchema) -> None:
+        self.schema = schema
+        self._counts: dict[Level, np.ndarray] = {
+            level: np.zeros(schema.num_chunks(level), dtype=np.int32)
+            for level in schema.all_levels()
+        }
+        self.total_updates = 0
+        """Lifetime number of individual count modifications."""
+        self._propagation: dict[
+            Level, dict[int, list[tuple[Level, int, np.ndarray]]]
+        ] = {level: {} for level in schema.all_levels()}
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def count(self, level: Level, number: int) -> int:
+        return int(self._counts[level][number])
+
+    def is_computable(self, level: Level, number: int) -> bool:
+        """Property 1: non-zero count iff computable from the cache."""
+        return self._counts[level][number] > 0
+
+    def num_entries(self) -> int:
+        """Total count entries — one per chunk over all levels."""
+        return sum(arr.size for arr in self._counts.values())
+
+    def counts_array(self, level: Level) -> np.ndarray:
+        """Read-only view of one level's counts (diagnostics/tests)."""
+        return self._counts[level]
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+
+    def on_insert(self, level: Level, number: int) -> int:
+        """A chunk entered the cache.  Returns count modifications made."""
+        before = self.total_updates
+        self._insert_update(level, number)
+        return self.total_updates - before
+
+    def on_evict(self, level: Level, number: int) -> int:
+        """A chunk left the cache.  Returns count modifications made."""
+        before = self.total_updates
+        self._evict_update(level, number)
+        return self.total_updates - before
+
+    def _propagation_entries(
+        self, level: Level, number: int
+    ) -> list[tuple[Level, int, np.ndarray]]:
+        """Memoised ``(child_level, child_number, sibling numbers)`` triples
+        — the chunks whose parent-path status this chunk participates in."""
+        per_level = self._propagation[level]
+        entries = per_level.get(number)
+        if entries is None:
+            entries = []
+            for child_level in self.schema.children_of(level):
+                child_number = self.schema.get_child_chunk_number(
+                    level, number, child_level
+                )
+                siblings = self.schema.get_parent_chunk_numbers(
+                    child_level, child_number, level
+                )
+                entries.append((child_level, child_number, siblings))
+            per_level[number] = entries
+        return entries
+
+    def _insert_update(self, level: Level, number: int) -> None:
+        counts = self._counts[level]
+        counts[number] += 1
+        self.total_updates += 1
+        if counts[number] > 1:
+            # Was already computable: children's parent-path status via this
+            # level is unchanged, so the update stops here (paper, §4.1).
+            return
+        for child_level, child_number, siblings in self._propagation_entries(
+            level, number
+        ):
+            if np.all(counts[siblings] > 0):
+                # The path from child via this level just became successful.
+                self._insert_update(child_level, child_number)
+
+    def _evict_update(self, level: Level, number: int) -> None:
+        counts = self._counts[level]
+        if counts[number] <= 0:
+            raise ReproError(
+                f"count underflow at level {level} chunk {number}: evicting "
+                "a chunk that was never counted"
+            )
+        counts[number] -= 1
+        self.total_updates += 1
+        if counts[number] > 0:
+            # Still computable some other way: children unaffected.
+            return
+        for child_level, child_number, siblings in self._propagation_entries(
+            level, number
+        ):
+            # The path via this level was previously successful iff every
+            # sibling was computable; this chunk itself was (it just dropped
+            # to zero), so check the others.
+            sibling_counts = counts[siblings]
+            ok = np.all((sibling_counts > 0) | (siblings == number))
+            if ok:
+                self._evict_update(child_level, child_number)

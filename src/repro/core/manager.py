@@ -1,0 +1,491 @@
+"""The aggregate-aware cache manager — the middle tier of the paper's
+three-tier system.
+
+For every query: split it into chunks; look each chunk up with the
+configured strategy (direct hit, computable-by-aggregation, or miss);
+aggregate the computable ones in the cache; fetch all misses from the
+backend in a single batched request; admit the new chunks (maintaining the
+strategy's count/cost state); and reinforce the chunk groups that were
+aggregated (two-level policy, rule 2).  Per-query wall-clock is split into
+the paper's lookup / aggregation / update / backend phases (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aggregation.aggregate import rollup_chunks
+from repro.backend.engine import BackendDatabase
+from repro.cache.preload import choose_preload_level
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.store import ChunkCache
+from repro.chunks.chunk import Chunk, ChunkOrigin
+from repro.core.plans import PlanNode
+from repro.core.sizes import SizeEstimator
+from repro.core.strategies import make_strategy
+from repro.core.strategies.base import LookupStrategy
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import ReproError
+from repro.util.timers import Stopwatch, TimeBreakdown
+from repro.workload.query import Query
+
+Key = tuple[Level, int]
+
+
+@dataclass
+class QueryResult:
+    """Outcome and accounting of one query."""
+
+    query: Query
+    chunks: list[Chunk]
+    complete_hit: bool
+    """True when the whole query was answered from the cache (directly or
+    by aggregation) — the paper's 'complete hit'."""
+    breakdown: TimeBreakdown
+    direct_hits: int = 0
+    aggregated: int = 0
+    from_backend: int = 0
+    tuples_aggregated: int = 0
+    lookup_visits: int = 0
+    state_updates: int = 0
+
+    def total_value(self) -> float:
+        """Grand total of the measure over the query region."""
+        return sum(chunk.total() for chunk in self.chunks)
+
+    @property
+    def total_ms(self) -> float:
+        return self.breakdown.total_ms
+
+
+@dataclass(frozen=True)
+class QueryLogRecord:
+    """One row of the manager's query log (``keep_log=True``)."""
+
+    sequence: int
+    level: Level
+    num_chunks: int
+    complete_hit: bool
+    direct_hits: int
+    aggregated: int
+    from_backend: int
+    lookup_ms: float
+    aggregate_ms: float
+    update_ms: float
+    backend_ms: float
+    tuples_aggregated: int
+    cache_used_bytes: int
+
+    @classmethod
+    def from_result(
+        cls, manager: "AggregateCache", result: "QueryResult"
+    ) -> "QueryLogRecord":
+        b = result.breakdown
+        return cls(
+            sequence=manager.queries_run,
+            level=result.query.level,
+            num_chunks=result.query.num_chunks,
+            complete_hit=result.complete_hit,
+            direct_hits=result.direct_hits,
+            aggregated=result.aggregated,
+            from_backend=result.from_backend,
+            lookup_ms=b.lookup_ms,
+            aggregate_ms=b.aggregate_ms,
+            update_ms=b.update_ms,
+            backend_ms=b.backend_ms,
+            tuples_aggregated=result.tuples_aggregated,
+            cache_used_bytes=manager.cache.used_bytes,
+        )
+
+
+def write_query_log_csv(records: list[QueryLogRecord], path) -> int:
+    """Write a manager's query log as CSV; returns the row count."""
+    import csv
+    from dataclasses import asdict, fields
+    from pathlib import Path
+
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f.name for f in fields(QueryLogRecord)])
+        for record in records:
+            row = asdict(record)
+            row["level"] = ",".join(map(str, record.level))
+            writer.writerow(row.values())
+    return len(records)
+
+
+@dataclass
+class _PlanExecution:
+    chunk: Chunk
+    leaf_keys: set[Key] = field(default_factory=set)
+    tuples_aggregated: int = 0
+
+
+class AggregateCache:
+    """An active chunk cache in front of a backend database.
+
+    Parameters
+    ----------
+    schema, backend:
+        The cube and the backend serving its fact table.
+    capacity_bytes:
+        Cache budget.
+    strategy:
+        Lookup strategy name (``esm``/``esmc``/``vcm``/``vcmc``/``noagg``)
+        or a ready instance.
+    policy:
+        Replacement policy name (``benefit``/``two_level``) or instance.
+    preload:
+        Seed the cache with the best-fitting group-by (two-level rule 3).
+    preload_headroom:
+        Fraction of the capacity the pre-loaded group-by may occupy;
+        below 1.0 leaves room for query-driven chunks before churn starts
+        evicting the pre-loaded group.
+    visit_budget:
+        Optional per-lookup visit cap for the exhaustive strategies.
+    cost_rel_tol:
+        VCMC only: relative cost changes below this threshold are not
+        propagated through the cost store, bounding maintenance work
+        under churn at the price of slightly stale (never wrong-
+        computability) cost estimates.  Set 0.0 for exact maintenance.
+    use_cost_optimizer:
+        The paper's Section 5.2 application of VCMC's maintained costs:
+        when a chunk *is* computable from the cache but the estimated
+        aggregation cost exceeds the estimated backend cost, send it to
+        the backend anyway.  Off by default (matching the paper's
+        experiments, which always aggregate when possible).
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        backend: BackendDatabase,
+        capacity_bytes: int,
+        strategy: str | LookupStrategy = "vcmc",
+        policy: str | ReplacementPolicy = "two_level",
+        preload: bool = True,
+        preload_headroom: float = 1.0,
+        visit_budget: int | None = None,
+        sizes: SizeEstimator | None = None,
+        cost_rel_tol: float = 0.02,
+        use_cost_optimizer: bool = False,
+        keep_log: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.backend = backend
+        self.cost_model = backend.cost_model
+        self.sizes = sizes or SizeEstimator(schema, backend.num_tuples)
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.cache = ChunkCache(capacity_bytes, policy, schema.bytes_per_tuple)
+        if isinstance(strategy, str):
+            strategy = make_strategy(
+                strategy,
+                schema,
+                self.cache,
+                self.sizes,
+                visit_budget,
+                cost_rel_tol=cost_rel_tol,
+            )
+        self.strategy = strategy
+        self.use_cost_optimizer = use_cost_optimizer
+        self.optimizer_redirects = 0
+        """Chunks sent to the backend despite being cache-computable."""
+        self.keep_log = keep_log
+        self.query_log: list[QueryLogRecord] = []
+        """Structured per-query records when ``keep_log`` is set."""
+        self.queries_run = 0
+        self.complete_hits = 0
+        self.preloaded_level: Level | None = None
+        if preload:
+            self.preloaded_level = self.preload(headroom=preload_headroom)
+
+    # ------------------------------------------------------------------ #
+    # pre-loading
+
+    def preload(self, headroom: float = 1.0) -> Level | None:
+        """Seed the cache with the group-by that fits and has the most
+        lattice descendants.  Returns the chosen level (or None)."""
+        level = choose_preload_level(
+            self.schema, self.sizes, self.cache.capacity_bytes, headroom=headroom
+        )
+        if level is None:
+            return None
+        chunks = self.backend.compute_level(level)
+        for chunk in chunks:
+            chunk.origin = ChunkOrigin.PRELOAD
+            self._insert(chunk, benefit=chunk.compute_cost)
+        return level
+
+    def preload_levels(self, levels: list[Level]) -> list[Level]:
+        """Pre-load several whole group-bys (e.g. an HRU-selected view
+        set); returns the levels whose chunks were all admitted."""
+        loaded = []
+        for level in levels:
+            complete = True
+            for chunk in self.backend.compute_level(level):
+                chunk.origin = ChunkOrigin.PRELOAD
+                self._insert(chunk, benefit=chunk.compute_cost)
+                if not self.cache.contains(level, chunk.number):
+                    complete = False
+            if complete:
+                loaded.append(level)
+        if loaded and self.preloaded_level is None:
+            self.preloaded_level = loaded[0]
+        return loaded
+
+    # ------------------------------------------------------------------ #
+    # the query path
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer one query, returning its chunks and full accounting."""
+        numbers = query.chunk_numbers(self.schema)
+        breakdown = TimeBreakdown()
+        visits_before = self.strategy.total_visits
+
+        # Phase 1 — cache lookup: plan every chunk or mark it missing.
+        watch = Stopwatch()
+        plans: dict[int, PlanNode | None] = {
+            number: self.strategy.find(query.level, number)
+            for number in numbers
+        }
+        if self.use_cost_optimizer:
+            for number, plan in plans.items():
+                if plan is None or plan.is_leaf:
+                    continue
+                if self._backend_is_cheaper(query.level, number, plan):
+                    plans[number] = None
+                    self.optimizer_redirects += 1
+        breakdown.lookup_ms = watch.elapsed_ms()
+
+        # Phase 2 — aggregate computable chunks inside the cache.
+        watch.restart()
+        results: dict[int, Chunk] = {}
+        computed: list[Chunk] = []
+        reinforcements: list[tuple[set[Key], float]] = []
+        direct_hits = 0
+        tuples_aggregated = 0
+        for number, plan in plans.items():
+            if plan is None:
+                continue
+            if plan.is_leaf:
+                results[number] = self.cache.get(query.level, number)
+                direct_hits += 1
+                continue
+            execution = self._execute_plan(plan)
+            chunk = execution.chunk
+            chunk.compute_cost = self.cost_model.aggregation_ms(
+                execution.tuples_aggregated
+            )
+            results[number] = chunk
+            computed.append(chunk)
+            tuples_aggregated += execution.tuples_aggregated
+            reinforcements.append((execution.leaf_keys, chunk.compute_cost))
+        breakdown.aggregate_ms = watch.elapsed_ms()
+
+        # Phase 3 — one batched backend request for everything missing.
+        missing = [n for n, plan in plans.items() if plan is None]
+        fetched: list[Chunk] = []
+        if missing:
+            fetched, stats = self.backend.fetch(
+                [(query.level, n) for n in missing]
+            )
+            breakdown.backend_ms = stats.total_ms
+            for chunk in fetched:
+                results[chunk.number] = chunk
+
+        # Phase 4 — admit new chunks and maintain count/cost state.
+        watch.restart()
+        state_updates = 0
+        for chunk in computed:
+            state_updates += self._insert(chunk, benefit=chunk.compute_cost)
+        for chunk in fetched:
+            state_updates += self._insert(chunk, benefit=chunk.compute_cost)
+        for leaf_keys, benefit in reinforcements:
+            entries = [
+                entry
+                for entry in (self.cache.entry(lvl, n) for lvl, n in leaf_keys)
+                if entry is not None
+            ]
+            self.cache.policy.on_aggregate_use(entries, benefit)
+        breakdown.update_ms = watch.elapsed_ms()
+
+        self.queries_run += 1
+        complete_hit = not missing
+        if complete_hit:
+            self.complete_hits += 1
+        result = QueryResult(
+            query=query,
+            chunks=[results[n] for n in numbers],
+            complete_hit=complete_hit,
+            breakdown=breakdown,
+            direct_hits=direct_hits,
+            aggregated=len(computed),
+            from_backend=len(fetched),
+            tuples_aggregated=tuples_aggregated,
+            lookup_visits=self.strategy.total_visits - visits_before,
+            state_updates=state_updates,
+        )
+        if self.keep_log:
+            self.query_log.append(QueryLogRecord.from_result(self, result))
+        return result
+
+    def invalidate_base_chunks(self, numbers: list[int]) -> int:
+        """Evict every cached chunk whose data overlaps the given base
+        chunks (warehouse refresh).  Count/cost state is maintained
+        through the ordinary eviction path, so Property 1 keeps holding.
+        Returns the number of chunks evicted."""
+        affected = set(numbers)
+        base = self.schema.base_level
+        evicted = 0
+        for level, number in list(self.cache.resident_keys()):
+            covering = self.schema.get_parent_chunk_numbers(
+                level, number, base
+            )
+            if any(int(n) in affected for n in covering):
+                self.cache.evict(level, number)
+                self.strategy.on_evict(level, number)
+                evicted += 1
+        return evicted
+
+    def refresh_from_backend(self, facts) -> tuple[list[int], int]:
+        """Load new facts into the backend and invalidate stale cache
+        entries in one step.  Returns (affected base chunks, evictions).
+
+        Note: the size *estimator* is not recalibrated — estimates drift
+        slightly as the warehouse grows; rebuild the manager with a fresh
+        estimator after bulk loads if cost precision matters.
+        """
+        affected = self.backend.append(facts)
+        evicted = self.invalidate_base_chunks(affected)
+        return affected, evicted
+
+    def range_query(
+        self,
+        level: Level,
+        cell_ranges: tuple[tuple[int, int], ...],
+    ) -> QueryResult:
+        """Answer an arbitrary (non-chunk-aligned) rectangular selection.
+
+        The chunk-based scheme's contract (DRSN98): fetch the covering
+        chunks — which is where all the caching machinery applies — then
+        slice the result cells down to the requested ordinal ranges.  The
+        returned chunks contain only in-range cells; cached chunks are
+        not modified.
+        """
+        query = Query.from_cell_ranges(self.schema, level, cell_ranges)
+        result = self.query(query)
+        sliced = [
+            _slice_chunk(chunk, cell_ranges) for chunk in result.chunks
+        ]
+        result.chunks = sliced
+        return result
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _backend_is_cheaper(
+        self, level: Level, number: int, plan: PlanNode
+    ) -> bool:
+        """The Section 5.2 cost gate: estimated aggregation vs backend ms.
+
+        With VCMC the aggregation cost is the maintained ``Cost`` entry —
+        an O(1) read; other strategies fall back to walking the plan.
+        """
+        costs = getattr(self.strategy, "costs", None)
+        if costs is not None:
+            agg_tuples = costs.cost(level, number)
+        else:
+            agg_tuples = plan.estimated_cost(self.sizes)
+        agg_ms = self.cost_model.aggregation_ms(agg_tuples)
+        scan = sum(
+            self.sizes.chunk_tuples(self.schema.base_level, int(n))
+            for n in self.schema.get_parent_chunk_numbers(
+                level, number, self.schema.base_level
+            )
+        )
+        returned = self.sizes.chunk_tuples(level, number)
+        backend_ms = self.cost_model.backend_chunk_ms(scan, returned)
+        return agg_ms > backend_ms
+
+    def _execute_plan(self, plan: PlanNode) -> _PlanExecution:
+        """Materialise a plan bottom-up from cached chunks."""
+        leaf_keys: set[Key] = set()
+        tuples = 0
+
+        def materialise(node: PlanNode) -> Chunk:
+            nonlocal tuples
+            if node.is_leaf:
+                chunk = self.cache.peek(node.level, node.number)
+                if chunk is None:
+                    raise ReproError(
+                        f"plan references chunk {node.number} of level "
+                        f"{node.level} which is no longer cached"
+                    )
+                leaf_keys.add((node.level, node.number))
+                return chunk
+            inputs = [materialise(child) for child in node.inputs]
+            tuples += sum(c.size_tuples for c in inputs)
+            return rollup_chunks(
+                self.schema,
+                node.level,
+                node.number,
+                inputs,
+                origin=ChunkOrigin.CACHE_COMPUTED,
+            )
+
+        chunk = materialise(plan)
+        return _PlanExecution(
+            chunk=chunk, leaf_keys=leaf_keys, tuples_aggregated=tuples
+        )
+
+    def _insert(self, chunk: Chunk, benefit: float) -> int:
+        """Admit a chunk, keeping the strategy's summary state in sync."""
+        outcome = self.cache.insert(chunk, benefit)
+        updates = 0
+        for evicted in outcome.evicted:
+            updates += self.strategy.on_evict(evicted.level, evicted.number)
+        if outcome.inserted:
+            updates += self.strategy.on_insert(chunk.level, chunk.number)
+        return updates
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    @property
+    def complete_hit_ratio(self) -> float:
+        return self.complete_hits / self.queries_run if self.queries_run else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"AggregateCache(strategy={self.strategy.name}, "
+            f"policy={self.cache.policy.name}, "
+            f"capacity={self.cache.capacity_bytes}B, "
+            f"used={self.cache.used_bytes}B, chunks={len(self.cache)}, "
+            f"preloaded={self.preloaded_level})"
+        )
+
+
+def _slice_chunk(
+    chunk: Chunk, cell_ranges: tuple[tuple[int, int], ...]
+) -> Chunk:
+    """A copy of ``chunk`` containing only the cells inside the ranges."""
+    mask = np.ones(chunk.size_tuples, dtype=bool)
+    for axis, (lo, hi) in zip(chunk.coords, cell_ranges):
+        mask &= (axis >= lo) & (axis < hi)
+    if mask.all():
+        return chunk
+    return Chunk(
+        level=chunk.level,
+        number=chunk.number,
+        coords=tuple(axis[mask] for axis in chunk.coords),
+        values=chunk.values[mask],
+        counts=chunk.counts[mask],
+        origin=chunk.origin,
+        compute_cost=chunk.compute_cost,
+        extras=tuple(extra[mask] for extra in chunk.extras),
+    )

@@ -1,0 +1,97 @@
+"""Aggregation plans.
+
+A lookup strategy's answer to "is this chunk computable, and how?" is a
+:class:`PlanNode` tree.  A *leaf* names a chunk read directly from the
+cache; an *inner node* aggregates its inputs — all at one parent level —
+into the node's chunk.  Executing the tree bottom-up materialises the
+requested chunk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core.sizes import SizeEstimator
+from repro.schema.cube import Level
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One step of an aggregation plan.
+
+    ``source_level is None`` marks a leaf (read ``(level, number)`` from
+    the cache).  Otherwise ``inputs`` are the chunks at ``source_level``
+    that aggregate into this node's chunk.
+    """
+
+    level: Level
+    number: int
+    source_level: Level | None = None
+    inputs: tuple["PlanNode", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.source_level is None
+
+    @classmethod
+    def leaf(cls, level: Level, number: int) -> "PlanNode":
+        return cls(level=level, number=number)
+
+    @classmethod
+    def aggregate(
+        cls,
+        level: Level,
+        number: int,
+        source_level: Level,
+        inputs: tuple["PlanNode", ...],
+    ) -> "PlanNode":
+        return cls(
+            level=level, number=number, source_level=source_level, inputs=inputs
+        )
+
+    def iter_nodes(self) -> Iterator["PlanNode"]:
+        """All nodes, leaves first (post-order)."""
+        for child in self.inputs:
+            yield from child.iter_nodes()
+        yield self
+
+    def leaves(self) -> Iterator["PlanNode"]:
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield node
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def num_aggregations(self) -> int:
+        return sum(1 for node in self.iter_nodes() if not node.is_leaf)
+
+    def estimated_cost(self, sizes: SizeEstimator) -> float:
+        """Estimated tuples aggregated to execute this plan.
+
+        Matches :class:`~repro.core.costs.CostStore` semantics: each inner
+        node reads every input chunk once, and input sizes come from the
+        analytic estimator (leaves cost nothing to read).
+        """
+        if self.is_leaf:
+            return 0.0
+        total = 0.0
+        for child in self.inputs:
+            total += child.estimated_cost(sizes)
+            total += sizes.chunk_tuples(child.level, child.number)
+        return total
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable multi-line plan description (diagnostics)."""
+        pad = "  " * indent
+        if self.is_leaf:
+            return f"{pad}read  level={self.level} chunk={self.number}"
+        lines = [
+            f"{pad}agg   level={self.level} chunk={self.number} "
+            f"from {self.source_level} ({len(self.inputs)} inputs)"
+        ]
+        lines.extend(child.describe(indent + 1) for child in self.inputs)
+        return "\n".join(lines)

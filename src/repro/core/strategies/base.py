@@ -1,0 +1,117 @@
+"""The lookup strategy interface.
+
+A strategy answers the central question of the paper — *can this chunk be
+answered from the cache, and via which aggregation path?* — and maintains
+whatever summary state it needs when chunks enter or leave the cache.
+
+``find`` returns a :class:`~repro.core.plans.PlanNode` (a leaf for a direct
+hit) or ``None`` when the chunk must go to the backend.  ``on_insert`` /
+``on_evict`` are called by the cache for every chunk movement; only the
+virtual-count strategies do work there.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Protocol
+
+from repro.core.plans import PlanNode
+from repro.core.sizes import SizeEstimator
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import LookupBudgetExceeded
+
+
+class ChunkPresence(Protocol):
+    """The one thing a strategy needs from the cache: membership tests."""
+
+    def contains(self, level: Level, number: int) -> bool:
+        ...
+
+
+class LookupStrategy(abc.ABC):
+    """Base class for cache lookup strategies.
+
+    Parameters
+    ----------
+    schema:
+        The cube schema.
+    presence:
+        Cache membership oracle (the chunk store).
+    sizes:
+        Deterministic size estimator (used by the cost-based strategies).
+    visit_budget:
+        Optional safety valve: abort a single ``find`` with
+        :class:`LookupBudgetExceeded` after this many recursive visits.
+        ``None`` (the default, and the experiment setting) is unbounded,
+        matching the paper's algorithms.
+    """
+
+    name: ClassVar[str]
+    cost_based: ClassVar[bool] = False
+    maintains_state: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        presence: ChunkPresence,
+        sizes: SizeEstimator,
+        visit_budget: int | None = None,
+    ) -> None:
+        self.schema = schema
+        self.presence = presence
+        self.sizes = sizes
+        self.visit_budget = visit_budget
+        self.total_visits = 0
+        """Lifetime recursive lookup visits (complexity instrumentation)."""
+        self.last_find_visits = 0
+        """Visits made by the most recent ``find`` call."""
+
+    # ------------------------------------------------------------------ #
+    # the lookup
+
+    def find(self, level: Level, number: int) -> PlanNode | None:
+        """Plan for computing ``(level, number)`` from the cache, else None."""
+        self.last_find_visits = 0
+        return self._find(level, number)
+
+    @abc.abstractmethod
+    def _find(self, level: Level, number: int) -> PlanNode | None:
+        ...
+
+    def is_computable(self, level: Level, number: int) -> bool:
+        """Whether the chunk can be answered from the cache at all."""
+        return self.find(level, number) is not None
+
+    # ------------------------------------------------------------------ #
+    # maintenance hooks (no-ops for the exhaustive strategies)
+
+    def on_insert(self, level: Level, number: int) -> int:
+        """Called after a chunk enters the cache.  Returns update count."""
+        return 0
+
+    def on_evict(self, level: Level, number: int) -> int:
+        """Called after a chunk leaves the cache.  Returns update count."""
+        return 0
+
+    def state_bytes(self) -> int:
+        """Bytes of summary state maintained (paper's Table 3 accounting)."""
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+
+    def _visit(self) -> None:
+        """Record one recursive visit and enforce the budget."""
+        self.total_visits += 1
+        self.last_find_visits += 1
+        if (
+            self.visit_budget is not None
+            and self.last_find_visits > self.visit_budget
+        ):
+            raise LookupBudgetExceeded(
+                f"{self.name} lookup exceeded visit budget "
+                f"{self.visit_budget}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(visits={self.total_visits})"

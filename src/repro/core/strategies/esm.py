@@ -1,0 +1,49 @@
+"""The Exhaustive Search Method (ESM) — Section 3.1 of the paper.
+
+ESM keeps no state.  On a miss it searches every lattice path from the
+chunk's group-by towards the base, depth-first, and stops at the first
+path along which every required chunk is present or computable.  Lemma 1
+gives the factorial worst-case path count; on an empty cache ESM explores
+them all before giving up.
+
+Deliberately implemented without memoisation, exactly as the paper's
+pseudocode: re-visiting shared lattice vertices is the inefficiency that
+motivates the virtual-count methods.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.plans import PlanNode
+from repro.core.strategies.base import LookupStrategy
+from repro.schema.cube import Level
+
+
+class ESMStrategy(LookupStrategy):
+    """First-successful-path exhaustive search."""
+
+    name: ClassVar[str] = "esm"
+
+    def _find(self, level: Level, number: int) -> PlanNode | None:
+        self._visit()
+        if self.presence.contains(level, number):
+            return PlanNode.leaf(level, number)
+        for parent_level in self.schema.parents_of(level):
+            numbers = self.schema.get_parent_chunk_numbers(
+                level, number, parent_level
+            )
+            inputs = []
+            for parent_number in numbers.tolist():
+                sub_plan = self._find(parent_level, parent_number)
+                if sub_plan is None:
+                    # One missing chunk kills this path: stop immediately
+                    # (this early break is why ESM's empty-cache cost is the
+                    # walk count, not the walk count times the fan-out).
+                    break
+                inputs.append(sub_plan)
+            else:
+                return PlanNode.aggregate(
+                    level, number, parent_level, tuple(inputs)
+                )
+        return None

@@ -1,0 +1,25 @@
+"""The no-aggregation baseline: a conventional chunk cache.
+
+Used for the Figure 9 comparison — a cache that can only answer a chunk if
+that exact chunk is present.  Everything else goes to the backend.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.plans import PlanNode
+from repro.core.strategies.base import LookupStrategy
+from repro.schema.cube import Level
+
+
+class NoAggregationStrategy(LookupStrategy):
+    """Exact-match lookup only (conventional chunk caching)."""
+
+    name: ClassVar[str] = "noagg"
+
+    def _find(self, level: Level, number: int) -> PlanNode | None:
+        self._visit()
+        if self.presence.contains(level, number):
+            return PlanNode.leaf(level, number)
+        return None

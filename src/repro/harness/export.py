@@ -1,0 +1,134 @@
+"""CSV export of experiment series (plotting-ready data).
+
+The tables/charts the harness prints are for terminals; these writers
+emit the same series as tidy CSV so the figures can be re-plotted with
+any tool.  One file per artifact, written into a directory (default
+``benchmarks/results``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.harness.streams import (
+    SCHEMES,
+    PolicyComparisonResult,
+    SchemeComparisonResult,
+)
+from repro.harness.table1 import Table1Result
+
+
+def export_policy_comparison(
+    result: PolicyComparisonResult, directory: str | Path
+) -> list[Path]:
+    """Figures 7 and 8 as tidy CSV (one row per policy x cache size)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "fig7_fig8_policies.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "policy",
+                "cache_fraction",
+                "capacity_bytes",
+                "complete_hit_ratio",
+                "avg_ms",
+                "backend_chunks",
+            ]
+        )
+        for (policy, fraction), stream in sorted(result.results.items()):
+            writer.writerow(
+                [
+                    policy,
+                    fraction,
+                    stream.capacity_bytes,
+                    f"{stream.hit_ratio:.4f}",
+                    f"{stream.avg_ms:.4f}",
+                    stream.backend_chunks,
+                ]
+            )
+    return [path]
+
+
+def export_scheme_comparison(
+    result: SchemeComparisonResult, directory: str | Path
+) -> list[Path]:
+    """Figures 9/10 and Table 4 as tidy CSV."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    overview = directory / "fig9_schemes.csv"
+    with overview.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["strategy", "policy", "cache_fraction", "avg_ms", "hit_ratio"]
+        )
+        for scheme in SCHEMES:
+            for fraction in result.config.cache_fractions:
+                stream = result.results[(scheme, fraction)]
+                writer.writerow(
+                    [
+                        scheme.strategy,
+                        scheme.policy,
+                        fraction,
+                        f"{stream.avg_ms:.4f}",
+                        f"{stream.hit_ratio:.4f}",
+                    ]
+                )
+    breakup = directory / "fig10_breakup.csv"
+    with breakup.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "strategy",
+                "cache_fraction",
+                "hit_lookup_ms",
+                "hit_aggregate_ms",
+                "hit_update_ms",
+                "hit_total_ms",
+                "complete_hits",
+            ]
+        )
+        for strategy in ("esm", "vcmc"):
+            for fraction in result.config.cache_fractions:
+                stream = result.get(strategy, fraction)
+                b = stream.hit_avg_breakdown()
+                writer.writerow(
+                    [
+                        strategy,
+                        fraction,
+                        f"{b.lookup_ms:.4f}",
+                        f"{b.aggregate_ms:.4f}",
+                        f"{b.update_ms:.4f}",
+                        f"{stream.hit_avg_ms:.4f}",
+                        stream.complete_hits,
+                    ]
+                )
+    return [overview, breakup]
+
+
+def export_table1(result: Table1Result, directory: str | Path) -> list[Path]:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "table1_lookup.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["algorithm", "cache_state", "min_ms", "max_ms", "avg_ms"]
+        )
+        for state, per_algo in (
+            ("empty", result.empty),
+            ("preloaded", result.preloaded),
+        ):
+            for algo, acc in per_algo.items():
+                writer.writerow(
+                    [
+                        algo,
+                        state,
+                        f"{acc.min_value:.4f}",
+                        f"{acc.max_value:.4f}",
+                        f"{acc.average:.4f}",
+                    ]
+                )
+    return [path]

@@ -1,0 +1,117 @@
+"""Locality-sensitivity experiment (E13, ours).
+
+Section 7.2 of the paper: "When the query stream has a lot of locality we
+can expect to get many complete hits.  So speeding up complete hit
+queries is critical."  This experiment makes that claim measurable: sweep
+the stream's locality (the fraction of drill-down/roll-up/proximity
+queries vs random ones) and record, per locality, the complete-hit ratio
+and the VCMC-over-ESM speedup on complete hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import AggregateCache
+from repro.harness.common import build_components
+from repro.harness.config import ExperimentConfig
+from repro.util.tables import render_table
+from repro.util.timers import TimeBreakdown
+from repro.workload.stream import QueryStreamGenerator, StreamMix
+
+#: fraction of follow-up (local) queries per sweep point
+LOCALITY_POINTS = (0.0, 0.3, 0.6, 0.9)
+
+
+@dataclass
+class LocalityPoint:
+    locality: float
+    hit_ratio: dict[str, float] = field(default_factory=dict)
+    hit_avg_ms: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class LocalityResult:
+    config: ExperimentConfig
+    fraction: float
+    points: list[LocalityPoint] = field(default_factory=list)
+
+    def format(self) -> str:
+        headers = [
+            "Locality",
+            "ESM hit %", "ESM hit ms",
+            "VCMC hit %", "VCMC hit ms",
+            "Speedup",
+        ]
+        rows = []
+        for point in self.points:
+            esm_ms = point.hit_avg_ms.get("esm", 0.0)
+            vcmc_ms = point.hit_avg_ms.get("vcmc", 0.0)
+            speedup = esm_ms / vcmc_ms if vcmc_ms else 0.0
+            rows.append(
+                [
+                    f"{point.locality:.0%}",
+                    f"{100 * point.hit_ratio.get('esm', 0):.0f}%",
+                    f"{esm_ms:.2f}",
+                    f"{100 * point.hit_ratio.get('vcmc', 0):.0f}%",
+                    f"{vcmc_ms:.2f}",
+                    f"{speedup:.2f}x",
+                ]
+            )
+        return render_table(
+            headers,
+            rows,
+            title=(
+                "E13 (ours). Stream locality vs complete hits and the "
+                f"VCMC speedup (cache {self.fraction:.0%} of base)."
+            ),
+        )
+
+
+def mix_for_locality(locality: float) -> StreamMix:
+    """Split ``locality`` evenly over the three follow-up kinds."""
+    share = locality / 3.0
+    return StreamMix(
+        drill_down=share,
+        roll_up=share,
+        proximity=share,
+        random=1.0 - locality,
+    )
+
+
+def run_locality_sweep(
+    config: ExperimentConfig, fraction: float = 0.45
+) -> LocalityResult:
+    components = build_components(config)
+    result = LocalityResult(config=config, fraction=fraction)
+    for locality in LOCALITY_POINTS:
+        point = LocalityPoint(locality=locality)
+        for strategy in ("esm", "vcmc"):
+            manager = AggregateCache(
+                components.schema,
+                components.backend,
+                capacity_bytes=components.capacity_for(fraction),
+                strategy=strategy,
+                policy="two_level",
+                preload_headroom=config.preload_headroom,
+                sizes=components.sizes,
+            )
+            generator = QueryStreamGenerator(
+                components.schema,
+                mix=mix_for_locality(locality),
+                max_extent=config.max_extent,
+                seed=config.seed + 31337,
+            )
+            hits = 0
+            hit_total = TimeBreakdown()
+            for query in generator.generate(config.num_queries):
+                outcome = manager.query(query)
+                if outcome.complete_hit:
+                    hits += 1
+                    hit_total.add(outcome.breakdown)
+            point.hit_ratio[strategy] = hits / config.num_queries
+            point.hit_avg_ms[strategy] = (
+                hit_total.total_ms / hits if hits else 0.0
+            )
+        result.points.append(point)
+    return result

@@ -1,0 +1,332 @@
+"""Query-stream experiments (Figures 7-10, Table 4 — E6..E10).
+
+One shared runner executes a seeded 30/30/30/10 query stream against an
+:class:`AggregateCache` and collects per-query accounting; the figure- and
+table-specific result objects slice it four ways:
+
+* Figure 7 — complete-hit ratio vs cache size, two-level vs benefit policy
+* Figure 8 — average execution time vs cache size, same comparison
+* Figure 9 — average execution time: no-aggregation vs ESM vs VCMC
+* Figure 10 — lookup/aggregation/update breakdown for complete-hit queries
+* Table 4 — % complete hits and the VCMC-over-ESM speedup on them
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core.manager import AggregateCache
+from repro.harness.common import build_components
+from repro.harness.config import ExperimentConfig
+from repro.util.charts import bar_chart
+from repro.util.tables import render_table
+from repro.util.timers import TimeBreakdown
+from repro.workload.stream import QueryStreamGenerator
+
+#: deterministic offset so stream seeds differ from data seeds
+_STREAM_SEED_OFFSET = 7919
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One cache configuration to run the stream against."""
+
+    strategy: str
+    policy: str
+    preload: bool = True
+
+    @property
+    def label(self) -> str:
+        return f"{self.strategy}/{self.policy}" + ("" if self.preload else "-cold")
+
+
+@dataclass
+class StreamResult:
+    """Accounting of one stream run at one cache size."""
+
+    scheme: SchemeSpec
+    fraction: float
+    capacity_bytes: int
+    queries: int = 0
+    complete_hits: int = 0
+    total: TimeBreakdown = field(default_factory=TimeBreakdown)
+    hit_total: TimeBreakdown = field(default_factory=TimeBreakdown)
+    backend_chunks: int = 0
+    preloaded_level: tuple | None = None
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.complete_hits / self.queries if self.queries else 0.0
+
+    @property
+    def avg_ms(self) -> float:
+        return self.total.total_ms / self.queries if self.queries else 0.0
+
+    @property
+    def hit_avg_ms(self) -> float:
+        if not self.complete_hits:
+            return 0.0
+        return self.hit_total.total_ms / self.complete_hits
+
+    def hit_avg_breakdown(self) -> TimeBreakdown:
+        n = max(self.complete_hits, 1)
+        return TimeBreakdown(
+            lookup_ms=self.hit_total.lookup_ms / n,
+            aggregate_ms=self.hit_total.aggregate_ms / n,
+            update_ms=self.hit_total.update_ms / n,
+            backend_ms=0.0,
+        )
+
+
+def execute_stream(
+    config: ExperimentConfig,
+    manager: AggregateCache,
+    scheme: SchemeSpec,
+    fraction: float,
+) -> StreamResult:
+    """Run the configured (seeded) query stream against one manager."""
+    generator = QueryStreamGenerator(
+        manager.schema,
+        max_extent=config.max_extent,
+        seed=config.seed + _STREAM_SEED_OFFSET,
+    )
+    result = StreamResult(
+        scheme=scheme,
+        fraction=fraction,
+        capacity_bytes=manager.cache.capacity_bytes,
+        preloaded_level=manager.preloaded_level,
+    )
+    for query in generator.generate(config.num_queries):
+        outcome = manager.query(query)
+        result.queries += 1
+        result.total.add(outcome.breakdown)
+        result.backend_chunks += outcome.from_backend
+        if outcome.complete_hit:
+            result.complete_hits += 1
+            result.hit_total.add(outcome.breakdown)
+    return result
+
+
+@lru_cache(maxsize=256)
+def run_stream(
+    config: ExperimentConfig, scheme: SchemeSpec, fraction: float
+) -> StreamResult:
+    """Run the configured query stream against one cache setup (memoised:
+    multiple figures slice the same runs)."""
+    components = build_components(config)
+    manager = AggregateCache(
+        components.schema,
+        components.backend,
+        capacity_bytes=components.capacity_for(fraction),
+        strategy=scheme.strategy,
+        policy=scheme.policy,
+        preload=scheme.preload,
+        preload_headroom=config.preload_headroom,
+        sizes=components.sizes,
+    )
+    return execute_stream(config, manager, scheme, fraction)
+
+
+# --------------------------------------------------------------------- #
+# Figures 7 & 8 — policy comparison
+
+
+@dataclass
+class PolicyComparisonResult:
+    config: ExperimentConfig
+    strategy: str
+    results: dict[tuple[str, float], StreamResult] = field(default_factory=dict)
+
+    def policies(self) -> list[str]:
+        return sorted({policy for policy, _ in self.results})
+
+    def format_fig7(self) -> str:
+        headers = ["Cache size"] + [
+            f"{policy} hit %" for policy in self.policies()
+        ]
+        rows = []
+        for fraction in self.config.cache_fractions:
+            row = [self.config.cache_label(fraction)]
+            for policy in self.policies():
+                row.append(
+                    f"{100 * self.results[(policy, fraction)].hit_ratio:.0f}%"
+                )
+            rows.append(row)
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Figure 7. Complete hit ratios vs cache size "
+                f"(strategy={self.strategy})."
+            ),
+        )
+        chart = bar_chart(
+            [self.config.cache_label(f) for f in self.config.cache_fractions],
+            {
+                policy: [
+                    100 * self.results[(policy, f)].hit_ratio
+                    for f in self.config.cache_fractions
+                ]
+                for policy in self.policies()
+            },
+            unit="%",
+        )
+        return f"{table}\n{chart}"
+
+    def format_fig8(self) -> str:
+        headers = ["Cache size"] + [
+            f"{policy} avg ms" for policy in self.policies()
+        ]
+        rows = []
+        for fraction in self.config.cache_fractions:
+            row = [self.config.cache_label(fraction)]
+            for policy in self.policies():
+                row.append(f"{self.results[(policy, fraction)].avg_ms:.2f}")
+            rows.append(row)
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Figure 8. Average query execution times vs cache size "
+                f"(strategy={self.strategy})."
+            ),
+        )
+        chart = bar_chart(
+            [self.config.cache_label(f) for f in self.config.cache_fractions],
+            {
+                policy: [
+                    self.results[(policy, f)].avg_ms
+                    for f in self.config.cache_fractions
+                ]
+                for policy in self.policies()
+            },
+            unit="ms",
+        )
+        return f"{table}\n{chart}"
+
+
+def run_policy_comparison(
+    config: ExperimentConfig, strategy: str = "vcmc"
+) -> PolicyComparisonResult:
+    result = PolicyComparisonResult(config=config, strategy=strategy)
+    for policy in ("benefit", "two_level"):
+        for fraction in config.cache_fractions:
+            result.results[(policy, fraction)] = run_stream(
+                config, SchemeSpec(strategy=strategy, policy=policy), fraction
+            )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Figures 9 & 10, Table 4 — scheme comparison
+
+#: the paper's three contenders: conventional cache, ESM, VCMC
+SCHEMES = (
+    SchemeSpec(strategy="noagg", policy="benefit", preload=False),
+    SchemeSpec(strategy="esm", policy="two_level"),
+    SchemeSpec(strategy="vcmc", policy="two_level"),
+)
+
+
+@dataclass
+class SchemeComparisonResult:
+    config: ExperimentConfig
+    results: dict[tuple[SchemeSpec, float], StreamResult] = field(
+        default_factory=dict
+    )
+
+    def get(self, strategy: str, fraction: float) -> StreamResult:
+        for (scheme, f), result in self.results.items():
+            if scheme.strategy == strategy and f == fraction:
+                return result
+        raise KeyError((strategy, fraction))
+
+    def format_fig9(self) -> str:
+        headers = ["Cache size"] + [s.strategy for s in SCHEMES]
+        rows = []
+        for fraction in self.config.cache_fractions:
+            row = [self.config.cache_label(fraction)]
+            for scheme in SCHEMES:
+                row.append(f"{self.results[(scheme, fraction)].avg_ms:.2f}")
+            rows.append(row)
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Figure 9. Average execution time (ms): no-aggregation vs "
+                "ESM vs VCMC."
+            ),
+        )
+        chart = bar_chart(
+            [self.config.cache_label(f) for f in self.config.cache_fractions],
+            {
+                scheme.strategy: [
+                    self.results[(scheme, f)].avg_ms
+                    for f in self.config.cache_fractions
+                ]
+                for scheme in SCHEMES
+            },
+            unit="ms",
+        )
+        return f"{table}\n{chart}"
+
+    def format_fig10(self) -> str:
+        headers = [
+            "Cache size", "Scheme",
+            "Lookup ms", "Aggregate ms", "Update ms", "Total ms", "Hits",
+        ]
+        rows = []
+        for fraction in self.config.cache_fractions:
+            for strategy in ("esm", "vcmc"):
+                res = self.get(strategy, fraction)
+                b = res.hit_avg_breakdown()
+                rows.append(
+                    [
+                        self.config.cache_label(fraction),
+                        strategy.upper(),
+                        f"{b.lookup_ms:.3f}",
+                        f"{b.aggregate_ms:.3f}",
+                        f"{b.update_ms:.3f}",
+                        f"{res.hit_avg_ms:.3f}",
+                        res.complete_hits,
+                    ]
+                )
+        return render_table(
+            headers,
+            rows,
+            title=(
+                "Figure 10. Time breakup for complete-hit queries "
+                "(ESM vs VCMC)."
+            ),
+        )
+
+    def format_table4(self) -> str:
+        headers = ["", *(
+            self.config.cache_label(f) for f in self.config.cache_fractions
+        )]
+        hit_row = ["% of Complete Hits (VCMC)"]
+        speedup_row = ["Speedup factor (VCMC over ESM)"]
+        for fraction in self.config.cache_fractions:
+            vcmc = self.get("vcmc", fraction)
+            esm = self.get("esm", fraction)
+            hit_row.append(f"{100 * vcmc.hit_ratio:.0f}")
+            if vcmc.hit_avg_ms > 0:
+                speedup_row.append(f"{esm.hit_avg_ms / vcmc.hit_avg_ms:.2f}")
+            else:
+                speedup_row.append("-")
+        return render_table(
+            headers,
+            [hit_row, speedup_row],
+            title="Table 4. Speedup of VCMC over ESM on complete-hit queries.",
+        )
+
+
+def run_scheme_comparison(config: ExperimentConfig) -> SchemeComparisonResult:
+    result = SchemeComparisonResult(config=config)
+    for scheme in SCHEMES:
+        for fraction in config.cache_fractions:
+            result.results[(scheme, fraction)] = run_stream(
+                config, scheme, fraction
+            )
+    return result

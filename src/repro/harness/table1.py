@@ -1,0 +1,191 @@
+"""Table 1 — cache lookup times (experiment E3).
+
+For each algorithm, measure the lookup time of one chunk (chunk 0) at
+every group-by level, in two cache states:
+
+* **empty** — nothing cached: the exhaustive methods must explore every
+  path before failing; the virtual-count methods reject in O(1).
+* **preloaded** — every base-table chunk cached: ESM's first path succeeds
+  quickly, but ESMC still explores *all* paths (with full chunk fan-out),
+  which is where the paper measures a 5.5-hour lookup and drops it.
+
+ESMC-preloaded is therefore run on the reduced schema by default, exactly
+as DESIGN.md §5 documents; the other eleven cells run on the configured
+schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.common import (
+    Components,
+    build_components,
+    empty_cache,
+    preload_level_into,
+    strategy_on,
+)
+from repro.harness.config import ExperimentConfig
+from repro.util.tables import render_table
+from repro.util.timers import MinMaxAvg, Stopwatch
+
+ALGORITHMS = ("esm", "esmc", "vcm", "vcmc")
+
+
+@dataclass
+class Table1Result:
+    config: ExperimentConfig
+    empty: dict[str, MinMaxAvg] = field(default_factory=dict)
+    preloaded: dict[str, MinMaxAvg] = field(default_factory=dict)
+    reduced_preloaded: dict[str, MinMaxAvg] = field(default_factory=dict)
+    """All four algorithms, preloaded cache, on the reduced schema — the
+    like-for-like comparison that shows ESMC's blow-up."""
+    esmc_preloaded_schema: str | None = None
+    esmc_estimated_visits: int = 0
+    """Predicted recursion visits of ESMC on the *main* schema with the
+    base preloaded (exact DP; the algorithm itself has no memoisation)."""
+    esmc_estimated_hours: float = 0.0
+
+    def format(self) -> str:
+        headers = [
+            "", "Empty Min", "Empty Max", "Empty Avg",
+            "Preloaded Min", "Preloaded Max", "Preloaded Avg",
+        ]
+        rows = []
+        for algo in ALGORITHMS:
+            row = [algo.upper()]
+            row.extend(self.empty[algo].as_row())
+            if algo in self.preloaded:
+                row.extend(self.preloaded[algo].as_row())
+            else:
+                row.extend(["-", "-", "-"])
+            rows.append(row)
+        parts = [render_table(headers, rows, title="Table 1. Lookup times (ms).")]
+        if self.reduced_preloaded:
+            rows_b = [
+                [algo.upper(), *self.reduced_preloaded[algo].as_row()]
+                for algo in ALGORITHMS
+                if algo in self.reduced_preloaded
+            ]
+            parts.append(
+                render_table(
+                    ["", "Min", "Max", "Average"],
+                    rows_b,
+                    title=(
+                        "Table 1b. Preloaded-cache lookups on the "
+                        f"{self.esmc_preloaded_schema!r} schema (ms) — "
+                        "like-for-like view of the ESMC blow-up."
+                    ),
+                )
+            )
+        if self.esmc_estimated_visits > 1_000_000:
+            parts.append(
+                "ESMC with the base preloaded on the main schema would make "
+                f"{self.esmc_estimated_visits:,} recursive visits for the "
+                f"apex chunk alone — an estimated {self.esmc_estimated_hours:.1f} "
+                "hours at the measured visit rate.  The paper measured 5.5 "
+                "hours and dropped ESMC from further experiments; so do we."
+            )
+        return "\n".join(parts)
+
+
+def _measure_lookups(
+    components: Components, algo: str, preload_base: bool
+) -> MinMaxAvg:
+    """Lookup time of chunk 0 at every level, given one cache state."""
+    schema = components.schema
+    cache = empty_cache(components)
+    strategy = strategy_on(algo, components, cache)
+    if preload_base:
+        preload_level_into(
+            components, cache, schema.base_level, [strategy]
+        )
+    acc = MinMaxAvg()
+    watch = Stopwatch()
+    for level in schema.all_levels():
+        watch.restart()
+        strategy.find(level, 0)
+        acc.observe(watch.elapsed_ms())
+    return acc
+
+
+def estimate_esmc_preloaded_visits(components: Components) -> int:
+    """Exact visit count of (unmemoised) ESMC for the apex chunk with the
+    base level cached: ``V(c) = 1 + sum over parents of sum over mapped
+    chunks of V(pc)``, with ``V(base chunk) = 1``.  Computed by DP here;
+    the algorithm itself would actually make this many calls."""
+    schema = components.schema
+    base = schema.base_level
+    memo: dict[tuple, int] = {}
+
+    def visits(level, number) -> int:
+        key = (level, number)
+        if key in memo:
+            return memo[key]
+        if level == base:
+            memo[key] = 1
+            return 1
+        total = 1
+        for parent in schema.parents_of(level):
+            for pc in schema.get_parent_chunk_numbers(level, number, parent):
+                total += visits(parent, int(pc))
+        memo[key] = total
+        return total
+
+    return visits(schema.apex_level, 0)
+
+
+def run_table1(
+    config: ExperimentConfig,
+    esmc_preloaded_config: ExperimentConfig | None = None,
+) -> Table1Result:
+    """Run the Table 1 experiment.
+
+    ``esmc_preloaded_config`` supplies the (smaller) schema for the one
+    pathological ESMC cell; pass ``None`` to default to ``apb_reduced``
+    scaled from ``config``, or a config equal to ``config`` to run it
+    in-place.
+    """
+    components = build_components(config)
+    result = Table1Result(config=config)
+
+    for algo in ALGORITHMS:
+        result.empty[algo] = _measure_lookups(components, algo, preload_base=False)
+
+    for algo in ("esm", "vcm", "vcmc"):
+        result.preloaded[algo] = _measure_lookups(
+            components, algo, preload_base=True
+        )
+
+    if esmc_preloaded_config is None:
+        esmc_preloaded_config = ExperimentConfig(
+            schema_name="apb_reduced",
+            num_tuples=min(config.num_tuples, 20_000),
+            seed=config.seed,
+            data_mode="uniform",
+        )
+    esmc_components = build_components(esmc_preloaded_config)
+    for algo in ALGORITHMS:
+        result.reduced_preloaded[algo] = _measure_lookups(
+            esmc_components, algo, preload_base=True
+        )
+    result.preloaded["esmc"] = result.reduced_preloaded["esmc"]
+    result.esmc_preloaded_schema = esmc_preloaded_config.schema_name
+
+    # Predict the in-place ESMC-preloaded cost on the main schema from
+    # the measured empty-cache visit rate.
+    visit_count = estimate_esmc_preloaded_visits(components)
+    result.esmc_estimated_visits = visit_count
+    esmc_empty_ms = result.empty["esmc"].total
+    # Measured visit rate: empty-cache ESMC explores one walk per parent
+    # chain; total visits over all levels equal the walk census.
+    from repro.schema.lattice import count_walks_to_base
+
+    total_walks = sum(
+        count_walks_to_base(level, components.schema.heights)
+        for level in components.schema.all_levels()
+    )
+    if esmc_empty_ms > 0 and total_walks:
+        ms_per_visit = esmc_empty_ms / total_walks
+        result.esmc_estimated_hours = visit_count * ms_per_visit / 3.6e6
+    return result

@@ -1,0 +1,23 @@
+"""A small OLAP query front-end over the aggregate-aware cache.
+
+The engine computes with group-by levels and chunk numbers; analysts ask
+questions like::
+
+    SELECT SUM(UnitSales), AVG(UnitSales)
+    GROUP BY Product.Division, Time.Year
+    WHERE Time.Year = 1 AND Channel.Channel IN (0, 2)
+
+:class:`OlapSession` parses that, binds names against the schema (and an
+optional :class:`~repro.schema.members.MemberCatalog` for member names),
+plans a chunk-aligned region with residual predicates, executes it through
+an :class:`~repro.core.manager.AggregateCache`, and post-aggregates to the
+requested granularity.  This is the surface the paper's middle tier sits
+under: every query below it becomes chunk lookups that the active cache
+can answer by aggregation.
+"""
+
+from repro.olap.executor import ResultSet
+from repro.olap.parser import parse_query
+from repro.olap.session import OlapSession
+
+__all__ = ["OlapSession", "ResultSet", "parse_query"]

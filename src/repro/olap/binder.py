@@ -1,0 +1,162 @@
+"""Name resolution: parsed queries -> levels, ordinals and predicates.
+
+Binding decides the two granularities of execution:
+
+* the **output level** — each GROUP BY dimension at its named level,
+  everything else fully aggregated;
+* the **compute level** — per dimension, the most detailed of the output
+  level and any predicate level, because filtering at e.g. ``Time.Month``
+  while grouping by ``Time.Year`` requires month-grain cells before the
+  final roll-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.olap.nodes import LevelRef, Predicate, PredicateOp, SelectQuery
+from repro.schema.cube import CubeSchema, Level
+from repro.schema.members import MemberCatalog
+from repro.util.errors import ReproError
+
+
+class QueryBindError(ReproError):
+    """Raised when a query references unknown names or invalid members."""
+
+
+@dataclass(frozen=True)
+class BoundPredicate:
+    """Allowed ordinals of one dimension at one level (conjunctive)."""
+
+    dim_index: int
+    level: int
+    ordinals: frozenset[int]
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    query: SelectQuery
+    output_level: Level
+    compute_level: Level
+    group_dims: tuple[tuple[int, int], ...]
+    """(dimension index, level) per GROUP BY entry, in query order."""
+    predicates: tuple[BoundPredicate, ...]
+
+
+def bind(
+    query: SelectQuery,
+    schema: CubeSchema,
+    catalog: MemberCatalog | None = None,
+) -> BoundQuery:
+    """Resolve every name in ``query`` against ``schema`` (and member
+    names against ``catalog``)."""
+    for aggregate in query.aggregates:
+        try:
+            schema.measure_index(aggregate.measure)
+        except ReproError:
+            raise QueryBindError(
+                f"unknown measure {aggregate.measure!r}; the schema's "
+                f"measures are {list(schema.measures)}"
+            ) from None
+
+    output = [0] * schema.ndims
+    group_dims: list[tuple[int, int]] = []
+    for ref in query.group_by:
+        dim_index, level = _resolve_level(ref, schema)
+        if any(d == dim_index for d, _ in group_dims):
+            raise QueryBindError(
+                f"dimension {ref.dimension!r} appears twice in GROUP BY"
+            )
+        output[dim_index] = level
+        group_dims.append((dim_index, level))
+
+    compute = list(output)
+    predicates: list[BoundPredicate] = []
+    for predicate in query.where:
+        bound = _resolve_predicate(predicate, schema, catalog)
+        compute[bound.dim_index] = max(compute[bound.dim_index], bound.level)
+        predicates.append(bound)
+
+    return BoundQuery(
+        query=query,
+        output_level=tuple(output),
+        compute_level=tuple(compute),
+        group_dims=tuple(group_dims),
+        predicates=tuple(predicates),
+    )
+
+
+def _resolve_level(ref: LevelRef, schema: CubeSchema) -> tuple[int, int]:
+    try:
+        dim_index = schema.dim_index(_match_name(
+            ref.dimension, [d.name for d in schema.dimensions], "dimension"
+        ))
+    except ReproError as exc:
+        raise QueryBindError(str(exc)) from None
+    dim = schema.dimensions[dim_index]
+    name = ref.level
+    # Accept the level's name, 'L<k>' or a bare integer.
+    if name.isdigit():
+        level = int(name)
+    elif name.upper().startswith("L") and name[1:].isdigit():
+        level = int(name[1:])
+    else:
+        lowered = [n.lower() for n in dim.level_names]
+        if name.lower() not in lowered:
+            raise QueryBindError(
+                f"dimension {dim.name!r} has no level named {name!r}; "
+                f"levels are {list(dim.level_names)}"
+            )
+        level = lowered.index(name.lower())
+    if not 0 <= level <= dim.height:
+        raise QueryBindError(
+            f"dimension {dim.name!r} has levels 0..{dim.height}, "
+            f"not {level}"
+        )
+    return dim_index, level
+
+
+def _match_name(name: str, candidates: list[str], kind: str) -> str:
+    for candidate in candidates:
+        if candidate.lower() == name.lower():
+            return candidate
+    raise QueryBindError(f"unknown {kind} {name!r}; known: {candidates}")
+
+
+def _resolve_predicate(
+    predicate: Predicate,
+    schema: CubeSchema,
+    catalog: MemberCatalog | None,
+) -> BoundPredicate:
+    dim_index, level = _resolve_level(predicate.ref, schema)
+    dim = schema.dimensions[dim_index]
+    cardinality = dim.cardinality(level)
+
+    def to_ordinal(value: int | str) -> int:
+        if isinstance(value, str):
+            if catalog is None:
+                raise QueryBindError(
+                    f"member name {value!r} used but no member catalog "
+                    "was provided"
+                )
+            return catalog.ordinal_of(dim.name, level, value)
+        return value
+
+    raw = [to_ordinal(v) for v in predicate.values]
+    for ordinal in raw:
+        if not 0 <= ordinal < cardinality:
+            raise QueryBindError(
+                f"{predicate.ref} has ordinals 0..{cardinality - 1}, "
+                f"not {ordinal}"
+            )
+    if predicate.op is PredicateOp.BETWEEN:
+        low, high = raw
+        if low > high:
+            raise QueryBindError(
+                f"{predicate.ref}: BETWEEN bounds are reversed "
+                f"({low} > {high})"
+            )
+        ordinals = frozenset(range(low, high + 1))
+    else:
+        ordinals = frozenset(raw)
+    return BoundPredicate(dim_index=dim_index, level=level, ordinals=ordinals)

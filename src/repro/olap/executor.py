@@ -1,0 +1,323 @@
+"""Execution of bound OLAP queries through the aggregate-aware cache.
+
+The plan is always the same four steps:
+
+1. **Region** — intersect the predicates' bounding boxes per dimension at
+   the compute level, snap outward to chunk boundaries, and issue one
+   chunk-aligned :class:`~repro.workload.query.Query` (this is where the
+   active cache does its work).
+2. **Filter** — mask fetched cells with the exact predicates (the region
+   was only a bounding box).
+3. **Roll up** — aggregate surviving cells from the compute level to the
+   output (GROUP BY) level.
+4. **Present** — rows in group order, member names from the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.manager import AggregateCache, QueryResult
+from repro.olap.binder import BoundQuery
+from repro.olap.nodes import Aggregate
+from repro.schema.members import MemberCatalog
+from repro.util.tables import render_table
+from repro.workload.query import Query
+
+
+@dataclass
+class ResultSet:
+    """Rows of an OLAP query plus the cache-side execution accounting."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    cache_result: QueryResult | None = None
+    bound: BoundQuery | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    @property
+    def complete_hit(self) -> bool:
+        return bool(self.cache_result and self.cache_result.complete_hit)
+
+    def format(self) -> str:
+        table = render_table(self.columns, self.rows)
+        if self.cache_result is None:
+            return table
+        r = self.cache_result
+        footer = (
+            f"({len(self.rows)} rows; {'complete hit' if r.complete_hit else 'backend'}"
+            f", {r.direct_hits} direct / {r.aggregated} aggregated / "
+            f"{r.from_backend} fetched chunks, {r.total_ms:.2f} ms)"
+        )
+        return f"{table}\n{footer}"
+
+    def to_chart(self, value_column: int = -1, width: int = 40) -> str:
+        """Render the result as an ASCII bar chart.
+
+        Labels come from the group columns (joined); bars from
+        ``value_column`` (default: the last column).  Needs at least one
+        row of numeric values.
+        """
+        from repro.util.charts import bar_chart
+
+        if not self.rows:
+            return "(no rows)"
+        n_groups = len(self.columns) - (
+            len(self.bound.query.aggregates) if self.bound else 1
+        )
+        labels = [
+            " / ".join(str(cell) for cell in row[:n_groups]) or "ALL"
+            for row in self.rows
+        ]
+        values = [float(row[value_column]) for row in self.rows]
+        series_name = self.columns[value_column]
+        return bar_chart(labels, {series_name: values}, width=width)
+
+
+def execute(
+    bound: BoundQuery,
+    cache: AggregateCache,
+    catalog: MemberCatalog | None = None,
+) -> ResultSet:
+    """Run a bound query through the cache and shape the result rows."""
+    schema = cache.schema
+    columns = _columns(bound, schema)
+
+    region = _chunk_region(bound, schema)
+    if region is None:
+        return ResultSet(
+            columns=columns, rows=_empty_rows(bound), bound=bound
+        )
+
+    query = Query(bound.compute_level, region)
+    cache_result = cache.query(query)
+
+    coords, measures, counts = _gather_cells(schema, cache_result)
+    mask = _predicate_mask(bound, schema, coords)
+    coords = [axis[mask] for axis in coords]
+    measures = [column[mask] for column in measures]
+    counts = counts[mask]
+
+    out_coords, out_measures, out_counts = _rollup_to_output(
+        bound, schema, coords, measures, counts
+    )
+    rows = _build_rows(
+        bound, schema, catalog, out_coords, out_measures, out_counts
+    )
+    if not rows and not bound.group_dims:
+        rows = _empty_rows(bound)
+    rows = _order_and_limit(bound, columns, rows)
+    return ResultSet(
+        columns=columns, rows=rows, cache_result=cache_result, bound=bound
+    )
+
+
+# --------------------------------------------------------------------- #
+# steps
+
+
+def _columns(bound: BoundQuery, schema) -> tuple[str, ...]:
+    names = []
+    for dim_index, level in bound.group_dims:
+        dim = schema.dimensions[dim_index]
+        label = dim.level_names[level]
+        # Default level names already embed the dimension ("Product.L2").
+        if not label.startswith(f"{dim.name}."):
+            label = f"{dim.name}.{label}"
+        names.append(label)
+    names.extend(str(a) for a in bound.query.aggregates)
+    return tuple(names)
+
+
+def _chunk_region(
+    bound: BoundQuery, schema
+) -> tuple[tuple[int, int], ...] | None:
+    """Per-dimension chunk ranges covering the predicates' bounding box at
+    the compute level; ``None`` when some predicate is unsatisfiable."""
+    region = []
+    for d, dim in enumerate(schema.dimensions):
+        compute_level = bound.compute_level[d]
+        lo, hi = 0, dim.cardinality(compute_level)
+        for predicate in bound.predicates:
+            if predicate.dim_index != d or not predicate.ordinals:
+                continue
+            pmin = min(predicate.ordinals)
+            pmax = max(predicate.ordinals)
+            span_lo, _ = dim.fine_value_span(
+                predicate.level, pmin, pmin + 1, compute_level
+            )
+            _, span_hi = dim.fine_value_span(
+                predicate.level, pmax, pmax + 1, compute_level
+            )
+            lo, hi = max(lo, span_lo), min(hi, span_hi)
+        if lo >= hi:
+            return None
+        first = dim.chunk_of_value(compute_level, lo)
+        last = dim.chunk_of_value(compute_level, hi - 1)
+        region.append((first, last + 1))
+    return tuple(region)
+
+
+def _gather_cells(schema, cache_result: QueryResult):
+    """Concatenate result cells: coords, one column per measure, counts."""
+    num_measures = len(schema.measures)
+    chunks = [c for c in cache_result.chunks if not c.is_empty]
+    if not chunks:
+        empty = [np.empty(0, dtype=np.int64) for _ in range(schema.ndims)]
+        measures = [np.empty(0) for _ in range(num_measures)]
+        return empty, measures, np.empty(0, dtype=np.int64)
+    coords = [
+        np.concatenate([c.coords[d] for c in chunks])
+        for d in range(schema.ndims)
+    ]
+    measures = [
+        np.concatenate([c.measure_values(m) for c in chunks])
+        for m in range(num_measures)
+    ]
+    counts = np.concatenate([c.counts for c in chunks])
+    return coords, measures, counts
+
+
+def _predicate_mask(bound: BoundQuery, schema, coords) -> np.ndarray:
+    n = len(coords[0]) if coords else 0
+    mask = np.ones(n, dtype=bool)
+    for predicate in bound.predicates:
+        dim = schema.dimensions[predicate.dim_index]
+        compute_level = bound.compute_level[predicate.dim_index]
+        at_level = dim.map_ordinals(
+            compute_level, predicate.level, coords[predicate.dim_index]
+        )
+        allowed = np.fromiter(
+            sorted(predicate.ordinals), dtype=np.int64,
+            count=len(predicate.ordinals),
+        )
+        mask &= np.isin(at_level, allowed)
+    return mask
+
+
+def _rollup_to_output(bound: BoundQuery, schema, coords, measures, counts):
+    if len(counts) == 0:
+        empty = [np.empty(0, dtype=np.int64) for _ in range(schema.ndims)]
+        return empty, measures, counts
+    out_coords = [
+        dim.map_ordinals(compute, out, axis)
+        for dim, compute, out, axis in zip(
+            schema.dimensions, bound.compute_level, bound.output_level, coords
+        )
+    ]
+    shape = schema.chunks.cell_shape(bound.output_level)
+    flat = np.ravel_multi_index(out_coords, shape)
+    unique, inverse = np.unique(flat, return_inverse=True)
+    sums = [
+        np.bincount(inverse, weights=column, minlength=len(unique))
+        for column in measures
+    ]
+    totals = np.bincount(
+        inverse, weights=counts, minlength=len(unique)
+    ).astype(np.int64)
+    unravelled = [
+        axis.astype(np.int64) for axis in np.unravel_index(unique, shape)
+    ]
+    return unravelled, sums, totals
+
+
+def _build_rows(
+    bound: BoundQuery, schema, catalog, out_coords, out_measures, out_counts
+) -> list[tuple]:
+    measure_of = [
+        schema.measure_index(a.measure) for a in bound.query.aggregates
+    ]
+    rows = []
+    for i in range(len(out_counts)):
+        labels = []
+        for dim_index, level in bound.group_dims:
+            ordinal = int(out_coords[dim_index][i])
+            if catalog is not None and catalog.has_names(
+                schema.dimensions[dim_index].name, level
+            ):
+                labels.append(
+                    catalog.name_of(
+                        schema.dimensions[dim_index].name, level, ordinal
+                    )
+                )
+            else:
+                labels.append(ordinal)
+        rows.append(
+            tuple(labels)
+            + tuple(
+                _aggregate_value(
+                    a.function, out_measures[m][i], out_counts[i]
+                )
+                for a, m in zip(bound.query.aggregates, measure_of)
+            )
+        )
+    rows.sort(key=lambda row: tuple(str(cell) for cell in row[: len(bound.group_dims)]))
+    return rows
+
+
+def _aggregate_value(function: Aggregate, total: float, count: int):
+    if function is Aggregate.SUM:
+        return float(total)
+    if function is Aggregate.COUNT:
+        return int(count)
+    return float(total) / count if count else 0.0
+
+
+def _order_and_limit(
+    bound: BoundQuery, columns: tuple[str, ...], rows: list[tuple]
+) -> list[tuple]:
+    """Apply the query's ORDER BY and LIMIT to the built rows."""
+    order = bound.query.order_by
+    if order is not None:
+        index = _resolve_order_column(order.column, columns)
+        rows = sorted(
+            rows,
+            key=lambda row: (row[index] is None, row[index]),
+            reverse=order.descending,
+        )
+    limit = bound.query.limit
+    if limit is not None:
+        rows = rows[:limit]
+    return rows
+
+
+def _resolve_order_column(
+    column: int | str, columns: tuple[str, ...]
+) -> int:
+    from repro.olap.binder import QueryBindError
+
+    if isinstance(column, int):
+        if not 1 <= column <= len(columns):
+            raise QueryBindError(
+                f"ORDER BY position {column} out of range; the query has "
+                f"{len(columns)} output columns"
+            )
+        return column - 1
+    lowered = [name.lower() for name in columns]
+    if column.lower() in lowered:
+        return lowered.index(column.lower())
+    raise QueryBindError(
+        f"ORDER BY column {column!r} is not an output column; columns are "
+        f"{list(columns)}"
+    )
+
+
+def _empty_rows(bound: BoundQuery) -> list[tuple]:
+    """SQL semantics: an ungrouped aggregate over nothing is one row."""
+    if bound.group_dims:
+        return []
+    row = tuple(
+        0 if a.function is Aggregate.COUNT else 0.0
+        for a in bound.query.aggregates
+    )
+    return [row]

@@ -1,0 +1,66 @@
+"""Tokenizer for the OLAP query language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+
+class QuerySyntaxError(ReproError):
+    """Raised for malformed query text, with position information."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "GROUP", "BY", "WHERE", "AND", "IN", "BETWEEN",
+        "SUM", "COUNT", "AVG", "ORDER", "DESC", "ASC", "LIMIT",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<INT>\d+)
+  | (?P<STRING>'[^']*'|"[^"]*")
+  | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<SYMBOL>[(),.=])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split query text into tokens; keywords are case-insensitive."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "WS":
+            pass
+        elif kind == "IDENT" and value.upper() in KEYWORDS:
+            tokens.append(Token(value.upper(), value, position))
+        elif kind == "STRING":
+            tokens.append(Token("STRING", value[1:-1], position))
+        elif kind == "SYMBOL":
+            tokens.append(Token(value, value, position))
+        else:
+            assert kind is not None
+            tokens.append(Token(kind, value, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

@@ -1,0 +1,95 @@
+"""Abstract syntax for the OLAP query language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Aggregate(enum.Enum):
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+
+
+@dataclass(frozen=True)
+class LevelRef:
+    """``Dimension.Level`` as written in the query (names unresolved)."""
+
+    dimension: str
+    level: str
+
+    def __str__(self) -> str:
+        return f"{self.dimension}.{self.level}"
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """``SUM(measure)`` / ``COUNT(measure)`` / ``AVG(measure)``."""
+
+    function: Aggregate
+    measure: str
+
+    def __str__(self) -> str:
+        return f"{self.function.value}({self.measure})"
+
+
+class PredicateOp(enum.Enum):
+    EQ = "="
+    IN = "IN"
+    BETWEEN = "BETWEEN"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A restriction on one level: ``ref = v``, ``ref IN (..)`` or
+    ``ref BETWEEN lo AND hi``.  Values are ints (ordinals) or strings
+    (member names, resolved by the binder)."""
+
+    ref: LevelRef
+    op: PredicateOp
+    values: tuple[int | str, ...]
+
+    def __str__(self) -> str:
+        if self.op is PredicateOp.EQ:
+            return f"{self.ref} = {self.values[0]!r}"
+        if self.op is PredicateOp.IN:
+            inner = ", ".join(repr(v) for v in self.values)
+            return f"{self.ref} IN ({inner})"
+        return f"{self.ref} BETWEEN {self.values[0]!r} AND {self.values[1]!r}"
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``ORDER BY <column> [DESC]`` — the column is a 1-based position or
+    a name matched against the output columns."""
+
+    column: int | str
+    descending: bool = False
+
+    def __str__(self) -> str:
+        suffix = " DESC" if self.descending else ""
+        return f"{self.column}{suffix}"
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed (but unbound) query."""
+
+    aggregates: tuple[AggregateExpr, ...]
+    group_by: tuple[LevelRef, ...] = ()
+    where: tuple[Predicate, ...] = field(default=())
+    order_by: OrderBy | None = None
+    limit: int | None = None
+
+    def __str__(self) -> str:
+        parts = ["SELECT " + ", ".join(str(a) for a in self.aggregates)]
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(g) for g in self.group_by))
+        if self.where:
+            parts.append("WHERE " + " AND ".join(str(p) for p in self.where))
+        if self.order_by is not None:
+            parts.append(f"ORDER BY {self.order_by}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)

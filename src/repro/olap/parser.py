@@ -1,0 +1,207 @@
+"""Recursive-descent parser for the OLAP query language.
+
+Grammar (keywords case-insensitive)::
+
+    query    := SELECT agg (',' agg)*
+                (GROUP BY levelref (',' levelref)*)?
+                (WHERE pred (AND pred)*)?
+                (ORDER BY column (ASC | DESC)?)?
+                (LIMIT INT)?
+    column   := INT | IDENT ('.' IDENT)? | agg
+    agg      := (SUM | COUNT | AVG) '(' IDENT ')'
+    levelref := IDENT '.' IDENT
+    pred     := levelref ( '=' value
+                         | IN '(' value (',' value)* ')'
+                         | BETWEEN value AND value )
+    value    := INT | STRING
+"""
+
+from __future__ import annotations
+
+from repro.olap.lexer import QuerySyntaxError, Token, tokenize
+from repro.olap.nodes import (
+    Aggregate,
+    AggregateExpr,
+    LevelRef,
+    OrderBy,
+    Predicate,
+    PredicateOp,
+    SelectQuery,
+)
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse query text into a :class:`SelectQuery` (raises
+    :class:`QuerySyntaxError` with offsets on malformed input)."""
+    return _Parser(tokenize(text)).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._current
+        if token.kind != kind:
+            raise QuerySyntaxError(
+                f"expected {kind} at offset {token.position}, "
+                f"got {token.kind} ({token.text!r})"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Token | None:
+        if self._current.kind == kind:
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # grammar
+
+    def parse(self) -> SelectQuery:
+        self._expect("SELECT")
+        aggregates = [self._aggregate()]
+        while self._accept(","):
+            aggregates.append(self._aggregate())
+
+        group_by: list[LevelRef] = []
+        if self._accept("GROUP"):
+            self._expect("BY")
+            group_by.append(self._level_ref())
+            while self._accept(","):
+                group_by.append(self._level_ref())
+
+        where: list[Predicate] = []
+        if self._accept("WHERE"):
+            where.append(self._predicate())
+            while self._accept("AND"):
+                where.append(self._predicate())
+
+        order_by: OrderBy | None = None
+        if self._accept("ORDER"):
+            self._expect("BY")
+            order_by = self._order_column()
+
+        limit: int | None = None
+        if self._accept("LIMIT"):
+            token = self._expect("INT")
+            limit = int(token.text)
+            if limit <= 0:
+                raise QuerySyntaxError(
+                    f"LIMIT must be positive, got {limit} at offset "
+                    f"{token.position}"
+                )
+
+        self._expect("EOF")
+        return SelectQuery(
+            aggregates=tuple(aggregates),
+            group_by=tuple(group_by),
+            where=tuple(where),
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _order_column(self) -> OrderBy:
+        token = self._current
+        column: int | str
+        if token.kind == "INT":
+            self._advance()
+            column = int(token.text)
+            if column <= 0:
+                raise QuerySyntaxError(
+                    f"ORDER BY position is 1-based, got {column} at offset "
+                    f"{token.position}"
+                )
+        elif token.kind in ("SUM", "COUNT", "AVG"):
+            column = str(self._aggregate())
+        elif token.kind == "IDENT":
+            self._advance()
+            column = token.text
+            if self._accept("."):
+                column += "." + self._ident_or_int()
+        else:
+            raise QuerySyntaxError(
+                f"expected a column after ORDER BY at offset "
+                f"{token.position}, got {token.text!r}"
+            )
+        descending = False
+        if self._accept("DESC"):
+            descending = True
+        else:
+            self._accept("ASC")
+        return OrderBy(column=column, descending=descending)
+
+    def _aggregate(self) -> AggregateExpr:
+        token = self._current
+        if token.kind not in ("SUM", "COUNT", "AVG"):
+            raise QuerySyntaxError(
+                f"expected SUM/COUNT/AVG at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        self._advance()
+        self._expect("(")
+        measure = self._expect("IDENT").text
+        self._expect(")")
+        return AggregateExpr(Aggregate(token.kind), measure)
+
+    def _level_ref(self) -> LevelRef:
+        dimension = self._expect("IDENT").text
+        self._expect(".")
+        level = self._ident_or_int()
+        return LevelRef(dimension, level)
+
+    def _ident_or_int(self) -> str:
+        token = self._current
+        if token.kind in ("IDENT", "INT"):
+            self._advance()
+            return token.text
+        raise QuerySyntaxError(
+            f"expected a level name at offset {token.position}, "
+            f"got {token.text!r}"
+        )
+
+    def _predicate(self) -> Predicate:
+        ref = self._level_ref()
+        if self._accept("="):
+            return Predicate(ref, PredicateOp.EQ, (self._value(),))
+        if self._accept("IN"):
+            self._expect("(")
+            values = [self._value()]
+            while self._accept(","):
+                values.append(self._value())
+            self._expect(")")
+            return Predicate(ref, PredicateOp.IN, tuple(values))
+        if self._accept("BETWEEN"):
+            low = self._value()
+            self._expect("AND")
+            high = self._value()
+            return Predicate(ref, PredicateOp.BETWEEN, (low, high))
+        token = self._current
+        raise QuerySyntaxError(
+            f"expected =, IN or BETWEEN at offset {token.position}, "
+            f"got {token.text!r}"
+        )
+
+    def _value(self) -> int | str:
+        token = self._current
+        if token.kind == "INT":
+            self._advance()
+            return int(token.text)
+        if token.kind == "STRING":
+            self._advance()
+            return token.text
+        raise QuerySyntaxError(
+            f"expected a value at offset {token.position}, got {token.text!r}"
+        )

@@ -1,0 +1,48 @@
+"""The analyst-facing session object."""
+
+from __future__ import annotations
+
+from repro.core.manager import AggregateCache
+from repro.olap.binder import BoundQuery, bind
+from repro.olap.executor import ResultSet, execute
+from repro.olap.nodes import SelectQuery
+from repro.olap.parser import parse_query
+from repro.schema.members import MemberCatalog
+
+
+class OlapSession:
+    """Parse/bind/execute OLAP queries against an aggregate-aware cache.
+
+    >>> session = OlapSession(cache)                      # doctest: +SKIP
+    >>> rs = session.query(
+    ...     "SELECT SUM(UnitSales) GROUP BY Product.Division"
+    ... )                                                 # doctest: +SKIP
+    >>> print(rs.format())                                # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        cache: AggregateCache,
+        catalog: MemberCatalog | None = None,
+    ) -> None:
+        self.cache = cache
+        self.catalog = catalog
+        self.queries_run = 0
+
+    def parse(self, text: str) -> SelectQuery:
+        return parse_query(text)
+
+    def bind(self, query: SelectQuery | str) -> BoundQuery:
+        if isinstance(query, str):
+            query = self.parse(query)
+        return bind(query, self.cache.schema, self.catalog)
+
+    def query(self, text: str | SelectQuery) -> ResultSet:
+        """Parse, bind and execute; returns rows plus cache accounting."""
+        bound = self.bind(text)
+        result = execute(bound, self.cache, self.catalog)
+        self.queries_run += 1
+        return result
+
+    #: common alias
+    sql = query

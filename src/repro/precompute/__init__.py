@@ -1,0 +1,5 @@
+"""Materialized-view selection for cache pre-loading."""
+
+from repro.precompute.hru import GreedyChoice, greedy_select
+
+__all__ = ["GreedyChoice", "greedy_select"]

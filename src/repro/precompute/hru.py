@@ -1,0 +1,99 @@
+"""The Harinarayan-Rajaraman-Ullman greedy view-selection algorithm.
+
+The paper pre-loads a *single* group-by (the one with the most lattice
+descendants that fits).  Its cited precomputation work — HRU, *Implementing
+Data Cubes Efficiently* (SIGMOD 1996) — selects a *set* of group-bys
+greedily: each round picks the view whose materialisation most reduces
+the total cost of answering every group-by from its cheapest materialised
+ancestor.  We implement the space-budgeted variant (benefit per unit
+space) and use it as an alternative cache pre-loading rule (ablation A3).
+
+Cost model: answering group-by ``w`` from a materialised ancestor ``v``
+costs ``tuples(v)`` (the paper's and HRU's linear metric); the base table
+is always implicitly available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sizes import SizeEstimator
+from repro.schema import lattice
+from repro.schema.cube import CubeSchema, Level
+
+
+@dataclass(frozen=True)
+class GreedyChoice:
+    """One round of the greedy selection (for reporting/tests)."""
+
+    level: Level
+    benefit: float
+    bytes: float
+    score: float
+
+
+def greedy_select(
+    schema: CubeSchema,
+    sizes: SizeEstimator,
+    budget_bytes: float,
+    per_unit_space: bool = True,
+    max_views: int | None = None,
+) -> list[GreedyChoice]:
+    """Select group-bys to materialise under a space budget.
+
+    Returns the selection in pick order.  ``per_unit_space=True`` is the
+    budgeted HRU variant (benefit divided by view size); ``False`` is the
+    classic top-k benefit rule (bounded by ``max_views``).
+    """
+    base = schema.base_level
+    levels = [level for level in schema.all_levels() if level != base]
+    level_tuples = {level: sizes.level_tuples(level) for level in schema.all_levels()}
+    level_bytes = {
+        level: sizes.level_bytes(level) for level in schema.all_levels()
+    }
+
+    # cheapest materialised ancestor cost per group-by; starts at the base.
+    answer_cost: dict[Level, float] = {
+        level: level_tuples[base] for level in schema.all_levels()
+    }
+
+    chosen: list[GreedyChoice] = []
+    remaining = float(budget_bytes)
+    selected: set[Level] = set()
+
+    while True:
+        if max_views is not None and len(chosen) >= max_views:
+            break
+        best: GreedyChoice | None = None
+        for view in levels:
+            if view in selected or level_bytes[view] > remaining:
+                continue
+            view_cost = level_tuples[view]
+            benefit = 0.0
+            for target in lattice.descendants_of(view):
+                benefit += max(0.0, answer_cost[target] - view_cost)
+            benefit += max(0.0, answer_cost[view] - view_cost)
+            if benefit <= 0.0:
+                continue
+            score = (
+                benefit / max(level_bytes[view], 1.0)
+                if per_unit_space
+                else benefit
+            )
+            if best is None or score > best.score:
+                best = GreedyChoice(
+                    level=view,
+                    benefit=benefit,
+                    bytes=level_bytes[view],
+                    score=score,
+                )
+        if best is None:
+            break
+        chosen.append(best)
+        selected.add(best.level)
+        remaining -= best.bytes
+        view_cost = level_tuples[best.level]
+        for target in lattice.descendants_of(best.level):
+            answer_cost[target] = min(answer_cost[target], view_cost)
+        answer_cost[best.level] = min(answer_cost[best.level], view_cost)
+    return chosen

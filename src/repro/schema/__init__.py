@@ -1,0 +1,45 @@
+"""Multi-dimensional schema: dimension hierarchies, cube and group-by lattice.
+
+Conventions (matching the paper):
+
+* A *level* of a group-by is a tuple ``(l1, .., ln)`` with one entry per
+  dimension.  ``l_i = 0`` is the most aggregated level of dimension ``i``
+  (a single ALL value) and ``l_i = h_i`` is the most detailed (base) level,
+  where ``h_i`` is the hierarchy size of the dimension.
+* The *parents* of a group-by are the immediately **more detailed**
+  group-bys (one dimension one step closer to the base table); *children*
+  are the immediately more aggregated ones.  Paths used to compute a chunk
+  run from its group-by towards the base level.
+"""
+
+from repro.schema.apb import (
+    apb_reduced_schema,
+    apb_schema,
+    apb_small_schema,
+    apb_tiny_schema,
+)
+from repro.schema.cube import CubeSchema
+from repro.schema.dimension import Dimension
+from repro.schema.lattice import (
+    all_levels,
+    children_of,
+    is_computable_from,
+    lattice_size,
+    parents_of,
+    paths_to_base,
+)
+
+__all__ = [
+    "CubeSchema",
+    "Dimension",
+    "all_levels",
+    "apb_reduced_schema",
+    "apb_schema",
+    "apb_small_schema",
+    "apb_tiny_schema",
+    "children_of",
+    "is_computable_from",
+    "lattice_size",
+    "parents_of",
+    "paths_to_base",
+]

@@ -1,0 +1,111 @@
+"""APB-1-shaped schemas.
+
+The paper evaluates on the OLAP Council's APB-1 benchmark: five dimensions
+with hierarchy sizes (6, 2, 3, 1, 1), giving a lattice of
+``7*3*4*2*2 = 336`` group-bys, a ~1M-tuple fact table and 32 256 chunks
+over all levels.  The official APB data generator is not available offline,
+so these factories build the same *shape* with a deterministic synthetic
+generator (see ``backend/generator.py``); DESIGN.md §5 records the
+substitution.
+
+Three presets:
+
+* :func:`apb_schema` — full-shape schema (9 600 products, ~40k chunks);
+  used for the space-overhead census and anywhere raw scale matters.
+* :func:`apb_small_schema` — same lattice (336 group-bys) with smaller
+  cardinalities and chunk counts; the default for the timing experiments so
+  that the exhaustive strategies terminate in CI time.
+* :func:`apb_tiny_schema` — a 12-group-by cube for unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.schema.cube import CubeSchema
+from repro.schema.dimension import Dimension
+
+PRODUCT_LEVELS = ["ALL", "Division", "Line", "Family", "Group", "Class", "Code"]
+CUSTOMER_LEVELS = ["ALL", "Retailer", "Store"]
+TIME_LEVELS = ["ALL", "Year", "Quarter", "Month"]
+CHANNEL_LEVELS = ["ALL", "Channel"]
+SCENARIO_LEVELS = ["ALL", "Scenario"]
+
+
+def apb_schema() -> CubeSchema:
+    """Full-shape APB-1-like schema.
+
+    Cardinalities approximate APB-1 (9 600 product codes, 900 stores,
+    24 months, 10 channels, 2 scenarios) rounded to uniform fan-outs; the
+    39 936 total chunks are within ~25% of the paper's 32 256.
+    """
+    return CubeSchema(
+        [
+            Dimension.uniform(
+                "Product",
+                [1, 2, 8, 24, 96, 960, 9600],
+                [1, 1, 2, 4, 8, 16, 32],
+                PRODUCT_LEVELS,
+            ),
+            Dimension.uniform("Customer", [1, 90, 900], [1, 3, 9], CUSTOMER_LEVELS),
+            Dimension.uniform("Time", [1, 2, 8, 24], [1, 1, 2, 4], TIME_LEVELS),
+            Dimension.uniform("Channel", [1, 10], [1, 2], CHANNEL_LEVELS),
+            Dimension.uniform("Scenario", [1, 2], [1, 1], SCENARIO_LEVELS),
+        ],
+        measure="UnitSales",
+        bytes_per_tuple=20,
+    )
+
+
+def apb_small_schema() -> CubeSchema:
+    """Scaled APB-1 schema with the paper's exact lattice (336 group-bys).
+
+    Hierarchy sizes are unchanged — (6, 2, 3, 1, 1) — so lookup-path counts
+    (Lemma 1) match the paper exactly; cardinalities and chunk counts are
+    scaled down so the exhaustive strategies finish in experiment time.
+    """
+    return CubeSchema(
+        [
+            Dimension.uniform(
+                "Product",
+                [1, 2, 4, 8, 24, 48, 96],
+                [1, 1, 1, 2, 2, 4, 8],
+                PRODUCT_LEVELS,
+            ),
+            Dimension.uniform("Customer", [1, 6, 24], [1, 2, 4], CUSTOMER_LEVELS),
+            Dimension.uniform("Time", [1, 2, 8, 24], [1, 1, 2, 2], TIME_LEVELS),
+            Dimension.uniform("Channel", [1, 4], [1, 2], CHANNEL_LEVELS),
+            Dimension.uniform("Scenario", [1, 2], [1, 1], SCENARIO_LEVELS),
+        ],
+        measure="UnitSales",
+        bytes_per_tuple=20,
+    )
+
+
+def apb_reduced_schema() -> CubeSchema:
+    """Three-dimension cube with hierarchy sizes (3, 2, 1).
+
+    Small enough for cost-based exhaustive search (ESMC) to terminate with a
+    warm cache — used for the ESMC column of Table 1 (the paper measured
+    5.5 *hours* for ESMC on the full schema and then dropped it).
+    """
+    return CubeSchema(
+        [
+            Dimension.uniform("Product", [1, 2, 6, 12], [1, 1, 2, 4]),
+            Dimension.uniform("Customer", [1, 4, 8], [1, 2, 4]),
+            Dimension.uniform("Time", [1, 6], [1, 3]),
+        ],
+        measure="UnitSales",
+        bytes_per_tuple=20,
+    )
+
+
+def apb_tiny_schema() -> CubeSchema:
+    """A 12-group-by cube for unit tests (heights (2, 1, 1))."""
+    return CubeSchema(
+        [
+            Dimension.uniform("Product", [1, 2, 4], [1, 2, 4]),
+            Dimension.uniform("Customer", [1, 2], [1, 2]),
+            Dimension.uniform("Time", [1, 2], [1, 1]),
+        ],
+        measure="UnitSales",
+        bytes_per_tuple=20,
+    )

@@ -1,0 +1,177 @@
+"""Building dimensions from raw member data.
+
+Real dimension tables arrive as rows of member names — e.g. ``(code,
+class, family, division)`` — not as contiguity-ordered ordinals.  The
+chunked scheme needs two things the raw data does not guarantee:
+
+* ordinals at every level **ordered so the hierarchy is contiguous**
+  (all children of one parent adjacent), and
+* chunk boundaries that satisfy the closure property.
+
+:func:`build_dimension` produces both: it sorts members by their ancestry
+path, assigns dense ordinals per level, derives the parent maps, and
+chooses chunk boundaries top-down (a coarse boundary's image is always a
+fine boundary; extra fine splits are inserted to approach the target
+chunk size).  It returns the :class:`Dimension` plus per-level member
+names ready for a :class:`~repro.schema.members.MemberCatalog`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schema.dimension import Dimension
+from repro.util.errors import SchemaError
+
+
+@dataclass
+class BuiltDimension:
+    """A dimension plus everything needed to talk about it by name."""
+
+    dimension: Dimension
+    member_names: list[list[str]]
+    """Names per level (most aggregated first; level 0 is ``["ALL"]``)."""
+    base_ordinals: dict[str, int]
+    """Base-level member name -> ordinal (for encoding fact rows)."""
+
+    def install_names(self, catalog) -> None:
+        """Register every level's names in a member catalog."""
+        for level, names in enumerate(self.member_names):
+            catalog.set_names(self.dimension.name, level, names)
+
+
+def build_dimension(
+    name: str,
+    level_names: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    target_chunk_size: int = 64,
+) -> BuiltDimension:
+    """Build a dimension from raw member rows.
+
+    Parameters
+    ----------
+    name:
+        Dimension name.
+    level_names:
+        Level names **most detailed first** (matching the row layout),
+        e.g. ``["Code", "Family", "Division"]``.  The ALL level is added
+        automatically.
+    rows:
+        One row per base member: ``(base, parent, .., top)`` names.
+        Duplicate rows collapse; a base member appearing with two
+        different ancestries is an error.
+    target_chunk_size:
+        Aim for roughly this many values per chunk at each level (extra
+        chunk splits are inserted where closure allows).
+    """
+    if not rows:
+        raise SchemaError(f"dimension {name!r}: no member rows")
+    depth = len(level_names)
+    if depth == 0:
+        raise SchemaError(f"dimension {name!r}: needs at least one level")
+    cleaned: dict[tuple[str, ...], tuple[str, ...]] = {}
+    for row in rows:
+        if len(row) != depth:
+            raise SchemaError(
+                f"dimension {name!r}: row {row!r} has {len(row)} entries, "
+                f"expected {depth}"
+            )
+        path = tuple(str(part) for part in row)
+        existing = cleaned.get(path[:1])
+        if existing is not None and existing != path:
+            raise SchemaError(
+                f"dimension {name!r}: base member {path[0]!r} appears with "
+                f"two ancestries: {existing[1:]} and {path[1:]}"
+            )
+        cleaned[path[:1]] = path
+
+    # Sort by ancestry from the top down: this makes every level's
+    # members contiguous under their parent.
+    paths = sorted(cleaned.values(), key=lambda p: tuple(reversed(p)))
+
+    # Dense ordinals per level, in first-appearance (i.e. sorted) order.
+    names_per_level: list[list[str]] = [["ALL"]]
+    parent_maps: list[np.ndarray | None] = [None]
+    # Build from the most aggregated named level down to the base.
+    previous_keys: list[tuple[str, ...]] = [()]
+    for level_offset in range(depth):
+        level_index_in_row = depth - 1 - level_offset  # top..base
+        keys: list[tuple[str, ...]] = []
+        names: list[str] = []
+        parents: list[int] = []
+        seen: dict[tuple[str, ...], int] = {}
+        parent_index = {key: i for i, key in enumerate(previous_keys)}
+        for path in paths:
+            key = tuple(reversed(path[level_index_in_row:]))
+            if key in seen:
+                continue
+            seen[key] = len(keys)
+            keys.append(key)
+            names.append(path[level_index_in_row])
+            parents.append(parent_index[key[:-1]])
+        names_per_level.append(names)
+        parent_maps.append(np.asarray(parents, dtype=np.int64))
+        previous_keys = keys
+
+    cardinalities = [len(names) for names in names_per_level]
+    boundaries = _closure_boundaries(
+        cardinalities, parent_maps, target_chunk_size
+    )
+    dimension = Dimension(
+        name,
+        cardinalities,
+        parent_maps,
+        boundaries,
+        level_names=["ALL", *reversed([str(n) for n in level_names])],
+    )
+    base_names = names_per_level[-1]
+    if len(set(base_names)) != len(base_names):
+        raise SchemaError(
+            f"dimension {name!r}: duplicate base member names"
+        )
+    return BuiltDimension(
+        dimension=dimension,
+        member_names=names_per_level,
+        base_ordinals={n: i for i, n in enumerate(base_names)},
+    )
+
+
+def _closure_boundaries(
+    cardinalities: list[int],
+    parent_maps: list[np.ndarray | None],
+    target: int,
+) -> list[list[int]]:
+    """Chunk boundaries per level: each level starts from the image of
+    the coarser level's boundaries (mandatory for closure) and adds
+    splits on parent-group edges until chunks are near the target size."""
+    if target <= 0:
+        raise SchemaError(f"target_chunk_size must be positive, got {target}")
+    boundaries: list[list[int]] = [[0, 1]]
+    for level in range(1, len(cardinalities)):
+        card = cardinalities[level]
+        parent = parent_maps[level]
+        assert parent is not None
+        # Mandatory: the image of every coarse boundary.
+        firsts = np.searchsorted(parent, np.asarray(boundaries[level - 1]))
+        mandatory = sorted({int(b) for b in firsts} | {0, card})
+        # Candidate extra splits: starts of parent groups (always legal —
+        # closure only constrains the coarse level's boundaries).
+        group_starts = np.flatnonzero(np.diff(parent)) + 1
+        level_bounds = list(mandatory)
+        for start in group_starts.tolist():
+            level_bounds.append(int(start))
+        level_bounds = sorted(set(level_bounds))
+        # Thin out: greedily keep boundaries ~target apart (mandatory
+        # ones always stay).
+        kept = [0]
+        mandatory_set = set(mandatory)
+        for bound in level_bounds[1:]:
+            if bound in mandatory_set or bound - kept[-1] >= target:
+                kept.append(bound)
+        if kept[-1] != card:
+            kept.append(card)
+        boundaries.append(kept)
+    return boundaries

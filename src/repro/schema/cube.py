@@ -1,0 +1,195 @@
+"""The cube schema: dimensions + lattice + chunk addressing in one object.
+
+:class:`CubeSchema` is the central handle passed around the library.  It
+owns the dimensions, answers lattice questions (delegating to
+:mod:`repro.schema.lattice`) and chunk-addressing questions (delegating to
+:class:`repro.chunks.addressing.ChunkAddressing`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.schema import lattice
+from repro.schema.dimension import Dimension
+from repro.util.errors import SchemaError
+
+Level = tuple[int, ...]
+
+
+class CubeSchema:
+    """A multi-dimensional star schema with chunked dimension hierarchies.
+
+    Parameters
+    ----------
+    dimensions:
+        The cube's dimensions.
+    measure:
+        Name of the single additive measure (e.g. ``"UnitSales"``).
+    bytes_per_tuple:
+        Storage footprint of one cell: used for cache budgets and the
+        paper's space-overhead accounting (the paper's fact tuples are
+        20 bytes).  Defaults to ``4 * ndims + 8``.
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        measure: str | Sequence[str] = "UnitSales",
+        bytes_per_tuple: int | None = None,
+    ) -> None:
+        if not dimensions:
+            raise SchemaError("a cube needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names: {names}")
+        self.dimensions = tuple(dimensions)
+        if isinstance(measure, str):
+            measures: tuple[str, ...] = (measure,)
+        else:
+            measures = tuple(measure)
+        if not measures:
+            raise SchemaError("a cube needs at least one measure")
+        if len(set(m.lower() for m in measures)) != len(measures):
+            raise SchemaError(f"duplicate measure names: {measures}")
+        self.measures = measures
+        self.measure = measures[0]
+        self.heights: Level = tuple(d.height for d in self.dimensions)
+        self.bytes_per_tuple = (
+            bytes_per_tuple
+            if bytes_per_tuple is not None
+            else 4 * len(self.dimensions) + 8
+        )
+        # Imported here, not at module top: chunks.addressing needs the
+        # Dimension type from this package, so a module-level import would
+        # be circular whichever side loads first.
+        from repro.chunks.addressing import ChunkAddressing
+
+        self.chunks = ChunkAddressing(self.dimensions)
+        self._level_index: dict[Level, int] = {
+            level: i for i, level in enumerate(lattice.all_levels(self.heights))
+        }
+        self._levels: tuple[Level, ...] = tuple(self._level_index)
+
+    # ------------------------------------------------------------------ #
+    # basic geometry
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def base_level(self) -> Level:
+        """The most detailed group-by — the fact table itself."""
+        return self.heights
+
+    @property
+    def apex_level(self) -> Level:
+        """The fully aggregated group-by (a single cell)."""
+        return (0,) * self.ndims
+
+    def measure_index(self, name: str) -> int:
+        """Index of a measure by (case-insensitive) name; 0 is primary."""
+        for i, measure in enumerate(self.measures):
+            if measure.lower() == name.lower():
+                return i
+        raise SchemaError(
+            f"no measure named {name!r}; measures are {list(self.measures)}"
+        )
+
+    @property
+    def num_extra_measures(self) -> int:
+        return len(self.measures) - 1
+
+    def dimension(self, name: str) -> Dimension:
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        raise SchemaError(f"no dimension named {name!r}")
+
+    def dim_index(self, name: str) -> int:
+        for i, dim in enumerate(self.dimensions):
+            if dim.name == name:
+                return i
+        raise SchemaError(f"no dimension named {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # lattice
+
+    def all_levels(self) -> Iterator[Level]:
+        """Every group-by level, apex first."""
+        return iter(self._levels)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._levels)
+
+    def level_index(self, level: Level) -> int:
+        try:
+            return self._level_index[level]
+        except KeyError:
+            raise SchemaError(f"level {level} not in lattice {self.heights}") from None
+
+    def level_name(self, level: Level) -> str:
+        """Readable name like ``(Product.L2, Time.L0)``."""
+        parts = [
+            dim.level_names[l] for dim, l in zip(self.dimensions, level)
+        ]
+        return "(" + ", ".join(parts) + ")"
+
+    def parents_of(self, level: Level) -> list[Level]:
+        """Immediately more detailed group-bys (paper convention)."""
+        return lattice.parents_of(level, self.heights)
+
+    def children_of(self, level: Level) -> list[Level]:
+        """Immediately more aggregated group-bys."""
+        return lattice.children_of(level)
+
+    def paths_to_base(self, level: Level) -> int:
+        """Lemma 1 path count from ``level`` to the base level."""
+        return lattice.paths_to_base(level, self.heights)
+
+    def descendant_count(self, level: Level) -> int:
+        return lattice.descendant_count(level)
+
+    # ------------------------------------------------------------------ #
+    # chunk addressing conveniences (delegation)
+
+    def num_chunks(self, level: Level) -> int:
+        return self.chunks.num_chunks(level)
+
+    def chunk_shape(self, level: Level) -> tuple[int, ...]:
+        return self.chunks.chunk_shape(level)
+
+    def get_parent_chunk_numbers(
+        self, level: Level, number: int, parent_level: Level
+    ) -> np.ndarray:
+        return self.chunks.get_parent_chunk_numbers(level, number, parent_level)
+
+    def get_child_chunk_number(
+        self, level: Level, number: int, child_level: Level
+    ) -> int:
+        return self.chunks.get_child_chunk_number(level, number, child_level)
+
+    def num_cells(self, level: Level) -> int:
+        return self.chunks.num_cells(level)
+
+    def total_chunks(self) -> int:
+        """Chunks over all group-by levels (paper: 32 256 for APB).
+
+        Equals ``prod_i(sum_l num_chunks_i(l))`` because the lattice is a
+        cross product of the per-dimension chains.
+        """
+        return math.prod(
+            sum(dim.num_chunks(l) for l in range(dim.height + 1))
+            for dim in self.dimensions
+        )
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{d.name}(h={d.height})" for d in self.dimensions
+        )
+        return f"CubeSchema([{dims}], levels={self.num_levels})"

@@ -1,0 +1,137 @@
+"""Pure lattice arithmetic over group-by levels.
+
+A group-by level is a tuple ``(l1, .., ln)``; the lattice is the product of
+per-dimension chains ``0..h_i``.  These functions are deliberately free of
+any schema object so they can be property-tested in isolation; the
+:class:`~repro.schema.cube.CubeSchema` methods delegate here.
+
+Terminology follows the paper: a *parent* is one step **more detailed**
+(towards the base level ``(h1, .., hn)``), a *child* one step more
+aggregated (towards the apex ``(0, .., 0)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator
+
+Level = tuple[int, ...]
+
+
+def validate_level(level: Level, heights: Level) -> None:
+    """Raise ``ValueError`` unless ``level`` lies inside the lattice."""
+    if len(level) != len(heights):
+        raise ValueError(
+            f"level {level} has {len(level)} entries, schema has {len(heights)} dimensions"
+        )
+    for i, (l, h) in enumerate(zip(level, heights)):
+        if not 0 <= l <= h:
+            raise ValueError(f"level {level}: entry {i} must be in [0, {h}], got {l}")
+
+
+def all_levels(heights: Level) -> Iterator[Level]:
+    """Iterate every group-by level, most aggregated first (row-major)."""
+    return itertools.product(*(range(h + 1) for h in heights))
+
+
+def lattice_size(heights: Level) -> int:
+    """Number of group-bys in the lattice: ``prod(h_i + 1)``."""
+    return math.prod(h + 1 for h in heights)
+
+
+def parents_of(level: Level, heights: Level) -> list[Level]:
+    """Immediate parents: one dimension one step more detailed."""
+    parents = []
+    for i, (l, h) in enumerate(zip(level, heights)):
+        if l < h:
+            parents.append(level[:i] + (l + 1,) + level[i + 1:])
+    return parents
+
+
+def children_of(level: Level) -> list[Level]:
+    """Immediate children: one dimension one step more aggregated."""
+    children = []
+    for i, l in enumerate(level):
+        if l > 0:
+            children.append(level[:i] + (l - 1,) + level[i + 1:])
+    return children
+
+
+def is_computable_from(target: Level, source: Level) -> bool:
+    """True if a group-by at ``target`` can be computed from ``source``.
+
+    Per the paper: ``(x1, y1, z1)`` is computable from ``(x2, y2, z2)`` iff
+    ``x1 <= x2``, ``y1 <= y2`` and ``z1 <= z2`` — the source must be at least
+    as detailed in every dimension.
+    """
+    return all(t <= s for t, s in zip(target, source))
+
+
+def ancestors_of(level: Level, heights: Level) -> Iterator[Level]:
+    """All levels ``target`` is computable *from* (excluding itself).
+
+    These are the componentwise-greater-or-equal levels, i.e. every group-by
+    at least as detailed in every dimension.
+    """
+    for candidate in itertools.product(*(range(l, h + 1) for l, h in zip(level, heights))):
+        if candidate != level:
+            yield candidate
+
+
+def descendants_of(level: Level) -> Iterator[Level]:
+    """All levels computable *from* ``level`` (excluding itself)."""
+    for candidate in itertools.product(*(range(l + 1) for l in level)):
+        if candidate != level:
+            yield candidate
+
+
+def descendant_count(level: Level) -> int:
+    """Number of descendants including ``level`` itself: ``prod(l_i + 1)``.
+
+    Used by the two-level replacement policy's pre-loading rule, which picks
+    the group-by with the maximum number of descendants that fits in cache.
+    """
+    return math.prod(l + 1 for l in level)
+
+
+def paths_to_base(level: Level, heights: Level) -> int:
+    """Lemma 1: the number of lattice paths from ``level`` to the base.
+
+    ``(sum(h_i - l_i))! / prod((h_i - l_i)!)`` — each path is an ordering of
+    the single-dimension refinement steps.
+    """
+    validate_level(level, heights)
+    gaps = [h - l for l, h in zip(level, heights)]
+    total = math.factorial(sum(gaps))
+    for gap in gaps:
+        total //= math.factorial(gap)
+    return total
+
+
+def count_paths_brute_force(level: Level, heights: Level) -> int:
+    """Count paths to base by explicit recursion (test oracle for Lemma 1)."""
+    if level == heights:
+        return 1
+    return sum(count_paths_brute_force(p, heights) for p in parents_of(level, heights))
+
+
+def count_walks_to_base(level: Level, heights: Level) -> int:
+    """Total prefix walks explored by ESM on an empty cache.
+
+    On an empty cache ESM visits a node once per distinct downward walk that
+    reaches it (it breaks after the first failing chunk of each parent, so
+    chunk fan-out does not multiply).  This closed recurrence
+    ``T(v) = 1 + sum_parents T(p)`` predicts ESM's empty-cache visit count
+    and is used to size experiment schemas.
+    """
+    memo: dict[Level, int] = {}
+
+    def walk(v: Level) -> int:
+        if v in memo:
+            return memo[v]
+        total = 1 + sum(walk(p) for p in parents_of(v, heights))
+        memo[v] = total
+        return total
+
+    return walk(level)

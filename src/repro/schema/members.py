@@ -1,0 +1,94 @@
+"""Named dimension members.
+
+Ordinals are what the engine computes with; members give them names so
+queries can say ``Product.Division = 'Consumer'`` instead of ``= 1``.
+A :class:`MemberCatalog` maps (dimension, level) to a name per ordinal
+and back.  Synthetic catalogs (for generated data) name members
+``"<LevelName> <ordinal>"``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.schema.cube import CubeSchema
+from repro.util.errors import SchemaError
+
+
+class MemberCatalog:
+    """Bidirectional ordinal <-> member-name mapping for every level."""
+
+    def __init__(self, schema: CubeSchema) -> None:
+        self.schema = schema
+        self._names: dict[tuple[str, int], list[str]] = {}
+        self._ordinals: dict[tuple[str, int], dict[str, int]] = {}
+
+    @classmethod
+    def synthetic(cls, schema: CubeSchema) -> "MemberCatalog":
+        """Names every member ``"<LevelName> <ordinal>"`` (level 0 = ALL)."""
+        catalog = cls(schema)
+        for dim in schema.dimensions:
+            for level in range(dim.height + 1):
+                label = dim.level_names[level]
+                if level == 0:
+                    names = ["ALL"]
+                else:
+                    names = [
+                        f"{label} {ordinal}"
+                        for ordinal in range(dim.cardinality(level))
+                    ]
+                catalog.set_names(dim.name, level, names)
+        return catalog
+
+    def set_names(
+        self, dimension: str, level: int, names: Sequence[str]
+    ) -> None:
+        """Install names for one level (must cover every ordinal, unique)."""
+        dim = self.schema.dimension(dimension)
+        if not 0 <= level <= dim.height:
+            raise SchemaError(
+                f"dimension {dimension!r} has no level {level}"
+            )
+        expected = dim.cardinality(level)
+        names = list(names)
+        if len(names) != expected:
+            raise SchemaError(
+                f"{dimension}.L{level} needs {expected} member names, "
+                f"got {len(names)}"
+            )
+        lookup = {name: ordinal for ordinal, name in enumerate(names)}
+        if len(lookup) != len(names):
+            raise SchemaError(
+                f"duplicate member names for {dimension}.L{level}"
+            )
+        self._names[(dimension, level)] = names
+        self._ordinals[(dimension, level)] = lookup
+
+    def has_names(self, dimension: str, level: int) -> bool:
+        return (dimension, level) in self._names
+
+    def name_of(self, dimension: str, level: int, ordinal: int) -> str:
+        """The member name, falling back to the ordinal's repr."""
+        names = self._names.get((dimension, level))
+        if names is None:
+            return str(ordinal)
+        try:
+            return names[ordinal]
+        except IndexError:
+            raise SchemaError(
+                f"{dimension}.L{level} has no ordinal {ordinal}"
+            ) from None
+
+    def ordinal_of(self, dimension: str, level: int, name: str) -> int:
+        """Resolve a member name to its ordinal."""
+        lookup = self._ordinals.get((dimension, level))
+        if lookup is None:
+            raise SchemaError(
+                f"no member names installed for {dimension}.L{level}"
+            )
+        try:
+            return lookup[name]
+        except KeyError:
+            raise SchemaError(
+                f"{dimension}.L{level} has no member named {name!r}"
+            ) from None

@@ -1,0 +1,22 @@
+"""Shared utilities: errors, deterministic RNG, timers and table rendering."""
+
+from repro.util.errors import (
+    ChunkAlignmentError,
+    LookupBudgetExceeded,
+    ReproError,
+    SchemaError,
+)
+from repro.util.rng import make_rng
+from repro.util.tables import render_table
+from repro.util.timers import Stopwatch, TimeBreakdown
+
+__all__ = [
+    "ChunkAlignmentError",
+    "LookupBudgetExceeded",
+    "ReproError",
+    "SchemaError",
+    "Stopwatch",
+    "TimeBreakdown",
+    "make_rng",
+    "render_table",
+]

@@ -1,0 +1,72 @@
+"""ASCII charts for the experiment figures.
+
+The paper's Figures 7-10 are plots; the harness prints their exact data
+as tables and, via :func:`bar_chart`, as horizontal grouped bar charts so
+the shape is visible in a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_BAR = "█"
+_GLYPHS = "█▓▒░▚▞"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Render grouped horizontal bars.
+
+    ``labels`` name the groups (e.g. cache sizes); each entry of
+    ``series`` is one bar per group (e.g. one per policy).  Bars share a
+    single linear scale anchored at zero.
+    """
+    if not labels:
+        raise ValueError("bar_chart needs at least one label")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+    peak = max(
+        (value for values in series.values() for value in values),
+        default=0.0,
+    )
+    label_width = max(len(str(label)) for label in labels)
+    name_width = max((len(name) for name in series), default=0)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            value = float(values[i])
+            filled = (
+                int(round(width * value / peak)) if peak > 0 else 0
+            )
+            glyph = _GLYPHS[j % len(_GLYPHS)]
+            row_label = str(label) if j == 0 else ""
+            lines.append(
+                f"{row_label:<{label_width}}  "
+                f"{name:<{name_width}} "
+                f"{glyph * filled:<{width}} "
+                f"{value:,.2f}{unit}"
+            )
+        lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def ratio_row(value: float, best: float, width: int = 24) -> str:
+    """A single normalised bar (used for per-row speedup displays)."""
+    if best <= 0:
+        return ""
+    filled = int(round(width * value / best))
+    return _BAR * max(filled, 0)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """Raised for invalid dimension hierarchies, levels or lattice queries."""
+
+
+class ChunkAlignmentError(SchemaError):
+    """Raised when chunk boundaries violate the closure property.
+
+    The closure property (Deshpande et al., SIGMOD 1998) requires that a
+    chunk at an aggregated level maps onto a whole, contiguous set of chunks
+    at every more detailed level.  Chunked caching is only correct when this
+    holds, so it is validated eagerly at schema construction time.
+    """
+
+
+class LookupBudgetExceeded(ReproError):
+    """Raised when an exhaustive lookup exceeds its configured visit budget.
+
+    ESM/ESMC can visit a factorial number of lattice paths.  Experiments run
+    them unbounded (as in the paper), but library users may set a budget to
+    keep worst-case lookup latency bounded.
+    """
+
+
+class CacheCapacityError(ReproError):
+    """Raised when a chunk cannot fit in the cache even after evicting
+    everything evictable (e.g. a single chunk larger than the capacity)."""

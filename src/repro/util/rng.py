@@ -1,0 +1,26 @@
+"""Deterministic random number generation.
+
+All stochastic components (data generator, workload generator) accept either
+a seed or a ready-made :class:`numpy.random.Generator`.  Centralising the
+construction here keeps experiments reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_SEED = 0x5EED
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a numpy Generator.
+
+    ``seed`` may be an int, an existing Generator (returned unchanged), or
+    ``None`` for the package-wide default seed.  Passing a Generator lets a
+    caller share one stream across components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _DEFAULT_SEED
+    return np.random.default_rng(seed)

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for the experiment harness.
+
+The harness prints reproductions of the paper's tables; this module renders
+aligned, boxed ASCII tables without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Every cell is stringified with ``str``; numeric alignment is right,
+    text alignment is left (decided per column from the data).
+    """
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    header_row = [str(h) for h in headers]
+    ncols = len(header_row)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+
+    widths = [len(h) for h in header_row]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [
+        all(_looks_numeric(row[i]) for row in str_rows) if str_rows else False
+        for i in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(header_row))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _looks_numeric(text: str) -> bool:
+    stripped = text.replace(",", "").rstrip("%x")
+    if stripped in ("-", ""):
+        return True
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True

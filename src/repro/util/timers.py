@@ -1,0 +1,87 @@
+"""Wall-clock measurement helpers.
+
+The paper reports lookup / aggregation / update times per query (Figure 10).
+:class:`TimeBreakdown` accumulates those phases; :class:`Stopwatch` is the
+low-level timer.  All times are kept in milliseconds to match the paper's
+tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch measuring milliseconds."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed_ms(self) -> float:
+        return (time.perf_counter() - self._start) * 1000.0
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-query time breakdown in milliseconds.
+
+    ``lookup_ms``     time spent deciding computability / choosing a path
+    ``aggregate_ms``  time spent aggregating cached chunks
+    ``update_ms``     time spent maintaining count/cost state on insert/evict
+    ``backend_ms``    time attributed to the backend (real scan work plus the
+                      simulated connection/transfer overhead)
+    """
+
+    lookup_ms: float = 0.0
+    aggregate_ms: float = 0.0
+    update_ms: float = 0.0
+    backend_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.lookup_ms + self.aggregate_ms + self.update_ms + self.backend_ms
+
+    def add(self, other: "TimeBreakdown") -> None:
+        """Accumulate another breakdown into this one in place."""
+        self.lookup_ms += other.lookup_ms
+        self.aggregate_ms += other.aggregate_ms
+        self.update_ms += other.update_ms
+        self.backend_ms += other.backend_ms
+
+
+@dataclass
+class MinMaxAvg:
+    """Streaming min/max/average accumulator used by the unit experiments."""
+
+    count: int = 0
+    total: float = 0.0
+    min_value: float = field(default=float("inf"))
+    max_value: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def average(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_row(self, fmt: str = "{:.3f}") -> list[str]:
+        """Render min / max / average as table cells."""
+        if not self.count:
+            return ["-", "-", "-"]
+        return [
+            fmt.format(self.min_value),
+            fmt.format(self.max_value),
+            fmt.format(self.average),
+        ]

@@ -1,0 +1,6 @@
+"""OLAP queries and query-stream generation."""
+
+from repro.workload.query import Query
+from repro.workload.stream import QueryKind, QueryStreamGenerator, StreamMix
+
+__all__ = ["Query", "QueryKind", "QueryStreamGenerator", "StreamMix"]

@@ -1,0 +1,99 @@
+"""Chunk-aligned multi-dimensional queries.
+
+A query asks for the measure aggregated to one group-by level, over a
+rectangular, chunk-aligned region of that level — the shape chunk-based
+caching is designed for (arbitrary selections are snapped outward to chunk
+boundaries by the middle tier, exactly as in DRSN98).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Query:
+    """A group-by level plus per-dimension half-open chunk-index ranges."""
+
+    level: Level
+    chunk_ranges: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.chunk_ranges) != len(self.level):
+            raise SchemaError(
+                f"query has {len(self.chunk_ranges)} chunk ranges for "
+                f"{len(self.level)} dimensions"
+            )
+        for lo, hi in self.chunk_ranges:
+            if lo < 0 or hi <= lo:
+                raise SchemaError(
+                    f"invalid chunk range [{lo}, {hi}) in query at level "
+                    f"{self.level}"
+                )
+
+    @classmethod
+    def full_level(cls, schema: CubeSchema, level: Level) -> "Query":
+        """The query covering every chunk of one group-by."""
+        shape = schema.chunk_shape(level)
+        return cls(level, tuple((0, extent) for extent in shape))
+
+    @classmethod
+    def single_chunk(cls, schema: CubeSchema, level: Level, number: int) -> "Query":
+        """The query covering exactly one chunk."""
+        coords = schema.chunks.chunk_coords(level, number)
+        return cls(level, tuple((c, c + 1) for c in coords))
+
+    @classmethod
+    def from_cell_ranges(
+        cls,
+        schema: CubeSchema,
+        level: Level,
+        cell_ranges: tuple[tuple[int, int], ...],
+    ) -> "Query":
+        """Snap per-dimension half-open *ordinal* ranges outward to chunk
+        boundaries (DRSN98: arbitrary selections become chunk-aligned
+        fetches plus a residual cell filter — see
+        :meth:`AggregateCache.range_query`)."""
+        if len(cell_ranges) != len(level):
+            raise SchemaError(
+                f"{len(cell_ranges)} cell ranges for {len(level)} dimensions"
+            )
+        chunk_ranges = []
+        for dim, l, (lo, hi) in zip(schema.dimensions, level, cell_ranges):
+            if not 0 <= lo < hi <= dim.cardinality(l):
+                raise SchemaError(
+                    f"cell range [{lo}, {hi}) out of bounds for "
+                    f"{dim.name} level {l}"
+                )
+            first = dim.chunk_of_value(l, lo)
+            last = dim.chunk_of_value(l, hi - 1)
+            chunk_ranges.append((first, last + 1))
+        return cls(level, tuple(chunk_ranges))
+
+    @property
+    def num_chunks(self) -> int:
+        return math.prod(hi - lo for lo, hi in self.chunk_ranges)
+
+    def chunk_numbers(self, schema: CubeSchema) -> list[int]:
+        """All chunk numbers covered, in row-major order."""
+        shape = schema.chunk_shape(self.level)
+        for (lo, hi), extent in zip(self.chunk_ranges, shape):
+            if hi > extent:
+                raise SchemaError(
+                    f"query range [{lo}, {hi}) exceeds the {extent} chunks "
+                    f"of level {self.level}"
+                )
+        axes = [range(lo, hi) for lo, hi in self.chunk_ranges]
+        return [
+            schema.chunks.chunk_number(self.level, coords)
+            for coords in itertools.product(*axes)
+        ]
+
+    def describe(self, schema: CubeSchema) -> str:
+        ranges = ", ".join(f"[{lo},{hi})" for lo, hi in self.chunk_ranges)
+        return f"{schema.level_name(self.level)} chunks {ranges}"

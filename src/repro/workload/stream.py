@@ -1,0 +1,243 @@
+"""Query-stream generation (Section 7.2 of the paper).
+
+The stream mixes four query kinds modelling an OLAP session:
+
+* **drill-down** — same region, one dimension one level more detailed;
+* **roll-up**    — same region, one dimension one level more aggregated;
+* **proximity**  — same level, region shifted by one chunk in one dimension;
+* **random**     — fresh level and region.
+
+The paper's mix is 30% drill-down / 30% roll-up / 30% proximity / 10%
+random.  Roll-ups are the queries only an *active* cache can answer without
+the backend, which is what the stream experiments exercise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import ReproError
+from repro.util.rng import make_rng
+from repro.workload.query import Query
+
+
+class QueryKind(enum.Enum):
+    """The four stream query kinds of the paper's workload (Section 7.2)."""
+
+    RANDOM = "random"
+    DRILL_DOWN = "drill_down"
+    ROLL_UP = "roll_up"
+    PROXIMITY = "proximity"
+
+
+@dataclass(frozen=True)
+class StreamMix:
+    """Probabilities of each query kind (must sum to 1)."""
+
+    drill_down: float = 0.3
+    roll_up: float = 0.3
+    proximity: float = 0.3
+    random: float = 0.1
+
+    def __post_init__(self) -> None:
+        total = self.drill_down + self.roll_up + self.proximity + self.random
+        if abs(total - 1.0) > 1e-9:
+            raise ReproError(f"stream mix must sum to 1, got {total}")
+
+    def as_items(self) -> list[tuple[QueryKind, float]]:
+        return [
+            (QueryKind.DRILL_DOWN, self.drill_down),
+            (QueryKind.ROLL_UP, self.roll_up),
+            (QueryKind.PROXIMITY, self.proximity),
+            (QueryKind.RANDOM, self.random),
+        ]
+
+
+class QueryStreamGenerator:
+    """Stateful generator producing an OLAP-session-like query stream.
+
+    Parameters
+    ----------
+    schema:
+        The cube schema.
+    mix:
+        Kind probabilities; defaults to the paper's 30/30/30/10.
+    max_extent:
+        Upper bound on the per-dimension region size in chunks (keeps
+        region sizes comparable to the paper's chunk-scale queries).
+    hotspot:
+        In [0, 1): bias the *random* queries' regions towards low chunk
+        indices (hot products/stores), the way real dashboards hammer the
+        same corner of the cube.  0 is uniform.
+    seed:
+        RNG seed or generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        mix: StreamMix | None = None,
+        max_extent: int = 4,
+        hotspot: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= hotspot < 1.0:
+            raise ReproError(f"hotspot must be in [0, 1), got {hotspot}")
+        self.schema = schema
+        self.mix = mix or StreamMix()
+        self.max_extent = max_extent
+        self.hotspot = hotspot
+        self.rng = make_rng(seed)
+        self._last: Query | None = None
+        self._levels = list(schema.all_levels())
+        self.kind_counts: dict[QueryKind, int] = {k: 0 for k in QueryKind}
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, count: int) -> list[Query]:
+        """A list of ``count`` queries (resets nothing; streams continue)."""
+        return [self.next_query() for _ in range(count)]
+
+    def stream(self) -> Iterator[Query]:
+        """An endless query stream."""
+        while True:
+            yield self.next_query()
+
+    def next_query(self) -> Query:
+        kind = self._pick_kind()
+        query = self._make(kind)
+        if query is None:
+            # The requested move was impossible (e.g. roll-up from the
+            # apex); fall back to a random query, as a user would re-orient.
+            kind = QueryKind.RANDOM
+            query = self._make_random()
+        self.kind_counts[kind] += 1
+        self._last = query
+        return query
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _pick_kind(self) -> QueryKind:
+        if self._last is None:
+            return QueryKind.RANDOM
+        items = self.mix.as_items()
+        probabilities = [p for _, p in items]
+        index = self.rng.choice(len(items), p=probabilities)
+        return items[index][0]
+
+    def _make(self, kind: QueryKind) -> Query | None:
+        if kind is QueryKind.RANDOM or self._last is None:
+            return self._make_random()
+        if kind is QueryKind.DRILL_DOWN:
+            return self._make_drill_down(self._last)
+        if kind is QueryKind.ROLL_UP:
+            return self._make_roll_up(self._last)
+        return self._make_proximity(self._last)
+
+    def _random_extent(self, num_chunks: int) -> tuple[int, int]:
+        limit = min(num_chunks, self.max_extent)
+        extent = int(self.rng.integers(1, limit + 1))
+        positions = num_chunks - extent + 1
+        if self.hotspot:
+            draw = 1.0 - self.rng.power(1.0 / (1.0 - self.hotspot))
+            start = min(int(draw * positions), positions - 1)
+        else:
+            start = int(self.rng.integers(0, positions))
+        return start, start + extent
+
+    def _make_random(self) -> Query:
+        level = self._levels[int(self.rng.integers(0, len(self._levels)))]
+        shape = self.schema.chunk_shape(level)
+        ranges = tuple(self._random_extent(extent) for extent in shape)
+        return Query(level, ranges)
+
+    def _movable_dims(self, level: Level, up: bool) -> list[int]:
+        heights = self.schema.heights
+        if up:
+            return [i for i, l in enumerate(level) if l < heights[i]]
+        return [i for i, l in enumerate(level) if l > 0]
+
+    def _make_drill_down(self, last: Query) -> Query | None:
+        dims = self._movable_dims(last.level, up=True)
+        if not dims:
+            return None
+        d = int(self.rng.choice(dims))
+        new_level = (
+            last.level[:d] + (last.level[d] + 1,) + last.level[d + 1:]
+        )
+        ranges = self._remap_region(last, new_level)
+        return Query(new_level, ranges)
+
+    def _make_roll_up(self, last: Query) -> Query | None:
+        dims = self._movable_dims(last.level, up=False)
+        if not dims:
+            return None
+        d = int(self.rng.choice(dims))
+        new_level = (
+            last.level[:d] + (last.level[d] - 1,) + last.level[d + 1:]
+        )
+        ranges = self._remap_region(last, new_level)
+        return Query(new_level, ranges)
+
+    def _remap_region(self, last: Query, new_level: Level) -> tuple[tuple[int, int], ...]:
+        """Carry the previous query's data region over to the new level.
+
+        Each dimension's chunk range is converted to the ordinal region it
+        covers and snapped outward to chunk boundaries of the new level —
+        the same data, viewed coarser or finer.
+        """
+        ranges = []
+        for dim, old_l, new_l, (lo, hi) in zip(
+            self.schema.dimensions, last.level, new_level, last.chunk_ranges
+        ):
+            if new_l == old_l:
+                ranges.append((lo, hi))
+                continue
+            value_lo, _ = dim.chunk_range(old_l, lo)
+            _, value_hi = dim.chunk_range(old_l, hi - 1)
+            if new_l > old_l:
+                fine_lo, fine_hi = dim.fine_value_span(
+                    old_l, value_lo, value_hi, new_l
+                )
+                first = dim.chunk_of_value(new_l, fine_lo)
+                last_chunk = dim.chunk_of_value(new_l, fine_hi - 1)
+            else:
+                coarse = dim.map_ordinals(
+                    old_l, new_l, np.asarray([value_lo, value_hi - 1])
+                )
+                first = dim.chunk_of_value(new_l, int(coarse[0]))
+                last_chunk = dim.chunk_of_value(new_l, int(coarse[1]))
+            ranges.append((first, last_chunk + 1))
+        return tuple(ranges)
+
+    def _make_proximity(self, last: Query) -> Query | None:
+        shape = self.schema.chunk_shape(last.level)
+        movable = [
+            i
+            for i, ((lo, hi), extent) in enumerate(
+                zip(last.chunk_ranges, shape)
+            )
+            if lo > 0 or hi < extent
+        ]
+        if not movable:
+            return None
+        d = int(self.rng.choice(movable))
+        lo, hi = last.chunk_ranges[d]
+        extent = shape[d]
+        directions = []
+        if lo > 0:
+            directions.append(-1)
+        if hi < extent:
+            directions.append(+1)
+        step = int(self.rng.choice(directions))
+        new_range = (lo + step, hi + step)
+        ranges = (
+            last.chunk_ranges[:d] + (new_range,) + last.chunk_ranges[d + 1:]
+        )
+        return Query(last.level, ranges)

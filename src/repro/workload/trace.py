@@ -1,0 +1,83 @@
+"""Query traces: record a workload once, replay it anywhere.
+
+Comparing cache configurations is only meaningful on the *same* query
+sequence.  The generators are seeded, but a trace file decouples the
+workload from generator versions entirely: record any stream (generated
+or hand-written) as JSON-lines and replay it against as many managers as
+needed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.schema.cube import CubeSchema
+from repro.util.errors import ReproError
+from repro.workload.query import Query
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(queries: Iterable[Query], path: str | Path) -> int:
+    """Write queries as JSON-lines; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        handle.write(
+            json.dumps({"trace_version": _FORMAT_VERSION}) + "\n"
+        )
+        for query in queries:
+            record = {
+                "level": list(query.level),
+                "chunk_ranges": [list(r) for r in query.chunk_ranges],
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(schema: CubeSchema, path: str | Path) -> list[Query]:
+    """Read a trace, validating every query against ``schema``."""
+    path = Path(path)
+    queries: list[Query] = []
+    with path.open() as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"trace {path} has a malformed header") from exc
+        version = header.get("trace_version")
+        if version != _FORMAT_VERSION:
+            raise ReproError(
+                f"trace {path} has version {version}, this build reads "
+                f"{_FORMAT_VERSION}"
+            )
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                query = Query(
+                    level=tuple(record["level"]),
+                    chunk_ranges=tuple(
+                        (int(lo), int(hi))
+                        for lo, hi in record["chunk_ranges"]
+                    ),
+                )
+            except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+                raise ReproError(
+                    f"trace {path}:{line_number}: malformed query record"
+                ) from exc
+            query.chunk_numbers(schema)  # validates against the schema
+            queries.append(query)
+    return queries
+
+
+def replay_trace(
+    manager, queries: Iterable[Query]
+) -> Iterator:
+    """Run a trace through a manager, yielding each QueryResult."""
+    for query in queries:
+        yield manager.query(query)

@@ -1,0 +1,164 @@
+"""Roll-up kernel tests: aggregation must match direct fact aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import rollup_chunks
+from repro.chunks import Chunk, ChunkOrigin
+from repro.schema import apb_tiny_schema
+from repro.util.errors import ReproError
+from tests.helpers import direct_aggregate, expected_cells_in_chunk
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return apb_tiny_schema()
+
+
+def base_chunks(backend):
+    return [backend.base_chunk(n) for n in backend.base_chunk_numbers()]
+
+
+def test_rollup_base_to_apex_matches_facts(schema, tiny_backend, tiny_facts):
+    sources = base_chunks(tiny_backend)
+    apex = rollup_chunks(schema, schema.apex_level, 0, sources)
+    assert apex.size_tuples == 1
+    assert apex.total() == pytest.approx(tiny_facts.total())
+    assert apex.counts.sum() == tiny_facts.counts.sum()
+
+
+@pytest.mark.parametrize(
+    "level", [(1, 1, 1), (0, 1, 1), (2, 0, 0), (1, 0, 1), (0, 0, 0)]
+)
+def test_rollup_each_level_matches_direct(level, schema, tiny_backend, tiny_facts):
+    truth = direct_aggregate(tiny_facts, level)
+    for number in range(schema.num_chunks(level)):
+        covering = schema.get_parent_chunk_numbers(
+            level, number, schema.base_level
+        )
+        sources = [tiny_backend.base_chunk(int(n)) for n in covering]
+        chunk = rollup_chunks(schema, level, number, sources)
+        expected = expected_cells_in_chunk(schema, truth, level, number)
+        assert chunk.cell_dict() == pytest.approx(expected)
+
+
+def test_rollup_is_path_independent(schema, tiny_backend, tiny_facts):
+    """Aggregating base->mid->apex equals base->apex (associativity)."""
+    sources = base_chunks(tiny_backend)
+    direct = rollup_chunks(schema, (0, 0, 0), 0, sources)
+    for mid in schema.parents_of((0, 0, 0)):
+        mids = []
+        for number in range(schema.num_chunks(mid)):
+            covering = schema.get_parent_chunk_numbers(
+                mid, number, schema.base_level
+            )
+            mids.append(
+                rollup_chunks(
+                    schema,
+                    mid,
+                    number,
+                    [tiny_backend.base_chunk(int(n)) for n in covering],
+                )
+            )
+        via = rollup_chunks(schema, (0, 0, 0), 0, mids)
+        assert via.cell_dict() == pytest.approx(direct.cell_dict())
+
+
+def test_rollup_compute_cost_counts_input_tuples(schema, tiny_backend):
+    sources = base_chunks(tiny_backend)
+    total_in = sum(c.size_tuples for c in sources)
+    chunk = rollup_chunks(schema, (0, 0, 0), 0, sources)
+    assert chunk.compute_cost == float(total_in)
+
+
+def test_rollup_empty_sources(schema):
+    chunk = rollup_chunks(schema, (0, 0, 0), 0, [])
+    assert chunk.is_empty
+    chunk = rollup_chunks(
+        schema, (0, 0, 0), 0, [Chunk.empty(schema.base_level, 0, 3)]
+    )
+    assert chunk.is_empty
+    assert chunk.compute_cost == 0.0
+
+
+def test_rollup_origin_passed_through(schema, tiny_backend):
+    chunk = rollup_chunks(
+        schema,
+        (0, 0, 0),
+        0,
+        base_chunks(tiny_backend),
+        origin=ChunkOrigin.BACKEND,
+    )
+    assert chunk.origin is ChunkOrigin.BACKEND
+
+
+def test_rollup_rejects_mixed_levels(schema, tiny_backend):
+    a = tiny_backend.base_chunk(0)
+    b = rollup_chunks(schema, (1, 1, 1), 0, [a])
+    with pytest.raises(ReproError, match="share one level"):
+        rollup_chunks(schema, (0, 0, 0), 0, [a, b])
+
+
+def test_rollup_rejects_downward_aggregation(schema, tiny_backend):
+    apex = rollup_chunks(schema, (0, 0, 0), 0, [tiny_backend.base_chunk(0)])
+    with pytest.raises(ReproError, match="more\\s+detailed"):
+        rollup_chunks(schema, schema.base_level, 0, [apex])
+
+
+def test_rollup_detects_wrong_sources(schema, tiny_backend):
+    """Sources from the wrong region must be rejected, not silently used."""
+    numbers = tiny_backend.base_chunk_numbers()
+    wrong = tiny_backend.base_chunk(numbers[-1])
+    target_level = schema.base_level  # identity level, wrong chunk number
+    with pytest.raises(ReproError, match="outside chunk"):
+        rollup_chunks(schema, target_level, numbers[0], [wrong])
+
+
+def test_counts_accumulate_multiplicities(schema):
+    level = (1, 1, 1)
+    base = schema.base_level
+    sources = [
+        Chunk(
+            level=base,
+            number=0,
+            coords=(np.array([0, 1]), np.array([0, 0]), np.array([0, 0])),
+            values=np.array([1.0, 2.0]),
+            counts=np.array([3, 4]),
+        )
+    ]
+    chunk = rollup_chunks(schema, level, 0, sources)
+    # Product ordinals 0,1 at base both map to 0 at level 1.
+    assert chunk.size_tuples == 1
+    assert chunk.values[0] == pytest.approx(3.0)
+    assert chunk.counts[0] == 7
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_rollup_grand_total_invariant(seed):
+    """Property: any level's roll-up preserves the measure's grand total."""
+    from repro import BackendDatabase, generate_fact_table
+
+    schema = apb_tiny_schema()
+    facts = generate_fact_table(schema, num_tuples=50, seed=seed)
+    backend = BackendDatabase(schema, facts)
+    rng = np.random.default_rng(seed)
+    levels = list(schema.all_levels())
+    level = levels[rng.integers(0, len(levels))]
+    total = 0.0
+    for number in range(schema.num_chunks(level)):
+        covering = schema.get_parent_chunk_numbers(
+            level, number, schema.base_level
+        )
+        chunk = rollup_chunks(
+            schema,
+            level,
+            number,
+            [backend.base_chunk(int(n)) for n in covering],
+        )
+        total += chunk.total()
+    assert total == pytest.approx(facts.total())

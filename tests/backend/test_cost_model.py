@@ -1,0 +1,41 @@
+"""Cost model arithmetic tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.cost_model import CostModel
+
+
+def test_backend_request_components():
+    model = CostModel(
+        connection_overhead_ms=10.0,
+        scan_ms_per_tuple=0.5,
+        transfer_ms_per_tuple=0.25,
+    )
+    assert model.backend_request_ms(0, 0) == pytest.approx(10.0)
+    assert model.backend_request_ms(100, 8) == pytest.approx(
+        10.0 + 50.0 + 2.0
+    )
+
+
+def test_aggregation_linear_in_tuples():
+    model = CostModel(cache_agg_ms_per_tuple=0.01)
+    assert model.aggregation_ms(0) == 0.0
+    assert model.aggregation_ms(1000) == pytest.approx(10.0)
+
+
+def test_backend_beats_cache_by_design_regime():
+    """With defaults, a typical medium chunk is much cheaper to aggregate
+    in cache than to re-fetch: the ratio the paper reports is ~8x."""
+    model = CostModel()
+    tuples = 2000
+    backend = model.backend_request_ms(tuples, tuples // 4)
+    cache = model.aggregation_ms(tuples)
+    assert backend / cache > 4
+
+
+def test_frozen():
+    model = CostModel()
+    with pytest.raises(AttributeError):
+        model.connection_overhead_ms = 5.0  # type: ignore[misc]

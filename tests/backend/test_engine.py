@@ -1,0 +1,112 @@
+"""Backend engine tests: chunked storage and batched chunk requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BackendDatabase, CostModel, generate_fact_table
+from repro.schema import apb_tiny_schema
+from repro.util.errors import ReproError
+from tests.helpers import direct_aggregate, expected_cells_in_chunk
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return apb_tiny_schema()
+
+
+def test_cluster_covers_all_facts(schema, tiny_backend, tiny_facts):
+    total = sum(
+        tiny_backend.base_chunk(n).size_tuples
+        for n in tiny_backend.base_chunk_numbers()
+    )
+    assert total == tiny_facts.num_tuples
+    assert tiny_backend.num_tuples == tiny_facts.num_tuples
+    assert tiny_backend.base_size_bytes == tiny_facts.size_bytes
+
+
+def test_base_chunks_hold_only_their_cells(schema, tiny_backend):
+    for number in tiny_backend.base_chunk_numbers():
+        chunk = tiny_backend.base_chunk(number)
+        spans = schema.chunks.chunk_cell_spans(schema.base_level, number)
+        for d, (lo, hi) in enumerate(spans):
+            assert chunk.coords[d].min() >= lo
+            assert chunk.coords[d].max() < hi
+
+
+def test_missing_base_chunk_is_empty(schema, tiny_facts):
+    # Build a backend whose data occupies few cells, then probe an
+    # unoccupied chunk.
+    facts = generate_fact_table(schema, num_tuples=1, seed=9)
+    backend = BackendDatabase(schema, facts)
+    occupied = set(backend.base_chunk_numbers())
+    assert len(occupied) == 1
+    empty_number = next(
+        n
+        for n in range(schema.num_chunks(schema.base_level))
+        if n not in occupied
+    )
+    assert backend.base_chunk(empty_number).is_empty
+
+
+@pytest.mark.parametrize("level", [(0, 0, 0), (1, 1, 0), (2, 1, 1)])
+def test_fetch_matches_direct_aggregation(level, schema, tiny_backend, tiny_facts):
+    truth = direct_aggregate(tiny_facts, level)
+    requests = [(level, n) for n in range(schema.num_chunks(level))]
+    chunks, stats = tiny_backend.fetch(requests)
+    assert stats.chunks_requested == len(requests)
+    for chunk in chunks:
+        expected = expected_cells_in_chunk(schema, truth, level, chunk.number)
+        assert chunk.cell_dict() == pytest.approx(expected)
+
+
+def test_fetch_accounting(schema, tiny_backend):
+    before = tiny_backend.totals.requests
+    chunks, stats = tiny_backend.fetch([((0, 0, 0), 0)])
+    assert tiny_backend.totals.requests == before + 1
+    assert stats.tuples_scanned == tiny_backend.num_tuples
+    assert stats.tuples_returned == 1
+    model = tiny_backend.cost_model
+    assert stats.simulated_ms == pytest.approx(
+        model.backend_request_ms(stats.tuples_scanned, stats.tuples_returned)
+    )
+    assert stats.total_ms >= stats.simulated_ms
+    assert chunks[0].compute_cost > model.connection_overhead_ms * 0.99
+
+
+def test_fetch_empty_request(tiny_backend):
+    chunks, stats = tiny_backend.fetch([])
+    assert chunks == []
+    assert stats.simulated_ms == 0.0
+
+
+def test_fetch_batches_share_one_connection(schema, tiny_backend):
+    level = (1, 1, 1)
+    requests = [(level, n) for n in range(schema.num_chunks(level))]
+    _, batched = tiny_backend.fetch(requests)
+    singles = 0.0
+    for request in requests:
+        _, stats = tiny_backend.fetch([request])
+        singles += stats.simulated_ms
+    overhead = tiny_backend.cost_model.connection_overhead_ms
+    assert singles >= batched.simulated_ms + (len(requests) - 1) * overhead * 0.99
+
+
+def test_compute_level(schema, tiny_backend, tiny_facts):
+    chunks = tiny_backend.compute_level((0, 0, 0))
+    assert len(chunks) == 1
+    assert chunks[0].total() == pytest.approx(tiny_facts.total())
+
+
+def test_schema_mismatch_rejected(schema):
+    other = apb_tiny_schema()
+    facts = generate_fact_table(other, num_tuples=10, seed=1)
+    with pytest.raises(ReproError, match="different schema"):
+        BackendDatabase(schema, facts)
+
+
+def test_custom_cost_model_used(tiny_schema, tiny_facts):
+    model = CostModel(connection_overhead_ms=123.0)
+    backend = BackendDatabase(tiny_schema, tiny_facts, model)
+    _, stats = backend.fetch([((0, 0, 0), 0)])
+    assert stats.simulated_ms >= 123.0

@@ -1,0 +1,166 @@
+"""Fact-table generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_fact_table
+from repro.schema import apb_tiny_schema
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return apb_tiny_schema()
+
+
+def test_deterministic_for_same_seed(schema):
+    a = generate_fact_table(schema, num_tuples=100, seed=5)
+    b = generate_fact_table(schema, num_tuples=100, seed=5)
+    assert a.total() == b.total()
+    for d in range(schema.ndims):
+        assert np.array_equal(a.coords[d], b.coords[d])
+
+
+def test_different_seeds_differ(schema):
+    a = generate_fact_table(schema, num_tuples=100, seed=5)
+    b = generate_fact_table(schema, num_tuples=100, seed=6)
+    assert a.total() != b.total()
+
+
+def test_cells_are_unique_and_in_range(schema):
+    facts = generate_fact_table(schema, num_tuples=500, seed=1)
+    shape = schema.chunks.cell_shape(schema.base_level)
+    flat = np.ravel_multi_index(facts.coords, shape)
+    assert len(np.unique(flat)) == len(flat)
+    for d, card in enumerate(shape):
+        assert facts.coords[d].min() >= 0
+        assert facts.coords[d].max() < card
+
+
+def test_duplicates_merge_preserving_total(schema):
+    # Base cube has 16 cells; 500 raw tuples must merge heavily.
+    facts = generate_fact_table(schema, num_tuples=500, seed=1)
+    assert facts.num_tuples <= 16
+    assert facts.counts.sum() == 500
+
+
+def test_values_positive(schema):
+    facts = generate_fact_table(schema, num_tuples=200, seed=2)
+    assert np.all(facts.values > 0)
+
+
+def test_size_bytes(schema):
+    facts = generate_fact_table(schema, num_tuples=100, seed=3)
+    assert facts.size_bytes == facts.num_tuples * schema.bytes_per_tuple
+
+
+def test_skew_concentrates_low_ordinals():
+    from repro.schema import apb_small_schema
+
+    schema = apb_small_schema()
+    uniform = generate_fact_table(schema, num_tuples=20_000, seed=7, skew=0.0)
+    skewed = generate_fact_table(schema, num_tuples=20_000, seed=7, skew=0.8)
+    d = 0  # Product: base cardinality 96
+    assert skewed.coords[d].mean() < uniform.coords[d].mean() * 0.7
+
+
+def test_invalid_parameters(schema):
+    with pytest.raises(ReproError):
+        generate_fact_table(schema, num_tuples=0)
+    with pytest.raises(ReproError):
+        generate_fact_table(schema, num_tuples=10, skew=1.0)
+    with pytest.raises(ReproError):
+        generate_fact_table(schema, num_tuples=10, skew=-0.1)
+    with pytest.raises(ReproError, match="mode"):
+        generate_fact_table(schema, num_tuples=10, mode="bogus")
+    with pytest.raises(ReproError, match="combo_density"):
+        generate_fact_table(
+            schema, num_tuples=10, mode="clustered", combo_density=0.0
+        )
+
+
+class TestClusteredMode:
+    def test_structure_dense_within_combos(self):
+        """Every sampled Product x Customer combo is (almost) fully dense
+        over the remaining dimensions."""
+        from repro.schema import apb_small_schema
+
+        schema = apb_small_schema()
+        facts = generate_fact_table(
+            schema,
+            num_tuples=0,  # ignored in clustered mode
+            seed=11,
+            mode="clustered",
+            combo_density=0.5,
+            cell_fill=1.0,
+        )
+        cards = [d.cardinality(d.height) for d in schema.dimensions]
+        combos = np.unique(facts.coords[0] * cards[1] + facts.coords[1])
+        dense_cells = cards[2] * cards[3] * cards[4]
+        # cell_fill=1.0: exactly every dense cell per combo is present.
+        assert facts.num_tuples == len(combos) * dense_cells
+        expected_combos = round(cards[0] * cards[1] * 0.5)
+        assert len(combos) == expected_combos
+
+    def test_cell_fill_thins_combos(self):
+        from repro.schema import apb_small_schema
+
+        schema = apb_small_schema()
+        full = generate_fact_table(
+            schema, 0, seed=11, mode="clustered", cell_fill=1.0
+        )
+        thinned = generate_fact_table(
+            schema, 0, seed=11, mode="clustered", cell_fill=0.5
+        )
+        assert thinned.num_tuples < full.num_tuples * 0.6
+
+    def test_deterministic(self):
+        from repro.schema import apb_small_schema
+
+        schema = apb_small_schema()
+        a = generate_fact_table(schema, 0, seed=3, mode="clustered")
+        b = generate_fact_table(schema, 0, seed=3, mode="clustered")
+        assert a.total() == b.total()
+        assert a.num_tuples == b.num_tuples
+
+    def test_needs_three_dimensions(self):
+        from repro.schema import CubeSchema, Dimension
+
+        schema = CubeSchema(
+            [Dimension.flat("A", 4, 2), Dimension.flat("B", 4, 2)]
+        )
+        with pytest.raises(ReproError, match="3 dimensions"):
+            generate_fact_table(schema, 0, mode="clustered")
+
+    def test_coords_in_range(self, schema):
+        facts = generate_fact_table(schema, 0, seed=5, mode="clustered")
+        shape = schema.chunks.cell_shape(schema.base_level)
+        for d, card in enumerate(shape):
+            assert facts.coords[d].min() >= 0
+            assert facts.coords[d].max() < card
+
+
+class TestExactSizes:
+    def test_exact_matches_reality_everywhere(self, schema):
+        from repro.core.sizes import SizeEstimator
+        from tests.helpers import direct_aggregate
+
+        facts = generate_fact_table(schema, num_tuples=200, seed=8)
+        sizes = SizeEstimator.exact(schema, facts)
+        for level in schema.all_levels():
+            truth = len(direct_aggregate(facts, level))
+            assert sizes.level_tuples(level) == pytest.approx(truth)
+
+    def test_exact_chunk_sizes_sum_to_level(self, schema):
+        from repro.core.sizes import SizeEstimator
+
+        facts = generate_fact_table(schema, num_tuples=200, seed=8)
+        sizes = SizeEstimator.exact(schema, facts)
+        for level in schema.all_levels():
+            total = sum(
+                sizes.chunk_tuples(level, n)
+                for n in range(schema.num_chunks(level))
+            )
+            assert total == pytest.approx(sizes.level_tuples(level))

@@ -1,0 +1,75 @@
+"""Fact-table persistence tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_fact_table
+from repro.backend.storage import (
+    load_fact_table,
+    save_fact_table,
+    schema_fingerprint,
+)
+from repro.schema import CubeSchema, Dimension, apb_tiny_schema
+from repro.util.errors import ReproError
+
+
+@pytest.fixture
+def schema():
+    return apb_tiny_schema()
+
+
+def test_roundtrip(schema, tmp_path):
+    facts = generate_fact_table(schema, num_tuples=200, seed=3)
+    path = save_fact_table(facts, tmp_path / "facts.npz")
+    loaded = load_fact_table(schema, path)
+    assert loaded.num_tuples == facts.num_tuples
+    assert loaded.total() == facts.total()
+    for d in range(schema.ndims):
+        assert np.array_equal(loaded.coords[d], facts.coords[d])
+    assert np.array_equal(loaded.counts, facts.counts)
+
+
+def test_fingerprint_stable_across_instances():
+    assert schema_fingerprint(apb_tiny_schema()) == schema_fingerprint(
+        apb_tiny_schema()
+    )
+
+
+def test_fingerprint_sensitive_to_structure(schema):
+    other = CubeSchema(
+        [
+            Dimension.uniform("Product", [1, 2, 4], [1, 2, 2]),  # chunks differ
+            Dimension.uniform("Customer", [1, 2], [1, 2]),
+            Dimension.uniform("Time", [1, 2], [1, 1]),
+        ],
+        bytes_per_tuple=20,
+    )
+    assert schema_fingerprint(schema) != schema_fingerprint(other)
+
+
+def test_wrong_schema_rejected(schema, tmp_path):
+    facts = generate_fact_table(schema, num_tuples=50, seed=1)
+    path = save_fact_table(facts, tmp_path / "facts.npz")
+    other = CubeSchema(
+        [
+            Dimension.uniform("Product", [1, 2, 4], [1, 2, 2]),
+            Dimension.uniform("Customer", [1, 2], [1, 2]),
+            Dimension.uniform("Time", [1, 2], [1, 1]),
+        ],
+        bytes_per_tuple=20,
+    )
+    with pytest.raises(ReproError, match="different schema"):
+        load_fact_table(other, path)
+
+
+def test_loaded_table_usable_by_backend(schema, tmp_path):
+    from repro import BackendDatabase
+
+    facts = generate_fact_table(schema, num_tuples=100, seed=2)
+    path = save_fact_table(facts, tmp_path / "facts.npz")
+    loaded = load_fact_table(schema, path)
+    backend = BackendDatabase(schema, loaded)
+    chunk = backend.compute_chunk(schema.apex_level, 0)
+    assert chunk.total() == pytest.approx(facts.total())

@@ -1,0 +1,76 @@
+"""WATCHMAN-style profit admission tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.replacement.benefit_clock import BenefitClockPolicy
+from repro.cache.store import ChunkCache
+from repro.chunks import Chunk, ChunkOrigin
+
+BPT = 10
+
+
+def make_chunk(number, cells=4):
+    return Chunk(
+        level=(1,),
+        number=number,
+        coords=(np.arange(cells, dtype=np.int64),),
+        values=np.ones(cells),
+        counts=np.ones(cells, dtype=np.int64),
+        origin=ChunkOrigin.BACKEND,
+    )
+
+
+def full_cache(profit_admission: bool) -> ChunkCache:
+    cache = ChunkCache(80, BenefitClockPolicy(profit_admission), BPT)
+    cache.insert(make_chunk(0), benefit=100.0)
+    cache.insert(make_chunk(1), benefit=100.0)
+    # Drain the clocks so eviction candidates exist immediately.
+    for entry in cache.entries():
+        entry.clock = 0.0
+    return cache
+
+
+def test_low_profit_chunk_rejected():
+    cache = full_cache(profit_admission=True)
+    outcome = cache.insert(make_chunk(2), benefit=1.0)
+    assert not outcome.inserted
+    assert cache.contains((1,), 0) and cache.contains((1,), 1)
+    assert cache.stats.rejects == 1
+
+
+def test_high_profit_chunk_admitted():
+    cache = full_cache(profit_admission=True)
+    outcome = cache.insert(make_chunk(2), benefit=500.0)
+    assert outcome.inserted
+    assert len(outcome.evicted) == 1
+
+
+def test_equal_profit_admitted():
+    cache = full_cache(profit_admission=True)
+    outcome = cache.insert(make_chunk(2), benefit=100.0)
+    assert outcome.inserted
+
+
+def test_default_policy_admits_everything():
+    cache = full_cache(profit_admission=False)
+    outcome = cache.insert(make_chunk(2), benefit=0.0)
+    assert outcome.inserted
+
+
+def test_admission_only_consulted_under_pressure():
+    cache = ChunkCache(1000, BenefitClockPolicy(True), BPT)
+    cache.insert(make_chunk(0), benefit=100.0)
+    # Plenty of space: no victims, so even a zero-benefit chunk enters.
+    outcome = cache.insert(make_chunk(1), benefit=0.0)
+    assert outcome.inserted
+
+
+def test_rejection_leaves_victims_resident():
+    cache = full_cache(profit_admission=True)
+    before = set(cache.resident_keys())
+    cache.insert(make_chunk(2), benefit=1.0)
+    assert set(cache.resident_keys()) == before
+    assert cache.used_bytes == 80

@@ -1,0 +1,99 @@
+"""CLOCK ring tests."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.cache.replacement.base import CLOCK_CAP, clock_weight
+from repro.cache.replacement.clock import ClockRing
+from repro.cache.store import CacheEntry
+from repro.chunks import Chunk
+
+
+def entry(number, clock=0.0, pinned=False):
+    chunk = Chunk(
+        level=(1,),
+        number=number,
+        coords=(np.array([0]),),
+        values=np.array([1.0]),
+        counts=np.array([1]),
+    )
+    e = CacheEntry(chunk=chunk, benefit=0.0, size_bytes=10)
+    e.clock = clock
+    e.pinned = pinned
+    return e
+
+
+def test_zero_clock_victims_in_ring_order():
+    ring = ClockRing()
+    entries = [entry(n) for n in range(3)]
+    for e in entries:
+        ring.add(e)
+    victims = list(itertools.islice(ring.sweep(), 3))
+    assert [v.chunk.number for v in victims] == [0, 1, 2]
+
+
+def test_clock_decay_survives_sweeps():
+    ring = ClockRing()
+    cheap, dear = entry(0, clock=0.0), entry(1, clock=2.0)
+    ring.add(cheap)
+    ring.add(dear)
+    victims = list(ring.sweep())
+    # Cheap goes first; dear only after its clock decays to zero.
+    assert [v.chunk.number for v in victims] == [0, 1]
+    assert dear.clock <= 0
+
+
+def test_each_entry_yielded_once():
+    ring = ClockRing()
+    entries = [entry(n) for n in range(4)]
+    for e in entries:
+        ring.add(e)
+    victims = list(ring.sweep())
+    assert len(victims) == 4
+    assert len({id(v) for v in victims}) == 4
+
+
+def test_pinned_never_yielded():
+    ring = ClockRing()
+    ring.add(entry(0, pinned=True))
+    ring.add(entry(1))
+    victims = list(ring.sweep())
+    assert [v.chunk.number for v in victims] == [1]
+
+
+def test_empty_ring_sweep_terminates():
+    assert list(ClockRing().sweep()) == []
+
+
+def test_nonresident_entries_compacted():
+    ring = ClockRing()
+    entries = [entry(n) for n in range(4)]
+    for e in entries:
+        ring.add(e)
+    entries[1].resident = False
+    entries[2].resident = False
+    victims = list(ring.sweep())
+    assert [v.chunk.number for v in victims] == [0, 3]
+    assert len(ring) == 2
+
+
+def test_hand_advances_between_sweeps():
+    ring = ClockRing()
+    entries = [entry(n) for n in range(3)]
+    for e in entries:
+        ring.add(e)
+    first = next(ring.sweep())
+    assert first.chunk.number == 0
+    # Next sweep starts after the hand, so entry 1 goes first.
+    second = next(ring.sweep())
+    assert second.chunk.number == 1
+
+
+def test_clock_weight_monotone_and_capped():
+    assert clock_weight(0.0) == 0.0
+    assert clock_weight(-1.0) == 0.0
+    assert clock_weight(1.0) < clock_weight(100.0)
+    assert clock_weight(1e30) == CLOCK_CAP

@@ -1,0 +1,64 @@
+"""Pre-load level selection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.preload import choose_preload_level
+from repro.core.sizes import SizeEstimator
+from repro.schema import apb_tiny_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return apb_tiny_schema()
+
+
+@pytest.fixture(scope="module")
+def sizes(schema):
+    return SizeEstimator(schema, total_base_tuples=16)
+
+
+def test_base_level_chosen_when_everything_fits(schema, sizes):
+    capacity = int(sizes.level_bytes(schema.base_level)) + 100
+    assert choose_preload_level(schema, sizes, capacity) == schema.base_level
+
+
+def test_smaller_cache_gets_smaller_level(schema, sizes):
+    capacity = int(sizes.level_bytes(schema.base_level) * 0.5)
+    level = choose_preload_level(schema, sizes, capacity)
+    assert level is not None
+    assert level != schema.base_level
+    assert sizes.level_bytes(level) <= capacity
+
+
+def test_apex_always_fits(schema, sizes):
+    level = choose_preload_level(schema, sizes, capacity_bytes=5 * 20)
+    assert level is not None
+    assert sizes.level_bytes(level) <= 100
+
+
+def test_nothing_fits(schema, sizes):
+    assert choose_preload_level(schema, sizes, capacity_bytes=1) is None
+
+
+def test_maximises_descendants(schema, sizes):
+    """Among the fitting levels, the chosen one has the most descendants."""
+    capacity = int(sizes.level_bytes(schema.base_level) * 0.7)
+    chosen = choose_preload_level(schema, sizes, capacity)
+    best = max(
+        (
+            schema.descendant_count(level)
+            for level in schema.all_levels()
+            if sizes.level_bytes(level) <= capacity
+        ),
+    )
+    assert schema.descendant_count(chosen) == best
+
+
+def test_headroom_shrinks_budget(schema, sizes):
+    capacity = int(sizes.level_bytes(schema.base_level)) + 100
+    full = choose_preload_level(schema, sizes, capacity, headroom=1.0)
+    tight = choose_preload_level(schema, sizes, capacity, headroom=0.1)
+    assert full == schema.base_level
+    assert tight != schema.base_level

@@ -1,0 +1,117 @@
+"""Cache snapshot save/restore tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregateCache, Query
+from repro.cache.snapshot import load_cache_snapshot, save_cache_snapshot
+from repro.util.errors import ReproError
+from tests.helpers import oracle_computable
+
+
+@pytest.fixture
+def warm_manager(tiny_schema, tiny_backend):
+    manager = AggregateCache(
+        tiny_schema, tiny_backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    # Warm with a couple of computed chunks on top of the preload.
+    manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    manager.query(Query.full_level(tiny_schema, (1, 1, 0)))
+    return manager
+
+
+def test_roundtrip_restores_contents(warm_manager, tiny_schema, tiny_backend, tmp_path):
+    path = tmp_path / "cache.npz"
+    saved = save_cache_snapshot(warm_manager, path)
+    assert saved == len(warm_manager.cache)
+
+    fresh = AggregateCache(
+        tiny_schema,
+        tiny_backend,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        preload=False,
+    )
+    restored = load_cache_snapshot(fresh, path)
+    assert restored == saved
+    assert set(fresh.cache.resident_keys()) == set(
+        warm_manager.cache.resident_keys()
+    )
+
+
+def test_restored_strategy_state_is_consistent(
+    warm_manager, tiny_schema, tiny_backend, tmp_path
+):
+    path = tmp_path / "cache.npz"
+    save_cache_snapshot(warm_manager, path)
+    fresh = AggregateCache(
+        tiny_schema,
+        tiny_backend,
+        capacity_bytes=1 << 20,
+        strategy="vcm",
+        preload=False,
+    )
+    load_cache_snapshot(fresh, path)
+    cached = set(fresh.cache.resident_keys())
+    for level in tiny_schema.all_levels():
+        for number in range(tiny_schema.num_chunks(level)):
+            expected = oracle_computable(tiny_schema, cached, level, number)
+            assert (
+                fresh.strategy.find(level, number) is not None
+            ) == expected
+
+
+def test_restore_into_smaller_cache_skips_gracefully(
+    warm_manager, tiny_schema, tiny_backend, tmp_path
+):
+    path = tmp_path / "cache.npz"
+    saved = save_cache_snapshot(warm_manager, path)
+    small = AggregateCache(
+        tiny_schema,
+        tiny_backend,
+        capacity_bytes=100,
+        strategy="vcmc",
+        preload=False,
+    )
+    restored = load_cache_snapshot(small, path)
+    assert 0 <= restored <= saved
+    assert small.cache.used_bytes <= 100
+
+
+def test_queries_work_after_restore(
+    warm_manager, tiny_schema, tiny_backend, tiny_facts, tmp_path
+):
+    path = tmp_path / "cache.npz"
+    save_cache_snapshot(warm_manager, path)
+    fresh = AggregateCache(
+        tiny_schema,
+        tiny_backend,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        preload=False,
+    )
+    load_cache_snapshot(fresh, path)
+    result = fresh.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    assert result.complete_hit
+    assert result.total_value() == pytest.approx(tiny_facts.total())
+
+
+def test_dimension_mismatch_rejected(warm_manager, tmp_path):
+    from repro import BackendDatabase, generate_fact_table
+    from repro.schema import CubeSchema, Dimension
+
+    path = tmp_path / "cache.npz"
+    save_cache_snapshot(warm_manager, path)
+    other_schema = CubeSchema(
+        [Dimension.flat("A", 4, 2), Dimension.flat("B", 4, 2)]
+    )
+    facts = generate_fact_table(other_schema, num_tuples=10, seed=1)
+    other = AggregateCache(
+        other_schema,
+        BackendDatabase(other_schema, facts),
+        capacity_bytes=1 << 20,
+        preload=False,
+    )
+    with pytest.raises(ReproError, match="dimensions"):
+        load_cache_snapshot(other, path)

@@ -1,0 +1,64 @@
+"""Chunk payload tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chunks import Chunk, ChunkOrigin
+from repro.util.errors import ReproError
+
+
+def make_chunk(**overrides):
+    defaults = dict(
+        level=(1, 1),
+        number=0,
+        coords=(np.array([0, 1]), np.array([0, 0])),
+        values=np.array([2.0, 3.0]),
+        counts=np.array([1, 2]),
+    )
+    defaults.update(overrides)
+    return Chunk(**defaults)
+
+
+def test_basic_accessors():
+    chunk = make_chunk()
+    assert chunk.size_tuples == 2
+    assert chunk.size_bytes(20) == 40
+    assert not chunk.is_empty
+    assert chunk.total() == 5.0
+    assert chunk.key == ((1, 1), 0)
+
+
+def test_cell_dict():
+    chunk = make_chunk()
+    assert chunk.cell_dict() == {(0, 0): 2.0, (1, 0): 3.0}
+
+
+def test_mismatched_arrays_rejected():
+    with pytest.raises(ReproError):
+        make_chunk(values=np.array([1.0]))
+    with pytest.raises(ReproError):
+        make_chunk(counts=np.array([1]))
+    with pytest.raises(ReproError):
+        make_chunk(coords=(np.array([0]), np.array([0, 1])))
+
+
+def test_empty_chunk():
+    chunk = Chunk.empty((0, 0), 0, ndims=2)
+    assert chunk.is_empty
+    assert chunk.size_tuples == 0
+    assert chunk.size_bytes(20) == 0
+    assert chunk.total() == 0.0
+    assert chunk.cell_dict() == {}
+
+
+def test_origin_classes():
+    assert ChunkOrigin.BACKEND.is_backend_class
+    assert ChunkOrigin.PRELOAD.is_backend_class
+    assert not ChunkOrigin.CACHE_COMPUTED.is_backend_class
+
+
+def test_repr_mentions_shape():
+    text = repr(make_chunk())
+    assert "cells=2" in text and "level=(1, 1)" in text

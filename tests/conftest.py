@@ -1,0 +1,41 @@
+"""Shared fixtures: tiny schemas, deterministic facts, backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BackendDatabase,
+    CostModel,
+    SizeEstimator,
+    apb_tiny_schema,
+    generate_fact_table,
+)
+from repro.cache.replacement import make_policy
+from repro.cache.store import ChunkCache
+
+
+@pytest.fixture(scope="session")
+def tiny_schema():
+    return apb_tiny_schema()
+
+
+@pytest.fixture(scope="session")
+def tiny_facts(tiny_schema):
+    return generate_fact_table(tiny_schema, num_tuples=300, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_backend(tiny_schema, tiny_facts):
+    return BackendDatabase(tiny_schema, tiny_facts, CostModel())
+
+
+@pytest.fixture(scope="session")
+def tiny_sizes(tiny_schema, tiny_facts):
+    return SizeEstimator(tiny_schema, tiny_facts.num_tuples)
+
+
+@pytest.fixture
+def big_cache(tiny_schema):
+    """A cache large enough that nothing is ever evicted."""
+    return ChunkCache(1 << 30, make_policy("benefit"), tiny_schema.bytes_per_tuple)

@@ -1,0 +1,113 @@
+"""Relative-tolerance cost propagation tests.
+
+``CostStore(rel_tol=..)`` skips cascading sub-threshold cost changes.
+Guarantees under test: computability (the inf boundary) stays *exact*,
+maintained costs stay within the tolerance band of the true optimum under
+single perturbations, and the update volume shrinks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.costs import CostStore
+from repro.core.sizes import SizeEstimator
+from repro.schema import apb_tiny_schema
+from tests.helpers import oracle_computable, oracle_min_cost
+
+
+@pytest.fixture
+def schema():
+    return apb_tiny_schema()
+
+
+@pytest.fixture
+def sizes(schema):
+    return SizeEstimator(schema, total_base_tuples=14)
+
+
+def all_keys(schema):
+    return [
+        (level, number)
+        for level in schema.all_levels()
+        for number in range(schema.num_chunks(level))
+    ]
+
+
+def load_base(schema, store):
+    cached = set()
+    for n in range(schema.num_chunks(schema.base_level)):
+        store.on_insert(schema.base_level, n)
+        cached.add((schema.base_level, n))
+    return cached
+
+
+def test_computability_always_exact(schema, sizes):
+    store = CostStore(schema, sizes, rel_tol=0.5)  # very sloppy tolerance
+    cached = load_base(schema, store)
+    store.on_insert((1, 1, 0), 0)
+    cached.add(((1, 1, 0), 0))
+    store.on_evict(schema.base_level, 0)
+    cached.discard((schema.base_level, 0))
+    for level, number in all_keys(schema):
+        expected = oracle_computable(schema, cached, level, number)
+        assert store.is_computable(level, number) == expected
+
+
+def test_costs_within_tolerance_band(schema, sizes):
+    rel_tol = 0.05
+    store = CostStore(schema, sizes, rel_tol=rel_tol)
+    cached = load_base(schema, store)
+    # One perturbation: inserting a mid-level chunk whose improvement may
+    # or may not cascade depending on magnitude.
+    store.on_insert((1, 1, 1), 0)
+    cached.add(((1, 1, 1), 0))
+    for level, number in all_keys(schema):
+        truth = oracle_min_cost(schema, sizes, cached, level, number)
+        got = store.cost(level, number)
+        if math.isinf(truth):
+            assert math.isinf(got)
+        else:
+            # Maintained cost is conservative (never below the optimum
+            # minus noise) and within the tolerance per skipped hop.
+            assert got >= truth - 1e-9
+            assert got <= truth * (1 + rel_tol) ** 4 + 1e-6
+
+
+def test_zero_tolerance_is_exact(schema, sizes):
+    exact = CostStore(schema, sizes, rel_tol=0.0)
+    cached = load_base(schema, exact)
+    exact.on_insert((0, 1, 1), 1)
+    cached.add(((0, 1, 1), 1))
+    for level, number in all_keys(schema):
+        truth = oracle_min_cost(schema, sizes, cached, level, number)
+        got = exact.cost(level, number)
+        if math.isinf(truth):
+            assert math.isinf(got)
+        else:
+            assert got == pytest.approx(truth)
+
+
+def test_tolerance_reduces_update_volume():
+    """On a bigger schema with churn, rel_tol must cut propagation work."""
+    from repro.schema import apb_small_schema
+
+    schema = apb_small_schema()
+    sizes = SizeEstimator(schema, total_base_tuples=50_000)
+    updates = {}
+    for rel_tol in (0.0, 0.05):
+        store = CostStore(schema, sizes, rel_tol=rel_tol)
+        base = schema.base_level
+        for n in range(schema.num_chunks(base)):
+            store.on_insert(base, n)
+        # Churn: repeatedly insert/evict chunks of a mid level.
+        mid = (3, 1, 2, 1, 0)
+        for _ in range(3):
+            for n in range(schema.num_chunks(mid)):
+                store.on_insert(mid, n)
+            for n in range(schema.num_chunks(mid)):
+                store.on_evict(mid, n)
+        updates[rel_tol] = store.total_updates
+    assert updates[0.05] <= updates[0.0]

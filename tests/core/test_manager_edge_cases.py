@@ -1,0 +1,128 @@
+"""Manager edge cases: degenerate regions, tiny caches, empty data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    CostModel,
+    Query,
+    generate_fact_table,
+)
+from repro.schema import apb_tiny_schema
+
+
+@pytest.fixture
+def schema():
+    return apb_tiny_schema()
+
+
+def test_query_over_region_with_no_facts(schema):
+    facts = generate_fact_table(schema, num_tuples=1, seed=5)
+    backend = BackendDatabase(schema, facts)
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, preload=False
+    )
+    # The lone fact occupies one base cell; query a disjoint chunk.
+    occupied = backend.base_chunk_numbers()[0]
+    other = next(
+        n
+        for n in range(schema.num_chunks(schema.base_level))
+        if n != occupied
+    )
+    result = manager.query(Query.single_chunk(schema, schema.base_level, other))
+    assert result.total_value() == 0.0
+    assert result.chunks[0].is_empty
+    # Empty chunks are cached: the repeat is a complete hit.
+    repeat = manager.query(
+        Query.single_chunk(schema, schema.base_level, other)
+    )
+    assert repeat.complete_hit
+
+
+def test_single_cell_cube():
+    from repro.schema import CubeSchema, Dimension
+
+    schema = CubeSchema([Dimension.flat("A", 1, 1)])
+    facts = generate_fact_table(schema, num_tuples=5, seed=1)
+    backend = BackendDatabase(schema, facts)
+    manager = AggregateCache(schema, backend, capacity_bytes=1 << 10)
+    result = manager.query(Query.full_level(schema, (1,)))
+    assert result.total_value() == pytest.approx(facts.total())
+
+
+def test_capacity_smaller_than_any_chunk(tiny_facts, tiny_backend):
+    manager = AggregateCache(
+        tiny_facts.schema,
+        tiny_backend,
+        capacity_bytes=1,  # nothing fits
+        strategy="vcmc",
+    )
+    assert manager.preloaded_level is None
+    result = manager.query(
+        Query.full_level(tiny_facts.schema, tiny_facts.schema.apex_level)
+    )
+    # Still answers correctly, straight from the backend.
+    assert result.total_value() == pytest.approx(tiny_facts.total())
+    assert not result.complete_hit
+    assert len(manager.cache) == 0
+
+
+def test_same_query_twice_in_a_row_stable(tiny_schema, tiny_backend, tiny_facts):
+    manager = AggregateCache(
+        tiny_schema, tiny_backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    query = Query.full_level(tiny_schema, (1, 0, 1))
+    first = manager.query(query)
+    second = manager.query(query)
+    third = manager.query(query)
+    assert (
+        first.total_value()
+        == second.total_value()
+        == third.total_value()
+    )
+    assert third.direct_hits == query.num_chunks
+
+
+def test_interleaved_strategies_share_backend(tiny_schema, tiny_backend, tiny_facts):
+    """Multiple managers over one backend don't interfere."""
+    managers = [
+        AggregateCache(
+            tiny_schema, tiny_backend, capacity_bytes=1 << 20, strategy=s
+        )
+        for s in ("esm", "vcm", "vcmc")
+    ]
+    query = Query.full_level(tiny_schema, (0, 1, 0))
+    results = [m.query(query).total_value() for m in managers]
+    assert results[0] == pytest.approx(results[1])
+    assert results[1] == pytest.approx(results[2])
+
+
+def test_zero_connection_overhead_model(tiny_schema, tiny_facts):
+    backend = BackendDatabase(
+        tiny_schema,
+        tiny_facts,
+        CostModel(connection_overhead_ms=0.0, scan_ms_per_tuple=0.0,
+                  transfer_ms_per_tuple=0.0),
+    )
+    manager = AggregateCache(
+        tiny_schema, backend, capacity_bytes=1 << 20, preload=False
+    )
+    result = manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    assert result.total_value() == pytest.approx(tiny_facts.total())
+
+
+def test_state_updates_reported(tiny_schema, tiny_backend):
+    manager = AggregateCache(
+        tiny_schema,
+        tiny_backend,
+        capacity_bytes=1 << 20,
+        strategy="vcm",
+        preload=False,
+    )
+    result = manager.query(Query.full_level(tiny_schema, tiny_schema.base_level))
+    # Every fetched base chunk entered the cache: at least one count
+    # update each.
+    assert result.state_updates >= result.from_backend

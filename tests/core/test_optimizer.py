@@ -1,0 +1,106 @@
+"""Cost-based cache-vs-backend optimizer tests (paper Section 5.2).
+
+VCMC maintains the least aggregation cost per chunk; the optimizer uses
+it to send a computable-but-expensive chunk to the backend instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    CostModel,
+    Query,
+    generate_fact_table,
+)
+from repro.schema import apb_tiny_schema
+from tests.helpers import direct_aggregate
+
+
+@pytest.fixture
+def schema():
+    return apb_tiny_schema()
+
+
+@pytest.fixture
+def facts(schema):
+    return generate_fact_table(schema, num_tuples=300, seed=42)
+
+
+def make_manager(schema, facts, cost_model, **kwargs):
+    backend = BackendDatabase(schema, facts, cost_model)
+    return AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        **kwargs,
+    )
+
+
+def cheap_backend_model():
+    """A cost model where the backend is nearly free but aggregation is
+    very expensive — the regime where the optimizer must redirect."""
+    return CostModel(
+        connection_overhead_ms=0.001,
+        scan_ms_per_tuple=0.0001,
+        transfer_ms_per_tuple=0.0001,
+        cache_agg_ms_per_tuple=100.0,
+    )
+
+
+def test_optimizer_redirects_when_backend_cheaper(schema, facts):
+    manager = make_manager(
+        schema, facts, cheap_backend_model(), use_cost_optimizer=True
+    )
+    result = manager.query(Query.full_level(schema, schema.apex_level))
+    assert manager.optimizer_redirects >= 1
+    assert result.from_backend >= 1
+    assert not result.complete_hit
+    # Correctness is untouched either way.
+    truth = direct_aggregate(facts, schema.apex_level)
+    assert result.total_value() == pytest.approx(sum(truth.values()))
+
+
+def test_optimizer_keeps_cache_when_aggregation_cheaper(schema, facts):
+    manager = make_manager(
+        schema, facts, CostModel(), use_cost_optimizer=True
+    )
+    result = manager.query(Query.full_level(schema, schema.apex_level))
+    assert manager.optimizer_redirects == 0
+    assert result.complete_hit
+
+
+def test_optimizer_off_by_default(schema, facts):
+    manager = make_manager(schema, facts, cheap_backend_model())
+    result = manager.query(Query.full_level(schema, schema.apex_level))
+    # Without the optimizer the computable chunk is aggregated regardless.
+    assert manager.optimizer_redirects == 0
+    assert result.complete_hit
+
+
+def test_optimizer_never_touches_direct_hits(schema, facts):
+    manager = make_manager(
+        schema, facts, cheap_backend_model(), use_cost_optimizer=True
+    )
+    base_query = Query.full_level(schema, schema.base_level)
+    result = manager.query(base_query)
+    assert result.direct_hits == base_query.num_chunks
+    assert manager.optimizer_redirects == 0
+
+
+def test_optimizer_works_with_plan_walking_strategies(schema, facts):
+    """ESM has no maintained costs; the gate walks the plan instead."""
+    backend = BackendDatabase(schema, facts, cheap_backend_model())
+    manager = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=1 << 20,
+        strategy="esm",
+        use_cost_optimizer=True,
+    )
+    result = manager.query(Query.full_level(schema, schema.apex_level))
+    assert manager.optimizer_redirects >= 1
+    assert result.from_backend >= 1

@@ -1,0 +1,70 @@
+"""Plan tree tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plans import PlanNode
+from repro.core.sizes import SizeEstimator
+from repro.schema import apb_tiny_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return apb_tiny_schema()
+
+
+def build_two_level_plan(schema):
+    base = schema.base_level
+    mid = (1, 1, 1)
+    apex = schema.apex_level
+    mid_nodes = []
+    for number in range(schema.num_chunks(mid)):
+        covering = schema.get_parent_chunk_numbers(mid, number, base)
+        leaves = tuple(PlanNode.leaf(base, int(n)) for n in covering)
+        mid_nodes.append(PlanNode.aggregate(mid, number, base, leaves))
+    return PlanNode.aggregate(apex, 0, mid, tuple(mid_nodes))
+
+
+def test_leaf_properties():
+    leaf = PlanNode.leaf((1, 1), 3)
+    assert leaf.is_leaf
+    assert leaf.num_nodes == 1
+    assert leaf.num_aggregations == 0
+    assert list(leaf.leaves()) == [leaf]
+
+
+def test_tree_traversal_counts(schema):
+    plan = build_two_level_plan(schema)
+    num_mid = schema.num_chunks((1, 1, 1))
+    num_base = schema.num_chunks(schema.base_level)
+    assert plan.num_nodes == 1 + num_mid + num_base
+    assert plan.num_aggregations == 1 + num_mid
+    assert sum(1 for _ in plan.leaves()) == num_base
+
+
+def test_post_order(schema):
+    plan = build_two_level_plan(schema)
+    nodes = list(plan.iter_nodes())
+    assert nodes[-1] is plan
+    assert nodes[0].is_leaf
+
+
+def test_estimated_cost_sums_inputs(schema):
+    sizes = SizeEstimator(schema, total_base_tuples=16)
+    plan = build_two_level_plan(schema)
+    base, mid = schema.base_level, (1, 1, 1)
+    expected = sum(
+        sizes.chunk_tuples(base, n) for n in range(schema.num_chunks(base))
+    ) + sum(
+        sizes.chunk_tuples(mid, n) for n in range(schema.num_chunks(mid))
+    )
+    assert plan.estimated_cost(sizes) == pytest.approx(expected)
+    assert PlanNode.leaf(base, 0).estimated_cost(sizes) == 0.0
+
+
+def test_describe_readable(schema):
+    plan = build_two_level_plan(schema)
+    text = plan.describe()
+    assert "agg" in text and "read" in text
+    assert str(schema.base_level) in text

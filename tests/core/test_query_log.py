@@ -1,0 +1,61 @@
+"""Query log tests."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro import AggregateCache, Query
+from repro.core.manager import write_query_log_csv
+
+
+@pytest.fixture
+def manager(tiny_schema, tiny_backend):
+    return AggregateCache(
+        tiny_schema,
+        tiny_backend,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        keep_log=True,
+    )
+
+
+def test_log_disabled_by_default(tiny_schema, tiny_backend):
+    manager = AggregateCache(
+        tiny_schema, tiny_backend, capacity_bytes=1 << 20
+    )
+    manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    assert manager.query_log == []
+
+
+def test_log_records_each_query(manager, tiny_schema):
+    manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    manager.query(Query.full_level(tiny_schema, (1, 1, 0)))
+    assert len(manager.query_log) == 2
+    first, second = manager.query_log
+    assert first.sequence == 1 and second.sequence == 2
+    assert first.level == (0, 0, 0)
+    assert first.complete_hit
+    assert first.aggregated >= 1
+
+
+def test_log_breakdown_consistent(manager, tiny_schema):
+    result = manager.query(Query.full_level(tiny_schema, (0, 1, 1)))
+    record = manager.query_log[-1]
+    assert record.lookup_ms == result.breakdown.lookup_ms
+    assert record.tuples_aggregated == result.tuples_aggregated
+    assert record.cache_used_bytes == manager.cache.used_bytes
+
+
+def test_log_csv_roundtrip(manager, tiny_schema, tmp_path):
+    for level in [(0, 0, 0), (2, 1, 1), (1, 0, 1)]:
+        manager.query(Query.full_level(tiny_schema, level))
+    path = tmp_path / "log.csv"
+    assert write_query_log_csv(manager.query_log, path) == 3
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 3
+    assert rows[0]["level"] == "0,0,0"
+    assert rows[0]["complete_hit"] == "True"
+    assert int(rows[2]["sequence"]) == 3

@@ -1,0 +1,109 @@
+"""Arbitrary (non-chunk-aligned) range query tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregateCache, Query
+from repro.util.errors import SchemaError
+from tests.helpers import direct_aggregate
+
+
+@pytest.fixture
+def manager(tiny_schema, tiny_backend):
+    return AggregateCache(
+        tiny_schema, tiny_backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+
+
+def expected_in_ranges(facts, level, cell_ranges):
+    cells = direct_aggregate(facts, level)
+    return {
+        cell: value
+        for cell, value in cells.items()
+        if all(lo <= c < hi for c, (lo, hi) in zip(cell, cell_ranges))
+    }
+
+
+def gathered(result):
+    cells = {}
+    for chunk in result.chunks:
+        cells.update(chunk.cell_dict())
+    return cells
+
+
+def test_from_cell_ranges_snaps_outward(tiny_schema):
+    # Base level Product has 4 single-value chunks; [1, 3) covers two.
+    query = Query.from_cell_ranges(
+        tiny_schema, tiny_schema.base_level, ((1, 3), (0, 2), (0, 2))
+    )
+    assert query.chunk_ranges[0] == (1, 3)
+    # Time has one chunk covering both values.
+    assert query.chunk_ranges[2] == (0, 1)
+
+
+def test_from_cell_ranges_validation(tiny_schema):
+    with pytest.raises(SchemaError, match="out of bounds"):
+        Query.from_cell_ranges(
+            tiny_schema, tiny_schema.base_level, ((0, 9), (0, 1), (0, 1))
+        )
+    with pytest.raises(SchemaError, match="dimensions"):
+        Query.from_cell_ranges(tiny_schema, tiny_schema.base_level, ((0, 1),))
+
+
+@pytest.mark.parametrize(
+    "level,ranges",
+    [
+        ((2, 1, 1), ((1, 3), (0, 1), (0, 2))),
+        ((2, 1, 1), ((0, 4), (1, 2), (1, 2))),
+        ((1, 1, 0), ((0, 1), (0, 2), (0, 1))),
+        ((0, 0, 0), ((0, 1), (0, 1), (0, 1))),
+    ],
+)
+def test_range_query_matches_direct(
+    level, ranges, manager, tiny_schema, tiny_facts
+):
+    result = manager.range_query(level, ranges)
+    assert gathered(result) == pytest.approx(
+        expected_in_ranges(tiny_facts, level, ranges)
+    )
+
+
+def test_range_query_does_not_mutate_cache(manager, tiny_schema, tiny_facts):
+    level = tiny_schema.base_level
+    manager.range_query(level, ((1, 2), (0, 1), (0, 1)))
+    # The cached base chunks must remain complete: a full query still
+    # returns everything.
+    full = manager.query(Query.full_level(tiny_schema, level))
+    assert full.total_value() == pytest.approx(tiny_facts.total())
+
+
+def test_range_query_uses_cache(manager, tiny_schema):
+    result = manager.range_query(
+        tiny_schema.base_level, ((0, 2), (0, 1), (0, 1))
+    )
+    assert result.complete_hit  # preloaded base
+
+
+def test_range_query_preserves_extras(tiny_schema):
+    from repro import BackendDatabase, generate_fact_table
+    from repro.schema import CubeSchema, Dimension
+
+    schema = CubeSchema(
+        [
+            Dimension.uniform("Product", [1, 2, 4], [1, 2, 4]),
+            Dimension.uniform("Customer", [1, 2], [1, 2]),
+            Dimension.uniform("Time", [1, 2], [1, 1]),
+        ],
+        measure=["UnitSales", "DollarSales"],
+    )
+    facts = generate_fact_table(schema, num_tuples=300, seed=4)
+    manager = AggregateCache(
+        schema,
+        BackendDatabase(schema, facts),
+        capacity_bytes=1 << 20,
+    )
+    result = manager.range_query(schema.base_level, ((0, 2), (0, 2), (0, 1)))
+    for chunk in result.chunks:
+        assert len(chunk.extras) == 1
+        assert len(chunk.extras[0]) == chunk.size_tuples

@@ -1,0 +1,57 @@
+"""Ablation harness tests (quick config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.ablations import (
+    run_preload_ablation,
+    run_reinforcement_ablation,
+)
+from repro.harness.config import quick_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick_config()
+
+
+def test_reinforcement_ablation_structure(config):
+    result = run_reinforcement_ablation(config)
+    assert len(result.results) == 2 * len(config.cache_fractions)
+    for (reinforce, fraction), stream in result.results.items():
+        assert stream.queries == config.num_queries
+    text = result.format()
+    assert "Ablation A1" in text and "reinforced" in text
+
+
+def test_preload_ablation_structure(config):
+    result = run_preload_ablation(config)
+    assert len(result.results) == 4 * len(config.cache_fractions)
+    text = result.format()
+    assert "Ablation A2" in text and "max_descendants" in text
+    assert "hru" in text
+    # The 'none' rule never preloads; the paper's rule does when it can.
+    for fraction in config.cache_fractions:
+        assert result.chosen[("none", fraction)] is None
+    big = max(config.cache_fractions)
+    assert result.chosen[("max_descendants", big)] is not None
+
+
+def test_preload_rules_pick_different_levels(config):
+    result = run_preload_ablation(config)
+    big = max(config.cache_fractions)
+    # Both rules pick something; 'largest' maximises bytes so it picks a
+    # level at least as large as the paper's rule.
+    schema = config.make_schema()
+    paper_level = result.chosen[("max_descendants", big)]
+    largest_level = result.chosen[("largest", big)]
+    assert paper_level is not None and largest_level is not None
+
+
+def test_preloading_beats_none_at_large_cache(config):
+    result = run_preload_ablation(config)
+    big = max(config.cache_fractions)
+    with_preload = result.results[("max_descendants", big)]
+    without = result.results[("none", big)]
+    assert with_preload.hit_ratio >= without.hit_ratio

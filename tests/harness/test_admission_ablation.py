@@ -1,0 +1,16 @@
+"""A4 harness test (quick config)."""
+
+from __future__ import annotations
+
+from repro.harness.ablations import run_admission_ablation
+from repro.harness.config import quick_config
+
+
+def test_structure():
+    config = quick_config()
+    result = run_admission_ablation(config)
+    assert len(result.results) == 2 * len(config.cache_fractions)
+    text = result.format()
+    assert "Ablation A4" in text and "profit" in text
+    for stream in result.results.values():
+        assert stream.queries == config.num_queries

@@ -1,0 +1,43 @@
+"""Experiment configuration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import (
+    PAPER_CACHE_FRACTIONS,
+    ExperimentConfig,
+    default_config,
+    quick_config,
+)
+from repro.util.errors import ReproError
+
+
+def test_default_config_uses_paper_fractions():
+    config = default_config()
+    assert config.cache_fractions == PAPER_CACHE_FRACTIONS
+    assert config.make_schema().heights == (6, 2, 3, 1, 1)
+
+
+def test_quick_config_is_small():
+    config = quick_config()
+    assert config.num_tuples <= 1000
+    assert config.make_schema().num_levels <= 20
+
+
+def test_unknown_schema_rejected():
+    config = ExperimentConfig(schema_name="nope")
+    with pytest.raises(ReproError, match="unknown schema"):
+        config.make_schema()
+
+
+def test_cache_labels_follow_paper():
+    config = default_config()
+    assert config.cache_label(0.45).startswith("10 MB")
+    assert config.cache_label(1.15).startswith("25 MB")
+    assert "33%" in config.cache_label(0.33)
+
+
+def test_config_hashable_for_memoisation():
+    assert hash(default_config()) == hash(default_config())
+    assert default_config() == default_config()

@@ -1,0 +1,72 @@
+"""CSV export tests."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.harness.config import ExperimentConfig, quick_config
+from repro.harness.export import (
+    export_policy_comparison,
+    export_scheme_comparison,
+    export_table1,
+)
+from repro.harness.streams import run_policy_comparison, run_scheme_comparison
+from repro.harness.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick_config()
+
+
+def read_csv(path):
+    with path.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def test_policy_export(config, tmp_path):
+    result = run_policy_comparison(config)
+    (path,) = export_policy_comparison(result, tmp_path)
+    rows = read_csv(path)
+    assert len(rows) == 2 * len(config.cache_fractions)
+    assert {row["policy"] for row in rows} == {"benefit", "two_level"}
+    for row in rows:
+        assert 0.0 <= float(row["complete_hit_ratio"]) <= 1.0
+        assert float(row["avg_ms"]) >= 0.0
+
+
+def test_scheme_export(config, tmp_path):
+    result = run_scheme_comparison(config)
+    overview, breakup = export_scheme_comparison(result, tmp_path)
+    rows = read_csv(overview)
+    assert {row["strategy"] for row in rows} == {"noagg", "esm", "vcmc"}
+    detail = read_csv(breakup)
+    assert {row["strategy"] for row in detail} == {"esm", "vcmc"}
+    for row in detail:
+        total = float(row["hit_total_ms"])
+        parts = (
+            float(row["hit_lookup_ms"])
+            + float(row["hit_aggregate_ms"])
+            + float(row["hit_update_ms"])
+        )
+        # Each part is rounded to 4 decimals in the CSV.
+        assert total == pytest.approx(parts, abs=2e-3)
+
+
+def test_table1_export(config, tmp_path):
+    result = run_table1(
+        config,
+        esmc_preloaded_config=ExperimentConfig(
+            schema_name="apb_tiny", num_tuples=100
+        ),
+    )
+    (path,) = export_table1(result, tmp_path)
+    rows = read_csv(path)
+    assert {row["cache_state"] for row in rows} == {"empty", "preloaded"}
+    assert {row["algorithm"] for row in rows} == {"esm", "esmc", "vcm", "vcmc"}
+    for row in rows:
+        assert float(row["min_ms"]) <= float(row["avg_ms"]) <= float(
+            row["max_ms"]
+        )

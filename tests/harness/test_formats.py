@@ -1,0 +1,51 @@
+"""Formatting tests: every experiment artifact renders tables (and, for
+the figures, ASCII charts) without touching the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import quick_config
+from repro.harness.streams import run_policy_comparison, run_scheme_comparison
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick_config()
+
+
+def test_fig7_includes_chart(config):
+    text = run_policy_comparison(config).format_fig7()
+    assert "Figure 7" in text
+    assert "█" in text or "▓" in text  # the bar chart
+
+
+def test_fig8_includes_chart(config):
+    text = run_policy_comparison(config).format_fig8()
+    assert "Figure 8" in text
+    assert "ms" in text
+
+
+def test_fig9_includes_chart_with_all_schemes(config):
+    text = run_scheme_comparison(config).format_fig9()
+    for scheme in ("noagg", "esm", "vcmc"):
+        assert scheme in text
+    assert "█" in text
+
+
+def test_fig10_breakdown_columns(config):
+    text = run_scheme_comparison(config).format_fig10()
+    for column in ("Lookup ms", "Aggregate ms", "Update ms", "Hits"):
+        assert column in text
+
+
+def test_table4_has_speedup_row(config):
+    text = run_scheme_comparison(config).format_table4()
+    assert "Speedup factor (VCMC over ESM)" in text
+    assert "% of Complete Hits" in text
+
+
+def test_cache_labels_used_in_figures(config):
+    text = run_policy_comparison(config).format_fig7()
+    for fraction in config.cache_fractions:
+        assert config.cache_label(fraction) in text

@@ -1,0 +1,43 @@
+"""Locality-sweep harness tests (quick config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import quick_config
+from repro.harness.locality import (
+    LOCALITY_POINTS,
+    mix_for_locality,
+    run_locality_sweep,
+)
+
+
+def test_mix_for_locality_sums_to_one():
+    for locality in (0.0, 0.3, 0.9):
+        mix = mix_for_locality(locality)
+        total = mix.drill_down + mix.roll_up + mix.proximity + mix.random
+        assert total == pytest.approx(1.0)
+        assert mix.random == pytest.approx(1.0 - locality)
+
+
+def test_sweep_structure():
+    config = quick_config()
+    result = run_locality_sweep(config)
+    assert [p.locality for p in result.points] == list(LOCALITY_POINTS)
+    for point in result.points:
+        assert set(point.hit_ratio) == {"esm", "vcmc"}
+        assert 0.0 <= point.hit_ratio["vcmc"] <= 1.0
+    text = result.format()
+    assert "E13" in text and "Speedup" in text
+
+
+def test_strategies_see_same_stream():
+    """Both strategies replay the identical seeded stream, so their hit
+    counts match whenever both can compute the same chunks (ESM and VCMC
+    have identical computability)."""
+    config = quick_config()
+    result = run_locality_sweep(config)
+    for point in result.points:
+        assert point.hit_ratio["esm"] == pytest.approx(
+            point.hit_ratio["vcmc"], abs=0.25
+        )

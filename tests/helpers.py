@@ -1,0 +1,118 @@
+"""Brute-force oracles the incremental algorithms are verified against."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.sizes import SizeEstimator
+from repro.schema.cube import CubeSchema, Level
+
+Key = tuple[Level, int]
+
+
+def oracle_computable(
+    schema: CubeSchema, cached: set[Key], level: Level, number: int
+) -> bool:
+    """Reference semantics of 'computable from the cache'.
+
+    Memoised recursion straight from the definition: a chunk is computable
+    iff it is cached, or some lattice parent has *all* of the chunk's
+    mapped chunks computable.
+    """
+    memo: dict[Key, bool] = {}
+
+    def rec(lvl: Level, num: int) -> bool:
+        key = (lvl, num)
+        if key in memo:
+            return memo[key]
+        if key in cached:
+            memo[key] = True
+            return True
+        memo[key] = False  # base level with no parents stays False
+        for parent in schema.parents_of(lvl):
+            numbers = schema.get_parent_chunk_numbers(lvl, num, parent)
+            if all(rec(parent, int(n)) for n in numbers):
+                memo[key] = True
+                break
+        return memo[key]
+
+    return rec(level, number)
+
+
+def oracle_min_cost(
+    schema: CubeSchema,
+    sizes: SizeEstimator,
+    cached: set[Key],
+    level: Level,
+    number: int,
+) -> float:
+    """Reference least cost: min over all paths of estimated tuples read.
+
+    ``0.0`` for a cached chunk, ``inf`` when not computable.
+    """
+    memo: dict[Key, float] = {}
+
+    def rec(lvl: Level, num: int) -> float:
+        key = (lvl, num)
+        if key in memo:
+            return memo[key]
+        if key in cached:
+            memo[key] = 0.0
+            return 0.0
+        best = math.inf
+        memo[key] = best  # base chunks not cached stay inf
+        for parent in schema.parents_of(lvl):
+            numbers = schema.get_parent_chunk_numbers(lvl, num, parent)
+            total = 0.0
+            for n in numbers:
+                sub = rec(parent, int(n))
+                if math.isinf(sub):
+                    total = math.inf
+                    break
+                total += sub + sizes.chunk_tuples(parent, int(n))
+            best = min(best, total)
+        memo[key] = best
+        return best
+
+    return rec(level, number)
+
+
+def direct_aggregate(facts, level: Level) -> dict[tuple[int, ...], float]:
+    """Aggregate the raw fact table straight to ``level``: the ground truth
+    for every cache/backend answer.  Returns {cell-ordinals: measure sum}."""
+    schema = facts.schema
+    coords = [
+        dim.map_ordinals(dim.height, l, facts.coords[d])
+        for d, (dim, l) in enumerate(zip(schema.dimensions, level))
+    ]
+    cells: dict[tuple[int, ...], float] = {}
+    stacked = np.stack(coords, axis=1)
+    for row, value in zip(stacked, facts.values):
+        key = tuple(int(x) for x in row)
+        cells[key] = cells.get(key, 0.0) + float(value)
+    return cells
+
+
+def chunk_cells_match(chunk, expected: dict[tuple[int, ...], float]) -> bool:
+    """Whether a chunk's cells equal the expected cell->sum mapping."""
+    actual = chunk.cell_dict()
+    if set(actual) != set(expected):
+        return False
+    return all(abs(actual[k] - expected[k]) < 1e-6 for k in expected)
+
+
+def expected_cells_in_chunk(
+    schema: CubeSchema,
+    all_cells: dict[tuple[int, ...], float],
+    level: Level,
+    number: int,
+) -> dict[tuple[int, ...], float]:
+    """Restrict a level's ground-truth cells to one chunk's region."""
+    spans = schema.chunks.chunk_cell_spans(level, number)
+    return {
+        cell: value
+        for cell, value in all_cells.items()
+        if all(lo <= c < hi for c, (lo, hi) in zip(cell, spans))
+    }

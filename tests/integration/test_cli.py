@@ -1,0 +1,86 @@
+"""Top-level CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_demo_session, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Product" in out
+    assert "336" in out
+    assert "720,720" in out
+
+
+def test_query_command(capsys, monkeypatch):
+    monkeypatch.setattr(
+        "repro.__main__.build_demo_session",
+        lambda num_tuples=60_000: build_demo_session(num_tuples=2_000),
+    )
+    assert main(["query", "SELECT SUM(UnitSales) GROUP BY Time.Year"]) == 0
+    out = capsys.readouterr().out
+    assert "Year 0" in out and "SUM(UnitSales)" in out
+
+
+def test_query_command_reports_errors(capsys, monkeypatch):
+    monkeypatch.setattr(
+        "repro.__main__.build_demo_session",
+        lambda num_tuples=60_000: build_demo_session(num_tuples=2_000),
+    )
+    assert main(["query", "SELECT SUM(Nope)"]) == 1
+    err = capsys.readouterr().err
+    assert "unknown measure" in err
+
+
+def test_demo_command(capsys, monkeypatch):
+    monkeypatch.setattr(
+        "repro.__main__.build_demo_session",
+        lambda num_tuples=60_000: build_demo_session(num_tuples=2_000),
+    )
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "complete hits" in out
+    assert "LIMIT 3" in out
+
+
+def test_shell_command(capsys, monkeypatch):
+    monkeypatch.setattr(
+        "repro.__main__.build_demo_session",
+        lambda num_tuples=60_000: build_demo_session(num_tuples=2_000),
+    )
+    lines = iter(
+        [
+            "",
+            "stats",
+            "SELECT SUM(UnitSales)",
+            "SELECT BROKEN",
+            "exit",
+        ]
+    )
+    monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+    assert main(["shell"]) == 0
+    out = capsys.readouterr().out
+    assert "AggregateCache(" in out
+    assert "SUM(UnitSales)" in out
+    assert "error:" in out
+
+
+def test_shell_eof_exits(capsys, monkeypatch):
+    monkeypatch.setattr(
+        "repro.__main__.build_demo_session",
+        lambda num_tuples=60_000: build_demo_session(num_tuples=2_000),
+    )
+
+    def raise_eof(prompt=""):
+        raise EOFError
+
+    monkeypatch.setattr("builtins.input", raise_eof)
+    assert main(["shell"]) == 0
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,83 @@
+"""The examples must run end-to-end (scaled down) without errors."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main(num_tuples=3_000)
+    out = capsys.readouterr().out
+    assert "Grand total" in out
+    assert "complete_hit=True" in out
+
+
+def test_drilldown_session(capsys):
+    load_example("drilldown_session").main(num_tuples=3_000)
+    out = capsys.readouterr().out
+    assert "Roll up: grand total again" in out
+    assert "Complete hits:" in out
+
+
+def test_policy_comparison(capsys):
+    load_example("policy_comparison").main(num_tuples=3_000, num_queries=10)
+    out = capsys.readouterr().out
+    assert "conventional cache" in out
+    assert "active, VCMC, two-level" in out
+
+
+def test_capacity_planning(capsys):
+    load_example("capacity_planning").main(
+        num_tuples=3_000, num_queries=8, fractions=(0.4, 1.2)
+    )
+    out = capsys.readouterr().out
+    assert "Capacity sweep" in out
+    assert "O(1) array read" in out
+
+
+def test_sql_interface(capsys):
+    load_example("sql_interface").main(num_tuples=3_000)
+    out = capsys.readouterr().out
+    assert "GROUP BY Product.Division" in out
+    assert "Retailer 0" in out
+
+
+def test_custom_schema(capsys):
+    load_example("custom_schema").main(num_sales=500)
+    out = capsys.readouterr().out
+    assert "bakery" in out
+    assert "LIMIT 3" in out
+    assert "complete hit" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "drilldown_session",
+        "policy_comparison",
+        "capacity_planning",
+        "sql_interface",
+        "custom_schema",
+    ],
+)
+def test_examples_have_docstrings_and_main(name):
+    module = load_example(name)
+    assert module.__doc__ and "Run:" in module.__doc__
+    assert callable(module.main)

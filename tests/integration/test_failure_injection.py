@@ -1,0 +1,96 @@
+"""Failure injection: a failing backend must not corrupt cache state.
+
+The manager aggregates before fetching and admits after fetching, so an
+exception from the backend aborts the query with the cache and the
+strategy's count/cost state exactly as they were.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregateCache, Query
+from repro.util.errors import ReproError
+from tests.helpers import oracle_computable
+
+
+class FlakyBackend:
+    """Wraps a backend; raises on the first ``fail_times`` fetches."""
+
+    def __init__(self, inner, fail_times: int = 1) -> None:
+        self._inner = inner
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def fetch(self, requests):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise ReproError("injected backend outage")
+        return self._inner.fetch(requests)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@pytest.fixture
+def flaky_manager(tiny_schema, tiny_backend):
+    flaky = FlakyBackend(tiny_backend, fail_times=1)
+    return (
+        AggregateCache(
+            tiny_schema,
+            flaky,
+            capacity_bytes=500,  # small: queries will miss
+            strategy="vcm",
+            preload=False,
+        ),
+        flaky,
+    )
+
+
+def snapshot_state(manager, schema):
+    cached = set(manager.cache.resident_keys())
+    counts = {
+        level: manager.strategy.counts.counts_array(level).copy()
+        for level in schema.all_levels()
+    }
+    return cached, counts, manager.cache.used_bytes
+
+
+def test_backend_failure_leaves_state_untouched(flaky_manager, tiny_schema):
+    manager, flaky = flaky_manager
+    before = snapshot_state(manager, tiny_schema)
+    with pytest.raises(ReproError, match="outage"):
+        manager.query(Query.full_level(tiny_schema, (1, 1, 1)))
+    after = snapshot_state(manager, tiny_schema)
+    assert after[0] == before[0]
+    assert after[2] == before[2]
+    for level in tiny_schema.all_levels():
+        assert (after[1][level] == before[1][level]).all()
+
+
+def test_retry_after_outage_succeeds(flaky_manager, tiny_schema, tiny_facts):
+    manager, flaky = flaky_manager
+    query = Query.full_level(tiny_schema, (0, 0, 0))
+    with pytest.raises(ReproError):
+        manager.query(query)
+    result = manager.query(query)  # outage over
+    assert result.total_value() == pytest.approx(tiny_facts.total())
+
+
+def test_counts_remain_oracle_consistent_after_failures(
+    flaky_manager, tiny_schema
+):
+    manager, flaky = flaky_manager
+    flaky.fail_times = 3
+    for level in [(1, 1, 1), (0, 0, 0), (2, 1, 1)]:
+        try:
+            manager.query(Query.full_level(tiny_schema, level))
+        except ReproError:
+            pass
+    cached = set(manager.cache.resident_keys())
+    for level in tiny_schema.all_levels():
+        for number in range(tiny_schema.num_chunks(level)):
+            expected = oracle_computable(tiny_schema, cached, level, number)
+            assert manager.strategy.counts.is_computable(level, number) == (
+                expected
+            )

@@ -1,0 +1,140 @@
+"""Multi-measure cubes end to end (APB-1 carries several measures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    OlapSession,
+    Query,
+    generate_fact_table,
+)
+from repro.schema import CubeSchema, Dimension
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return CubeSchema(
+        [
+            Dimension.uniform("Product", [1, 2, 4], [1, 2, 4]),
+            Dimension.uniform("Customer", [1, 2], [1, 2]),
+            Dimension.uniform("Time", [1, 2], [1, 1]),
+        ],
+        measure=["UnitSales", "DollarSales", "Cost"],
+        bytes_per_tuple=28,
+    )
+
+
+@pytest.fixture(scope="module")
+def facts(schema):
+    return generate_fact_table(schema, num_tuples=400, seed=77)
+
+
+@pytest.fixture(scope="module")
+def manager(schema, facts):
+    backend = BackendDatabase(schema, facts)
+    return AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+
+
+def test_schema_measure_accessors(schema):
+    assert schema.measures == ("UnitSales", "DollarSales", "Cost")
+    assert schema.measure == "UnitSales"
+    assert schema.measure_index("dollarsales") == 1
+    assert schema.num_extra_measures == 2
+    with pytest.raises(SchemaError, match="no measure"):
+        schema.measure_index("Profit")
+
+
+def test_duplicate_measures_rejected():
+    with pytest.raises(SchemaError, match="duplicate measure"):
+        CubeSchema(
+            [Dimension.flat("A", 4, 2)], measure=["x", "X"]
+        )
+
+
+def test_generator_produces_extras(schema, facts):
+    assert len(facts.extras) == 2
+    for extra in facts.extras:
+        assert len(extra) == facts.num_tuples
+        assert np.all(extra > 0)
+
+
+def test_extras_rollup_to_apex(schema, facts, manager):
+    result = manager.query(Query.full_level(schema, schema.apex_level))
+    chunk = result.chunks[0]
+    assert len(chunk.extras) == 2
+    assert chunk.measure_values(1).sum() == pytest.approx(
+        facts.extras[0].sum()
+    )
+    assert chunk.measure_values(2).sum() == pytest.approx(
+        facts.extras[1].sum()
+    )
+
+
+def test_extras_correct_at_every_level(schema, facts, manager):
+    for level in [(1, 1, 0), (2, 0, 1), (0, 0, 0)]:
+        result = manager.query(Query.full_level(schema, level))
+        total = sum(
+            float(c.measure_values(1).sum()) for c in result.chunks
+        )
+        assert total == pytest.approx(facts.extras[0].sum())
+
+
+def test_measure_values_bounds(schema, manager):
+    result = manager.query(Query.full_level(schema, schema.apex_level))
+    chunk = result.chunks[0]
+    with pytest.raises(Exception, match="measures"):
+        chunk.measure_values(3)
+
+
+def test_olap_selects_each_measure(schema, facts, manager):
+    session = OlapSession(manager)
+    rs = session.query(
+        "SELECT SUM(UnitSales), SUM(DollarSales), AVG(Cost)"
+    )
+    units, dollars, avg_cost = rs.rows[0]
+    assert units == pytest.approx(float(facts.values.sum()))
+    assert dollars == pytest.approx(float(facts.extras[0].sum()))
+    assert avg_cost == pytest.approx(
+        float(facts.extras[1].sum()) / int(facts.counts.sum())
+    )
+
+
+def test_olap_group_by_with_second_measure(schema, facts, manager):
+    session = OlapSession(manager)
+    rs = session.query("SELECT SUM(DollarSales) GROUP BY Product.L1")
+    assert sum(row[1] for row in rs.rows) == pytest.approx(
+        float(facts.extras[0].sum())
+    )
+
+
+def test_persistence_roundtrip_with_extras(schema, facts, tmp_path):
+    from repro.backend.storage import load_fact_table, save_fact_table
+
+    path = save_fact_table(facts, tmp_path / "mm.npz")
+    loaded = load_fact_table(schema, path)
+    assert len(loaded.extras) == 2
+    assert loaded.extras[0].sum() == pytest.approx(facts.extras[0].sum())
+
+
+def test_snapshot_roundtrip_with_extras(schema, facts, manager, tmp_path):
+    from repro.cache.snapshot import load_cache_snapshot, save_cache_snapshot
+
+    backend = BackendDatabase(schema, facts)
+    path = tmp_path / "cache.npz"
+    save_cache_snapshot(manager, path)
+    fresh = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, preload=False
+    )
+    load_cache_snapshot(fresh, path)
+    result = fresh.query(Query.full_level(schema, schema.apex_level))
+    assert result.complete_hit
+    assert result.chunks[0].measure_values(1).sum() == pytest.approx(
+        facts.extras[0].sum()
+    )

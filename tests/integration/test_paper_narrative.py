@@ -1,0 +1,111 @@
+"""Story-level integration tests: the paper's headline claims, asserted
+on a small (seconds-scale) instance of the real APB-shaped schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    Query,
+    QueryStreamGenerator,
+    apb_small_schema,
+    generate_fact_table,
+)
+from repro.cache.replacement import make_policy
+from repro.cache.store import ChunkCache
+from repro.core.sizes import SizeEstimator
+from repro.core.strategies import make_strategy
+from repro.util.timers import Stopwatch
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = apb_small_schema()
+    facts = generate_fact_table(schema, num_tuples=15_000, seed=99)
+    backend = BackendDatabase(schema, facts)
+    return schema, facts, backend
+
+
+def test_claim_vcm_lookup_beats_esm_on_empty_cache(setup):
+    """Table 1's core claim, as wall time on the real lattice."""
+    schema, facts, _ = setup
+    cache = ChunkCache(1 << 20, make_policy("benefit"), 20)
+    sizes = SizeEstimator(schema, facts.num_tuples)
+    esm = make_strategy("esm", schema, cache, sizes)
+    vcm = make_strategy("vcm", schema, cache, sizes)
+    apex = schema.apex_level
+
+    watch = Stopwatch()
+    vcm.find(apex, 0)
+    vcm_ms = watch.elapsed_ms()
+    watch.restart()
+    esm.find(apex, 0)
+    esm_ms = watch.elapsed_ms()
+    # 720,720 paths vs one count read: orders of magnitude apart.
+    assert esm_ms > 50 * max(vcm_ms, 0.001)
+    assert vcm.last_find_visits == 1
+    assert esm.last_find_visits > 100_000
+
+
+def test_claim_active_cache_answers_rollups_without_backend(setup):
+    schema, facts, backend = setup
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=facts.size_bytes * 2, strategy="vcmc"
+    )
+    # Drill down (hits preloaded base), then roll up repeatedly: no
+    # backend traffic at all.
+    requests_before = backend.totals.requests
+    for level in [(6, 2, 3, 1, 1), (5, 2, 3, 1, 1), (3, 1, 2, 0, 0), (0, 0, 0, 0, 0)]:
+        result = manager.query(Query.single_chunk(schema, level, 0))
+        assert result.complete_hit, level
+    assert backend.totals.requests == requests_before
+
+
+def test_claim_conventional_cache_misses_rollups(setup):
+    schema, facts, backend = setup
+    manager = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=facts.size_bytes * 2,
+        strategy="noagg",
+        policy="benefit",
+        preload=False,
+    )
+    first = manager.query(Query.single_chunk(schema, (6, 2, 3, 1, 1), 0))
+    rollup = manager.query(Query.single_chunk(schema, (5, 2, 3, 1, 1), 0))
+    assert not first.complete_hit
+    assert not rollup.complete_hit  # the conventional cache cannot roll up
+
+
+def test_claim_two_level_reaches_full_hits_when_base_fits(setup):
+    schema, facts, backend = setup
+    manager = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=int(facts.size_bytes * 1.3),
+        strategy="vcmc",
+        policy="two_level",
+        preload_headroom=0.9,
+    )
+    assert manager.preloaded_level == schema.base_level
+    generator = QueryStreamGenerator(schema, seed=5)
+    for query in generator.generate(30):
+        assert manager.query(query).complete_hit
+    assert manager.complete_hit_ratio == 1.0
+
+
+def test_claim_answers_identical_across_all_strategies(setup):
+    schema, facts, backend = setup
+    query = Query.full_level(schema, (1, 1, 1, 0, 0))
+    totals = set()
+    for strategy in ("noagg", "esm", "vcm", "vcmc"):
+        manager = AggregateCache(
+            schema,
+            backend,
+            capacity_bytes=facts.size_bytes,
+            strategy=strategy,
+        )
+        totals.add(round(manager.query(query).total_value(), 6))
+    assert len(totals) == 1

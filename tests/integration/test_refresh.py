@@ -1,0 +1,162 @@
+"""Warehouse refresh tests: append facts, invalidate, stay correct.
+
+The cardinal sin would be serving a stale aggregate after new facts
+arrive; these tests hammer exactly that path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    Query,
+    generate_fact_table,
+)
+from repro.schema import apb_tiny_schema
+from repro.util.errors import ReproError
+from tests.helpers import direct_aggregate, oracle_computable
+
+
+def merged_truth(schema, parts, level):
+    cells: dict = {}
+    for facts in parts:
+        for cell, value in direct_aggregate(facts, level).items():
+            cells[cell] = cells.get(cell, 0.0) + value
+    return cells
+
+
+@pytest.fixture
+def world():
+    schema = apb_tiny_schema()
+    initial = generate_fact_table(schema, num_tuples=200, seed=1)
+    delta = generate_fact_table(schema, num_tuples=150, seed=2)
+    backend = BackendDatabase(schema, initial)
+    return schema, initial, delta, backend
+
+
+def test_append_merges_duplicate_cells(world):
+    schema, initial, delta, backend = world
+    before = backend.num_tuples
+    affected = backend.append(delta)
+    assert affected  # the tiny cube overlaps almost surely
+    # Distinct cells after merge: union of both tables' cells.
+    union = merged_truth(schema, [initial, delta], schema.base_level)
+    assert backend.num_tuples == len(union)
+    assert backend.num_tuples >= before
+    apex = backend.compute_chunk(schema.apex_level, 0)
+    assert apex.total() == pytest.approx(initial.total() + delta.total())
+
+
+def test_append_schema_mismatch_rejected(world):
+    schema, initial, delta, backend = world
+    other = generate_fact_table(apb_tiny_schema(), num_tuples=10, seed=3)
+    with pytest.raises(ReproError, match="different schema"):
+        backend.append(other)
+
+
+def test_stale_aggregates_never_served(world):
+    schema, initial, delta, backend = world
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    query = Query.full_level(schema, (1, 1, 0))
+    stale = manager.query(query)
+    assert stale.total_value() == pytest.approx(initial.total())
+
+    affected, evicted = manager.refresh_from_backend(delta)
+    assert evicted > 0
+    fresh = manager.query(query)
+    assert fresh.total_value() == pytest.approx(
+        initial.total() + delta.total()
+    )
+
+
+def test_unaffected_chunks_survive_refresh():
+    schema = apb_tiny_schema()
+    initial = generate_fact_table(schema, num_tuples=200, seed=1)
+    backend = BackendDatabase(schema, initial)
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcm"
+    )
+    manager.query(Query.full_level(schema, schema.base_level))
+    # A delta touching exactly one base cell.
+    delta = generate_fact_table(schema, num_tuples=1, seed=7)
+    resident_before = set(manager.cache.resident_keys())
+    affected, evicted = manager.refresh_from_backend(delta)
+    assert len(affected) == 1
+    survivors = set(manager.cache.resident_keys())
+    # Base chunks not covering the updated cell must still be cached.
+    untouched_base = {
+        (schema.base_level, n)
+        for n in range(schema.num_chunks(schema.base_level))
+        if n not in affected
+    }
+    assert untouched_base <= survivors
+    assert survivors < resident_before or evicted == 0
+
+
+def test_counts_oracle_consistent_after_refresh(world):
+    schema, initial, delta, backend = world
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcm"
+    )
+    manager.query(Query.full_level(schema, (0, 0, 0)))
+    manager.query(Query.full_level(schema, (2, 1, 0)))
+    manager.refresh_from_backend(delta)
+    cached = set(manager.cache.resident_keys())
+    for level in schema.all_levels():
+        for number in range(schema.num_chunks(level)):
+            assert manager.strategy.counts.is_computable(
+                level, number
+            ) == oracle_computable(schema, cached, level, number)
+
+
+def test_every_level_correct_after_refresh(world):
+    schema, initial, delta, backend = world
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    for level in [(0, 0, 0), (1, 1, 1), (2, 0, 1)]:
+        manager.query(Query.full_level(schema, level))
+    manager.refresh_from_backend(delta)
+    for level in [(0, 0, 0), (1, 1, 1), (2, 0, 1), (2, 1, 1)]:
+        result = manager.query(Query.full_level(schema, level))
+        truth = merged_truth(schema, [initial, delta], level)
+        got: dict = {}
+        for chunk in result.chunks:
+            got.update(chunk.cell_dict())
+        assert got == pytest.approx(truth), level
+
+
+def test_repeated_refreshes(world):
+    schema, initial, delta, backend = world
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    expected = initial.total()
+    for seed in (10, 11, 12):
+        more = generate_fact_table(schema, num_tuples=60, seed=seed)
+        manager.refresh_from_backend(more)
+        expected += more.total()
+        result = manager.query(Query.full_level(schema, schema.apex_level))
+        assert result.total_value() == pytest.approx(expected)
+
+
+def test_extras_merge_on_append():
+    from repro.schema import CubeSchema, Dimension
+
+    schema = CubeSchema(
+        [Dimension.flat("A", 4, 2), Dimension.flat("B", 2, 1)],
+        measure=["Units", "Dollars"],
+    )
+    first = generate_fact_table(schema, num_tuples=50, seed=1)
+    second = generate_fact_table(schema, num_tuples=50, seed=2)
+    backend = BackendDatabase(schema, first)
+    backend.append(second)
+    apex = backend.compute_chunk((0, 0), 0)
+    assert apex.measure_values(1).sum() == pytest.approx(
+        first.extras[0].sum() + second.extras[0].sum()
+    )

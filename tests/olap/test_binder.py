@@ -1,0 +1,128 @@
+"""Binder tests: name resolution and level arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.olap.binder import QueryBindError, bind
+from repro.olap.parser import parse_query
+from repro.schema import apb_small_schema
+from repro.schema.members import MemberCatalog
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return apb_small_schema()
+
+
+@pytest.fixture(scope="module")
+def catalog(schema):
+    return MemberCatalog.synthetic(schema)
+
+
+def test_group_by_sets_output_level(schema):
+    bound = bind(
+        parse_query("SELECT SUM(UnitSales) GROUP BY Product.Division, Time.Year"),
+        schema,
+    )
+    assert bound.output_level == (1, 0, 1, 0, 0)
+    assert bound.compute_level == (1, 0, 1, 0, 0)
+    assert bound.group_dims == ((0, 1), (2, 1))
+
+
+def test_predicate_deepens_compute_level(schema):
+    bound = bind(
+        parse_query(
+            "SELECT SUM(UnitSales) GROUP BY Time.Year WHERE Time.Month = 5"
+        ),
+        schema,
+    )
+    assert bound.output_level == (0, 0, 1, 0, 0)
+    assert bound.compute_level == (0, 0, 3, 0, 0)
+
+
+def test_level_reference_forms(schema):
+    for text in ("Product.Division", "Product.L1", "Product.1", "product.division"):
+        bound = bind(
+            parse_query(f"SELECT SUM(UnitSales) GROUP BY {text}"), schema
+        )
+        assert bound.output_level[0] == 1
+
+
+def test_measure_checked(schema):
+    with pytest.raises(QueryBindError, match="measure"):
+        bind(parse_query("SELECT SUM(Profit)"), schema)
+    # Case-insensitive match on the real measure.
+    bind(parse_query("SELECT SUM(unitsales)"), schema)
+
+
+def test_unknown_dimension(schema):
+    with pytest.raises(QueryBindError, match="unknown dimension"):
+        bind(parse_query("SELECT SUM(UnitSales) GROUP BY Region.Country"), schema)
+
+
+def test_unknown_level(schema):
+    with pytest.raises(QueryBindError, match="no level named"):
+        bind(parse_query("SELECT SUM(UnitSales) GROUP BY Product.Universe"), schema)
+
+
+def test_level_out_of_range(schema):
+    with pytest.raises(QueryBindError, match="levels 0..6"):
+        bind(parse_query("SELECT SUM(UnitSales) GROUP BY Product.9"), schema)
+
+
+def test_duplicate_group_dimension(schema):
+    with pytest.raises(QueryBindError, match="twice"):
+        bind(
+            parse_query(
+                "SELECT SUM(UnitSales) GROUP BY Product.Division, Product.Line"
+            ),
+            schema,
+        )
+
+
+def test_predicate_ordinal_validation(schema):
+    with pytest.raises(QueryBindError, match="ordinals 0..1"):
+        bind(parse_query("SELECT SUM(UnitSales) WHERE Product.Division = 7"), schema)
+
+
+def test_between_bounds_checked(schema):
+    with pytest.raises(QueryBindError, match="reversed"):
+        bind(
+            parse_query("SELECT SUM(UnitSales) WHERE Time.Month BETWEEN 9 AND 3"),
+            schema,
+        )
+
+
+def test_between_expands_to_range(schema):
+    bound = bind(
+        parse_query("SELECT SUM(UnitSales) WHERE Time.Month BETWEEN 3 AND 6"),
+        schema,
+    )
+    assert bound.predicates[0].ordinals == frozenset({3, 4, 5, 6})
+
+
+def test_member_names_resolved(schema, catalog):
+    bound = bind(
+        parse_query("SELECT SUM(UnitSales) WHERE Product.Division = 'Division 1'"),
+        schema,
+        catalog,
+    )
+    assert bound.predicates[0].ordinals == frozenset({1})
+
+
+def test_member_names_without_catalog_rejected(schema):
+    with pytest.raises(QueryBindError, match="no member catalog"):
+        bind(
+            parse_query("SELECT SUM(UnitSales) WHERE Product.Division = 'X'"),
+            schema,
+        )
+
+
+def test_unknown_member_name(schema, catalog):
+    with pytest.raises(Exception, match="no member named"):
+        bind(
+            parse_query("SELECT SUM(UnitSales) WHERE Product.Division = 'Nope'"),
+            schema,
+            catalog,
+        )

@@ -1,0 +1,102 @@
+"""The query language must be strategy- and cache-state-agnostic:
+identical answers whatever is underneath."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    MemberCatalog,
+    OlapSession,
+    generate_fact_table,
+)
+from repro.schema import apb_tiny_schema
+
+QUERIES = [
+    "SELECT SUM(UnitSales)",
+    "SELECT SUM(UnitSales), COUNT(UnitSales) GROUP BY Product.L1",
+    "SELECT AVG(UnitSales) GROUP BY Product.L2, Time.L1",
+    "SELECT SUM(UnitSales) WHERE Product.L1 = 1 AND Customer.L1 IN (0)",
+    (
+        "SELECT SUM(UnitSales) GROUP BY Customer.L1 "
+        "WHERE Time.L1 BETWEEN 0 AND 1 ORDER BY SUM(UnitSales) DESC"
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def world():
+    schema = apb_tiny_schema()
+    facts = generate_fact_table(schema, num_tuples=350, seed=303)
+    backend = BackendDatabase(schema, facts)
+    return schema, backend
+
+
+def session_for(schema, backend, **kwargs):
+    cache = AggregateCache(schema, backend, **kwargs)
+    return OlapSession(cache, MemberCatalog.synthetic(schema))
+
+
+@pytest.mark.parametrize("text", QUERIES)
+def test_strategies_agree(world, text):
+    schema, backend = world
+    reference = None
+    for strategy in ("noagg", "esm", "esmc", "vcm", "vcmc"):
+        session = session_for(
+            schema, backend, capacity_bytes=1 << 20, strategy=strategy
+        )
+        rows = session.query(text).rows
+        if reference is None:
+            reference = rows
+        else:
+            assert _rows_close(rows, reference), (strategy, text)
+
+
+def _rows_close(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(a, b):
+        if len(row_a) != len(row_b):
+            return False
+        for cell_a, cell_b in zip(row_a, row_b):
+            if isinstance(cell_a, float):
+                if abs(cell_a - float(cell_b)) > 1e-6:
+                    return False
+            elif cell_a != cell_b:
+                return False
+    return True
+
+
+@pytest.mark.parametrize("text", QUERIES)
+def test_cold_and_warm_cache_agree(world, text):
+    schema, backend = world
+    cold = session_for(
+        schema,
+        backend,
+        capacity_bytes=100,  # forces backend traffic
+        strategy="vcmc",
+        preload=False,
+    )
+    warm = session_for(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    assert _rows_close(cold.query(text).rows, warm.query(text).rows)
+
+
+def test_repeat_queries_agree_under_churn(world):
+    schema, backend = world
+    session = session_for(
+        schema,
+        backend,
+        capacity_bytes=400,
+        strategy="vcmc",
+        preload=False,
+    )
+    text = "SELECT SUM(UnitSales) GROUP BY Product.L1"
+    first = session.query(text).rows
+    # Interleave other queries to churn the tiny cache, then re-ask.
+    for other in QUERIES:
+        session.query(other)
+    assert _rows_close(session.query(text).rows, first)

@@ -1,0 +1,196 @@
+"""Executor tests: OLAP answers must equal direct fact-table aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    MemberCatalog,
+    OlapSession,
+    generate_fact_table,
+)
+from repro.schema import apb_tiny_schema
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = apb_tiny_schema()
+    facts = generate_fact_table(schema, num_tuples=400, seed=13)
+    backend = BackendDatabase(schema, facts)
+    cache = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    session = OlapSession(cache, MemberCatalog.synthetic(schema))
+    return schema, facts, session
+
+
+def direct_sum(facts, mask=None):
+    values = facts.values if mask is None else facts.values[mask]
+    return float(values.sum())
+
+
+def test_grand_total(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales)")
+    assert len(rs) == 1
+    assert rs.rows[0][0] == pytest.approx(direct_sum(facts))
+
+
+def test_group_by_partitions_total(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales) GROUP BY Product.L1")
+    assert len(rs) == 2
+    assert sum(row[1] for row in rs.rows) == pytest.approx(direct_sum(facts))
+
+
+def test_group_by_two_dimensions(setup):
+    schema, facts, session = setup
+    rs = session.query(
+        "SELECT SUM(UnitSales) GROUP BY Product.L2, Customer.L1"
+    )
+    # Rows are (product label, customer label, sum).
+    assert all(len(row) == 3 for row in rs.rows)
+    assert sum(row[2] for row in rs.rows) == pytest.approx(direct_sum(facts))
+
+
+def test_where_filters_exactly(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales) WHERE Product.L2 = 3")
+    mask = facts.coords[0] == 3
+    assert rs.rows[0][0] == pytest.approx(direct_sum(facts, mask))
+
+
+def test_where_in(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales) WHERE Product.L2 IN (0, 3)")
+    mask = np.isin(facts.coords[0], [0, 3])
+    assert rs.rows[0][0] == pytest.approx(direct_sum(facts, mask))
+
+
+def test_where_at_coarser_level_than_group(setup):
+    schema, facts, session = setup
+    rs = session.query(
+        "SELECT SUM(UnitSales) GROUP BY Product.L2 WHERE Product.L1 = 0"
+    )
+    # Only products whose L1 ancestor is 0 (ordinals 0..1 at L2).
+    labels = [row[0] for row in rs.rows]
+    assert all("0" in str(l) or "1" in str(l) for l in labels)
+    mask = facts.coords[0] < 2
+    assert sum(row[1] for row in rs.rows) == pytest.approx(
+        direct_sum(facts, mask)
+    )
+
+
+def test_avg_and_count(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales), COUNT(UnitSales), AVG(UnitSales)")
+    total, count, average = rs.rows[0]
+    assert total == pytest.approx(direct_sum(facts))
+    assert count == int(facts.counts.sum())
+    assert average == pytest.approx(total / count)
+
+
+def test_empty_result_ungrouped_yields_zero_row(setup):
+    schema, facts, session = setup
+    # A contradiction: Product.L1 = 0 AND Product.L1 = 1.
+    rs = session.query(
+        "SELECT SUM(UnitSales), COUNT(UnitSales) "
+        "WHERE Product.L1 = 0 AND Product.L1 = 1"
+    )
+    assert rs.rows == [(0.0, 0)]
+
+
+def test_empty_result_grouped_yields_no_rows(setup):
+    schema, facts, session = setup
+    rs = session.query(
+        "SELECT SUM(UnitSales) GROUP BY Customer.L1 "
+        "WHERE Product.L1 = 0 AND Product.L1 = 1"
+    )
+    assert rs.rows == []
+
+
+def test_member_labels_in_rows(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales) GROUP BY Product.L1")
+    assert all(isinstance(row[0], str) for row in rs.rows)
+
+
+def test_format_and_to_dicts(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales) GROUP BY Product.L1")
+    text = rs.format()
+    assert "SUM(UnitSales)" in text
+    assert "rows;" in text
+    dicts = rs.to_dicts()
+    assert len(dicts) == len(rs)
+    assert "SUM(UnitSales)" in dicts[0]
+
+
+def test_queries_answered_from_cache(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales) GROUP BY Time.L1")
+    # Large cache preloaded with the base table: everything is computable.
+    assert rs.complete_hit
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    group_dim=st.sampled_from(["Product.L1", "Product.L2", "Customer.L1", "Time.L1"]),
+    filter_value=st.integers(0, 1),
+)
+def test_property_matches_direct_aggregation(seed, group_dim, filter_value):
+    """Property: GROUP BY + WHERE answers equal brute-force numpy."""
+    schema = apb_tiny_schema()
+    facts = generate_fact_table(schema, num_tuples=120, seed=seed)
+    backend = BackendDatabase(schema, facts)
+    cache = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcm"
+    )
+    session = OlapSession(cache)
+    rs = session.query(
+        f"SELECT SUM(UnitSales) GROUP BY {group_dim} "
+        f"WHERE Customer.L1 = {filter_value}"
+    )
+    mask = facts.coords[1] == filter_value
+    dim_name, level_text = group_dim.split(".")
+    dim_index = schema.dim_index(dim_name)
+    level = int(level_text[1:])
+    dim = schema.dimensions[dim_index]
+    group_ordinals = dim.map_ordinals(
+        dim.height, level, facts.coords[dim_index]
+    )
+    expected: dict[int, float] = {}
+    for ordinal, value, keep in zip(group_ordinals, facts.values, mask):
+        if keep:
+            expected[int(ordinal)] = expected.get(int(ordinal), 0.0) + float(value)
+    got = {int(row[0]): row[1] for row in rs.rows}
+    assert got == pytest.approx(expected)
+
+
+def test_to_chart(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales) GROUP BY Product.L1")
+    chart = rs.to_chart()
+    assert "SUM(UnitSales)" in chart
+    for row in rs.rows:
+        assert str(row[0]) in chart
+
+
+def test_to_chart_ungrouped(setup):
+    schema, facts, session = setup
+    rs = session.query("SELECT SUM(UnitSales)")
+    chart = rs.to_chart()
+    assert "ALL" in chart
+
+
+def test_to_chart_empty():
+    from repro.olap.executor import ResultSet
+
+    rs = ResultSet(columns=("x",), rows=[])
+    assert rs.to_chart() == "(no rows)"

@@ -1,0 +1,125 @@
+"""Lexer and parser tests for the OLAP query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.olap.lexer import QuerySyntaxError, tokenize
+from repro.olap.nodes import Aggregate, PredicateOp
+from repro.olap.parser import parse_query
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT SUM(UnitSales)")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["SELECT", "SUM", "(", "IDENT", ")", "EOF"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Sum(x) group by a.b")
+        assert tokens[0].kind == "SELECT"
+        assert tokens[1].kind == "SUM"
+        assert tokens[5].kind == "GROUP"
+
+    def test_strings_both_quote_styles(self):
+        tokens = tokenize("'abc' \"d e\"")
+        assert [t.text for t in tokens[:2]] == ["abc", "d e"]
+        assert all(t.kind == "STRING" for t in tokens[:2])
+
+    def test_integers(self):
+        tokens = tokenize("42 007")
+        assert [t.text for t in tokens[:2]] == ["42", "007"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT  SUM")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 8
+
+    def test_bad_character(self):
+        with pytest.raises(QuerySyntaxError, match="offset 7"):
+            tokenize("SELECT ;")
+
+
+class TestParser:
+    def test_minimal_query(self):
+        query = parse_query("SELECT SUM(UnitSales)")
+        assert len(query.aggregates) == 1
+        assert query.aggregates[0].function is Aggregate.SUM
+        assert query.aggregates[0].measure == "UnitSales"
+        assert query.group_by == ()
+        assert query.where == ()
+
+    def test_multiple_aggregates(self):
+        query = parse_query("SELECT SUM(x), COUNT(x), AVG(x)")
+        assert [a.function for a in query.aggregates] == [
+            Aggregate.SUM,
+            Aggregate.COUNT,
+            Aggregate.AVG,
+        ]
+
+    def test_group_by(self):
+        query = parse_query(
+            "SELECT SUM(x) GROUP BY Product.Division, Time.Year"
+        )
+        assert [str(g) for g in query.group_by] == [
+            "Product.Division",
+            "Time.Year",
+        ]
+
+    def test_numeric_level_reference(self):
+        query = parse_query("SELECT SUM(x) GROUP BY Product.2")
+        assert query.group_by[0].level == "2"
+
+    def test_where_eq(self):
+        query = parse_query("SELECT SUM(x) WHERE Time.Year = 1")
+        predicate = query.where[0]
+        assert predicate.op is PredicateOp.EQ
+        assert predicate.values == (1,)
+
+    def test_where_in(self):
+        query = parse_query("SELECT SUM(x) WHERE Channel.Channel IN (0, 2, 3)")
+        predicate = query.where[0]
+        assert predicate.op is PredicateOp.IN
+        assert predicate.values == (0, 2, 3)
+
+    def test_where_between(self):
+        query = parse_query("SELECT SUM(x) WHERE Time.Month BETWEEN 3 AND 9")
+        predicate = query.where[0]
+        assert predicate.op is PredicateOp.BETWEEN
+        assert predicate.values == (3, 9)
+
+    def test_where_string_members(self):
+        query = parse_query("SELECT SUM(x) WHERE Product.Division = 'Division 1'")
+        assert query.where[0].values == ("Division 1",)
+
+    def test_multiple_predicates(self):
+        query = parse_query(
+            "SELECT SUM(x) WHERE Time.Year = 0 AND Channel.Channel IN (1)"
+        )
+        assert len(query.where) == 2
+
+    def test_full_query_roundtrips_via_str(self):
+        text = (
+            "SELECT SUM(x), AVG(x) GROUP BY Product.Division "
+            "WHERE Time.Year = 1 AND Channel.Channel IN (0, 2)"
+        )
+        query = parse_query(text)
+        assert parse_query(str(query)) == query
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT SUM",
+            "SELECT SUM(x) GROUP Product.Division",
+            "SELECT SUM(x) WHERE Time.Year",
+            "SELECT SUM(x) WHERE Time.Year ~ 3",
+            "SELECT SUM(x) WHERE Time.Year IN ()",
+            "SELECT SUM(x) trailing",
+            "SELECT MAX(x)",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)

@@ -1,0 +1,115 @@
+"""ORDER BY / LIMIT tests for the OLAP query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    OlapSession,
+    generate_fact_table,
+)
+from repro.olap.binder import QueryBindError
+from repro.olap.lexer import QuerySyntaxError
+from repro.olap.nodes import OrderBy
+from repro.olap.parser import parse_query
+from repro.schema import apb_tiny_schema
+
+
+@pytest.fixture(scope="module")
+def session():
+    schema = apb_tiny_schema()
+    facts = generate_fact_table(schema, num_tuples=300, seed=23)
+    backend = BackendDatabase(schema, facts)
+    cache = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    return OlapSession(cache)
+
+
+class TestParsing:
+    def test_order_by_position(self):
+        query = parse_query("SELECT SUM(x) GROUP BY A.L1 ORDER BY 2 DESC")
+        assert query.order_by == OrderBy(column=2, descending=True)
+
+    def test_order_by_aggregate(self):
+        query = parse_query("SELECT SUM(x) ORDER BY SUM(x)")
+        assert query.order_by == OrderBy(column="SUM(x)", descending=False)
+
+    def test_order_by_level_ref_and_asc(self):
+        query = parse_query("SELECT SUM(x) GROUP BY A.L1 ORDER BY A.L1 ASC")
+        assert query.order_by == OrderBy(column="A.L1", descending=False)
+
+    def test_limit(self):
+        query = parse_query("SELECT SUM(x) GROUP BY A.L1 LIMIT 3")
+        assert query.limit == 3
+
+    def test_str_roundtrip(self):
+        text = "SELECT SUM(x) GROUP BY A.L1 ORDER BY SUM(x) DESC LIMIT 2"
+        query = parse_query(text)
+        assert parse_query(str(query)) == query
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT SUM(x) ORDER BY",
+            "SELECT SUM(x) ORDER BY 0",
+            "SELECT SUM(x) LIMIT 0",
+            "SELECT SUM(x) LIMIT",
+            "SELECT SUM(x) ORDER BY =",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+
+class TestExecution:
+    def test_order_by_measure_descending(self, session):
+        rs = session.query(
+            "SELECT SUM(UnitSales) GROUP BY Product.L2 "
+            "ORDER BY SUM(UnitSales) DESC"
+        )
+        sums = [row[1] for row in rs.rows]
+        assert sums == sorted(sums, reverse=True)
+
+    def test_order_by_position(self, session):
+        rs = session.query(
+            "SELECT SUM(UnitSales) GROUP BY Product.L2 ORDER BY 2"
+        )
+        sums = [row[1] for row in rs.rows]
+        assert sums == sorted(sums)
+
+    def test_order_by_group_column_name(self, session):
+        rs = session.query(
+            "SELECT SUM(UnitSales) GROUP BY Product.L2 "
+            "ORDER BY Product.L2 DESC"
+        )
+        labels = [row[0] for row in rs.rows]
+        assert labels == sorted(labels, reverse=True)
+
+    def test_limit_truncates(self, session):
+        rs = session.query(
+            "SELECT SUM(UnitSales) GROUP BY Product.L2 LIMIT 2"
+        )
+        assert len(rs) == 2
+
+    def test_top_k_pattern(self, session):
+        full = session.query(
+            "SELECT SUM(UnitSales) GROUP BY Product.L2 "
+            "ORDER BY SUM(UnitSales) DESC"
+        )
+        top = session.query(
+            "SELECT SUM(UnitSales) GROUP BY Product.L2 "
+            "ORDER BY SUM(UnitSales) DESC LIMIT 1"
+        )
+        assert top.rows == full.rows[:1]
+
+    def test_unknown_order_column(self, session):
+        with pytest.raises(QueryBindError, match="not an output column"):
+            session.query("SELECT SUM(UnitSales) ORDER BY Customer.L1")
+
+    def test_position_out_of_range(self, session):
+        with pytest.raises(QueryBindError, match="out of range"):
+            session.query("SELECT SUM(UnitSales) ORDER BY 5")

@@ -1,0 +1,61 @@
+"""OlapSession surface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    MemberCatalog,
+    OlapSession,
+    generate_fact_table,
+)
+from repro.olap.nodes import SelectQuery
+from repro.schema import apb_tiny_schema
+
+
+@pytest.fixture(scope="module")
+def session():
+    schema = apb_tiny_schema()
+    facts = generate_fact_table(schema, num_tuples=200, seed=6)
+    backend = BackendDatabase(schema, facts)
+    cache = AggregateCache(schema, backend, capacity_bytes=1 << 20)
+    return OlapSession(cache, MemberCatalog.synthetic(schema))
+
+
+def test_parse_returns_ast(session):
+    query = session.parse("SELECT SUM(UnitSales)")
+    assert isinstance(query, SelectQuery)
+
+
+def test_bind_accepts_text_or_ast(session):
+    from_text = session.bind("SELECT SUM(UnitSales) GROUP BY Product.L1")
+    from_ast = session.bind(
+        session.parse("SELECT SUM(UnitSales) GROUP BY Product.L1")
+    )
+    assert from_text.output_level == from_ast.output_level
+
+
+def test_query_accepts_ast(session):
+    ast = session.parse("SELECT SUM(UnitSales)")
+    rs = session.query(ast)
+    assert len(rs) == 1
+
+
+def test_sql_alias(session):
+    assert session.sql("SELECT SUM(UnitSales)").rows == session.query(
+        "SELECT SUM(UnitSales)"
+    ).rows
+
+
+def test_queries_run_counter(session):
+    before = session.queries_run
+    session.query("SELECT SUM(UnitSales)")
+    session.query("SELECT COUNT(UnitSales)")
+    assert session.queries_run == before + 2
+
+
+def test_result_iteration_and_len(session):
+    rs = session.query("SELECT SUM(UnitSales) GROUP BY Product.L2")
+    assert len(list(iter(rs))) == len(rs)

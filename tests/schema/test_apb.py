@@ -1,0 +1,67 @@
+"""APB-1 schema factory tests: the paper's lattice shape must hold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema import (
+    apb_reduced_schema,
+    apb_schema,
+    apb_small_schema,
+    apb_tiny_schema,
+)
+
+
+@pytest.mark.parametrize("factory", [apb_schema, apb_small_schema])
+def test_apb_lattice_is_paper_shape(factory):
+    schema = factory()
+    # (6+1)*(2+1)*(3+1)*(1+1)*(1+1) = 336 as in Section 7 of the paper.
+    assert schema.heights == (6, 2, 3, 1, 1)
+    assert schema.num_levels == 336
+    assert [d.name for d in schema.dimensions] == [
+        "Product",
+        "Customer",
+        "Time",
+        "Channel",
+        "Scenario",
+    ]
+    assert schema.measure == "UnitSales"
+    assert schema.bytes_per_tuple == 20
+
+
+def test_apb_full_chunk_census_near_paper():
+    schema = apb_schema()
+    # Paper: 32 256 chunks over all levels; our uniform rounding gives a
+    # census within 25%.
+    assert 0.75 * 32256 <= schema.total_chunks() <= 1.25 * 32256
+
+
+def test_apb_small_is_materially_smaller():
+    small, full = apb_small_schema(), apb_schema()
+    assert small.total_chunks() < full.total_chunks() / 4
+    assert small.num_cells(small.base_level) < full.num_cells(full.base_level)
+
+
+def test_apb_level_names():
+    schema = apb_schema()
+    product = schema.dimension("Product")
+    assert product.level_names[0] == "ALL"
+    assert product.level_names[-1] == "Code"
+    assert schema.dimension("Time").level_names == (
+        "ALL",
+        "Year",
+        "Quarter",
+        "Month",
+    )
+
+
+def test_reduced_and_tiny_shapes():
+    assert apb_reduced_schema().heights == (3, 2, 1)
+    tiny = apb_tiny_schema()
+    assert tiny.heights == (2, 1, 1)
+    assert tiny.num_levels == 12
+
+
+def test_apex_paths_match_paper():
+    schema = apb_schema()
+    assert schema.paths_to_base(schema.apex_level) == 720720

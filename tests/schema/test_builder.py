@@ -1,0 +1,167 @@
+"""Dimension builder tests: raw member rows -> closure-correct dimension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.builder import build_dimension
+from repro.schema.members import MemberCatalog
+from repro.util.errors import SchemaError
+
+RETAIL_ROWS = [
+    ("espresso", "coffee", "beverages"),
+    ("latte", "coffee", "beverages"),
+    ("green tea", "tea", "beverages"),
+    ("black tea", "tea", "beverages"),
+    ("baguette", "bread", "bakery"),
+    ("croissant", "bread", "bakery"),
+    ("muffin", "pastry", "bakery"),
+]
+
+
+@pytest.fixture
+def built():
+    return build_dimension(
+        "Product", ["Sku", "Category", "Department"], RETAIL_ROWS,
+        target_chunk_size=2,
+    )
+
+
+def test_shape(built):
+    dim = built.dimension
+    assert dim.height == 3
+    assert dim.cardinalities == (1, 2, 4, 7)
+    assert dim.level_names == ("ALL", "Department", "Category", "Sku")
+
+
+def test_hierarchy_contiguous_and_correct(built):
+    dim = built.dimension
+    # Every SKU maps to the right category and department by name.
+    names_by_level = built.member_names
+    sku_to_row = {row[0]: row for row in RETAIL_ROWS}
+    for ordinal, sku in enumerate(names_by_level[3]):
+        expected = sku_to_row[sku]
+        category_ordinal = int(
+            dim.map_ordinals(3, 2, np.asarray([ordinal]))[0]
+        )
+        department_ordinal = int(
+            dim.map_ordinals(3, 1, np.asarray([ordinal]))[0]
+        )
+        assert names_by_level[2][category_ordinal] == expected[1]
+        assert names_by_level[1][department_ordinal] == expected[2]
+
+
+def test_base_ordinals_roundtrip(built):
+    for sku, ordinal in built.base_ordinals.items():
+        assert built.member_names[3][ordinal] == sku
+
+
+def test_catalog_installation(built):
+    from repro.schema import CubeSchema, Dimension
+
+    schema = CubeSchema([built.dimension, Dimension.flat("Time", 2, 1)])
+    catalog = MemberCatalog(schema)
+    built.install_names(catalog)
+    assert catalog.ordinal_of("Product", 1, "bakery") in (0, 1)
+    assert catalog.name_of("Product", 0, 0) == "ALL"
+
+
+def test_usable_in_full_stack(built):
+    """The built dimension must work end to end: cube, facts, queries."""
+    from repro import (
+        AggregateCache,
+        BackendDatabase,
+        OlapSession,
+        generate_fact_table,
+    )
+    from repro.schema import CubeSchema, Dimension
+
+    schema = CubeSchema(
+        [built.dimension, Dimension.flat("Time", 4, 2)],
+        measure="Revenue",
+    )
+    facts = generate_fact_table(schema, num_tuples=100, seed=8)
+    cache = AggregateCache(
+        schema, BackendDatabase(schema, facts), capacity_bytes=1 << 20
+    )
+    catalog = MemberCatalog(schema)
+    built.install_names(catalog)
+    session = OlapSession(cache, catalog)
+    rs = session.query("SELECT SUM(Revenue) GROUP BY Product.Department")
+    assert {row[0] for row in rs.rows} <= {"bakery", "beverages"}
+    assert sum(row[1] for row in rs.rows) == pytest.approx(facts.total())
+    filtered = session.query(
+        "SELECT SUM(Revenue) WHERE Product.Category = 'coffee'"
+    )
+    assert filtered.rows[0][0] <= facts.total()
+
+
+def test_duplicate_rows_collapse():
+    built = build_dimension(
+        "X", ["A", "B"], [("a", "p"), ("a", "p"), ("b", "p")]
+    )
+    assert built.dimension.cardinality(2) == 2
+
+
+def test_conflicting_ancestry_rejected():
+    with pytest.raises(SchemaError, match="two ancestries"):
+        build_dimension("X", ["A", "B"], [("a", "p"), ("a", "q")])
+
+
+def test_bad_row_width_rejected():
+    with pytest.raises(SchemaError, match="entries"):
+        build_dimension("X", ["A", "B"], [("a",)])
+
+
+def test_empty_rows_rejected():
+    with pytest.raises(SchemaError, match="no member rows"):
+        build_dimension("X", ["A"], [])
+
+
+def test_target_chunk_size_validation():
+    with pytest.raises(SchemaError, match="positive"):
+        build_dimension("X", ["A"], [("a",)], target_chunk_size=0)
+
+
+def test_single_level_dimension():
+    built = build_dimension("X", ["A"], [("a",), ("b",), ("c",)])
+    assert built.dimension.height == 1
+    assert built.dimension.cardinality(1) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_departments=st.integers(1, 3),
+    n_categories=st.integers(1, 4),
+    n_skus=st.integers(1, 30),
+    seed=st.integers(0, 1000),
+    target=st.integers(1, 8),
+)
+def test_random_hierarchies_always_closure_valid(
+    n_departments, n_categories, n_skus, seed, target
+):
+    """Property: whatever the raw rows, the built dimension passes the
+    Dimension constructor's closure validation and roundtrips ancestry."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for sku in range(n_skus):
+        category = int(rng.integers(0, n_categories))
+        department = category % n_departments
+        rows.append((f"s{sku}", f"c{category}", f"d{department}"))
+    built = build_dimension(
+        "X", ["Sku", "Cat", "Dept"], rows, target_chunk_size=target
+    )
+    dim = built.dimension
+    # Chunk census: every level tiles its domain.
+    for level in range(dim.height + 1):
+        lo_hi = [dim.chunk_range(level, c) for c in range(dim.num_chunks(level))]
+        assert lo_hi[0][0] == 0
+        assert lo_hi[-1][1] == dim.cardinality(level)
+    # Ancestry roundtrip for a sample of SKUs.
+    for sku, category, department in rows[:5]:
+        ordinal = built.base_ordinals[sku]
+        cat_ord = int(dim.map_ordinals(3, 2, np.asarray([ordinal]))[0])
+        assert built.member_names[2][cat_ord] == category

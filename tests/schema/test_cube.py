@@ -1,0 +1,76 @@
+"""CubeSchema tests: lattice delegation, naming, chunk census."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema import CubeSchema, Dimension, apb_tiny_schema
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return apb_tiny_schema()
+
+
+def test_basic_shape(schema):
+    assert schema.ndims == 3
+    assert schema.heights == (2, 1, 1)
+    assert schema.base_level == (2, 1, 1)
+    assert schema.apex_level == (0, 0, 0)
+    assert schema.num_levels == 3 * 2 * 2
+
+
+def test_level_index_is_dense_and_stable(schema):
+    indices = [schema.level_index(level) for level in schema.all_levels()]
+    assert indices == list(range(schema.num_levels))
+    with pytest.raises(SchemaError):
+        schema.level_index((9, 9, 9))
+
+
+def test_dimension_lookup(schema):
+    assert schema.dimension("Product").name == "Product"
+    assert schema.dim_index("Time") == 2
+    with pytest.raises(SchemaError):
+        schema.dimension("Nope")
+    with pytest.raises(SchemaError):
+        schema.dim_index("Nope")
+
+
+def test_level_name_readable(schema):
+    name = schema.level_name((2, 0, 1))
+    assert "Product.L2" in name and "Customer.L0" in name
+
+
+def test_duplicate_dimension_names_rejected():
+    dim = Dimension.flat("X", 4, 2)
+    with pytest.raises(SchemaError, match="duplicate"):
+        CubeSchema([dim, Dimension.flat("X", 2, 1)])
+
+
+def test_empty_dimension_list_rejected():
+    with pytest.raises(SchemaError):
+        CubeSchema([])
+
+
+def test_default_bytes_per_tuple():
+    schema = CubeSchema([Dimension.flat("A", 4, 2), Dimension.flat("B", 2, 1)])
+    assert schema.bytes_per_tuple == 4 * 2 + 8
+
+
+def test_total_chunks_product_formula(schema):
+    # Explicit sum over the lattice must equal the factored product.
+    explicit = sum(schema.num_chunks(level) for level in schema.all_levels())
+    assert schema.total_chunks() == explicit
+
+
+def test_parents_children_delegate(schema):
+    assert schema.parents_of((0, 0, 0)) == [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    assert schema.children_of((1, 1, 0)) == [(0, 1, 0), (1, 0, 0)]
+    assert schema.paths_to_base((0, 0, 0)) == 12
+    assert schema.descendant_count((2, 1, 1)) == 12
+
+
+def test_num_cells(schema):
+    assert schema.num_cells(schema.base_level) == 4 * 2 * 2
+    assert schema.num_cells(schema.apex_level) == 1

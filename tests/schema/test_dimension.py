@@ -1,0 +1,210 @@
+"""Dimension hierarchy and chunk-boundary tests, incl. closure properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.dimension import Dimension
+from repro.util.errors import ChunkAlignmentError, SchemaError
+
+
+@pytest.fixture
+def product_dim():
+    return Dimension.uniform("Product", [1, 2, 6, 12], [1, 1, 2, 4])
+
+
+class TestConstruction:
+    def test_uniform_basic_properties(self, product_dim):
+        assert product_dim.height == 3
+        assert product_dim.cardinalities == (1, 2, 6, 12)
+        assert [product_dim.num_chunks(l) for l in range(4)] == [1, 1, 2, 4]
+
+    def test_flat_dimension(self):
+        dim = Dimension.flat("Channel", 10, num_chunks=2)
+        assert dim.height == 1
+        assert dim.cardinality(1) == 10
+        assert dim.num_chunks(1) == 2
+
+    def test_level_zero_must_be_all(self):
+        with pytest.raises(SchemaError, match="ALL level"):
+            Dimension.uniform("X", [2, 4], [1, 1])
+
+    def test_cardinality_must_not_shrink(self):
+        with pytest.raises(SchemaError):
+            Dimension(
+                "X",
+                [1, 4, 2],
+                [None, np.zeros(4, dtype=np.int64), np.zeros(2, dtype=np.int64)],
+                [[0, 1], [0, 4], [0, 2]],
+            )
+
+    def test_uniform_requires_integer_fanout(self):
+        with pytest.raises(SchemaError, match="not a multiple"):
+            Dimension.uniform("X", [1, 2, 5], [1, 1, 1])
+
+    def test_uniform_requires_divisible_chunks(self):
+        with pytest.raises(SchemaError, match="not\\s+divisible"):
+            Dimension.uniform("X", [1, 2, 6], [1, 1, 4])
+
+    def test_parent_map_must_be_monotone(self):
+        with pytest.raises(SchemaError, match="monotone"):
+            Dimension(
+                "X",
+                [1, 2, 4],
+                [None, [0, 0], [0, 1, 0, 1]],
+                [[0, 1], [0, 2], [0, 4]],
+            )
+
+    def test_parent_map_must_be_surjective(self):
+        with pytest.raises(SchemaError, match="surjective"):
+            Dimension(
+                "X",
+                [1, 2, 4],
+                [None, [0, 0], [0, 0, 0, 0]],
+                [[0, 1], [0, 2], [0, 4]],
+            )
+
+    def test_misaligned_chunks_rejected(self):
+        # Level-1 boundary at value 1 maps to value 3 at level 2, but the
+        # level-2 boundaries are {0, 2, 4, 6}: closure violated.
+        with pytest.raises(ChunkAlignmentError):
+            Dimension(
+                "X",
+                [1, 2, 6],
+                [None, [0, 0], [0, 0, 0, 1, 1, 1]],
+                [[0, 1], [0, 1, 2], [0, 2, 4, 6]],
+            )
+
+    def test_nonuniform_hierarchy_accepted(self):
+        # Ragged fan-out (2 then 3 children) with aligned chunks.
+        dim = Dimension(
+            "X",
+            [1, 2, 5],
+            [None, [0, 0], [0, 0, 1, 1, 1]],
+            [[0, 1], [0, 1, 2], [0, 2, 5]],
+        )
+        assert dim.child_chunk_span(1, 0, 2) == (0, 1)
+        assert dim.child_chunk_span(1, 1, 2) == (1, 2)
+
+    def test_boundaries_must_cover_domain(self):
+        with pytest.raises(SchemaError, match="boundaries"):
+            Dimension("X", [1, 4], [None, [0, 0, 0, 0]], [[0, 1], [0, 2]])
+
+    def test_level_names_length_checked(self):
+        with pytest.raises(SchemaError, match="level names"):
+            Dimension.uniform("X", [1, 2], [1, 1], level_names=["ALL"])
+
+
+class TestChunkGeometry:
+    def test_chunk_of_value_and_range_roundtrip(self, product_dim):
+        for level in range(4):
+            for chunk in range(product_dim.num_chunks(level)):
+                lo, hi = product_dim.chunk_range(level, chunk)
+                for v in range(lo, hi):
+                    assert product_dim.chunk_of_value(level, v) == chunk
+
+    def test_chunk_of_value_bounds_checked(self, product_dim):
+        with pytest.raises(SchemaError):
+            product_dim.chunk_of_value(3, 12)
+        with pytest.raises(SchemaError):
+            product_dim.chunk_of_value(3, -1)
+
+    def test_chunk_range_bounds_checked(self, product_dim):
+        with pytest.raises(SchemaError):
+            product_dim.chunk_range(3, 4)
+
+
+class TestCrossLevelMaps:
+    def test_map_ordinals_composes(self, product_dim):
+        ords = np.arange(12)
+        to_l2 = product_dim.map_ordinals(3, 2, ords)
+        to_l1 = product_dim.map_ordinals(3, 1, ords)
+        # Composition: base -> L2 -> L1 equals base -> L1.
+        via = product_dim.map_ordinals(2, 1, to_l2)
+        assert np.array_equal(via, to_l1)
+
+    def test_map_ordinals_to_all_level_is_zero(self, product_dim):
+        ords = np.arange(12)
+        assert np.all(product_dim.map_ordinals(3, 0, ords) == 0)
+
+    def test_map_ordinals_rejects_upward(self, product_dim):
+        with pytest.raises(SchemaError):
+            product_dim.map_ordinals(1, 2, np.arange(2))
+
+    def test_fine_value_span_covers_exactly(self, product_dim):
+        # Each level-1 value maps to 3 level-2 values.
+        assert product_dim.fine_value_span(1, 0, 1, 2) == (0, 3)
+        assert product_dim.fine_value_span(1, 1, 2, 2) == (3, 6)
+        assert product_dim.fine_value_span(1, 0, 2, 3) == (0, 12)
+
+    def test_child_chunk_span_closure(self, product_dim):
+        # Every coarse chunk maps to a whole fine-chunk span that exactly
+        # covers the same values.
+        for coarse in range(4):
+            for fine in range(coarse, 4):
+                for chunk in range(product_dim.num_chunks(coarse)):
+                    first, last = product_dim.child_chunk_span(
+                        coarse, chunk, fine
+                    )
+                    lo, hi = product_dim.chunk_range(coarse, chunk)
+                    fine_lo, fine_hi = product_dim.fine_value_span(
+                        coarse, lo, hi, fine
+                    )
+                    assert product_dim.chunk_range(fine, first)[0] == fine_lo
+                    assert product_dim.chunk_range(fine, last - 1)[1] == fine_hi
+
+    def test_parent_chunk_of_inverts_child_span(self, product_dim):
+        for coarse in range(4):
+            for fine in range(coarse, 4):
+                for chunk in range(product_dim.num_chunks(coarse)):
+                    first, last = product_dim.child_chunk_span(
+                        coarse, chunk, fine
+                    )
+                    for fc in range(first, last):
+                        assert (
+                            product_dim.parent_chunk_of(fine, fc, coarse)
+                            == chunk
+                        )
+
+    def test_direction_validation(self, product_dim):
+        with pytest.raises(SchemaError):
+            product_dim.child_chunk_span(2, 0, 1)
+        with pytest.raises(SchemaError):
+            product_dim.parent_chunk_of(1, 0, 2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fanouts=st.lists(st.integers(1, 4), min_size=1, max_size=4),
+    data=st.data(),
+)
+def test_uniform_dimension_closure_property(fanouts, data):
+    """Property: for random uniform dimensions, value-level consistency —
+    a value's chunk at a coarse level equals the parent chunk of the
+    value's chunk at any finer level."""
+    cards = [1]
+    for f in fanouts:
+        cards.append(cards[-1] * f)
+    chunks = [
+        data.draw(
+            st.sampled_from([d for d in range(1, c + 1) if c % d == 0]),
+            label=f"chunks[{i}]",
+        )
+        for i, c in enumerate(cards)
+    ]
+    try:
+        dim = Dimension.uniform("X", cards, chunks)
+    except ChunkAlignmentError:
+        # Uniform chunk counts need not align across levels; skip those.
+        return
+    fine = dim.height
+    ords = np.arange(cards[fine])
+    for coarse in range(fine):
+        coarse_ords = dim.map_ordinals(fine, coarse, ords)
+        for v in range(cards[fine]):
+            fine_chunk = dim.chunk_of_value(fine, v)
+            coarse_chunk = dim.chunk_of_value(coarse, int(coarse_ords[v]))
+            assert dim.parent_chunk_of(fine, fine_chunk, coarse) == coarse_chunk

@@ -1,0 +1,127 @@
+"""Lattice arithmetic tests, including the Lemma 1 property (experiment E11)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema import lattice
+
+
+def test_all_levels_count_matches_lattice_size():
+    heights = (2, 1, 3)
+    levels = list(lattice.all_levels(heights))
+    assert len(levels) == lattice.lattice_size(heights) == 3 * 2 * 4
+    assert len(set(levels)) == len(levels)
+
+
+def test_all_levels_starts_at_apex_ends_at_base():
+    heights = (2, 2)
+    levels = list(lattice.all_levels(heights))
+    assert levels[0] == (0, 0)
+    assert levels[-1] == heights
+
+
+def test_parents_are_one_step_more_detailed():
+    heights = (2, 1)
+    assert lattice.parents_of((0, 0), heights) == [(1, 0), (0, 1)]
+    assert lattice.parents_of((2, 1), heights) == []
+    assert lattice.parents_of((1, 1), heights) == [(2, 1)]
+
+
+def test_children_are_one_step_more_aggregated():
+    assert lattice.children_of((0, 0)) == []
+    assert lattice.children_of((2, 1)) == [(1, 1), (2, 0)]
+
+
+def test_parent_child_are_inverse():
+    heights = (2, 1, 1)
+    for level in lattice.all_levels(heights):
+        for parent in lattice.parents_of(level, heights):
+            assert level in lattice.children_of(parent)
+        for child in lattice.children_of(level):
+            assert level in lattice.parents_of(child, heights)
+
+
+def test_is_computable_from_matches_definition():
+    assert lattice.is_computable_from((0, 2, 0), (0, 2, 1))
+    assert lattice.is_computable_from((0, 2, 0), (1, 2, 0))
+    assert not lattice.is_computable_from((1, 2, 0), (0, 2, 1))
+    assert lattice.is_computable_from((1, 1), (1, 1))
+
+
+def test_ancestors_and_descendants_partition_comparable_levels():
+    heights = (2, 1)
+    level = (1, 0)
+    ancestors = set(lattice.ancestors_of(level, heights))
+    descendants = set(lattice.descendants_of(level))
+    assert ancestors == {(1, 1), (2, 0), (2, 1)}
+    assert descendants == {(0, 0)}
+    assert level not in ancestors | descendants
+
+
+def test_descendant_count_formula():
+    assert lattice.descendant_count((0, 0)) == 1
+    assert lattice.descendant_count((2, 1)) == 6
+    assert lattice.descendant_count((6, 2, 3, 1, 1)) == 7 * 3 * 4 * 2 * 2
+
+
+def test_paths_to_base_known_values():
+    # Paper example: for the most aggregated level the count is
+    # (h1+..+hn)! / (h1! * .. * hn!).
+    heights = (6, 2, 3, 1, 1)
+    expected = math.factorial(13) // (
+        math.factorial(6) * math.factorial(2) * math.factorial(3)
+    )
+    assert lattice.paths_to_base((0, 0, 0, 0, 0), heights) == expected == 720720
+
+
+def test_paths_to_base_is_one_at_base_and_along_chains():
+    heights = (3, 2)
+    assert lattice.paths_to_base(heights, heights) == 1
+    # One dimension left to refine: a single path regardless of gap.
+    assert lattice.paths_to_base((0, 2), heights) == 1
+
+
+def test_paths_to_base_rejects_bad_levels():
+    with pytest.raises(ValueError):
+        lattice.paths_to_base((4, 0), (3, 2))
+    with pytest.raises(ValueError):
+        lattice.paths_to_base((0,), (3, 2))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    heights=st.lists(st.integers(0, 3), min_size=1, max_size=4).map(tuple),
+    data=st.data(),
+)
+def test_lemma1_matches_brute_force(heights, data):
+    """Lemma 1 (E11): the closed form equals explicit path enumeration."""
+    level = tuple(
+        data.draw(st.integers(0, h), label=f"level[{i}]")
+        for i, h in enumerate(heights)
+    )
+    assert lattice.paths_to_base(level, heights) == (
+        lattice.count_paths_brute_force(level, heights)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(heights=st.lists(st.integers(0, 3), min_size=1, max_size=3).map(tuple))
+def test_walk_count_recurrence(heights):
+    """count_walks_to_base satisfies T(v) = 1 + sum_parents T(p)."""
+    for level in lattice.all_levels(heights):
+        expected = 1 + sum(
+            lattice.count_walks_to_base(p, heights)
+            for p in lattice.parents_of(level, heights)
+        )
+        assert lattice.count_walks_to_base(level, heights) == expected
+
+
+def test_validate_level_accepts_bounds():
+    lattice.validate_level((0, 2), (1, 2))
+    with pytest.raises(ValueError):
+        lattice.validate_level((-1, 0), (1, 2))

@@ -1,0 +1,64 @@
+"""Member catalog tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema import apb_tiny_schema
+from repro.schema.members import MemberCatalog
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return apb_tiny_schema()
+
+
+def test_synthetic_names_all_levels(schema):
+    catalog = MemberCatalog.synthetic(schema)
+    for dim in schema.dimensions:
+        for level in range(dim.height + 1):
+            assert catalog.has_names(dim.name, level)
+    assert catalog.name_of("Product", 0, 0) == "ALL"
+    assert catalog.name_of("Product", 2, 3).endswith("3")
+
+
+def test_roundtrip(schema):
+    catalog = MemberCatalog.synthetic(schema)
+    for dim in schema.dimensions:
+        for level in range(dim.height + 1):
+            for ordinal in range(dim.cardinality(level)):
+                name = catalog.name_of(dim.name, level, ordinal)
+                assert catalog.ordinal_of(dim.name, level, name) == ordinal
+
+
+def test_custom_names(schema):
+    catalog = MemberCatalog(schema)
+    catalog.set_names("Customer", 1, ["Retail", "Online"])
+    assert catalog.ordinal_of("Customer", 1, "Online") == 1
+    assert not catalog.has_names("Product", 1)
+    # Without names, name_of falls back to the ordinal.
+    assert catalog.name_of("Product", 1, 0) == "0"
+
+
+def test_validation(schema):
+    catalog = MemberCatalog(schema)
+    with pytest.raises(SchemaError, match="needs 2 member names"):
+        catalog.set_names("Customer", 1, ["just one"])
+    with pytest.raises(SchemaError, match="duplicate"):
+        catalog.set_names("Customer", 1, ["same", "same"])
+    with pytest.raises(SchemaError, match="no level"):
+        catalog.set_names("Customer", 9, [])
+    with pytest.raises(SchemaError, match="no dimension"):
+        catalog.set_names("Nope", 0, ["ALL"])
+
+
+def test_unknown_lookups(schema):
+    catalog = MemberCatalog.synthetic(schema)
+    with pytest.raises(SchemaError, match="no member named"):
+        catalog.ordinal_of("Product", 1, "Nope")
+    with pytest.raises(SchemaError, match="no ordinal"):
+        catalog.name_of("Product", 1, 99)
+    bare = MemberCatalog(schema)
+    with pytest.raises(SchemaError, match="no member names installed"):
+        bare.ordinal_of("Product", 1, "X")

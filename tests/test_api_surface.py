@@ -1,0 +1,61 @@
+"""Public API hygiene: exports, docstrings, and basic contracts."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if "__main__" not in name
+]
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_all_is_sorted_and_unique():
+    assert sorted(repro.__all__) == list(repro.__all__)
+    assert len(set(repro.__all__)) == len(repro.__all__)
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_every_module_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_public_classes_have_docstrings():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+def test_version_matches_pyproject():
+    import pathlib
+    import re
+
+    pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+    if not pyproject.exists():
+        pytest.skip("source layout not available")
+    match = re.search(r'version = "([^"]+)"', pyproject.read_text())
+    assert match
+    assert repro.__version__ == match.group(1)
+
+
+def test_strategy_and_policy_registries_consistent():
+    from repro import STRATEGY_NAMES, make_strategy
+    from repro.cache.replacement import POLICY_NAMES, make_policy
+
+    assert set(STRATEGY_NAMES) == {"esm", "esmc", "vcm", "vcmc", "noagg"}
+    for policy in POLICY_NAMES:
+        assert make_policy(policy).name == policy

@@ -1,0 +1,45 @@
+"""ASCII chart tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.charts import bar_chart, ratio_row
+
+
+def test_bars_scale_linearly():
+    text = bar_chart(
+        ["a", "b"], {"s": [10.0, 20.0]}, width=10
+    )
+    lines = [l for l in text.splitlines() if l.strip()]
+    short = lines[0].count("█")
+    long = lines[1].count("█")
+    assert long == 10 and short == 5
+
+
+def test_grouped_series_use_distinct_glyphs():
+    text = bar_chart(["a"], {"x": [1.0], "y": [1.0]}, width=4)
+    assert "█" in text and "▓" in text
+
+
+def test_title_and_values_shown():
+    text = bar_chart(["a"], {"x": [3.5]}, title="Figure", unit="ms")
+    assert text.startswith("Figure")
+    assert "3.50ms" in text
+
+
+def test_zero_values_render_empty_bars():
+    text = bar_chart(["a"], {"x": [0.0]})
+    assert "█" not in text
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="at least one label"):
+        bar_chart([], {})
+    with pytest.raises(ValueError, match="values for"):
+        bar_chart(["a", "b"], {"x": [1.0]})
+
+
+def test_ratio_row():
+    assert ratio_row(5.0, 10.0, width=10) == "█" * 5
+    assert ratio_row(1.0, 0.0) == ""

@@ -1,0 +1,21 @@
+"""RNG helper tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def test_same_seed_same_stream():
+    a, b = make_rng(5), make_rng(5)
+    assert a.integers(0, 1000) == b.integers(0, 1000)
+
+
+def test_generator_passed_through():
+    gen = np.random.default_rng(1)
+    assert make_rng(gen) is gen
+
+
+def test_default_seed_deterministic():
+    assert make_rng(None).integers(0, 1 << 30) == make_rng(None).integers(0, 1 << 30)

@@ -1,0 +1,48 @@
+"""ASCII table renderer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+def test_basic_rendering():
+    text = render_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+    lines = text.splitlines()
+    assert lines[0].startswith("+")
+    assert "a" in lines[1] and "bb" in lines[1]
+    # All lines are equally wide.
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_title_prepended():
+    text = render_table(["a"], [[1]], title="Table X.")
+    assert text.splitlines()[0] == "Table X."
+
+
+def test_numeric_columns_right_aligned():
+    text = render_table(["n", "s"], [[1, "x"], [100, "long"]])
+    row = next(line for line in text.splitlines() if "| 100" in line or "100 " in line)
+    # Numeric cell is right-aligned: padding before the number.
+    assert "|   1 |" in text
+
+
+def test_floats_formatted():
+    text = render_table(["v"], [[1.23456]])
+    assert "1.235" in text
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError, match="cells"):
+        render_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    text = render_table(["a", "b"], [])
+    assert "| a" in text
+
+
+def test_percent_and_factor_cells_stay_numeric_aligned():
+    text = render_table(["v"], [["95%"], ["5.8x"], ["-"]])
+    assert "95%" in text and "5.8x" in text

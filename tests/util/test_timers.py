@@ -1,0 +1,48 @@
+"""Timer and accumulator tests."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util.timers import MinMaxAvg, Stopwatch, TimeBreakdown
+
+
+def test_stopwatch_measures_elapsed():
+    watch = Stopwatch()
+    time.sleep(0.01)
+    assert watch.elapsed_ms() >= 8.0
+    watch.restart()
+    assert watch.elapsed_ms() < 8.0
+
+
+def test_breakdown_total_and_add():
+    a = TimeBreakdown(lookup_ms=1, aggregate_ms=2, update_ms=3, backend_ms=4)
+    assert a.total_ms == 10
+    b = TimeBreakdown(lookup_ms=0.5)
+    a.add(b)
+    assert a.lookup_ms == 1.5
+    assert a.total_ms == 10.5
+
+
+def test_minmaxavg_accumulates():
+    acc = MinMaxAvg()
+    for value in (3.0, 1.0, 2.0):
+        acc.observe(value)
+    assert acc.count == 3
+    assert acc.min_value == 1.0
+    assert acc.max_value == 3.0
+    assert acc.average == pytest.approx(2.0)
+
+
+def test_minmaxavg_empty():
+    acc = MinMaxAvg()
+    assert acc.average == 0.0
+    assert acc.as_row() == ["-", "-", "-"]
+
+
+def test_minmaxavg_as_row_format():
+    acc = MinMaxAvg()
+    acc.observe(1.23456)
+    assert acc.as_row("{:.1f}x") == ["1.2x", "1.2x", "1.2x"]

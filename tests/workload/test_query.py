@@ -1,0 +1,66 @@
+"""Query shape tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema import apb_tiny_schema
+from repro.util.errors import SchemaError
+from repro.workload import Query
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return apb_tiny_schema()
+
+
+def test_full_level_covers_all_chunks(schema):
+    for level in schema.all_levels():
+        query = Query.full_level(schema, level)
+        assert query.num_chunks == schema.num_chunks(level)
+        assert query.chunk_numbers(schema) == list(
+            range(schema.num_chunks(level))
+        )
+
+
+def test_single_chunk(schema):
+    level = schema.base_level
+    for number in range(schema.num_chunks(level)):
+        query = Query.single_chunk(schema, level, number)
+        assert query.chunk_numbers(schema) == [number]
+        assert query.num_chunks == 1
+
+
+def test_rectangular_region(schema):
+    level = schema.base_level  # chunk shape (4, 2, 1)
+    query = Query(level, ((1, 3), (0, 2), (0, 1)))
+    numbers = query.chunk_numbers(schema)
+    assert len(numbers) == 4
+    coords = [schema.chunks.chunk_coords(level, n) for n in numbers]
+    assert all(1 <= a < 3 and 0 <= b < 2 and c == 0 for a, b, c in coords)
+
+
+def test_row_major_enumeration(schema):
+    level = schema.base_level
+    query = Query(level, ((0, 2), (0, 2), (0, 1)))
+    assert query.chunk_numbers(schema) == [0, 1, 2, 3]
+
+
+def test_shape_validation(schema):
+    with pytest.raises(SchemaError, match="chunk ranges"):
+        Query((2, 1, 1), ((0, 1),))
+    with pytest.raises(SchemaError, match="invalid chunk range"):
+        Query((2, 1, 1), ((0, 0), (0, 1), (0, 1)))
+    with pytest.raises(SchemaError, match="invalid chunk range"):
+        Query((2, 1, 1), ((-1, 1), (0, 1), (0, 1)))
+
+
+def test_out_of_range_region_rejected_at_expansion(schema):
+    query = Query(schema.base_level, ((0, 99), (0, 1), (0, 1)))
+    with pytest.raises(SchemaError, match="exceeds"):
+        query.chunk_numbers(schema)
+
+
+def test_describe(schema):
+    query = Query.full_level(schema, (0, 0, 0))
+    assert "[0,1)" in query.describe(schema)

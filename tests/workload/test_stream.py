@@ -1,0 +1,174 @@
+"""Query-stream generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema import apb_tiny_schema
+from repro.util.errors import ReproError
+from repro.workload import Query, QueryKind, QueryStreamGenerator, StreamMix
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return apb_tiny_schema()
+
+
+def test_mix_must_sum_to_one():
+    with pytest.raises(ReproError):
+        StreamMix(drill_down=0.5, roll_up=0.5, proximity=0.5, random=0.5)
+    StreamMix()  # paper default is valid
+
+
+def test_deterministic_given_seed(schema):
+    a = QueryStreamGenerator(schema, seed=3).generate(30)
+    b = QueryStreamGenerator(schema, seed=3).generate(30)
+    assert a == b
+    c = QueryStreamGenerator(schema, seed=4).generate(30)
+    assert a != c
+
+
+def test_all_queries_valid(schema):
+    gen = QueryStreamGenerator(schema, seed=1)
+    for query in gen.generate(200):
+        numbers = query.chunk_numbers(schema)  # raises if out of range
+        assert numbers
+        assert all(
+            0 <= lo < hi <= extent
+            for (lo, hi), extent in zip(
+                query.chunk_ranges, schema.chunk_shape(query.level)
+            )
+        )
+
+
+def test_first_query_is_random(schema):
+    gen = QueryStreamGenerator(schema, seed=1)
+    gen.next_query()
+    assert gen.kind_counts[QueryKind.RANDOM] == 1
+
+
+def test_mix_roughly_respected(schema):
+    gen = QueryStreamGenerator(schema, seed=7)
+    gen.generate(600)
+    counts = gen.kind_counts
+    total = sum(counts.values())
+    assert total == 600
+    # The paper's 30/30/30/10 mix; random absorbs impossible moves, so
+    # allow generous tolerances.
+    assert counts[QueryKind.DRILL_DOWN] / total == pytest.approx(0.3, abs=0.1)
+    assert counts[QueryKind.ROLL_UP] / total == pytest.approx(0.3, abs=0.1)
+    assert counts[QueryKind.PROXIMITY] / total == pytest.approx(0.3, abs=0.1)
+
+
+def test_drill_down_moves_one_level_finer(schema):
+    gen = QueryStreamGenerator(schema, seed=5)
+    last = gen.next_query()
+    query = gen._make_drill_down(last)
+    if query is not None:
+        diff = [n - o for o, n in zip(last.level, query.level)]
+        assert sorted(diff) == [0] * (len(diff) - 1) + [1]
+
+
+def test_roll_up_moves_one_level_coarser(schema):
+    gen = QueryStreamGenerator(schema, seed=5)
+    gen._last = Query.full_level(schema, schema.base_level)
+    query = gen._make_roll_up(gen._last)
+    diff = [o - n for o, n in zip(schema.base_level, query.level)]
+    assert sorted(diff) == [0] * (len(diff) - 1) + [1]
+
+
+def test_roll_up_region_covers_same_data(schema):
+    gen = QueryStreamGenerator(schema, seed=5)
+    last = Query(schema.base_level, ((1, 3), (0, 1), (0, 1)))
+    query = gen._make_roll_up(last)
+    assert query is not None
+    # The rolled-up region, pushed back down, must contain the original.
+    for dim, old_l, new_l, (olo, ohi), (nlo, nhi) in zip(
+        schema.dimensions,
+        last.level,
+        query.level,
+        last.chunk_ranges,
+        query.chunk_ranges,
+    ):
+        if new_l == old_l:
+            assert (nlo, nhi) == (olo, ohi)
+        else:
+            first, last_exclusive = dim.child_chunk_span(new_l, nlo, old_l)
+            _, last_hi = dim.child_chunk_span(new_l, nhi - 1, old_l)
+            assert first <= olo and last_hi >= ohi
+
+
+def test_proximity_shifts_one_dimension(schema):
+    gen = QueryStreamGenerator(schema, seed=5)
+    last = Query(schema.base_level, ((1, 2), (0, 1), (0, 1)))
+    query = gen._make_proximity(last)
+    assert query is not None
+    assert query.level == last.level
+    moved = [
+        (old, new)
+        for old, new in zip(last.chunk_ranges, query.chunk_ranges)
+        if old != new
+    ]
+    assert len(moved) == 1
+    (olo, ohi), (nlo, nhi) = moved[0]
+    assert abs(nlo - olo) == 1 and (ohi - olo) == (nhi - nlo)
+
+
+def test_apex_roll_up_falls_back_to_random(schema):
+    gen = QueryStreamGenerator(
+        schema,
+        mix=StreamMix(drill_down=0.0, roll_up=1.0, proximity=0.0, random=0.0),
+        seed=5,
+    )
+    gen._last = Query.full_level(schema, schema.apex_level)
+    query = gen.next_query()  # must not crash
+    assert query is not None
+
+
+def test_max_extent_bounds_random_queries(schema):
+    # max_extent applies to freshly generated (random) regions; follow-up
+    # drill-downs may legitimately widen when remapping to a finer level.
+    gen = QueryStreamGenerator(
+        schema,
+        mix=StreamMix(drill_down=0.0, roll_up=0.0, proximity=0.0, random=1.0),
+        max_extent=1,
+        seed=9,
+    )
+    for query in gen.generate(100):
+        assert all(hi - lo <= 1 for lo, hi in query.chunk_ranges)
+
+
+def test_stream_iterator(schema):
+    gen = QueryStreamGenerator(schema, seed=2)
+    stream = gen.stream()
+    queries = [next(stream) for _ in range(5)]
+    assert len(queries) == 5
+
+
+def test_hotspot_biases_random_regions(schema):
+    uniform = QueryStreamGenerator(
+        schema,
+        mix=StreamMix(drill_down=0.0, roll_up=0.0, proximity=0.0, random=1.0),
+        seed=2,
+    )
+    hot = QueryStreamGenerator(
+        schema,
+        mix=StreamMix(drill_down=0.0, roll_up=0.0, proximity=0.0, random=1.0),
+        hotspot=0.8,
+        seed=2,
+    )
+
+    def mean_start(gen):
+        starts = []
+        for query in gen.generate(300):
+            starts.extend(lo for lo, _ in query.chunk_ranges)
+        return sum(starts) / len(starts)
+
+    assert mean_start(hot) < mean_start(uniform)
+
+
+def test_hotspot_validation(schema):
+    import pytest as _pytest
+
+    with _pytest.raises(ReproError, match="hotspot"):
+        QueryStreamGenerator(schema, hotspot=1.0)

@@ -1,0 +1,84 @@
+"""Trace record/replay tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AggregateCache, QueryStreamGenerator
+from repro.util.errors import ReproError
+from repro.workload.trace import load_trace, replay_trace, save_trace
+
+
+def test_roundtrip(tiny_schema, tmp_path):
+    generator = QueryStreamGenerator(tiny_schema, seed=3)
+    queries = generator.generate(25)
+    path = tmp_path / "trace.jsonl"
+    assert save_trace(queries, path) == 25
+    loaded = load_trace(tiny_schema, path)
+    assert loaded == queries
+
+
+def test_replay_reproduces_results(tiny_schema, tiny_backend, tmp_path):
+    generator = QueryStreamGenerator(tiny_schema, seed=9)
+    queries = generator.generate(10)
+    path = tmp_path / "trace.jsonl"
+    save_trace(queries, path)
+    loaded = load_trace(tiny_schema, path)
+
+    def run(qs):
+        manager = AggregateCache(
+            tiny_schema, tiny_backend, capacity_bytes=1 << 20, strategy="vcm"
+        )
+        return [r.total_value() for r in replay_trace(manager, qs)]
+
+    assert run(loaded) == pytest.approx(run(queries))
+
+
+def test_replay_enables_fair_comparison(tiny_schema, tiny_backend, tmp_path):
+    """Two managers replaying one trace see identical queries."""
+    generator = QueryStreamGenerator(tiny_schema, seed=4)
+    path = tmp_path / "trace.jsonl"
+    save_trace(generator.generate(12), path)
+    queries = load_trace(tiny_schema, path)
+    totals = {}
+    for strategy in ("noagg", "vcmc"):
+        manager = AggregateCache(
+            tiny_schema,
+            tiny_backend,
+            capacity_bytes=1 << 20,
+            strategy=strategy,
+        )
+        results = list(replay_trace(manager, queries))
+        totals[strategy] = [r.total_value() for r in results]
+    assert totals["noagg"] == pytest.approx(totals["vcmc"])
+
+
+def test_malformed_header(tiny_schema, tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(ReproError, match="malformed header"):
+        load_trace(tiny_schema, path)
+
+
+def test_wrong_version(tiny_schema, tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"trace_version": 99}\n')
+    with pytest.raises(ReproError, match="version 99"):
+        load_trace(tiny_schema, path)
+
+
+def test_malformed_record(tiny_schema, tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"trace_version": 1}\n{"level": [0, 0]}\n')
+    with pytest.raises(ReproError, match="malformed query record"):
+        load_trace(tiny_schema, path)
+
+
+def test_schema_mismatch_caught(tiny_schema, tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        '{"trace_version": 1}\n'
+        '{"level": [9, 9, 9], "chunk_ranges": [[0, 1], [0, 1], [0, 1]]}\n'
+    )
+    with pytest.raises(Exception):
+        load_trace(tiny_schema, path)
