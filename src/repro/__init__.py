@@ -39,6 +39,7 @@ from repro.core import (
     SizeEstimator,
     make_strategy,
 )
+from repro.obs import Observability
 from repro.olap import OlapSession
 from repro.schema import (
     CubeSchema,
@@ -66,6 +67,7 @@ __all__ = [
     "Dimension",
     "FactTable",
     "MemberCatalog",
+    "Observability",
     "OlapSession",
     "PlanNode",
     "Query",

@@ -132,12 +132,14 @@ def _check_within_chunk(schema: CubeSchema, chunk: Chunk) -> None:
     spans = schema.chunks.chunk_cell_spans(chunk.level, chunk.number)
     for d, (lo, hi) in enumerate(spans):
         axis = chunk.coords[d]
-        if axis[0] < lo or axis[-1] >= hi:
-            # coords from unravel_index are sorted per flat key, but axis 0
-            # is the only one guaranteed sorted — fall back to a full check.
-            if axis.min() < lo or axis.max() >= hi:
-                raise ReproError(
-                    f"aggregated cells fall outside chunk {chunk.number} of "
-                    f"level {chunk.level} on dimension {d}: the plan's "
-                    "sources did not match the target chunk"
-                )
+        # unravel_index sorts only dimension 0's ordinals, so the cheap
+        # endpoint test is conclusive there alone; every other dimension
+        # needs the full min/max scan.
+        if d == 0 and lo <= axis[0] and axis[-1] < hi:
+            continue
+        if axis.min() < lo or axis.max() >= hi:
+            raise ReproError(
+                f"aggregated cells fall outside chunk {chunk.number} of "
+                f"level {chunk.level} on dimension {d}: the plan's "
+                "sources did not match the target chunk"
+            )

@@ -23,6 +23,7 @@ from repro.aggregation.aggregate import rollup_chunks
 from repro.backend.cost_model import CostModel
 from repro.backend.generator import FactTable
 from repro.chunks.chunk import Chunk, ChunkOrigin
+from repro.obs import NULL_OBS, Observability
 from repro.schema.cube import CubeSchema, Level
 from repro.util.errors import ReproError
 from repro.util.timers import Stopwatch
@@ -72,6 +73,10 @@ class BackendDatabase:
         The fact table to load (must match ``schema``).
     cost_model:
         Latency constants; defaults to :class:`CostModel` defaults.
+    obs:
+        Observability handle; ``backend.fetch`` events and request
+        counters are recorded when it is enabled.  It may also be rebound
+        after construction (the harness does this for instrumented runs).
     """
 
     def __init__(
@@ -79,11 +84,13 @@ class BackendDatabase:
         schema: CubeSchema,
         facts: FactTable,
         cost_model: CostModel | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if facts.schema is not schema:
             raise ReproError("fact table was generated for a different schema")
         self.schema = schema
         self.cost_model = cost_model or CostModel()
+        self.obs = obs or NULL_OBS
         self.totals = BackendTotals()
         self._base_chunks = self._cluster_facts(facts)
         self._num_tuples = facts.num_tuples
@@ -182,6 +189,26 @@ class BackendDatabase:
             stats.tuples_scanned, stats.tuples_returned
         )
         self.totals.absorb(stats)
+        if self.obs.enabled:
+            self.obs.metrics.counter("backend.requests").inc()
+            self.obs.metrics.counter("backend.chunks_served").inc(
+                stats.chunks_requested
+            )
+            self.obs.metrics.counter("backend.tuples_scanned").inc(
+                stats.tuples_scanned
+            )
+            self.obs.metrics.histogram("backend.request_ms").observe(
+                stats.total_ms
+            )
+            self.obs.tracer.emit(
+                "backend.fetch",
+                chunks=stats.chunks_requested,
+                tuples_scanned=stats.tuples_scanned,
+                tuples_returned=stats.tuples_returned,
+                compute_ms=stats.compute_ms,
+                simulated_ms=stats.simulated_ms,
+                ms=stats.total_ms,
+            )
         return results, stats
 
     def append(self, facts: FactTable) -> list[int]:

@@ -13,6 +13,8 @@ import math
 from collections.abc import Iterable, Iterator
 from typing import TYPE_CHECKING, ClassVar
 
+from repro.obs import NULL_OBS, Observability
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.store import CacheEntry
 
@@ -37,6 +39,9 @@ class ReplacementPolicy(abc.ABC):
     """Observes the cache and orders eviction victims."""
 
     name: ClassVar[str]
+
+    obs: Observability = NULL_OBS
+    """Observability handle; the owning :class:`ChunkCache` rebinds it."""
 
     @abc.abstractmethod
     def on_insert(self, entry: "CacheEntry") -> None:

@@ -67,8 +67,17 @@ class TwoLevelPolicy(ReplacementPolicy):
         if not self.reinforce_groups:
             return
         bump = clock_weight(benefit_ms)
+        reinforced = 0
         for entry in entries:
             entry.clock = min(entry.clock + bump, CLOCK_CAP)
+            reinforced += 1
+        if reinforced and self.obs.enabled:
+            self.obs.metrics.counter("policy.reinforced_chunks").inc(
+                reinforced
+            )
+            self.obs.tracer.emit(
+                "policy.reinforce", chunks=reinforced, benefit_ms=benefit_ms
+            )
 
     def victim_iter(self, incoming: "CacheEntry") -> Iterator["CacheEntry"]:
         if incoming.is_backend_class:

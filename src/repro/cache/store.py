@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.chunks.chunk import Chunk
+from repro.obs import NULL_OBS, Observability
 from repro.schema.cube import Level
 from repro.util.errors import ReproError
 
@@ -70,6 +71,7 @@ class ChunkCache:
         capacity_bytes: int,
         policy: ReplacementPolicy,
         bytes_per_tuple: int,
+        obs: Observability | None = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise ReproError(f"capacity must be positive, got {capacity_bytes}")
@@ -78,6 +80,8 @@ class ChunkCache:
         self.bytes_per_tuple = int(bytes_per_tuple)
         self.used_bytes = 0
         self.stats = CacheStats()
+        self.obs = obs or NULL_OBS
+        self.policy.obs = self.obs
         self._entries: dict[Key, CacheEntry] = {}
 
     # ------------------------------------------------------------------ #
@@ -91,11 +95,18 @@ class ChunkCache:
         entry = self._entries.get((level, number))
         if entry is None:
             self.stats.misses += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("cache.misses").inc()
             raise ReproError(
                 f"chunk {number} of level {level} is not in the cache"
             )
         self.stats.hits += 1
         self.policy.on_hit(entry)
+        if self.obs.enabled:
+            self.obs.metrics.counter("cache.hits").inc()
+            self.obs.tracer.emit(
+                "cache.hit", level=list(level), number=number
+            )
         return entry.chunk
 
     def peek(self, level: Level, number: int) -> Chunk | None:
@@ -143,7 +154,7 @@ class ChunkCache:
         size = chunk.size_bytes(self.bytes_per_tuple)
         entry = CacheEntry(chunk=chunk, benefit=benefit, size_bytes=size)
         if size > self.capacity_bytes:
-            self.stats.rejects += 1
+            self._note_reject(chunk, size, "larger_than_cache")
             return InsertOutcome(inserted=False)
 
         victims: list[CacheEntry] = []
@@ -158,10 +169,10 @@ class ChunkCache:
                 if freed >= needed:
                     break
             if freed < needed:
-                self.stats.rejects += 1
+                self._note_reject(chunk, size, "no_evictable_space")
                 return InsertOutcome(inserted=False)
             if not self.policy.should_admit(entry, victims):
-                self.stats.rejects += 1
+                self._note_reject(chunk, size, "not_admitted")
                 return InsertOutcome(inserted=False)
 
         evicted = [self._remove_entry(victim) for victim in victims]
@@ -169,6 +180,18 @@ class ChunkCache:
         self.used_bytes += size
         self.policy.on_insert(entry)
         self.stats.inserts += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cache.inserts").inc()
+            self.obs.metrics.gauge("cache.used_bytes").set(self.used_bytes)
+            self.obs.tracer.emit(
+                "cache.insert",
+                level=list(chunk.level),
+                number=chunk.number,
+                bytes=size,
+                benefit_ms=benefit,
+                origin=chunk.origin.value,
+                evictions=len(evicted),
+            )
         return InsertOutcome(inserted=True, evicted=evicted)
 
     def evict(self, level: Level, number: int) -> Chunk:
@@ -186,4 +209,25 @@ class ChunkCache:
         entry.resident = False
         self.policy.on_remove(entry)
         self.stats.evictions += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cache.evictions").inc()
+            self.obs.tracer.emit(
+                "cache.evict",
+                level=list(entry.chunk.level),
+                number=entry.chunk.number,
+                bytes=entry.size_bytes,
+                origin=entry.chunk.origin.value,
+            )
         return entry.chunk
+
+    def _note_reject(self, chunk: Chunk, size: int, reason: str) -> None:
+        self.stats.rejects += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("cache.rejects").inc()
+            self.obs.tracer.emit(
+                "cache.reject",
+                level=list(chunk.level),
+                number=chunk.number,
+                bytes=size,
+                reason=reason,
+            )

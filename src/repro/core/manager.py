@@ -12,7 +12,7 @@ the paper's lookup / aggregation / update / backend phases (Figure 10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -27,9 +27,10 @@ from repro.core.plans import PlanNode
 from repro.core.sizes import SizeEstimator
 from repro.core.strategies import make_strategy
 from repro.core.strategies.base import LookupStrategy
+from repro.obs import NULL_OBS, Observability, span
 from repro.schema.cube import CubeSchema, Level
 from repro.util.errors import ReproError
-from repro.util.timers import Stopwatch, TimeBreakdown
+from repro.util.timers import TimeBreakdown
 from repro.workload.query import Query
 
 Key = tuple[Level, int]
@@ -158,6 +159,10 @@ class AggregateCache:
         aggregation cost exceeds the estimated backend cost, send it to
         the backend anyway.  Off by default (matching the paper's
         experiments, which always aggregate when possible).
+    obs:
+        An :class:`~repro.obs.Observability` handle, shared with the
+        chunk store, the replacement policy and the lookup strategy.
+        Defaults to the disabled no-op instance.
     """
 
     def __init__(
@@ -174,14 +179,18 @@ class AggregateCache:
         cost_rel_tol: float = 0.02,
         use_cost_optimizer: bool = False,
         keep_log: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         self.schema = schema
         self.backend = backend
         self.cost_model = backend.cost_model
         self.sizes = sizes or SizeEstimator(schema, backend.num_tuples)
+        self.obs = obs or NULL_OBS
         if isinstance(policy, str):
             policy = make_policy(policy)
-        self.cache = ChunkCache(capacity_bytes, policy, schema.bytes_per_tuple)
+        self.cache = ChunkCache(
+            capacity_bytes, policy, schema.bytes_per_tuple, obs=self.obs
+        )
         if isinstance(strategy, str):
             strategy = make_strategy(
                 strategy,
@@ -192,6 +201,7 @@ class AggregateCache:
                 cost_rel_tol=cost_rel_tol,
             )
         self.strategy = strategy
+        self.strategy.obs = self.obs
         self.use_cost_optimizer = use_cost_optimizer
         self.optimizer_redirects = 0
         """Chunks sent to the backend despite being cache-computable."""
@@ -223,17 +233,25 @@ class AggregateCache:
 
     def preload_levels(self, levels: list[Level]) -> list[Level]:
         """Pre-load several whole group-bys (e.g. an HRU-selected view
-        set); returns the levels whose chunks were all admitted."""
-        loaded = []
+        set); returns the levels whose chunks were all admitted.
+
+        Completeness is judged only after *every* chunk is in: an insert
+        later in the sequence may evict an earlier chunk of the same (or
+        an earlier) level, so a per-chunk membership check taken mid-loop
+        can report a level complete that no longer is.
+        """
+        numbers_of: dict[Level, list[int]] = {}
         for level in levels:
-            complete = True
+            numbers = numbers_of.setdefault(level, [])
             for chunk in self.backend.compute_level(level):
                 chunk.origin = ChunkOrigin.PRELOAD
                 self._insert(chunk, benefit=chunk.compute_cost)
-                if not self.cache.contains(level, chunk.number):
-                    complete = False
-            if complete:
-                loaded.append(level)
+                numbers.append(chunk.number)
+        loaded = [
+            level
+            for level, numbers in numbers_of.items()
+            if all(self.cache.contains(level, n) for n in numbers)
+        ]
         if loaded and self.preloaded_level is None:
             self.preloaded_level = loaded[0]
         return loaded
@@ -246,73 +264,88 @@ class AggregateCache:
         numbers = query.chunk_numbers(self.schema)
         breakdown = TimeBreakdown()
         visits_before = self.strategy.total_visits
+        obs = self.obs
 
         # Phase 1 — cache lookup: plan every chunk or mark it missing.
-        watch = Stopwatch()
-        plans: dict[int, PlanNode | None] = {
-            number: self.strategy.find(query.level, number)
-            for number in numbers
-        }
-        if self.use_cost_optimizer:
-            for number, plan in plans.items():
-                if plan is None or plan.is_leaf:
-                    continue
-                if self._backend_is_cheaper(query.level, number, plan):
-                    plans[number] = None
-                    self.optimizer_redirects += 1
-        breakdown.lookup_ms = watch.elapsed_ms()
+        with span(obs, "lookup") as lookup_span:
+            plans: dict[int, PlanNode | None] = {
+                number: self.strategy.find(query.level, number)
+                for number in numbers
+            }
+            if self.use_cost_optimizer:
+                for number, plan in plans.items():
+                    if plan is None or plan.is_leaf:
+                        continue
+                    if self._backend_is_cheaper(query.level, number, plan):
+                        plans[number] = None
+                        self.optimizer_redirects += 1
+        breakdown.lookup_ms = lookup_span.elapsed_ms
 
         # Phase 2 — aggregate computable chunks inside the cache.
-        watch.restart()
         results: dict[int, Chunk] = {}
         computed: list[Chunk] = []
         reinforcements: list[tuple[set[Key], float]] = []
         direct_hits = 0
         tuples_aggregated = 0
-        for number, plan in plans.items():
-            if plan is None:
-                continue
-            if plan.is_leaf:
-                results[number] = self.cache.get(query.level, number)
-                direct_hits += 1
-                continue
-            execution = self._execute_plan(plan)
-            chunk = execution.chunk
-            chunk.compute_cost = self.cost_model.aggregation_ms(
-                execution.tuples_aggregated
-            )
-            results[number] = chunk
-            computed.append(chunk)
-            tuples_aggregated += execution.tuples_aggregated
-            reinforcements.append((execution.leaf_keys, chunk.compute_cost))
-        breakdown.aggregate_ms = watch.elapsed_ms()
+        with span(obs, "aggregate") as aggregate_span:
+            for number, plan in plans.items():
+                if plan is None:
+                    continue
+                if plan.is_leaf:
+                    results[number] = self.cache.get(query.level, number)
+                    direct_hits += 1
+                    continue
+                execution = self._execute_plan(plan)
+                chunk = execution.chunk
+                chunk.compute_cost = self.cost_model.aggregation_ms(
+                    execution.tuples_aggregated
+                )
+                results[number] = chunk
+                computed.append(chunk)
+                tuples_aggregated += execution.tuples_aggregated
+                reinforcements.append(
+                    (execution.leaf_keys, chunk.compute_cost)
+                )
+        breakdown.aggregate_ms = aggregate_span.elapsed_ms
 
         # Phase 3 — one batched backend request for everything missing.
+        # The phase's charge is the cost model's simulated milliseconds,
+        # not local wall-clock, so the span records the stats total.
         missing = [n for n, plan in plans.items() if plan is None]
         fetched: list[Chunk] = []
         if missing:
-            fetched, stats = self.backend.fetch(
-                [(query.level, n) for n in missing]
-            )
-            breakdown.backend_ms = stats.total_ms
+            with span(
+                obs, "backend", chunks=len(missing)
+            ) as backend_span:
+                fetched, stats = self.backend.fetch(
+                    [(query.level, n) for n in missing]
+                )
+                backend_span.record(stats.total_ms)
+            breakdown.backend_ms = backend_span.elapsed_ms
             for chunk in fetched:
                 results[chunk.number] = chunk
 
         # Phase 4 — admit new chunks and maintain count/cost state.
-        watch.restart()
-        state_updates = 0
-        for chunk in computed:
-            state_updates += self._insert(chunk, benefit=chunk.compute_cost)
-        for chunk in fetched:
-            state_updates += self._insert(chunk, benefit=chunk.compute_cost)
-        for leaf_keys, benefit in reinforcements:
-            entries = [
-                entry
-                for entry in (self.cache.entry(lvl, n) for lvl, n in leaf_keys)
-                if entry is not None
-            ]
-            self.cache.policy.on_aggregate_use(entries, benefit)
-        breakdown.update_ms = watch.elapsed_ms()
+        with span(obs, "update") as update_span:
+            state_updates = 0
+            for chunk in computed:
+                state_updates += self._insert(
+                    chunk, benefit=chunk.compute_cost
+                )
+            for chunk in fetched:
+                state_updates += self._insert(
+                    chunk, benefit=chunk.compute_cost
+                )
+            for leaf_keys, benefit in reinforcements:
+                entries = [
+                    entry
+                    for entry in (
+                        self.cache.entry(lvl, n) for lvl, n in leaf_keys
+                    )
+                    if entry is not None
+                ]
+                self.cache.policy.on_aggregate_use(entries, benefit)
+        breakdown.update_ms = update_span.elapsed_ms
 
         self.queries_run += 1
         complete_hit = not missing
@@ -330,9 +363,45 @@ class AggregateCache:
             lookup_visits=self.strategy.total_visits - visits_before,
             state_updates=state_updates,
         )
+        if obs.enabled:
+            self._emit_query_event(result)
         if self.keep_log:
             self.query_log.append(QueryLogRecord.from_result(self, result))
         return result
+
+    def _emit_query_event(self, result: QueryResult) -> None:
+        """Record one query's accounting into the observability layer."""
+        obs = self.obs
+        b = result.breakdown
+        obs.metrics.counter("query.count").inc()
+        if result.complete_hit:
+            obs.metrics.counter("query.complete_hits").inc()
+        obs.metrics.counter("query.tuples_aggregated").inc(
+            result.tuples_aggregated
+        )
+        obs.metrics.histogram("query.total_ms").observe(b.total_ms)
+        obs.metrics.histogram("query.lookup_visits").observe(
+            result.lookup_visits
+        )
+        obs.metrics.gauge("cache.used_bytes").set(self.cache.used_bytes)
+        obs.tracer.emit(
+            "query",
+            query_seq=self.queries_run,
+            level=list(result.query.level),
+            chunks=result.query.num_chunks,
+            complete_hit=result.complete_hit,
+            direct_hits=result.direct_hits,
+            aggregated=result.aggregated,
+            from_backend=result.from_backend,
+            lookup_ms=b.lookup_ms,
+            aggregate_ms=b.aggregate_ms,
+            update_ms=b.update_ms,
+            backend_ms=b.backend_ms,
+            tuples_aggregated=result.tuples_aggregated,
+            lookup_visits=result.lookup_visits,
+            state_updates=result.state_updates,
+            cache_used_bytes=self.cache.used_bytes,
+        )
 
     def invalidate_base_chunks(self, numbers: list[int]) -> int:
         """Evict every cached chunk whose data overlaps the given base
@@ -451,6 +520,15 @@ class AggregateCache:
             updates += self.strategy.on_evict(evicted.level, evicted.number)
         if outcome.inserted:
             updates += self.strategy.on_insert(chunk.level, chunk.number)
+        if updates and self.obs.enabled:
+            self.obs.metrics.counter("strategy.state_updates").inc(updates)
+            self.obs.tracer.emit(
+                "strategy.update",
+                level=list(chunk.level),
+                number=chunk.number,
+                updates=updates,
+                evictions=len(outcome.evicted),
+            )
         return updates
 
     # ------------------------------------------------------------------ #
@@ -478,7 +556,11 @@ def _slice_chunk(
     for axis, (lo, hi) in zip(chunk.coords, cell_ranges):
         mask &= (axis >= lo) & (axis < hi)
     if mask.all():
-        return chunk
+        # A fresh wrapper even when nothing is filtered: the chunk object
+        # may be cache-resident, and handing it out would alias cache
+        # state to callers free to mutate the result.  The arrays are
+        # shared read-only; only the wrapper is new.
+        return replace(chunk)
     return Chunk(
         level=chunk.level,
         number=chunk.number,

@@ -17,6 +17,7 @@ from typing import ClassVar, Protocol
 
 from repro.core.plans import PlanNode
 from repro.core.sizes import SizeEstimator
+from repro.obs import NULL_OBS, Observability
 from repro.schema.cube import CubeSchema, Level
 from repro.util.errors import LookupBudgetExceeded
 
@@ -61,6 +62,8 @@ class LookupStrategy(abc.ABC):
         self.presence = presence
         self.sizes = sizes
         self.visit_budget = visit_budget
+        self.obs: Observability = NULL_OBS
+        """Observability handle; the owning manager rebinds it."""
         self.total_visits = 0
         """Lifetime recursive lookup visits (complexity instrumentation)."""
         self.last_find_visits = 0
@@ -72,7 +75,19 @@ class LookupStrategy(abc.ABC):
     def find(self, level: Level, number: int) -> PlanNode | None:
         """Plan for computing ``(level, number)`` from the cache, else None."""
         self.last_find_visits = 0
-        return self._find(level, number)
+        plan = self._find(level, number)
+        if self.obs.enabled:
+            self.obs.metrics.counter("lookup.finds").inc()
+            self.obs.metrics.histogram("lookup.visits").observe(
+                self.last_find_visits
+            )
+            if plan is None:
+                self.obs.metrics.counter("lookup.missing").inc()
+            elif plan.is_leaf:
+                self.obs.metrics.counter("lookup.direct").inc()
+            else:
+                self.obs.metrics.counter("lookup.computable").inc()
+        return plan
 
     @abc.abstractmethod
     def _find(self, level: Level, number: int) -> PlanNode | None:

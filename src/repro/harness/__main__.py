@@ -55,14 +55,44 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="seconds-scale configuration (tiny schema) for smoke runs",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "run the ESM/VCMC streams instrumented and write every "
+            "observability event (query phases, cache events, backend "
+            "fetches) to PATH as JSONL; see docs/observability.md"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-summary",
+        metavar="PATH",
+        default=None,
+        help="with --metrics-out: also write a per-event-kind CSV rollup",
+    )
     args = parser.parse_args(argv)
     config = quick_config() if args.quick else default_config()
     selected = args.experiments
+    explicit = not isinstance(selected, str)
     if isinstance(selected, str):
         selected = [selected]
     wanted = set(selected) or {"all"}
     if "all" in wanted:
         wanted = set(EXPERIMENTS)
+
+    if args.metrics_out:
+        from repro.harness.obs_run import run_instrumented_streams
+
+        print(
+            run_instrumented_streams(
+                config, args.metrics_out, args.metrics_summary
+            )
+        )
+        if not explicit:
+            # --metrics-out alone is the whole job; experiments run only
+            # when named alongside it.
+            return 0
 
     print(f"# Configuration: {config}\n")
     outputs: list[str] = []

@@ -1,0 +1,102 @@
+"""Instrumented stream runs — the ``--metrics-out`` export path.
+
+Runs the Figure 9/10 scheme comparison with observability enabled and
+streams every event (query phase timings, cache insert/evict/reject/hit,
+strategy state updates, backend fetches) to a JSONL file, each event
+stamped with the scheme and cache fraction that produced it.  The paper's
+Figure 10 lookup/aggregate/update/backend breakdown is then one
+group-by over the ``query`` events of that file — see
+``docs/observability.md`` for the recipe.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.manager import AggregateCache
+from repro.harness.common import build_components
+from repro.harness.config import ExperimentConfig
+from repro.harness.streams import SCHEMES, SchemeSpec, execute_stream
+from repro.obs import Observability
+from repro.util.tables import render_table
+
+#: The schemes whose breakdown Figure 10 reports.
+INSTRUMENTED_SCHEMES: tuple[SchemeSpec, ...] = tuple(
+    scheme for scheme in SCHEMES if scheme.strategy in ("esm", "vcmc")
+)
+
+
+def run_instrumented_streams(
+    config: ExperimentConfig,
+    metrics_out: str | Path,
+    summary_csv: str | Path | None = None,
+    schemes: tuple[SchemeSpec, ...] = INSTRUMENTED_SCHEMES,
+    fractions: tuple[float, ...] | None = None,
+) -> str:
+    """Run the query streams instrumented; returns a printable summary.
+
+    Events land in ``metrics_out`` (JSONL); ``summary_csv`` optionally
+    receives a per-event-kind count/total-ms rollup.
+    """
+    obs = Observability.to_jsonl(metrics_out, summary_csv)
+    fractions = fractions if fractions is not None else config.cache_fractions
+    components = build_components(config)
+    saved_backend_obs = components.backend.obs
+    try:
+        for scheme in schemes:
+            for fraction in fractions:
+                bound = obs.bind(
+                    scheme=scheme.strategy,
+                    policy=scheme.policy,
+                    fraction=fraction,
+                )
+                # The memoised backend is shared across runs; point its
+                # instrumentation at this run for the duration.
+                components.backend.obs = bound
+                manager = AggregateCache(
+                    components.schema,
+                    components.backend,
+                    capacity_bytes=components.capacity_for(fraction),
+                    strategy=scheme.strategy,
+                    policy=scheme.policy,
+                    preload=scheme.preload,
+                    preload_headroom=config.preload_headroom,
+                    sizes=components.sizes,
+                    obs=bound,
+                )
+                execute_stream(config, manager, scheme, fraction)
+    finally:
+        components.backend.obs = saved_backend_obs
+        obs.close()
+    summary = format_phase_summary(obs)
+    return (
+        f"{summary}\n"
+        f"[events written to {metrics_out}"
+        + (f"; summary CSV at {summary_csv}" if summary_csv else "")
+        + "]"
+    )
+
+
+def format_phase_summary(obs: Observability) -> str:
+    """Render the registry's phase histograms as one table."""
+    histograms = obs.snapshot()["histograms"]
+    rows = []
+    for name in ("lookup", "aggregate", "backend", "update"):
+        summary = histograms.get(f"phase.{name}.ms")
+        if not summary or not summary["count"]:
+            continue
+        rows.append(
+            [
+                name,
+                summary["count"],
+                f"{summary['total']:.1f}",
+                f"{summary['p50']:.3f}",
+                f"{summary['p95']:.3f}",
+                f"{summary['p99']:.3f}",
+            ]
+        )
+    return render_table(
+        ["Phase", "Spans", "Total ms", "p50 ms", "p95 ms", "p99 ms"],
+        rows,
+        title="Instrumented run: per-phase timing summary (all schemes).",
+    )

@@ -1,0 +1,43 @@
+"""Observability: metrics, event tracing and phase timers.
+
+One lightweight subsystem replaces the ad-hoc counters the paper's
+figures used to be assembled from.  See ``docs/observability.md`` for the
+event/metric vocabulary and how to reconstruct Figure 10 from an export.
+"""
+
+from repro.obs.events import (
+    CsvSummarySink,
+    EventTracer,
+    JsonlSink,
+    NULL_TRACER,
+    RingBufferSink,
+)
+from repro.obs.facade import NULL_OBS, Observability
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+)
+from repro.obs.timing import Span, span, timed
+
+__all__ = [
+    "Counter",
+    "CsvSummarySink",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "Observability",
+    "RingBufferSink",
+    "Span",
+    "span",
+    "timed",
+]

@@ -1,0 +1,183 @@
+"""Structured event tracing with pluggable sinks.
+
+An event is one flat dict: a ``kind`` (``query``, ``phase``,
+``cache.insert``, ``backend.fetch``, ...), a monotone sequence number, and
+whatever fields the emitting site attaches.  The tracer fans each event out
+to its sinks:
+
+* :class:`RingBufferSink` — last-N events in memory (tests, debugging);
+* :class:`JsonlSink` — one JSON object per line (the export the harness
+  figures are reconstructed from);
+* :class:`CsvSummarySink` — per-kind count / total-ms rollup written as
+  CSV on close (a cheap flight recorder for long runs).
+
+``EventTracer.with_fields`` derives a child tracer that stamps constant
+fields (scheme, cache fraction, run id) on every event while sharing the
+parent's sinks and sequence — the harness uses it to multiplex several
+stream runs into one export.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+import json
+from collections import deque
+from pathlib import Path
+from typing import Protocol
+
+
+class EventSink(Protocol):
+    """Anything that can receive events (duck-typed; see the built-ins)."""
+
+    def emit(self, event: dict) -> None:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._buffer: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, event: dict) -> None:
+        self._buffer.append(event)
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Buffered events, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._buffer)
+        return [e for e in self._buffer if e.get("kind") == kind]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink:
+    """Appends one compact JSON object per event to a file."""
+
+    def __init__(self, path: str | Path | io.TextIOBase) -> None:
+        if isinstance(path, io.TextIOBase):
+            self.path = None
+            self._handle = path
+            self._owns_handle = False
+        else:
+            self.path = Path(path)
+            self._handle = self.path.open("w")
+            self._owns_handle = True
+
+    def emit(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, default=_jsonable))
+        self._handle.write("\n")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+
+def _jsonable(value):
+    """Fallback encoder: tuples of ints (levels) and numpy scalars."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+class CsvSummarySink:
+    """Rolls events up per kind; writes ``kind,count,total_ms`` on close.
+
+    Events carrying an ``ms`` field contribute to their kind's total;
+    kinds without timings report an empty total.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._counts: dict[str, int] = {}
+        self._totals: dict[str, float] = {}
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("kind", "?")
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        ms = event.get("ms")
+        if ms is not None:
+            self._totals[kind] = self._totals.get(kind, 0.0) + float(ms)
+
+    def rows(self) -> list[tuple[str, int, float | None]]:
+        """The summary rows that ``close`` writes, for inspection."""
+        return [
+            (kind, count, self._totals.get(kind))
+            for kind, count in sorted(self._counts.items())
+        ]
+
+    def close(self) -> None:
+        with self.path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["kind", "count", "total_ms"])
+            for kind, count, total in self.rows():
+                writer.writerow(
+                    [kind, count, "" if total is None else f"{total:.6f}"]
+                )
+
+
+class EventTracer:
+    """Fans structured events out to sinks.
+
+    With no sinks the tracer is disabled and ``emit`` returns immediately;
+    hot paths should additionally gate on ``enabled`` to skip building the
+    event fields at all.
+    """
+
+    def __init__(
+        self,
+        sinks: tuple[EventSink, ...] = (),
+        base_fields: dict | None = None,
+        _seq: itertools.count | None = None,
+    ) -> None:
+        self.sinks = tuple(sinks)
+        self.enabled = bool(self.sinks)
+        self._base_fields = dict(base_fields or {})
+        self._seq = _seq if _seq is not None else itertools.count()
+
+    def emit(self, kind: str, **fields) -> None:
+        """Emit one event to every sink."""
+        if not self.enabled:
+            return
+        event = {"kind": kind, "seq": next(self._seq)}
+        if self._base_fields:
+            event.update(self._base_fields)
+        event.update(fields)
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def with_fields(self, **fields) -> "EventTracer":
+        """A child tracer stamping extra constant fields on every event.
+
+        Shares this tracer's sinks and sequence counter, so interleaved
+        emissions from parent and children stay globally ordered.
+        """
+        merged = {**self._base_fields, **fields}
+        return EventTracer(self.sinks, merged, _seq=self._seq)
+
+    def close(self) -> None:
+        """Close every sink (idempotent for the built-in sinks)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+#: Shared tracer with no sinks — ``emit`` is a cheap early return.
+NULL_TRACER = EventTracer()

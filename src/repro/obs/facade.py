@@ -1,0 +1,102 @@
+"""The :class:`Observability` facade: one handle bundling metrics + tracing.
+
+Instrumented components (manager, chunk store, policies, strategies,
+backend) each hold an ``obs`` attribute.  The default is :data:`NULL_OBS`
+— a shared disabled instance whose ``enabled`` flag lets hot paths skip
+instrumentation with a single attribute check.
+
+Construction helpers cover the common setups::
+
+    obs = Observability.in_memory()            # ring buffer, for tests
+    obs = Observability.to_jsonl("run.jsonl")  # the harness export
+    obs = Observability.disabled()             # the shared no-op
+
+``bind(**fields)`` derives a view that stamps constant fields (scheme,
+cache fraction) on every event while sharing the metrics registry and the
+sinks — how one export file multiplexes several experiment runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.events import (
+    CsvSummarySink,
+    EventSink,
+    EventTracer,
+    JsonlSink,
+    NULL_TRACER,
+    RingBufferSink,
+)
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+
+class Observability:
+    """A metrics registry and an event tracer behind one enabled flag."""
+
+    __slots__ = ("metrics", "tracer", "enabled")
+
+    def __init__(self, metrics: MetricsRegistry, tracer: EventTracer) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+        self.enabled = metrics.enabled or tracer.enabled
+
+    # ------------------------------------------------------------------ #
+    # constructors
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared no-op instance (never allocate per-call)."""
+        return NULL_OBS
+
+    @classmethod
+    def in_memory(cls, capacity: int = 4096) -> "Observability":
+        """Fresh registry + ring-buffer tracer (tests and debugging)."""
+        return cls(MetricsRegistry(), EventTracer((RingBufferSink(capacity),)))
+
+    @classmethod
+    def to_jsonl(
+        cls,
+        path: str | Path,
+        summary_csv: str | Path | None = None,
+        extra_sinks: tuple[EventSink, ...] = (),
+    ) -> "Observability":
+        """Fresh registry + JSONL event export (the harness setup)."""
+        sinks: tuple[EventSink, ...] = (JsonlSink(path),)
+        if summary_csv is not None:
+            sinks += (CsvSummarySink(summary_csv),)
+        return cls(MetricsRegistry(), EventTracer(sinks + tuple(extra_sinks)))
+
+    # ------------------------------------------------------------------ #
+    # derivation / lifecycle
+
+    def bind(self, **fields) -> "Observability":
+        """A view sharing this instance's registry and sinks, whose events
+        all carry ``fields``."""
+        if not self.enabled:
+            return self
+        return Observability(self.metrics, self.tracer.with_fields(**fields))
+
+    def ring_events(self, kind: str | None = None) -> list[dict]:
+        """Events buffered by ring sinks (convenience for tests)."""
+        events: list[dict] = []
+        for sink in self.tracer.sinks:
+            if isinstance(sink, RingBufferSink):
+                events.extend(sink.events(kind))
+        return events
+
+    def snapshot(self) -> dict:
+        """The metrics registry's exported state."""
+        return self.metrics.snapshot()
+
+    def close(self) -> None:
+        """Flush and close every event sink."""
+        self.tracer.close()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Observability({state}, sinks={len(self.tracer.sinks)})"
+
+
+#: The shared disabled instance: no registry writes, no events.
+NULL_OBS = Observability(NULL_REGISTRY, NULL_TRACER)

@@ -1,0 +1,261 @@
+"""Metric instruments and the registry that names them.
+
+Three instrument kinds cover everything the paper's evaluation reports:
+
+* :class:`Counter` — monotone event counts (cache hits, backend requests);
+* :class:`Gauge` — a sampled level (cache bytes in use);
+* :class:`Histogram` — a streaming distribution with quantile estimates.
+
+The histogram keeps **no raw samples**: observations land in
+geometrically-spaced buckets, so memory is constant and p50/p95/p99 come
+from interpolating the bucket counts (clamped to the exact observed
+min/max).  That is accurate to one bucket width — ~9% relative error at
+the default growth factor — which is plenty for latency reporting.
+
+A :class:`NullMetricsRegistry` serves shared no-op instruments so that
+instrumented code can call ``registry.counter(...).inc()`` unconditionally;
+hot paths that want to skip even argument building should gate on
+``registry.enabled``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import ClassVar
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A sampled level that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+#: Geometric bucket boundaries shared by every histogram: powers of
+#: ``2**0.25`` (≈1.19) spanning ~1e-6 .. ~1e7.  Values outside the span
+#: clamp into the first/last bucket; min/max stay exact regardless.
+_GROWTH = 2.0 ** 0.25
+_LOWEST = 1e-6
+_NUM_EDGES = 180
+BUCKET_EDGES: tuple[float, ...] = tuple(
+    _LOWEST * _GROWTH**i for i in range(_NUM_EDGES)
+)
+
+
+class Histogram:
+    """A streaming distribution: count/sum/min/max plus bucketed quantiles.
+
+    ``observe`` is O(log buckets); no observation is retained.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets = [0] * (len(BUCKET_EDGES) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._buckets[bisect_right(BUCKET_EDGES, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 ≤ q ≤ 1) from the buckets."""
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        seen = 0
+        for index, in_bucket in enumerate(self._buckets):
+            if not in_bucket:
+                continue
+            if seen + in_bucket > rank:
+                lo = BUCKET_EDGES[index - 1] if index > 0 else 0.0
+                hi = (
+                    BUCKET_EDGES[index]
+                    if index < len(BUCKET_EDGES)
+                    else self.max
+                )
+                within = (rank - seen + 0.5) / in_bucket
+                estimate = lo + (hi - lo) * within
+                return min(max(estimate, self.min), self.max)
+            seen += in_bucket
+        return self.max  # pragma: no cover - rank < count always hits above
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> dict[str, float]:
+        """The exported shape: count/total/mean/min/max/p50/p95/p99."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and exported as one dict."""
+
+    enabled: ClassVar[bool] = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """All instruments as plain data (JSON-serialisable)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullCounter(Counter):
+    """A counter that ignores increments (shared by the null registry)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    """A gauge that ignores sets (shared by the null registry)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    """A histogram that ignores observations (shared by the null registry)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The off switch: hands out shared no-op instruments.
+
+    ``enabled`` is False so hot paths can skip instrumentation entirely;
+    code that does not bother checking still works — every instrument it
+    receives swallows its updates.
+    """
+
+    enabled: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._null_histogram
+
+
+#: Shared process-wide no-op registry.
+NULL_REGISTRY = NullMetricsRegistry()

@@ -1,0 +1,96 @@
+"""Phase timers: the ``span()`` context manager and ``@timed`` decorator.
+
+These replace the hand-rolled ``Stopwatch`` plumbing at instrumented call
+sites: a span measures one phase, always exposes ``elapsed_ms`` to the
+caller (the manager still fills its ``TimeBreakdown`` from it), and — only
+when observability is enabled — records the duration into a
+``phase.<name>.ms`` histogram and emits a ``phase`` event.
+
+Timing itself costs two ``perf_counter`` calls whether or not observability
+is on; everything else is gated on ``obs.enabled``, keeping the disabled
+path within the no-op overhead budget (see ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+
+
+class Span:
+    """One timed phase; use as a context manager.
+
+    ``elapsed_ms`` is valid after exit.  ``record(ms)`` overrides the
+    measured wall-clock with an externally supplied duration before exit —
+    used for the backend phase, whose charge is the cost model's simulated
+    milliseconds rather than local wall-clock.
+    """
+
+    __slots__ = ("obs", "name", "fields", "elapsed_ms", "_start", "_override")
+
+    def __init__(self, obs, name: str, fields: dict | None = None) -> None:
+        self.obs = obs
+        self.name = name
+        self.fields = fields
+        self.elapsed_ms = 0.0
+        self._override: float | None = None
+        self._start = 0.0
+
+    def record(self, ms: float) -> None:
+        """Report ``ms`` as this span's duration instead of wall-clock."""
+        self._override = ms
+
+    def __enter__(self) -> "Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._override is not None:
+            self.elapsed_ms = self._override
+        else:
+            self.elapsed_ms = (perf_counter() - self._start) * 1000.0
+        obs = self.obs
+        if obs is not None and obs.enabled and exc_type is None:
+            obs.metrics.histogram(f"phase.{self.name}.ms").observe(
+                self.elapsed_ms
+            )
+            obs.tracer.emit(
+                "phase", phase=self.name, ms=self.elapsed_ms,
+                **(self.fields or {}),
+            )
+
+
+def span(obs, name: str, **fields) -> Span:
+    """A :class:`Span` for phase ``name`` reporting into ``obs``.
+
+    ``obs`` may be None (pure timing, nothing recorded).
+    """
+    return Span(obs, name, fields or None)
+
+
+def timed(name: str, obs_attr: str = "obs"):
+    """Decorate a method so its duration lands in a ``timed.<name>.ms``
+    histogram of ``self.<obs_attr>`` (when enabled).
+
+    The disabled path adds one attribute read and one truthiness check.
+    """
+
+    def decorator(func):
+        metric = f"timed.{name}.ms"
+
+        @functools.wraps(func)
+        def wrapper(self, *args, **kwargs):
+            obs = getattr(self, obs_attr, None)
+            if obs is None or not obs.enabled:
+                return func(self, *args, **kwargs)
+            start = perf_counter()
+            try:
+                return func(self, *args, **kwargs)
+            finally:
+                obs.metrics.histogram(metric).observe(
+                    (perf_counter() - start) * 1000.0
+                )
+
+        return wrapper
+
+    return decorator

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.cache.replacement.benefit_clock import BenefitClockPolicy
 from repro.cache.store import ChunkCache

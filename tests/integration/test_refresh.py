@@ -6,7 +6,6 @@ arrive; these tests hammer exactly that path.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -1,0 +1,104 @@
+"""Event tracer and sinks: ring buffer, JSONL, CSV summary, field binding."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+
+from repro.obs import (
+    NULL_TRACER,
+    CsvSummarySink,
+    EventTracer,
+    JsonlSink,
+    RingBufferSink,
+)
+
+
+def test_tracer_without_sinks_is_disabled():
+    tracer = EventTracer()
+    assert not tracer.enabled
+    tracer.emit("anything", x=1)  # harmless no-op
+    assert not NULL_TRACER.enabled
+
+
+def test_ring_buffer_keeps_last_n_and_filters_by_kind():
+    sink = RingBufferSink(capacity=3)
+    tracer = EventTracer((sink,))
+    for i in range(5):
+        tracer.emit("tick", i=i)
+    tracer.emit("tock")
+    assert len(sink) == 3
+    ticks = sink.events("tick")
+    assert [e["i"] for e in ticks] == [3, 4]
+    assert sink.events("tock")[0]["kind"] == "tock"
+    sink.clear()
+    assert len(sink) == 0
+
+
+def test_events_carry_kind_seq_and_fields():
+    sink = RingBufferSink()
+    tracer = EventTracer((sink,))
+    tracer.emit("cache.hit", level=[0, 1], number=3)
+    tracer.emit("cache.evict", number=4)
+    first, second = sink.events()
+    assert first["kind"] == "cache.hit"
+    assert first["level"] == [0, 1]
+    assert second["seq"] == first["seq"] + 1
+
+
+def test_with_fields_stamps_constants_and_shares_sequence():
+    sink = RingBufferSink()
+    tracer = EventTracer((sink,))
+    child = tracer.with_fields(scheme="vcmc", fraction=0.5)
+    tracer.emit("a")
+    child.emit("b")
+    grandchild = child.with_fields(run=2)
+    grandchild.emit("c", fraction=0.9)  # per-event fields win
+    a, b, c = sink.events()
+    assert "scheme" not in a
+    assert b["scheme"] == "vcmc" and b["fraction"] == 0.5
+    assert c["scheme"] == "vcmc" and c["run"] == 2 and c["fraction"] == 0.9
+    assert [e["seq"] for e in (a, b, c)] == [0, 1, 2]
+
+
+def test_jsonl_sink_writes_parseable_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    tracer = EventTracer((JsonlSink(path),))
+    tracer.emit("query", ms=1.25, level=[1, 0])
+    tracer.emit("phase", phase="lookup", ms=np.float64(0.5), n=np.int64(7))
+    tracer.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first == {"kind": "query", "seq": 0, "ms": 1.25, "level": [1, 0]}
+    # numpy scalars serialise as plain numbers
+    assert second["ms"] == 0.5
+    assert second["n"] == 7
+
+
+def test_csv_summary_sink_rolls_up_per_kind(tmp_path):
+    path = tmp_path / "summary.csv"
+    sink = CsvSummarySink(path)
+    tracer = EventTracer((sink,))
+    tracer.emit("phase", phase="lookup", ms=1.0)
+    tracer.emit("phase", phase="update", ms=2.5)
+    tracer.emit("cache.hit", number=1)
+    tracer.close()
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    by_kind = {row["kind"]: row for row in rows}
+    assert by_kind["phase"]["count"] == "2"
+    assert float(by_kind["phase"]["total_ms"]) == 3.5
+    assert by_kind["cache.hit"]["count"] == "1"
+    assert by_kind["cache.hit"]["total_ms"] == ""
+
+
+def test_tracer_fans_out_to_multiple_sinks(tmp_path):
+    ring = RingBufferSink()
+    summary = CsvSummarySink(tmp_path / "s.csv")
+    tracer = EventTracer((ring, summary))
+    tracer.emit("x", ms=1.0)
+    assert len(ring) == 1
+    assert summary.rows() == [("x", 1, 1.0)]

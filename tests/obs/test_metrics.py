@@ -1,0 +1,105 @@
+"""Metric instruments: counters, gauges, streaming histograms, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.obs.metrics import Histogram
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    registry.counter("queries").inc()
+    registry.counter("queries").inc(4)
+    registry.gauge("bytes").set(123.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["queries"] == 5
+    assert snapshot["gauges"]["bytes"] == 123.0
+
+
+def test_instruments_are_get_or_create():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.counter("a") is not registry.counter("b")
+
+
+def test_histogram_tracks_exact_count_total_min_max():
+    h = Histogram("t")
+    for value in (3.0, 1.0, 4.0, 1.5, 9.0):
+        h.observe(value)
+    assert h.count == 5
+    assert h.total == 18.5
+    assert h.min == 1.0
+    assert h.max == 9.0
+    assert abs(h.mean - 3.7) < 1e-12
+
+
+def test_empty_histogram_is_harmless():
+    h = Histogram("t")
+    assert h.quantile(0.5) == 0.0
+    assert h.summary() == {"count": 0}
+    assert h.mean == 0.0
+
+
+def test_histogram_quantiles_track_numpy_percentiles():
+    rng = np.random.default_rng(7)
+    samples = rng.lognormal(mean=1.0, sigma=1.2, size=20_000)
+    h = Histogram("t")
+    for value in samples:
+        h.observe(float(value))
+    for q in (0.50, 0.95, 0.99):
+        exact = float(np.percentile(samples, 100 * q))
+        estimate = h.quantile(q)
+        # Bucket growth is 2**0.25 — one bucket is ~19% wide, so the
+        # interpolated estimate must land within that.
+        assert abs(estimate - exact) / exact < 0.2, (q, estimate, exact)
+    assert h.p50 == h.quantile(0.50)
+    assert h.quantile(0.0) == h.min
+    assert h.quantile(1.0) == h.max
+
+
+def test_histogram_quantiles_clamped_to_observed_range():
+    h = Histogram("t")
+    h.observe(5.0)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == 5.0
+
+
+def test_histogram_handles_out_of_range_values():
+    h = Histogram("t")
+    h.observe(0.0)       # below the lowest bucket edge
+    h.observe(-2.0)      # negative
+    h.observe(1e12)      # beyond the highest edge
+    assert h.count == 3
+    assert h.min == -2.0
+    assert h.max == 1e12
+    assert h.quantile(0.5) >= h.min
+    assert h.quantile(0.5) <= h.max
+
+
+def test_null_registry_swallows_everything():
+    assert not NULL_REGISTRY.enabled
+    counter = NULL_REGISTRY.counter("x")
+    counter.inc(100)
+    assert counter.value == 0
+    NULL_REGISTRY.gauge("g").set(9.0)
+    assert NULL_REGISTRY.gauge("g").value == 0.0
+    NULL_REGISTRY.histogram("h").observe(1.0)
+    assert NULL_REGISTRY.histogram("h").count == 0
+    # Shared instruments: no per-name allocation on the disabled path.
+    assert NULL_REGISTRY.counter("x") is NULL_REGISTRY.counter("y")
+
+
+def test_snapshot_is_sorted_and_json_round_trippable():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc()
+    registry.histogram("h").observe(2.5)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["a", "b"]
+    assert json.loads(json.dumps(snapshot)) == snapshot

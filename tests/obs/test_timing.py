@@ -1,0 +1,90 @@
+"""The span() phase timer and @timed decorator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_OBS, Observability, span, timed
+
+
+def test_span_measures_and_records_when_enabled():
+    obs = Observability.in_memory()
+    with span(obs, "lookup", query=7) as s:
+        pass
+    assert s.elapsed_ms >= 0.0
+    hist = obs.metrics.histogram("phase.lookup.ms")
+    assert hist.count == 1
+    (event,) = obs.ring_events("phase")
+    assert event["phase"] == "lookup"
+    assert event["query"] == 7
+    assert event["ms"] == s.elapsed_ms
+
+
+def test_span_with_disabled_obs_still_times():
+    with span(NULL_OBS, "lookup") as s:
+        x = sum(range(100))
+    assert x == 4950
+    assert s.elapsed_ms > 0.0
+    assert not NULL_OBS.ring_events()
+
+
+def test_span_accepts_none_obs():
+    with span(None, "anything") as s:
+        pass
+    assert s.elapsed_ms >= 0.0
+
+
+def test_span_record_overrides_wall_clock():
+    obs = Observability.in_memory()
+    with span(obs, "backend") as s:
+        s.record(42.5)
+    assert s.elapsed_ms == 42.5
+    (event,) = obs.ring_events("phase")
+    assert event["ms"] == 42.5
+
+
+def test_span_does_not_record_on_exception():
+    obs = Observability.in_memory()
+    with pytest.raises(ValueError):
+        with span(obs, "lookup"):
+            raise ValueError("boom")
+    assert obs.metrics.histogram("phase.lookup.ms").count == 0
+    assert not obs.ring_events("phase")
+
+
+class _Instrumented:
+    def __init__(self, obs):
+        self.obs = obs
+        self.calls = 0
+
+    @timed("work")
+    def work(self, value):
+        self.calls += 1
+        return value * 2
+
+
+def test_timed_decorator_records_histogram():
+    obs = Observability.in_memory()
+    target = _Instrumented(obs)
+    assert target.work(21) == 42
+    assert target.calls == 1
+    assert obs.metrics.histogram("timed.work.ms").count == 1
+
+
+def test_timed_decorator_is_transparent_when_disabled():
+    target = _Instrumented(NULL_OBS)
+    assert target.work(5) == 10
+    no_obs = _Instrumented(None)
+    assert no_obs.work(5) == 10
+
+
+def test_observability_bind_shares_registry():
+    obs = Observability.in_memory()
+    bound = obs.bind(scheme="vcmc")
+    bound.metrics.counter("n").inc()
+    assert obs.metrics.counter("n").value == 1
+    bound.tracer.emit("x")
+    (event,) = obs.ring_events("x")
+    assert event["scheme"] == "vcmc"
+    # binding a disabled instance stays the shared no-op
+    assert NULL_OBS.bind(scheme="esm") is NULL_OBS

@@ -1,0 +1,154 @@
+"""End-to-end wiring: manager/store/strategy/backend report into one
+Observability handle, and the JSONL export reconstructs Figure 10."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import AggregateCache, BackendDatabase, CostModel, Observability, Query
+from repro.harness.config import quick_config
+from repro.harness.obs_run import run_instrumented_streams
+
+
+@pytest.fixture
+def obs():
+    return Observability.in_memory()
+
+
+@pytest.fixture
+def manager(tiny_schema, tiny_facts, obs):
+    backend = BackendDatabase(tiny_schema, tiny_facts, CostModel(), obs=obs)
+    return AggregateCache(
+        tiny_schema,
+        backend,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        policy="two_level",
+        preload=False,
+        obs=obs,
+    )
+
+
+def test_query_emits_full_accounting_event(manager, obs, tiny_schema):
+    result = manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    (event,) = obs.ring_events("query")
+    b = result.breakdown
+    assert event["complete_hit"] == result.complete_hit
+    assert event["lookup_ms"] == b.lookup_ms
+    assert event["aggregate_ms"] == b.aggregate_ms
+    assert event["update_ms"] == b.update_ms
+    assert event["backend_ms"] == b.backend_ms
+    assert event["from_backend"] == result.from_backend
+    assert event["state_updates"] == result.state_updates
+    assert obs.metrics.counter("query.count").value == 1
+
+
+def test_phase_spans_cover_every_query(manager, obs, tiny_schema):
+    manager.query(Query.full_level(tiny_schema, tiny_schema.base_level))
+    manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    phases = {e["phase"] for e in obs.ring_events("phase")}
+    assert {"lookup", "aggregate", "update"} <= phases
+    assert "backend" in phases  # the first query missed
+    lookups = [e for e in obs.ring_events("phase") if e["phase"] == "lookup"]
+    assert len(lookups) == 2
+    assert obs.metrics.histogram("phase.lookup.ms").count == 2
+
+
+def test_cache_and_backend_events_flow(manager, obs, tiny_schema):
+    manager.query(Query.full_level(tiny_schema, tiny_schema.base_level))
+    inserts = obs.ring_events("cache.insert")
+    assert inserts and all(e["bytes"] >= 0 for e in inserts)
+    fetches = obs.ring_events("backend.fetch")
+    assert fetches and fetches[0]["tuples_scanned"] > 0
+    # the aggregated level is now computable: second query aggregates
+    result = manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    assert result.complete_hit
+    assert obs.metrics.counter("lookup.finds").value > 0
+    assert obs.metrics.histogram("lookup.visits").count > 0
+
+
+def test_eviction_and_rejection_events(tiny_schema, tiny_facts, obs):
+    backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+    base = tiny_schema.base_level
+    chunks = backend.compute_level(base)
+    sizes = [c.size_bytes(tiny_schema.bytes_per_tuple) for c in chunks]
+    capacity = max(s for s in sizes if s > 0)  # room for roughly one chunk
+    manager = AggregateCache(
+        tiny_schema,
+        backend,
+        capacity_bytes=capacity,
+        strategy="vcmc",
+        policy="benefit",
+        preload=False,
+        obs=obs,
+    )
+    manager.query(Query.full_level(tiny_schema, base))
+    snapshot = obs.snapshot()
+    assert obs.ring_events("cache.evict")
+    assert snapshot["counters"]["cache.evictions"] > 0
+    assert snapshot["gauges"]["cache.used_bytes"] <= capacity
+
+
+def test_reinforcement_events(manager, obs, tiny_schema):
+    manager.query(Query.full_level(tiny_schema, tiny_schema.base_level))
+    manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    reinforcements = obs.ring_events("policy.reinforce")
+    assert reinforcements
+    assert all(e["chunks"] > 0 for e in reinforcements)
+
+
+def test_disabled_obs_records_nothing(tiny_schema, tiny_backend):
+    manager = AggregateCache(
+        tiny_schema, tiny_backend, capacity_bytes=1 << 20, preload=False
+    )
+    result = manager.query(Query.full_level(tiny_schema, (0, 0, 0)))
+    assert result.chunks
+    assert not manager.obs.enabled
+    assert manager.obs.snapshot()["counters"] == {}
+    assert not manager.obs.ring_events()
+
+
+def test_jsonl_export_reconstructs_figure10(tmp_path):
+    """The acceptance path: --metrics-out events → Fig 10 breakdown."""
+    config = quick_config()
+    out = tmp_path / "metrics.jsonl"
+    summary = run_instrumented_streams(config, out)
+    assert "per-phase timing summary" in summary
+    events = [json.loads(line) for line in out.read_text().splitlines()]
+    queries = [e for e in events if e["kind"] == "query"]
+    assert queries, "no query events exported"
+
+    # Figure 10: average lookup/aggregate/update per complete-hit query,
+    # grouped by scheme and cache fraction.
+    groups: dict[tuple[str, float], list[dict]] = {}
+    for event in queries:
+        if event["complete_hit"]:
+            groups.setdefault(
+                (event["scheme"], event["fraction"]), []
+            ).append(event)
+    assert groups, "no complete hits to break down"
+    for (scheme, fraction), rows in groups.items():
+        assert scheme in ("esm", "vcmc")
+        for phase in ("lookup_ms", "aggregate_ms", "update_ms"):
+            avg = sum(r[phase] for r in rows) / len(rows)
+            assert avg >= 0.0
+        # complete hits never touch the backend
+        assert all(r["backend_ms"] == 0.0 for r in rows)
+        assert all(r["from_backend"] == 0 for r in rows)
+
+    # Internal consistency: phase spans and query events report the same
+    # totals (phase events are emitted from the very spans that fill the
+    # per-query breakdown).
+    for phase in ("lookup", "aggregate", "update", "backend"):
+        span_total = sum(
+            e["ms"] for e in events
+            if e["kind"] == "phase" and e["phase"] == phase
+        )
+        query_total = sum(e[f"{phase}_ms"] for e in queries)
+        assert span_total == pytest.approx(query_total, rel=1e-9)
+
+    # Cache events are present alongside the timings.
+    kinds = {e["kind"] for e in events}
+    assert {"cache.insert", "backend.fetch", "phase", "query"} <= kinds

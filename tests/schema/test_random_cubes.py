@@ -11,8 +11,6 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cache.replacement import make_policy
-from repro.cache.store import ChunkCache
 from repro.core.counts import CountStore
 from repro.core.sizes import SizeEstimator
 from repro.schema import CubeSchema, Dimension

@@ -53,7 +53,7 @@ def test_version_matches_pyproject():
 
 
 def test_strategy_and_policy_registries_consistent():
-    from repro import STRATEGY_NAMES, make_strategy
+    from repro import STRATEGY_NAMES
     from repro.cache.replacement import POLICY_NAMES, make_policy
 
     assert set(STRATEGY_NAMES) == {"esm", "esmc", "vcm", "vcmc", "noagg"}
