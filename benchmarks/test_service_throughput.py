@@ -1,0 +1,45 @@
+"""Concurrent serving throughput benchmark (1 vs 4 vs 8 workers).
+
+Times the service layer's ``serve`` over the standard seeded stream at
+several worker counts and regenerates the ``service`` harness artifact.
+The workload is pure Python plus numpy under the GIL, so no wall-clock
+*speedup* is asserted — what is asserted is what concurrency must never
+cost: every run answers the full stream, the post-run cache byte
+accounting and count-store invariants hold, and single-flight keeps the
+backend request count bounded by the sequential run's.
+"""
+
+from __future__ import annotations
+
+from repro.harness.service_bench import (
+    DEFAULT_WORKER_COUNTS,
+    run_service_throughput,
+)
+
+
+def test_service_throughput(benchmark, config, emit):
+    result = run_service_throughput(config, worker_counts=(4,))
+    benchmark.pedantic(
+        lambda: run_service_throughput(config, worker_counts=(4,)),
+        rounds=3,
+        iterations=1,
+    )
+
+    full = run_service_throughput(
+        config, worker_counts=DEFAULT_WORKER_COUNTS
+    )
+    emit("service_throughput", full.format())
+
+    assert full.runs[0].workers == 1
+    for run in full.runs:
+        assert run.queries == config.num_queries
+        assert run.bytes_invariant_ok, (
+            f"used_bytes out of sync after workers={run.workers}"
+        )
+        assert run.counts_invariant_ok, (
+            f"count store out of sync after workers={run.workers}"
+        )
+        # Each query issues at most one batched backend request (its led
+        # flights); single-flight followers never issue their own.
+        assert run.backend_requests <= run.queries
+    assert result.invariants_ok

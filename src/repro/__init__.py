@@ -50,6 +50,7 @@ from repro.schema import (
     apb_tiny_schema,
 )
 from repro.schema.members import MemberCatalog
+from repro.service import ConcurrentAggregateCache
 from repro.workload import Query, QueryKind, QueryStreamGenerator, StreamMix
 
 __version__ = "1.0.0"
@@ -60,6 +61,7 @@ __all__ = [
     "Chunk",
     "ChunkCache",
     "ChunkOrigin",
+    "ConcurrentAggregateCache",
     "CostModel",
     "CostStore",
     "CountStore",

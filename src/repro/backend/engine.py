@@ -14,6 +14,7 @@ the simulated connection/transfer overhead from :class:`CostModel`.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -94,6 +95,11 @@ class BackendDatabase:
         self.totals = BackendTotals()
         self._base_chunks = self._cluster_facts(facts)
         self._num_tuples = facts.num_tuples
+        self._totals_lock = threading.Lock()
+        """Concurrent fetches (the service layer issues them outside any
+        cache lock) serialise only their lifetime-counter updates; the
+        scans themselves run in parallel.  ``append`` is NOT safe against
+        concurrent fetches — refreshes must be externally quiesced."""
 
     def _cluster_facts(self, facts: FactTable) -> dict[int, Chunk]:
         """Split the fact table into base-level chunks (the chunked file)."""
@@ -188,7 +194,8 @@ class BackendDatabase:
         stats.simulated_ms = self.cost_model.backend_request_ms(
             stats.tuples_scanned, stats.tuples_returned
         )
-        self.totals.absorb(stats)
+        with self._totals_lock:
+            self.totals.absorb(stats)
         if self.obs.enabled:
             self.obs.metrics.counter("backend.requests").inc()
             self.obs.metrics.counter("backend.chunks_served").inc(

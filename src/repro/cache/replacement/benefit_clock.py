@@ -9,6 +9,7 @@ Figures 7 and 8.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 from typing import TYPE_CHECKING, ClassVar
 
@@ -26,24 +27,31 @@ class BenefitClockPolicy(ReplacementPolicy):
     paper cites ([SSV]): an incoming chunk is only admitted if its benefit
     density (benefit per byte) beats the least profitable chunk it would
     displace.  Off by default — the paper's experiments admit everything.
+
+    Ring membership, clock writes and hand advancement all serialise on
+    one reentrant mutex (shared with the ring), so the policy stays
+    consistent when driven from several threads.
     """
 
     name: ClassVar[str] = "benefit"
 
     def __init__(self, profit_admission: bool = False) -> None:
-        self._ring = ClockRing()
+        self._lock = threading.RLock()
+        self._ring = ClockRing(lock=self._lock)
         self.profit_admission = profit_admission
 
     def on_insert(self, entry: "CacheEntry") -> None:
-        entry.clock = clock_weight(entry.benefit)
-        self._ring.add(entry)
+        with self._lock:
+            entry.clock = clock_weight(entry.benefit)
+            self._ring.add(entry)
 
     def on_remove(self, entry: "CacheEntry") -> None:
         # Lazy: the ring compacts on its next sweep.
         pass
 
     def on_hit(self, entry: "CacheEntry") -> None:
-        entry.clock = max(entry.clock, clock_weight(entry.benefit))
+        with self._lock:
+            entry.clock = max(entry.clock, clock_weight(entry.benefit))
 
     def victim_iter(self, incoming: "CacheEntry") -> Iterator["CacheEntry"]:
         return self._ring.sweep()

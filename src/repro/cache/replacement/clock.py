@@ -5,10 +5,18 @@ decrements values as it passes; an entry whose value has reached zero is a
 victim.  Expensive chunks therefore survive proportionally (log-scaled)
 more sweeps — this is the CLOCK approximation of benefit-LRU the paper
 uses ("we approximate LRU with CLOCK").
+
+Hand advancement is thread-safe: each victim-selection step (compact +
+sweep until a victim or exhaustion) runs under the ring's mutex, so two
+threads sweeping concurrently cannot corrupt the hand position or decay
+the same entry twice in one step.  A policy owning several rings passes
+one shared lock so cross-ring operations (e.g. two-level group
+reinforcement) serialise against both hands.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
@@ -23,20 +31,26 @@ class ClockRing:
     compacts at the start of each sweep, preserving the hand position.
     """
 
-    def __init__(self, decrement: float = 1.0) -> None:
+    def __init__(
+        self, decrement: float = 1.0, lock: threading.RLock | None = None
+    ) -> None:
         self.decrement = decrement
         self._slots: list["CacheEntry"] = []
         self._hand = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def __len__(self) -> int:
-        return sum(1 for e in self._slots if e.resident)
+        with self._lock:
+            return sum(1 for e in self._slots if e.resident)
 
     def add(self, entry: "CacheEntry") -> None:
-        self._slots.append(entry)
+        with self._lock:
+            self._slots.append(entry)
 
     def entries(self) -> list["CacheEntry"]:
         """Resident entries in ring order (diagnostics/tests)."""
-        return [e for e in self._slots if e.resident]
+        with self._lock:
+            return [e for e in self._slots if e.resident]
 
     def _compact(self) -> None:
         """Drop dead slots, keeping the hand at the same live entry."""
@@ -51,27 +65,24 @@ class ClockRing:
         if self._hand >= len(self._slots):
             self._hand = 0
 
-    def sweep(self) -> Iterator["CacheEntry"]:
-        """Yield distinct victims in CLOCK order, decaying clocks en route.
+    def _next_victim(self, yielded: set[int]) -> "CacheEntry | None":
+        """One atomic sweep step: the next victim, or None when exhausted.
 
-        Victims are *candidates*: the consumer may stop early, and entries
-        it does not ultimately evict simply keep their (now zero) clock.
-        Each entry is yielded at most once per sweep.  Terminates because a
-        victimless revolution strictly decreases the bounded total clock
-        mass of the remaining candidates.
+        Caller must hold ``self._lock``.  Loops internally because a full
+        revolution may only decay clocks without producing a victim; it
+        terminates because a victimless revolution strictly decreases the
+        bounded total clock mass of the remaining candidates.
         """
-        yielded: set[int] = set()
         while True:
             self._compact()
             slots = self._slots
             n = len(slots)
             if not n:
-                return
+                return None
             if not any(
                 not e.pinned and id(e) not in yielded for e in slots
             ):
-                return
-            found: "CacheEntry | None" = None
+                return None
             for step in range(n):
                 i = (self._hand + step) % n
                 entry = slots[i]
@@ -82,10 +93,24 @@ class ClockRing:
                 ):
                     continue
                 if entry.clock <= 0:
-                    found = entry
                     self._hand = (i + 1) % n
-                    break
+                    return entry
                 entry.clock -= self.decrement
-            if found is not None:
-                yielded.add(id(found))
-                yield found
+
+    def sweep(self) -> Iterator["CacheEntry"]:
+        """Yield distinct victims in CLOCK order, decaying clocks en route.
+
+        Victims are *candidates*: the consumer may stop early, and entries
+        it does not ultimately evict simply keep their (now zero) clock.
+        Each entry is yielded at most once per sweep.  The lock is held
+        per step, not across the whole iteration, so a consumer may safely
+        interleave other ring operations between victims.
+        """
+        yielded: set[int] = set()
+        while True:
+            with self._lock:
+                found = self._next_victim(yielded)
+            if found is None:
+                return
+            yielded.add(id(found))
+            yield found

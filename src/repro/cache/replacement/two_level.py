@@ -19,6 +19,7 @@ Three rules on top of benefit-CLOCK:
 from __future__ import annotations
 
 import itertools
+import threading
 from collections.abc import Iterable, Iterator
 from typing import TYPE_CHECKING, ClassVar
 
@@ -39,8 +40,11 @@ class TwoLevelPolicy(ReplacementPolicy):
     name: ClassVar[str] = "two_level"
 
     def __init__(self, reinforce_groups: bool = True) -> None:
-        self._computed_ring = ClockRing()
-        self._backend_ring = ClockRing()
+        # One mutex shared by both rings: group reinforcement touches
+        # entries of both classes and must serialise against either hand.
+        self._lock = threading.RLock()
+        self._computed_ring = ClockRing(lock=self._lock)
+        self._backend_ring = ClockRing(lock=self._lock)
         self.reinforce_groups = reinforce_groups
         """Rule 2 switch — disabled by the A1 ablation benchmark."""
 
@@ -52,14 +56,16 @@ class TwoLevelPolicy(ReplacementPolicy):
         )
 
     def on_insert(self, entry: "CacheEntry") -> None:
-        entry.clock = clock_weight(entry.benefit)
-        self._ring_of(entry).add(entry)
+        with self._lock:
+            entry.clock = clock_weight(entry.benefit)
+            self._ring_of(entry).add(entry)
 
     def on_remove(self, entry: "CacheEntry") -> None:
         pass
 
     def on_hit(self, entry: "CacheEntry") -> None:
-        entry.clock = max(entry.clock, clock_weight(entry.benefit))
+        with self._lock:
+            entry.clock = max(entry.clock, clock_weight(entry.benefit))
 
     def on_aggregate_use(
         self, entries: Iterable["CacheEntry"], benefit_ms: float
@@ -68,9 +74,10 @@ class TwoLevelPolicy(ReplacementPolicy):
             return
         bump = clock_weight(benefit_ms)
         reinforced = 0
-        for entry in entries:
-            entry.clock = min(entry.clock + bump, CLOCK_CAP)
-            reinforced += 1
+        with self._lock:
+            for entry in entries:
+                entry.clock = min(entry.clock + bump, CLOCK_CAP)
+                reinforced += 1
         if reinforced and self.obs.enabled:
             self.obs.metrics.counter("policy.reinforced_chunks").inc(
                 reinforced

@@ -4,11 +4,20 @@ Admission and victim selection are delegated to a
 :class:`~repro.cache.replacement.base.ReplacementPolicy`; the store owns
 the byte accounting and guarantees atomic inserts — either the incoming
 chunk fits after the policy's evictions, or nothing changes at all.
+
+The store is thread-safe: one reentrant mutex guards the entry map, the
+byte accounting and every policy callback, so an insert (victim sweep +
+admission + accounting) is atomic with respect to concurrent reads,
+evictions and reinforcements.  The concurrent service layer
+(:mod:`repro.service`) additionally orders whole query phases around the
+store; the store's own lock is what keeps the ``used_bytes`` invariant
+exact even when it is used without that layer.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import threading
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.cache.replacement.base import ReplacementPolicy
@@ -83,6 +92,7 @@ class ChunkCache:
         self.obs = obs or NULL_OBS
         self.policy.obs = self.obs
         self._entries: dict[Key, CacheEntry] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # membership / reads
@@ -92,16 +102,17 @@ class ChunkCache:
 
     def get(self, level: Level, number: int) -> Chunk:
         """The cached chunk; counts as a cache hit for the policy."""
-        entry = self._entries.get((level, number))
-        if entry is None:
-            self.stats.misses += 1
-            if self.obs.enabled:
-                self.obs.metrics.counter("cache.misses").inc()
-            raise ReproError(
-                f"chunk {number} of level {level} is not in the cache"
-            )
-        self.stats.hits += 1
-        self.policy.on_hit(entry)
+        with self._lock:
+            entry = self._entries.get((level, number))
+            if entry is None:
+                self.stats.misses += 1
+                if self.obs.enabled:
+                    self.obs.metrics.counter("cache.misses").inc()
+                raise ReproError(
+                    f"chunk {number} of level {level} is not in the cache"
+                )
+            self.stats.hits += 1
+            self.policy.on_hit(entry)
         if self.obs.enabled:
             self.obs.metrics.counter("cache.hits").inc()
             self.obs.tracer.emit(
@@ -120,7 +131,8 @@ class ChunkCache:
         return self._entries.get((level, number))
 
     def entries(self) -> Iterator[CacheEntry]:
-        return iter(self._entries.values())
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,7 +142,8 @@ class ChunkCache:
         return self.capacity_bytes - self.used_bytes
 
     def resident_keys(self) -> list[Key]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     # ------------------------------------------------------------------ #
     # writes
@@ -144,42 +157,43 @@ class ChunkCache:
         CLOCK).  Empty chunks are cached too: knowing a region is empty is
         as valuable as knowing its contents.
         """
-        key = chunk.key
-        if key in self._entries:
-            # Re-inserting a resident chunk refreshes its benefit/recency.
-            entry = self._entries[key]
-            entry.benefit = max(entry.benefit, benefit)
-            self.policy.on_hit(entry)
-            return InsertOutcome(inserted=False)
-        size = chunk.size_bytes(self.bytes_per_tuple)
-        entry = CacheEntry(chunk=chunk, benefit=benefit, size_bytes=size)
-        if size > self.capacity_bytes:
-            self._note_reject(chunk, size, "larger_than_cache")
-            return InsertOutcome(inserted=False)
-
-        victims: list[CacheEntry] = []
-        needed = size - self.free_bytes
-        if needed > 0:
-            freed = 0
-            for victim in self.policy.victim_iter(entry):
-                if victim.pinned or not victim.resident:
-                    continue
-                victims.append(victim)
-                freed += victim.size_bytes
-                if freed >= needed:
-                    break
-            if freed < needed:
-                self._note_reject(chunk, size, "no_evictable_space")
+        with self._lock:
+            key = chunk.key
+            if key in self._entries:
+                # Re-inserting a resident chunk refreshes its benefit/recency.
+                entry = self._entries[key]
+                entry.benefit = max(entry.benefit, benefit)
+                self.policy.on_hit(entry)
                 return InsertOutcome(inserted=False)
-            if not self.policy.should_admit(entry, victims):
-                self._note_reject(chunk, size, "not_admitted")
+            size = chunk.size_bytes(self.bytes_per_tuple)
+            entry = CacheEntry(chunk=chunk, benefit=benefit, size_bytes=size)
+            if size > self.capacity_bytes:
+                self._note_reject(chunk, size, "larger_than_cache")
                 return InsertOutcome(inserted=False)
 
-        evicted = [self._remove_entry(victim) for victim in victims]
-        self._entries[key] = entry
-        self.used_bytes += size
-        self.policy.on_insert(entry)
-        self.stats.inserts += 1
+            victims: list[CacheEntry] = []
+            needed = size - self.free_bytes
+            if needed > 0:
+                freed = 0
+                for victim in self.policy.victim_iter(entry):
+                    if victim.pinned or not victim.resident:
+                        continue
+                    victims.append(victim)
+                    freed += victim.size_bytes
+                    if freed >= needed:
+                        break
+                if freed < needed:
+                    self._note_reject(chunk, size, "no_evictable_space")
+                    return InsertOutcome(inserted=False)
+                if not self.policy.should_admit(entry, victims):
+                    self._note_reject(chunk, size, "not_admitted")
+                    return InsertOutcome(inserted=False)
+
+            evicted = [self._remove_entry(victim) for victim in victims]
+            self._entries[key] = entry
+            self.used_bytes += size
+            self.policy.on_insert(entry)
+            self.stats.inserts += 1
         if self.obs.enabled:
             self.obs.metrics.counter("cache.inserts").inc()
             self.obs.metrics.gauge("cache.used_bytes").set(self.used_bytes)
@@ -196,12 +210,36 @@ class ChunkCache:
 
     def evict(self, level: Level, number: int) -> Chunk:
         """Forcibly remove one chunk (used by tests and maintenance)."""
-        entry = self._entries.get((level, number))
-        if entry is None:
-            raise ReproError(
-                f"cannot evict: chunk {number} of level {level} not cached"
-            )
-        return self._remove_entry(entry)
+        with self._lock:
+            entry = self._entries.get((level, number))
+            if entry is None:
+                raise ReproError(
+                    f"cannot evict: chunk {number} of level {level} not cached"
+                )
+            return self._remove_entry(entry)
+
+    def reinforce(
+        self, keys: Iterable[Key], benefit_ms: float
+    ) -> tuple[int, int]:
+        """Apply group reinforcement (two-level rule 2) to the entries at
+        ``keys``, atomically with respect to inserts and evictions.
+
+        Returns ``(applied, skipped)`` — ``skipped`` counts keys that were
+        no longer resident when the reinforcement landed (possible when an
+        eviction raced the aggregation that produced the group).
+        """
+        with self._lock:
+            entries: list[CacheEntry] = []
+            skipped = 0
+            for level, number in keys:
+                entry = self._entries.get((level, number))
+                if entry is None or not entry.resident:
+                    skipped += 1
+                else:
+                    entries.append(entry)
+            if entries:
+                self.policy.on_aggregate_use(entries, benefit_ms)
+            return len(entries), skipped
 
     def _remove_entry(self, entry: CacheEntry) -> Chunk:
         del self._entries[entry.key]

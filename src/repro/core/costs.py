@@ -24,6 +24,7 @@ near the paper's Lemma 2 bound instead of rescanning whole neighbourhoods.
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
@@ -79,6 +80,8 @@ class CostStore:
         self._children: dict[tuple[Level, int], list[tuple[Level, int, int]]] = {}
         self.total_updates = 0
         """Lifetime number of cost/best-parent modifications."""
+        self._lock = threading.Lock()
+        """Serialises maintenance cascades (mirrors CountStore's lock)."""
 
     # ------------------------------------------------------------------ #
     # queries
@@ -117,23 +120,25 @@ class CostStore:
     def on_insert(self, level: Level, number: int) -> int:
         """A chunk entered the cache: its cost drops to 0.  Returns the
         number of cost/best modifications performed."""
-        before = self.total_updates
-        self._cached[level][number] = True
-        self._apply(level, number, 0.0, BEST_CACHED)
-        return self.total_updates - before
+        with self._lock:
+            before = self.total_updates
+            self._cached[level][number] = True
+            self._apply(level, number, 0.0, BEST_CACHED)
+            return self.total_updates - before
 
     def on_evict(self, level: Level, number: int) -> int:
         """A chunk left the cache: recompute its cost from its parents."""
-        if not self._cached[level][number]:
-            raise ReproError(
-                f"evicting chunk {number} of level {level} which the cost "
-                "store does not believe is cached"
-            )
-        before = self.total_updates
-        self._cached[level][number] = False
-        cost, best = self._best_option(level, number)
-        self._apply(level, number, cost, best)
-        return self.total_updates - before
+        with self._lock:
+            if not self._cached[level][number]:
+                raise ReproError(
+                    f"evicting chunk {number} of level {level} which the cost "
+                    "store does not believe is cached"
+                )
+            before = self.total_updates
+            self._cached[level][number] = False
+            cost, best = self._best_option(level, number)
+            self._apply(level, number, cost, best)
+            return self.total_updates - before
 
     # ------------------------------------------------------------------ #
     # internals

@@ -16,6 +16,8 @@ Section 4.1 notes it is symmetric).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.schema.cube import CubeSchema, Level
@@ -41,6 +43,11 @@ class CountStore:
         self._propagation: dict[
             Level, dict[int, list[tuple[Level, int, np.ndarray]]]
         ] = {level: {} for level in schema.all_levels()}
+        self._lock = threading.Lock()
+        """Serialises maintenance cascades: two concurrent on_insert /
+        on_evict calls would otherwise interleave their recursive updates
+        and corrupt the counts.  Reads stay lock-free — single array-cell
+        loads that are safe against a concurrent (locked) writer."""
 
     # ------------------------------------------------------------------ #
     # queries
@@ -65,15 +72,17 @@ class CountStore:
 
     def on_insert(self, level: Level, number: int) -> int:
         """A chunk entered the cache.  Returns count modifications made."""
-        before = self.total_updates
-        self._insert_update(level, number)
-        return self.total_updates - before
+        with self._lock:
+            before = self.total_updates
+            self._insert_update(level, number)
+            return self.total_updates - before
 
     def on_evict(self, level: Level, number: int) -> int:
         """A chunk left the cache.  Returns count modifications made."""
-        before = self.total_updates
-        self._evict_update(level, number)
-        return self.total_updates - before
+        with self._lock:
+            before = self.total_updates
+            self._evict_update(level, number)
+            return self.total_updates - before
 
     def _propagation_entries(
         self, level: Level, number: int

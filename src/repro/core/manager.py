@@ -52,6 +52,11 @@ class QueryResult:
     tuples_aggregated: int = 0
     lookup_visits: int = 0
     state_updates: int = 0
+    reinforcements_skipped: int = 0
+    """Group-reinforcement targets that were no longer resident when the
+    reinforcement landed.  Always 0 in sequential use (reinforcement is
+    applied before this query's own admissions can evict anything); under
+    concurrent serving a racing eviction can make it positive."""
 
     def total_value(self) -> float:
         """Grand total of the measure over the query region."""
@@ -326,8 +331,16 @@ class AggregateCache:
                 results[chunk.number] = chunk
 
         # Phase 4 — admit new chunks and maintain count/cost state.
+        # Reinforcement is applied BEFORE the admissions: an insert can
+        # evict the very leaves that were just aggregated, and reinforcing
+        # first both protects the group during the victim sweep and never
+        # silently drops a reinforcement for an already-evicted leaf.
         with span(obs, "update") as update_span:
             state_updates = 0
+            reinforcements_skipped = 0
+            for leaf_keys, benefit in reinforcements:
+                _, skipped = self.cache.reinforce(leaf_keys, benefit)
+                reinforcements_skipped += skipped
             for chunk in computed:
                 state_updates += self._insert(
                     chunk, benefit=chunk.compute_cost
@@ -336,15 +349,6 @@ class AggregateCache:
                 state_updates += self._insert(
                     chunk, benefit=chunk.compute_cost
                 )
-            for leaf_keys, benefit in reinforcements:
-                entries = [
-                    entry
-                    for entry in (
-                        self.cache.entry(lvl, n) for lvl, n in leaf_keys
-                    )
-                    if entry is not None
-                ]
-                self.cache.policy.on_aggregate_use(entries, benefit)
         breakdown.update_ms = update_span.elapsed_ms
 
         self.queries_run += 1
@@ -362,6 +366,7 @@ class AggregateCache:
             tuples_aggregated=tuples_aggregated,
             lookup_visits=self.strategy.total_visits - visits_before,
             state_updates=state_updates,
+            reinforcements_skipped=reinforcements_skipped,
         )
         if obs.enabled:
             self._emit_query_event(result)
@@ -400,6 +405,7 @@ class AggregateCache:
             tuples_aggregated=result.tuples_aggregated,
             lookup_visits=result.lookup_visits,
             state_updates=result.state_updates,
+            reinforcements_skipped=result.reinforcements_skipped,
             cache_used_bytes=self.cache.used_bytes,
         )
 
@@ -445,14 +451,22 @@ class AggregateCache:
         slice the result cells down to the requested ordinal ranges.  The
         returned chunks contain only in-range cells; cached chunks are
         not modified.
+
+        The sliced chunks go into a *copy* of the inner ``query()``
+        result: by the time slicing happens, that result has already been
+        appended to the query log and described by the obs ``query``
+        event, and both deliberately describe the covering-chunk fetch
+        (``num_chunks``, ``tuples_aggregated`` and the cache accounting
+        all concern the chunk-aligned work the cache actually did, not
+        the residual cell filter).  Mutating the logged object in place
+        would silently de-sync it from those records.
         """
         query = Query.from_cell_ranges(self.schema, level, cell_ranges)
         result = self.query(query)
         sliced = [
             _slice_chunk(chunk, cell_ranges) for chunk in result.chunks
         ]
-        result.chunks = sliced
-        return result
+        return replace(result, chunks=sliced)
 
     # ------------------------------------------------------------------ #
     # internals

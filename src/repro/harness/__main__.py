@@ -35,6 +35,7 @@ EXPERIMENTS = (
     "fig10",
     "locality",
     "ablations",
+    "service",
 )
 
 
@@ -54,6 +55,16 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help="seconds-scale configuration (tiny schema) for smoke runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "service experiment: compare sequential serving against N "
+            "concurrent workers (default: compare 1, 4 and 8)"
+        ),
     )
     parser.add_argument(
         "--metrics-out",
@@ -125,6 +136,22 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     run("ablations", _ablations)
+
+    def _service() -> str:
+        from repro.harness.service_bench import (
+            DEFAULT_WORKER_COUNTS,
+            run_service_throughput,
+        )
+
+        if args.workers is None:
+            counts = DEFAULT_WORKER_COUNTS
+        elif args.workers <= 1:
+            counts = (1,)
+        else:
+            counts = (1, args.workers)
+        return run_service_throughput(config, worker_counts=counts).format()
+
+    run("service", _service)
 
     if wanted & {"fig7", "fig8"}:
         comparison = run_policy_comparison(config)

@@ -1,0 +1,189 @@
+"""Concurrent-serving throughput experiment (``service``).
+
+Drives the standard seeded query stream through
+:class:`~repro.service.ConcurrentAggregateCache` at several worker
+counts, each against a *fresh* manager (so every run starts from the same
+pre-loaded cache), and reports wall-clock, throughput and hit accounting
+side by side.  After every run the two consistency invariants are
+checked: the cache's ``used_bytes`` must equal the sum of resident entry
+sizes, and every :class:`~repro.core.counts.CountStore` array must equal
+one rebuilt from scratch off the final resident set.
+
+Note the workload is pure Python plus numpy aggregation — under the GIL
+the speedup from extra workers is modest and mostly reflects overlap of
+numpy releases and simulated backend waits, which is why the table also
+reports the single-flight sharing counters rather than promising a
+scaling factor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.counts import CountStore
+from repro.core.manager import AggregateCache
+from repro.harness.common import build_components
+from repro.harness.config import ExperimentConfig
+from repro.harness.streams import _STREAM_SEED_OFFSET, SchemeSpec
+from repro.service import ConcurrentAggregateCache
+from repro.util.tables import render_table
+from repro.workload.stream import QueryStreamGenerator
+
+DEFAULT_WORKER_COUNTS = (1, 4, 8)
+
+
+@dataclass
+class ServiceRunResult:
+    """Accounting of one concurrent stream run at one worker count."""
+
+    workers: int
+    queries: int
+    complete_hits: int
+    wall_s: float
+    backend_requests: int
+    flights_led: int
+    flights_joined: int
+    replans: int
+    reinforcements_skipped: int
+    bytes_invariant_ok: bool
+    counts_invariant_ok: bool
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.complete_hits / self.queries if self.queries else 0.0
+
+    @property
+    def qps(self) -> float:
+        return self.queries / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class ServiceThroughputResult:
+    config: ExperimentConfig
+    fraction: float
+    scheme: SchemeSpec
+    runs: list[ServiceRunResult] = field(default_factory=list)
+
+    @property
+    def invariants_ok(self) -> bool:
+        return all(
+            run.bytes_invariant_ok and run.counts_invariant_ok
+            for run in self.runs
+        )
+
+    def format(self) -> str:
+        headers = [
+            "Workers", "Wall s", "Queries/s", "Hit %",
+            "Backend reqs", "Flights led", "Flights joined",
+            "Replans", "Invariants",
+        ]
+        rows = []
+        for run in self.runs:
+            rows.append([
+                run.workers,
+                f"{run.wall_s:.2f}",
+                f"{run.qps:.1f}",
+                f"{100 * run.hit_ratio:.0f}%",
+                run.backend_requests,
+                run.flights_led,
+                run.flights_joined,
+                run.replans,
+                "ok"
+                if run.bytes_invariant_ok and run.counts_invariant_ok
+                else "VIOLATED",
+            ])
+        return render_table(
+            headers,
+            rows,
+            title=(
+                "Concurrent serving throughput "
+                f"(scheme={self.scheme.label}, "
+                f"cache={self.config.cache_label(self.fraction)}, "
+                f"queries={self.config.num_queries})."
+            ),
+        )
+
+
+def check_bytes_invariant(manager: AggregateCache) -> bool:
+    """``used_bytes`` equals the sum of resident entry sizes."""
+    cache = manager.cache
+    return cache.used_bytes == sum(
+        entry.size_bytes for entry in cache.entries()
+    )
+
+
+def check_counts_invariant(manager: AggregateCache) -> bool:
+    """Every maintained count array equals a from-scratch rebuild off the
+    final resident set (only meaningful for count-maintaining strategies)."""
+    import numpy as np
+
+    counts = getattr(manager.strategy, "counts", None)
+    if not isinstance(counts, CountStore):
+        return True
+    rebuilt = CountStore(manager.schema)
+    for level, number in manager.cache.resident_keys():
+        rebuilt.on_insert(level, number)
+    return all(
+        np.array_equal(counts.counts_array(level), rebuilt.counts_array(level))
+        for level in manager.schema.all_levels()
+    )
+
+
+def run_service_throughput(
+    config: ExperimentConfig,
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+    fraction: float | None = None,
+    scheme: SchemeSpec | None = None,
+) -> ServiceThroughputResult:
+    """Run the seeded stream at each worker count on a fresh manager."""
+    scheme = scheme or SchemeSpec(strategy="vcmc", policy="two_level")
+    components = build_components(config)
+    if fraction is None:
+        fraction = config.cache_fractions[len(config.cache_fractions) // 2]
+    stream = list(
+        QueryStreamGenerator(
+            components.schema,
+            max_extent=config.max_extent,
+            seed=config.seed + _STREAM_SEED_OFFSET,
+        ).generate(config.num_queries)
+    )
+    result = ServiceThroughputResult(
+        config=config, fraction=fraction, scheme=scheme
+    )
+    for workers in worker_counts:
+        manager = AggregateCache(
+            components.schema,
+            components.backend,
+            capacity_bytes=components.capacity_for(fraction),
+            strategy=scheme.strategy,
+            policy=scheme.policy,
+            preload=scheme.preload,
+            preload_headroom=config.preload_headroom,
+            sizes=components.sizes,
+        )
+        requests_before = components.backend.totals.requests
+        service = ConcurrentAggregateCache(manager)
+        start = time.perf_counter()
+        outcomes = service.serve(stream, workers=workers)
+        wall_s = time.perf_counter() - start
+        result.runs.append(
+            ServiceRunResult(
+                workers=workers,
+                queries=len(outcomes),
+                complete_hits=sum(1 for o in outcomes if o.complete_hit),
+                wall_s=wall_s,
+                backend_requests=(
+                    components.backend.totals.requests - requests_before
+                ),
+                flights_led=service.flights.led,
+                flights_joined=service.flights.joined,
+                replans=service.replans,
+                reinforcements_skipped=sum(
+                    o.reinforcements_skipped for o in outcomes
+                ),
+                bytes_invariant_ok=check_bytes_invariant(manager),
+                counts_invariant_ok=check_counts_invariant(manager),
+            )
+        )
+    return result

@@ -23,6 +23,7 @@ import csv
 import io
 import itertools
 import json
+import threading
 from collections import deque
 from pathlib import Path
 from typing import Protocol
@@ -64,7 +65,11 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Appends one compact JSON object per event to a file."""
+    """Appends one compact JSON object per event to a file.
+
+    Emission is thread-safe: the line is serialised outside the lock and
+    written under it, so concurrent emitters never interleave mid-line.
+    """
 
     def __init__(self, path: str | Path | io.TextIOBase) -> None:
         if isinstance(path, io.TextIOBase):
@@ -75,10 +80,13 @@ class JsonlSink:
             self.path = Path(path)
             self._handle = self.path.open("w")
             self._owns_handle = True
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        self._handle.write(json.dumps(event, default=_jsonable))
-        self._handle.write("\n")
+        line = json.dumps(event, default=_jsonable)
+        with self._lock:
+            self._handle.write(line)
+            self._handle.write("\n")
 
     def flush(self) -> None:
         self._handle.flush()
@@ -109,13 +117,15 @@ class CsvSummarySink:
         self.path = Path(path)
         self._counts: dict[str, int] = {}
         self._totals: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
         kind = event.get("kind", "?")
-        self._counts[kind] = self._counts.get(kind, 0) + 1
         ms = event.get("ms")
-        if ms is not None:
-            self._totals[kind] = self._totals.get(kind, 0.0) + float(ms)
+        with self._lock:
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            if ms is not None:
+                self._totals[kind] = self._totals.get(kind, 0.0) + float(ms)
 
     def rows(self) -> list[tuple[str, int, float | None]]:
         """The summary rows that ``close`` writes, for inspection."""

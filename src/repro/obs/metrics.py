@@ -21,29 +21,41 @@ hot paths that want to skip even argument building should gate on
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_right
 from typing import ClassVar
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    ``inc`` is thread-safe: a read-modify-write of a Python int can lose
+    updates between bytecodes, so increments serialise on a per-instrument
+    mutex.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (default 1) to the counter."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
 
 
 class Gauge:
-    """A sampled level that can move both ways."""
+    """A sampled level that can move both ways.
+
+    ``set`` is a single attribute store — atomic under the GIL, so no
+    lock is needed; concurrent setters race benignly (last write wins).
+    """
 
     __slots__ = ("name", "value")
 
@@ -73,10 +85,11 @@ BUCKET_EDGES: tuple[float, ...] = tuple(
 class Histogram:
     """A streaming distribution: count/sum/min/max plus bucketed quantiles.
 
-    ``observe`` is O(log buckets); no observation is retained.
+    ``observe`` is O(log buckets), thread-safe, and retains no raw
+    observations.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -85,16 +98,18 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._buckets = [0] * (len(BUCKET_EDGES) + 1)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self._buckets[bisect_right(BUCKET_EDGES, value)] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._buckets[bisect_right(BUCKET_EDGES, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -158,7 +173,12 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use and exported as one dict."""
+    """Named instruments, created on first use and exported as one dict.
+
+    Get-or-create is double-checked around one registry mutex so two
+    threads asking for the same name always receive the same instrument;
+    the fast path (instrument exists) stays lock-free.
+    """
 
     enabled: ClassVar[bool] = True
 
@@ -166,26 +186,36 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name``, created on first use."""
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name``, created on first use."""
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created on first use."""
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(name)
         return instrument
 
     def snapshot(self) -> dict:

@@ -1,0 +1,18 @@
+"""Thread-safe concurrent serving over the aggregate cache.
+
+:class:`ConcurrentAggregateCache` wraps a sequential
+:class:`~repro.core.manager.AggregateCache` behind a phase-split
+readers-writer lock with single-flight backend fetch deduplication; see
+``docs/service.md`` for the design.
+"""
+
+from repro.service.concurrent import ConcurrentAggregateCache
+from repro.service.rwlock import ReadWriteLock
+from repro.service.singleflight import Flight, SingleFlightTable
+
+__all__ = [
+    "ConcurrentAggregateCache",
+    "Flight",
+    "ReadWriteLock",
+    "SingleFlightTable",
+]

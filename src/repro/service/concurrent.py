@@ -1,0 +1,419 @@
+"""Thread-safe concurrent query serving over an :class:`AggregateCache`.
+
+The sequential manager mutates shared state (cache entries, byte
+accounting, virtual counts, CLOCK hands) on every query, so it cannot be
+driven from several threads directly.  :class:`ConcurrentAggregateCache`
+wraps one manager behind a readers-writer lock split along the paper's
+four query phases:
+
+* **lookup** and **aggregate** run under a *read* lock — they only read
+  cache membership and count/cost state, so any number of queries may
+  plan and aggregate concurrently;
+* **admit/count-update** runs under the *write* lock — admissions,
+  evictions and count/cost maintenance are serialised, which is what
+  keeps the byte accounting and Property 1 exact;
+* the **backend** phase runs under *no* lock at all, deduplicated by a
+  single-flight table: concurrent misses on the same ``(level, chunk)``
+  issue one backend fetch and share the resulting chunk.
+
+Because the lookup and aggregate phases are separate read-lock holds, a
+plan found in phase 1 can reference a chunk that a racing writer evicts
+before phase 2 materialises it.  The aggregate phase therefore
+*revalidates* per chunk: a failed materialisation (the manager's
+"no longer cached" :class:`ReproError`) triggers a bounded re-plan, and
+only if the chunk is genuinely no longer computable does it fall back to
+the backend.
+
+``serve(queries, workers=N)`` drives a stream through a bounded thread
+pool, returning per-query results in submission order.  With
+``workers=1`` the results are identical — field for field — to running
+the sequential manager over the same stream.
+
+See ``docs/service.md`` for the full locking design and which counters
+are exact vs approximate under concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from collections.abc import Iterable, Sequence
+from dataclasses import replace
+
+from repro.chunks.chunk import Chunk
+from repro.core.manager import (
+    AggregateCache,
+    QueryLogRecord,
+    QueryResult,
+    _PlanExecution,
+    _slice_chunk,
+)
+from repro.core.plans import PlanNode
+from repro.schema.cube import Level
+from repro.service.rwlock import ReadWriteLock
+from repro.service.singleflight import SingleFlightTable
+from repro.util.errors import ReproError
+from repro.util.timers import TimeBreakdown
+from repro.obs import span
+from repro.workload.query import Query
+
+Key = tuple[Level, int]
+
+
+class ConcurrentAggregateCache:
+    """A thread-safe serving layer over one :class:`AggregateCache`.
+
+    Parameters
+    ----------
+    manager:
+        The sequential manager to serve.  The wrapper takes over all
+        query traffic; driving the wrapped manager directly from another
+        thread at the same time voids the consistency guarantees.
+    max_replans:
+        How many times a chunk whose plan was invalidated by a racing
+        eviction is re-planned before falling back to the backend.
+    flight_timeout_s:
+        Liveness backstop for single-flight followers; only fires if a
+        leader thread died between claiming and publishing a fetch.
+    """
+
+    def __init__(
+        self,
+        manager: AggregateCache,
+        max_replans: int = 2,
+        flight_timeout_s: float | None = 60.0,
+    ) -> None:
+        self.manager = manager
+        self.max_replans = max_replans
+        self.flight_timeout_s = flight_timeout_s
+        self.flights = SingleFlightTable()
+        self.replans = 0
+        """Lifetime plan revalidations forced by racing evictions."""
+        self._rw = ReadWriteLock()
+        self._find_lock = threading.Lock()
+        """Guards the strategy's per-find visit counters: ``find`` itself
+        only reads count/cost state (safe under the read lock), but its
+        ``last_find_visits`` bookkeeping is one shared slot."""
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # pass-through introspection
+
+    @property
+    def schema(self):
+        return self.manager.schema
+
+    @property
+    def cache(self):
+        return self.manager.cache
+
+    @property
+    def backend(self):
+        return self.manager.backend
+
+    @property
+    def obs(self):
+        return self.manager.obs
+
+    @property
+    def queries_run(self) -> int:
+        return self.manager.queries_run
+
+    @property
+    def complete_hits(self) -> int:
+        return self.manager.complete_hits
+
+    @property
+    def complete_hit_ratio(self) -> float:
+        return self.manager.complete_hit_ratio
+
+    def describe(self) -> str:
+        return f"Concurrent[{self.manager.describe()}]"
+
+    # ------------------------------------------------------------------ #
+    # the serving driver
+
+    def serve(
+        self, queries: Iterable[Query], workers: int = 4
+    ) -> list[QueryResult]:
+        """Answer a stream of queries on a bounded thread pool.
+
+        Results come back in submission order regardless of completion
+        order, so per-stream accounting (hit ratios, per-query
+        comparisons against a sequential run) is preserved.
+        """
+        queries = list(queries)
+        obs = self.manager.obs
+        if obs.enabled:
+            obs.metrics.gauge("service.workers").set(workers)
+        if workers <= 1:
+            return [self.query(query) for query in queries]
+        results: list[QueryResult | None] = [None] * len(queries)
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        ) as pool:
+            futures = {
+                pool.submit(self.query, query): index
+                for index, query in enumerate(queries)
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # one query, phase by phase
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer one query; safe to call from any number of threads."""
+        obs = self.manager.obs
+        if obs.enabled:
+            with self._inflight_lock:
+                self._inflight += 1
+                obs.metrics.gauge("service.queue_depth").set(self._inflight)
+        try:
+            with span(obs, "service", chunks=query.num_chunks):
+                return self._query(query)
+        finally:
+            if obs.enabled:
+                with self._inflight_lock:
+                    self._inflight -= 1
+                    obs.metrics.gauge("service.queue_depth").set(
+                        self._inflight
+                    )
+
+    def _query(self, query: Query) -> QueryResult:
+        manager = self.manager
+        obs = manager.obs
+        numbers = query.chunk_numbers(manager.schema)
+        breakdown = TimeBreakdown()
+        visits = 0
+
+        # Phase 1 — lookup, under the read lock.
+        redirects = 0
+        with self._rw.read_locked():
+            with span(obs, "lookup") as lookup_span:
+                plans: dict[int, PlanNode | None] = {}
+                for number in numbers:
+                    plan, found_visits = self._find(query.level, number)
+                    plans[number] = plan
+                    visits += found_visits
+                if manager.use_cost_optimizer:
+                    for number, plan in plans.items():
+                        if plan is None or plan.is_leaf:
+                            continue
+                        if manager._backend_is_cheaper(
+                            query.level, number, plan
+                        ):
+                            plans[number] = None
+                            redirects += 1
+        breakdown.lookup_ms = lookup_span.elapsed_ms
+
+        # Phase 2 — aggregate, under a fresh read-lock hold.  A writer may
+        # have squeezed in since phase 1, so every materialisation
+        # revalidates its plan (see _materialise).
+        results: dict[int, Chunk] = {}
+        computed: list[Chunk] = []
+        reinforcements: list[tuple[set[Key], float]] = []
+        missing: list[int] = []
+        direct_hits = 0
+        tuples_aggregated = 0
+        with self._rw.read_locked():
+            with span(obs, "aggregate") as aggregate_span:
+                for number, plan in plans.items():
+                    if plan is None:
+                        missing.append(number)
+                        continue
+                    chunk, execution, extra_visits = self._materialise(
+                        query.level, number, plan
+                    )
+                    visits += extra_visits
+                    if chunk is not None:
+                        results[number] = chunk
+                        direct_hits += 1
+                    elif execution is not None:
+                        out = execution.chunk
+                        out.compute_cost = manager.cost_model.aggregation_ms(
+                            execution.tuples_aggregated
+                        )
+                        results[number] = out
+                        computed.append(out)
+                        tuples_aggregated += execution.tuples_aggregated
+                        reinforcements.append(
+                            (execution.leaf_keys, out.compute_cost)
+                        )
+                    else:
+                        missing.append(number)
+        breakdown.aggregate_ms = aggregate_span.elapsed_ms
+
+        # Phase 3 — backend, under no lock, deduplicated per chunk.
+        led_keys: list[Key] = []
+        led_chunks: list[Chunk] = []
+        if missing:
+            with span(obs, "backend", chunks=len(missing)) as backend_span:
+                led_keys, led_chunks, shared, charge_ms = (
+                    self._fetch_missing(query.level, missing)
+                )
+                if led_keys:
+                    backend_span.record(charge_ms)
+            breakdown.backend_ms = backend_span.elapsed_ms
+            for chunk in led_chunks:
+                results[chunk.number] = chunk
+            for (_, number), chunk in shared.items():
+                results[number] = chunk
+
+        # Phase 4 — admit and maintain state, under the write lock.
+        # Reinforcement first (see AggregateCache.query), then the
+        # admissions; the single-flight entries this query led retire
+        # only after its admissions settle, so late missers of the same
+        # chunks share the fetch instead of repeating it.
+        with self._rw.write_locked():
+            with span(obs, "update") as update_span:
+                state_updates = 0
+                reinforcements_skipped = 0
+                for leaf_keys, benefit in reinforcements:
+                    _, skipped = manager.cache.reinforce(leaf_keys, benefit)
+                    reinforcements_skipped += skipped
+                for chunk in computed:
+                    state_updates += manager._insert(
+                        chunk, benefit=chunk.compute_cost
+                    )
+                for chunk in led_chunks:
+                    state_updates += manager._insert(
+                        chunk, benefit=chunk.compute_cost
+                    )
+            breakdown.update_ms = update_span.elapsed_ms
+            if led_keys:
+                self.flights.release(led_keys)
+            manager.optimizer_redirects += redirects
+            manager.queries_run += 1
+            complete_hit = not missing
+            if complete_hit:
+                manager.complete_hits += 1
+            result = QueryResult(
+                query=query,
+                chunks=[results[n] for n in numbers],
+                complete_hit=complete_hit,
+                breakdown=breakdown,
+                direct_hits=direct_hits,
+                aggregated=len(computed),
+                from_backend=len(missing),
+                tuples_aggregated=tuples_aggregated,
+                lookup_visits=visits,
+                state_updates=state_updates,
+                reinforcements_skipped=reinforcements_skipped,
+            )
+            if obs.enabled:
+                manager._emit_query_event(result)
+            if manager.keep_log:
+                manager.query_log.append(
+                    QueryLogRecord.from_result(manager, result)
+                )
+        return result
+
+    def range_query(
+        self,
+        level: Level,
+        cell_ranges: tuple[tuple[int, int], ...],
+    ) -> QueryResult:
+        """Concurrent counterpart of :meth:`AggregateCache.range_query`."""
+        query = Query.from_cell_ranges(self.manager.schema, level, cell_ranges)
+        result = self.query(query)
+        sliced = [_slice_chunk(chunk, cell_ranges) for chunk in result.chunks]
+        return replace(result, chunks=sliced)
+
+    # ------------------------------------------------------------------ #
+    # maintenance entry points (serialised against all serving)
+
+    def refresh_from_backend(self, facts) -> tuple[list[int], int]:
+        """Warehouse refresh, exclusive against every in-flight query."""
+        with self._rw.write_locked():
+            return self.manager.refresh_from_backend(facts)
+
+    def invalidate_base_chunks(self, numbers: list[int]) -> int:
+        with self._rw.write_locked():
+            return self.manager.invalidate_base_chunks(numbers)
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _find(self, level: Level, number: int) -> tuple[PlanNode | None, int]:
+        """One strategy lookup plus its visit count, atomically."""
+        with self._find_lock:
+            plan = self.manager.strategy.find(level, number)
+            return plan, self.manager.strategy.last_find_visits
+
+    def _materialise(
+        self, level: Level, number: int, plan: PlanNode
+    ) -> tuple[Chunk | None, _PlanExecution | None, int]:
+        """Turn a plan into a chunk, revalidating against racing evictions.
+
+        Returns ``(direct_chunk, execution, extra_visits)`` — exactly one
+        of the first two is non-None on success; both are None when the
+        chunk must fall back to the backend.
+        """
+        manager = self.manager
+        obs = manager.obs
+        visits = 0
+        replans = 0
+        while True:
+            if plan.is_leaf:
+                try:
+                    return manager.cache.get(level, number), None, visits
+                except ReproError:
+                    pass
+            else:
+                try:
+                    return None, manager._execute_plan(plan), visits
+                except ReproError:
+                    pass
+            # The plan referenced a chunk a racing writer evicted between
+            # (re)planning and materialisation: re-plan rather than fail
+            # the query (bounded, then fall back to the backend).
+            replans += 1
+            if replans > self.max_replans:
+                return None, None, visits
+            self.replans += 1
+            if obs.enabled:
+                obs.metrics.counter("service.replans").inc()
+            plan, found_visits = self._find(level, number)
+            visits += found_visits
+            if plan is None:
+                return None, None, visits
+
+    def _fetch_missing(
+        self, level: Level, missing: Sequence[int]
+    ) -> tuple[list[Key], list[Chunk], dict[Key, Chunk], float]:
+        """Resolve the missing chunks through the single-flight table.
+
+        Returns the keys this query led (it must admit and then release
+        them), the chunks it fetched for those keys, the follower chunks
+        shared from other queries' flights, and the milliseconds to
+        charge the backend phase (the cost model's simulated time for the
+        led fetch; follower waits are wall-clock and land in the span's
+        measured time only when nothing was led).
+        """
+        manager = self.manager
+        obs = manager.obs
+        keys: list[Key] = [(level, number) for number in missing]
+        led_keys, joined = self.flights.claim(keys)
+        led_chunks: list[Chunk] = []
+        charge_ms = 0.0
+        if led_keys:
+            try:
+                led_chunks, stats = manager.backend.fetch(led_keys)
+            except BaseException as exc:
+                self.flights.fail(led_keys, exc)
+                raise
+            charge_ms = stats.total_ms
+            for key, chunk in zip(led_keys, led_chunks):
+                self.flights.publish(key, chunk)
+        if joined and obs.enabled:
+            obs.metrics.counter("service.singleflight.shared").inc(
+                len(joined)
+            )
+        shared = {
+            key: self.flights.wait(flight, self.flight_timeout_s)
+            for key, flight in joined.items()
+        }
+        return led_keys, led_chunks, shared, charge_ms

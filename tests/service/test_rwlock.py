@@ -1,0 +1,117 @@
+"""ReadWriteLock semantics: shared reads, exclusive writes, writer
+preference, and misuse guards."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import ReadWriteLock
+
+
+def test_multiple_concurrent_readers():
+    lock = ReadWriteLock()
+    n = 4
+    barrier = threading.Barrier(n)
+    peak = []
+
+    def reader():
+        with lock.read_locked():
+            barrier.wait(timeout=5)  # all n inside the read lock at once
+            peak.append(lock.readers)
+
+    threads = [threading.Thread(target=reader) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+    assert max(peak) == n
+    assert lock.readers == 0
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = ReadWriteLock()
+    order = []
+    writer_in = threading.Event()
+
+    def writer():
+        with lock.write_locked():
+            writer_in.set()
+            time.sleep(0.05)
+            order.append("writer")
+
+    def reader():
+        writer_in.wait(timeout=5)
+        with lock.read_locked():
+            order.append("reader")
+
+    w = threading.Thread(target=writer)
+    r = threading.Thread(target=reader)
+    w.start()
+    r.start()
+    w.join(timeout=5)
+    r.join(timeout=5)
+    assert order == ["writer", "reader"]
+
+
+def test_writer_preference_blocks_new_readers():
+    lock = ReadWriteLock()
+    order = []
+    writer_waiting = threading.Event()
+    first_reader_in = threading.Event()
+    release_first_reader = threading.Event()
+
+    def first_reader():
+        with lock.read_locked():
+            first_reader_in.set()
+            release_first_reader.wait(timeout=5)
+        order.append("reader1-released")
+
+    def writer():
+        first_reader_in.wait(timeout=5)
+        writer_waiting.set()
+        with lock.write_locked():
+            order.append("writer")
+
+    def late_reader():
+        writer_waiting.wait(timeout=5)
+        time.sleep(0.02)  # let the writer actually block on the lock
+        with lock.read_locked():
+            order.append("reader2")
+
+    threads = [
+        threading.Thread(target=first_reader),
+        threading.Thread(target=writer),
+        threading.Thread(target=late_reader),
+    ]
+    for t in threads:
+        t.start()
+    first_reader_in.wait(timeout=5)
+    writer_waiting.wait(timeout=5)
+    time.sleep(0.05)
+    # The late reader must be queued behind the waiting writer.
+    assert "reader2" not in order
+    release_first_reader.set()
+    for t in threads:
+        t.join(timeout=5)
+    assert order.index("writer") < order.index("reader2")
+
+
+def test_unmatched_releases_raise():
+    lock = ReadWriteLock()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_write()
+
+
+def test_write_lock_released_on_exception():
+    lock = ReadWriteLock()
+    with pytest.raises(ValueError):
+        with lock.write_locked():
+            raise ValueError("boom")
+    assert not lock.writer_active
+    with lock.read_locked():
+        assert lock.readers == 1

@@ -1,0 +1,99 @@
+"""Single-flight table semantics: one leader per key, shared results,
+error propagation, and the publish/release lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import SingleFlightTable
+from repro.util.errors import ReproError
+
+
+def test_claim_partitions_leaders_and_followers():
+    table = SingleFlightTable()
+    led, joined = table.claim(["a", "b"])
+    assert led == ["a", "b"]
+    assert joined == {}
+    led2, joined2 = table.claim(["b", "c"])
+    assert led2 == ["c"]
+    assert set(joined2) == {"b"}
+    assert table.led == 3
+    assert table.joined == 1
+    assert table.in_progress() == 3
+
+
+def test_concurrent_do_runs_fn_once_and_shares_result():
+    table = SingleFlightTable()
+    calls = []
+    calls_lock = threading.Lock()
+    gate = threading.Event()
+    barrier = threading.Barrier(5)
+    results = []
+    results_lock = threading.Lock()
+
+    def fetch():
+        with calls_lock:
+            calls.append(threading.get_ident())
+        gate.wait(timeout=5)  # hold the flight open until all have claimed
+        return object()
+
+    def worker():
+        barrier.wait(timeout=5)
+        value = table.do("key", fetch, timeout=5)
+        with results_lock:
+            results.append(value)
+
+    threads = [threading.Thread(target=worker) for _ in range(5)]
+    for t in threads:
+        t.start()
+    # Wait until everyone either leads (one) or joined the flight.
+    for _ in range(500):
+        if table.joined >= 4:
+            break
+        threading.Event().wait(0.01)
+    gate.set()
+    for t in threads:
+        t.join(timeout=5)
+    assert len(calls) == 1, "backend fetch must run exactly once"
+    assert len(results) == 5
+    assert all(r is results[0] for r in results), "all callers share one object"
+
+
+def test_leader_failure_propagates_to_followers():
+    table = SingleFlightTable()
+    led, _ = table.claim(["k"])
+    assert led == ["k"]
+    _, joined = table.claim(["k"])
+    flight = joined["k"]
+
+    failure = RuntimeError("backend down")
+    table.fail(["k"], failure)
+    with pytest.raises(RuntimeError, match="backend down"):
+        table.wait(flight, timeout=1)
+    # The failed flight is retired: the next claim starts fresh.
+    led2, joined2 = table.claim(["k"])
+    assert led2 == ["k"] and not joined2
+
+
+def test_published_flight_is_joinable_until_released():
+    table = SingleFlightTable()
+    table.claim(["k"])
+    table.publish("k", "chunk")
+    # A late misser lands between publish and release: it joins and gets
+    # the result immediately instead of refetching.
+    led, joined = table.claim(["k"])
+    assert not led
+    assert table.wait(joined["k"], timeout=1) == "chunk"
+    table.release(["k"])
+    led2, _ = table.claim(["k"])
+    assert led2 == ["k"]
+
+
+def test_wait_timeout_raises():
+    table = SingleFlightTable()
+    table.claim(["k"])
+    _, joined = table.claim(["k"])
+    with pytest.raises(ReproError, match="timed out"):
+        table.wait(joined["k"], timeout=0.05)
