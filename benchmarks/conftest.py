@@ -16,9 +16,19 @@ import pathlib
 
 import pytest
 
+from repro.aggregation import set_default_validation
 from repro.harness.config import ExperimentConfig, default_config, quick_config
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_validation_off():
+    """Benchmarks time the kernels as the harness runs them: without the
+    full aggregation output sweep (tests turn it on; see docs/perf.md)."""
+    previous = set_default_validation(False)
+    yield
+    set_default_validation(previous)
 
 
 def is_quick() -> bool:

@@ -1,5 +1,15 @@
 """Chunk roll-up kernels."""
 
-from repro.aggregation.aggregate import rollup_chunks
+from repro.aggregation.aggregate import (
+    default_validation,
+    rollup_chunks,
+    rollup_many,
+    set_default_validation,
+)
 
-__all__ = ["rollup_chunks"]
+__all__ = [
+    "default_validation",
+    "rollup_chunks",
+    "rollup_many",
+    "set_default_validation",
+]

@@ -4,6 +4,11 @@ Pre-computing a whole group-by seeds the cache with a *complete* group of
 chunks: any chunk at any descendant (more aggregated) level is then
 computable from it.  The paper's rule: load the group-by that fits in the
 cache and has the maximum number of descendants in the lattice.
+
+Materialisation goes through ``BackendDatabase.compute_level``, which
+aggregates every chunk of the chosen group-by in one batched
+``rollup_many`` pass over the base chunks — pre-loading costs one kernel
+invocation per level, not one per chunk.
 """
 
 from __future__ import annotations

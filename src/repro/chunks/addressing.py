@@ -37,7 +37,10 @@ class ChunkAddressing:
         self._heights = tuple(d.height for d in self._dims)
         self._shape_cache: dict[Level, tuple[int, ...]] = {}
         self._stride_cache: dict[Level, tuple[int, ...]] = {}
-        self._parent_map_cache: dict[tuple[Level, int, Level], np.ndarray] = {}
+        self._coords_cache: dict[tuple[Level, int], tuple[int, ...]] = {}
+        self._span_cache: dict[
+            tuple[Level, Level], tuple[tuple[tuple[int, int], ...], ...]
+        ] = {}
         self._child_map_cache: dict[tuple[Level, int, Level], int] = {}
 
     @property
@@ -80,7 +83,17 @@ class ChunkAddressing:
     # number <-> coordinates
 
     def chunk_coords(self, level: Level, number: int) -> tuple[int, ...]:
-        """Per-dimension chunk indices of chunk ``number`` at ``level``."""
+        """Per-dimension chunk indices of chunk ``number`` at ``level``.
+
+        Memoised: the lookup strategies and the count/cost maintenance
+        decode the same chunk numbers over and over on every cache
+        movement, and the domain is bounded by the schema's total chunk
+        count.
+        """
+        key = (level, number)
+        coords = self._coords_cache.get(key)
+        if coords is not None:
+            return coords
         shape = self.chunk_shape(level)
         total = math.prod(shape)
         if not 0 <= number < total:
@@ -88,10 +101,12 @@ class ChunkAddressing:
                 f"chunk number {number} out of range at level {level} "
                 f"(has {total} chunks)"
             )
-        coords = []
-        for stride, extent in zip(self._strides(level), shape):
-            coords.append((number // stride) % extent)
-        return tuple(coords)
+        coords = tuple(
+            (number // stride) % extent
+            for stride, extent in zip(self._strides(level), shape)
+        )
+        self._coords_cache[key] = coords
+        return coords
 
     def chunk_number(self, level: Level, coords: Sequence[int]) -> int:
         """Row-major chunk number from per-dimension chunk indices."""
@@ -113,36 +128,58 @@ class ChunkAddressing:
     # ------------------------------------------------------------------ #
     # cross-level mapping
 
+    def child_chunk_spans(
+        self, level: Level, parent_level: Level
+    ) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Per-dimension child-chunk spans for every chunk coordinate.
+
+        ``result[d][coord]`` is the half-open ``parent_level`` chunk-index
+        range covering coordinate ``coord`` of dimension ``d`` at
+        ``level``.  Cached per ``(level, parent_level)`` pair: the table
+        size is the *sum* of per-dimension chunk counts, unlike a
+        per-chunk-number cache whose footprint grows with their product.
+        """
+        key = (level, parent_level)
+        spans = self._span_cache.get(key)
+        if spans is not None:
+            return spans
+        if not is_computable_from(level, parent_level):
+            raise SchemaError(
+                f"level {parent_level} is not an ancestor of {level}"
+            )
+        spans = tuple(
+            tuple(
+                dim.child_chunk_span(l_coarse, coord, l_fine)
+                for coord in range(extent)
+            )
+            for dim, l_coarse, l_fine, extent in zip(
+                self._dims, level, parent_level, self.chunk_shape(level)
+            )
+        )
+        self._span_cache[key] = spans
+        return spans
+
     def get_parent_chunk_numbers(
         self, level: Level, number: int, parent_level: Level
     ) -> np.ndarray:
         """Chunk numbers at ``parent_level`` that aggregate to this chunk.
 
         ``parent_level`` must be at least as detailed as ``level`` in every
-        dimension (it is usually an immediate lattice parent).  The result
-        is cached: the mapping is pure schema arithmetic, and the lookup
-        algorithms call it on the same arguments over and over.
+        dimension (it is usually an immediate lattice parent).  The spans
+        come from the bounded coordinate-pattern cache
+        (:meth:`child_chunk_spans`); only the final outer sum runs per
+        call, so repeated lookups no longer grow an unbounded
+        per-chunk-number result dict.
         """
-        key = (level, number, parent_level)
-        cached = self._parent_map_cache.get(key)
-        if cached is not None:
-            return cached
-        if not is_computable_from(level, parent_level):
-            raise SchemaError(
-                f"level {parent_level} is not an ancestor of {level}"
-            )
+        spans = self.child_chunk_spans(level, parent_level)
         coords = self.chunk_coords(level, number)
-        spans = [
-            dim.child_chunk_span(l_coarse, coord, l_fine)
-            for dim, l_coarse, coord, l_fine in zip(
-                self._dims, level, coords, parent_level
-            )
-        ]
         numbers = np.zeros(1, dtype=np.int64)
-        for (first, last), stride in zip(spans, self._strides(parent_level)):
+        for per_coord, coord, stride in zip(
+            spans, coords, self._strides(parent_level)
+        ):
+            first, last = per_coord[coord]
             span = np.arange(first, last, dtype=np.int64) * stride
             numbers = (numbers[:, None] + span[None, :]).ravel()
-        self._parent_map_cache[key] = numbers
         return numbers
 
     def get_child_chunk_number(

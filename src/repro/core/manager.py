@@ -16,7 +16,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.aggregation.aggregate import rollup_chunks
+from repro.aggregation.aggregate import rollup_chunks, rollup_many
 from repro.backend.engine import BackendDatabase
 from repro.cache.preload import choose_preload_level
 from repro.cache.replacement import make_policy
@@ -286,13 +286,16 @@ class AggregateCache:
                         self.optimizer_redirects += 1
         breakdown.lookup_ms = lookup_span.elapsed_ms
 
-        # Phase 2 — aggregate computable chunks inside the cache.
+        # Phase 2 — aggregate computable chunks inside the cache.  Every
+        # plan of the query executes in one batch: each lattice hop of
+        # the combined plan forest is a single rollup_many pass.
         results: dict[int, Chunk] = {}
         computed: list[Chunk] = []
         reinforcements: list[tuple[set[Key], float]] = []
         direct_hits = 0
         tuples_aggregated = 0
         with span(obs, "aggregate") as aggregate_span:
+            pending: list[tuple[int, PlanNode]] = []
             for number, plan in plans.items():
                 if plan is None:
                     continue
@@ -300,17 +303,22 @@ class AggregateCache:
                     results[number] = self.cache.get(query.level, number)
                     direct_hits += 1
                     continue
-                execution = self._execute_plan(plan)
-                chunk = execution.chunk
-                chunk.compute_cost = self.cost_model.aggregation_ms(
-                    execution.tuples_aggregated
+                pending.append((number, plan))
+            if pending:
+                executions = self._execute_plans_batched(
+                    [plan for _, plan in pending]
                 )
-                results[number] = chunk
-                computed.append(chunk)
-                tuples_aggregated += execution.tuples_aggregated
-                reinforcements.append(
-                    (execution.leaf_keys, chunk.compute_cost)
-                )
+                for (number, _), execution in zip(pending, executions):
+                    chunk = execution.chunk
+                    chunk.compute_cost = self.cost_model.aggregation_ms(
+                        execution.tuples_aggregated
+                    )
+                    results[number] = chunk
+                    computed.append(chunk)
+                    tuples_aggregated += execution.tuples_aggregated
+                    reinforcements.append(
+                        (execution.leaf_keys, chunk.compute_cost)
+                    )
         breakdown.aggregate_ms = aggregate_span.elapsed_ms
 
         # Phase 3 — one batched backend request for everything missing.
@@ -525,6 +533,95 @@ class AggregateCache:
         return _PlanExecution(
             chunk=chunk, leaf_keys=leaf_keys, tuples_aggregated=tuples
         )
+
+    def _execute_plans_batched(
+        self, plans: list[PlanNode]
+    ) -> list[_PlanExecution]:
+        """Materialise many plans with one kernel pass per lattice hop.
+
+        The combined plan forest is walked bottom-up in waves; every wave
+        groups its nodes by (target level, source level) and executes each
+        group as a single :func:`rollup_many` call.  Per-plan results —
+        chunk payloads, leaf keys and the per-hop tuple accounting — are
+        identical (bit for bit) to running :meth:`_execute_plan` on each
+        plan alone: within a target, source rows keep their plan order.
+        """
+        inner: list[PlanNode] = []
+        seen: set[PlanNode] = set()
+
+        def collect(node: PlanNode) -> None:
+            if node in seen:
+                return
+            seen.add(node)
+            for child in node.inputs:
+                collect(child)
+            if not node.is_leaf:
+                inner.append(node)  # post-order: children first
+
+        for plan in plans:
+            collect(plan)
+
+        materialised: dict[PlanNode, Chunk] = {}
+
+        def resolve(node: PlanNode) -> Chunk:
+            if node.is_leaf:
+                chunk = self.cache.peek(node.level, node.number)
+                if chunk is None:
+                    raise ReproError(
+                        f"plan references chunk {node.number} of level "
+                        f"{node.level} which is no longer cached"
+                    )
+                return chunk
+            return materialised[node]
+
+        # Wave k holds the nodes whose deepest inner descendant is k hops
+        # away; post-order makes the depth computable in one sweep.
+        depth: dict[PlanNode, int] = {}
+        waves: dict[int, list[PlanNode]] = {}
+        for node in inner:
+            d = max(
+                (depth[c] + 1 for c in node.inputs if not c.is_leaf),
+                default=0,
+            )
+            depth[node] = d
+            waves.setdefault(d, []).append(node)
+        for d in sorted(waves):
+            groups: dict[tuple[Level, Level], list[PlanNode]] = {}
+            for node in waves[d]:
+                assert node.source_level is not None
+                groups.setdefault((node.level, node.source_level), []).append(
+                    node
+                )
+            for (level, _), nodes in groups.items():
+                chunks = rollup_many(
+                    self.schema,
+                    level,
+                    [node.number for node in nodes],
+                    [[resolve(c) for c in node.inputs] for node in nodes],
+                    origin=ChunkOrigin.CACHE_COMPUTED,
+                    obs=self.obs,
+                )
+                materialised.update(zip(nodes, chunks))
+
+        executions = []
+        for plan in plans:
+            leaf_keys: set[Key] = set()
+            tuples = 0
+            for node in plan.iter_nodes():
+                if node.is_leaf:
+                    leaf_keys.add((node.level, node.number))
+                else:
+                    tuples += sum(
+                        resolve(c).size_tuples for c in node.inputs
+                    )
+            executions.append(
+                _PlanExecution(
+                    chunk=materialised[plan],
+                    leaf_keys=leaf_keys,
+                    tuples_aggregated=tuples,
+                )
+            )
+        return executions
 
     def _insert(self, chunk: Chunk, benefit: float) -> int:
         """Admit a chunk, keeping the strategy's summary state in sync."""

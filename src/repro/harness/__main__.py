@@ -11,6 +11,7 @@ import argparse
 import sys
 import time
 
+from repro.aggregation import set_default_validation
 from repro.harness.config import default_config, quick_config
 from repro.harness.locality import run_locality_sweep
 from repro.harness.streams import run_policy_comparison, run_scheme_comparison
@@ -23,6 +24,7 @@ from repro.harness.unit_experiments import (
 )
 
 EXPERIMENTS = (
+    "kernel",
     "benefit",
     "cost_variation",
     "table1",
@@ -83,6 +85,16 @@ def main(argv: list[str] | None = None) -> int:
         help="with --metrics-out: also write a per-event-kind CSV rollup",
     )
     args = parser.parse_args(argv)
+    # Benchmark runs skip the aggregation output sweep (tests turn it
+    # back on via their conftest); see docs/perf.md.
+    previous_validation = set_default_validation(False)
+    try:
+        return _run(args)
+    finally:
+        set_default_validation(previous_validation)
+
+
+def _run(args: argparse.Namespace) -> int:
     config = quick_config() if args.quick else default_config()
     selected = args.experiments
     explicit = not isinstance(selected, str)
@@ -116,6 +128,14 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - start
         outputs.append(f"{text}\n[{name}: {elapsed:.1f}s]\n")
 
+    def _kernel() -> str:
+        from repro.harness.kernel_bench import run_kernel_benchmark
+
+        return run_kernel_benchmark(
+            config, out_path="BENCH_kernel.json"
+        ).format()
+
+    run("kernel", _kernel)
     run("benefit", lambda: run_aggregation_benefit(config).format())
     run("cost_variation", lambda: run_cost_variation(config).format())
     run("table1", lambda: run_table1(config).format())

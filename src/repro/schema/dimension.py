@@ -24,6 +24,44 @@ import numpy as np
 from repro.util.errors import ChunkAlignmentError, SchemaError
 
 
+class LevelMapTable:
+    """Memoised ordinal-mapping tables for one dimension.
+
+    ``lookup(fine_level, coarse_level)`` returns the precomputed ``int64``
+    ancestor array for that level pair (so mapping a batch of ordinals is
+    the single fancy-index ``table[ords]``), or ``None`` for the identity
+    pair ``fine == coarse``.  Every valid pair is materialised at
+    construction — the hot aggregation kernel pays one dict probe and no
+    per-call arithmetic or validation.
+    """
+
+    __slots__ = ("_name", "_tables")
+
+    def __init__(
+        self,
+        name: str,
+        to_coarse: Sequence[dict[int, np.ndarray]],
+        num_levels: int,
+    ) -> None:
+        tables: dict[tuple[int, int], np.ndarray | None] = {}
+        for fine in range(num_levels):
+            tables[(fine, fine)] = None
+            for coarse, table in to_coarse[fine].items():
+                tables[(fine, coarse)] = table
+        self._name = name
+        self._tables = tables
+
+    def lookup(self, fine_level: int, coarse_level: int) -> np.ndarray | None:
+        """The mapping table for a level pair (``None`` = identity)."""
+        try:
+            return self._tables[(fine_level, coarse_level)]
+        except KeyError:
+            raise SchemaError(
+                f"dimension {self._name!r}: cannot map ordinals from level "
+                f"{fine_level} to the more detailed level {coarse_level}"
+            ) from None
+
+
 class Dimension:
     """One dimension of the cube: a value hierarchy plus per-level chunking.
 
@@ -85,6 +123,9 @@ class Dimension:
         self._validate_closure()
         self._to_coarse = self._build_coarse_maps()
         self._first_fine = self._build_first_fine_maps()
+        self.level_map = LevelMapTable(
+            name, self._to_coarse, len(self.cardinalities)
+        )
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -283,17 +324,15 @@ class Dimension:
     def map_ordinals(
         self, fine_level: int, coarse_level: int, ordinals: np.ndarray
     ) -> np.ndarray:
-        """Vectorised ancestor lookup from ``fine_level`` to ``coarse_level``."""
-        if coarse_level == fine_level:
+        """Vectorised ancestor lookup from ``fine_level`` to ``coarse_level``.
+
+        One :class:`LevelMapTable` probe plus one fancy-index — no
+        per-call arithmetic (the batched roll-up kernel's hot path).
+        """
+        table = self.level_map.lookup(fine_level, coarse_level)
+        if table is None:
             return ordinals
-        if coarse_level > fine_level:
-            raise SchemaError(
-                f"dimension {self.name!r}: cannot map ordinals from level "
-                f"{fine_level} to the more detailed level {coarse_level}"
-            )
-        if coarse_level == 0:
-            return np.zeros_like(ordinals)
-        return self._to_coarse[fine_level][coarse_level][ordinals]
+        return table[ordinals]
 
     def fine_value_span(
         self, coarse_level: int, ordinal_lo: int, ordinal_hi: int, fine_level: int

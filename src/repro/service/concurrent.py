@@ -14,7 +14,10 @@ four query phases:
   keeps the byte accounting and Property 1 exact;
 * the **backend** phase runs under *no* lock at all, deduplicated by a
   single-flight table: concurrent misses on the same ``(level, chunk)``
-  issue one backend fetch and share the resulting chunk.
+  issue one backend fetch and share the resulting chunk.  A leader's
+  flight sends all of its claimed keys in one ``BackendDatabase.fetch``
+  call, so the whole led set is aggregated in a single batched
+  ``rollup_many`` pass (see ``docs/perf.md``).
 
 Because the lookup and aggregate phases are separate read-lock holds, a
 plan found in phase 1 can reference a chunk that a racing writer evicts

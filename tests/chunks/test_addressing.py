@@ -98,9 +98,21 @@ class TestCrossLevelMapping:
         with pytest.raises(SchemaError):
             schema.get_child_chunk_number((0, 1, 1), 0, (1, 1, 1))
 
-    def test_parent_numbers_cached_identity(self, schema):
+    def test_parent_numbers_stable_and_span_table_cached(self, schema):
+        # Results are built per call from the coordinate-pattern span
+        # table (no unbounded per-chunk-number result dict), so repeated
+        # calls agree by value and only the span table is memoised.
         a = schema.get_parent_chunk_numbers((0, 0, 0), 0, schema.base_level)
         b = schema.get_parent_chunk_numbers((0, 0, 0), 0, schema.base_level)
+        assert np.array_equal(a, b)
+        spans_a = schema.chunks.child_chunk_spans((0, 0, 0), schema.base_level)
+        spans_b = schema.chunks.child_chunk_spans((0, 0, 0), schema.base_level)
+        assert spans_a is spans_b  # memoised per (level, parent_level)
+
+    def test_chunk_coords_memoised(self, schema):
+        level = schema.base_level
+        a = schema.chunks.chunk_coords(level, 3)
+        b = schema.chunks.chunk_coords(level, 3)
         assert a is b  # memoised
 
 

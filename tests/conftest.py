@@ -11,8 +11,18 @@ from repro import (
     apb_tiny_schema,
     generate_fact_table,
 )
+from repro.aggregation import set_default_validation
 from repro.cache.replacement import make_policy
 from repro.cache.store import ChunkCache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _tests_validate_aggregation():
+    """The full aggregation output sweep is on for every test (the
+    benchmark harness turns it off; see docs/perf.md)."""
+    previous = set_default_validation(True)
+    yield
+    set_default_validation(previous)
 
 
 @pytest.fixture(scope="session")
