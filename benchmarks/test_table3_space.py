@@ -42,6 +42,13 @@ def test_table3_full_reproduction(benchmark, config, emit, strict):
     # chunk...
     assert result.state_bytes["esm"] == 0
     assert result.state_bytes["vcmc"] == 6 * result.total_chunks
+    # The slotted bookkeeping classes must measurably beat their
+    # __dict__-based twins — the per-resident-chunk saving the emitted
+    # table reports.
+    for name in ("Chunk", "CacheEntry"):
+        sizes = result.entry_overhead[name]
+        assert sizes["slotted"] < sizes["dict"], name
+        assert sizes["delta"] > 0, name
     if strict:
         # ...which stays a small fraction of the base table (paper: ~1%).
         assert result.state_bytes["vcmc"] < 0.05 * result.base_bytes

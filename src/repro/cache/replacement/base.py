@@ -47,6 +47,17 @@ class ReplacementPolicy(abc.ABC):
     def on_insert(self, entry: "CacheEntry") -> None:
         """A chunk became resident."""
 
+    def on_insert_many(self, entries: list["CacheEntry"]) -> None:
+        """A wave of chunks became resident at once.
+
+        Default: the per-entry hook in a loop.  Ring-based policies
+        override this to take their mutex once and append the whole wave
+        in one go — ring order (and therefore victim order) is identical
+        either way.
+        """
+        for entry in entries:
+            self.on_insert(entry)
+
     @abc.abstractmethod
     def on_remove(self, entry: "CacheEntry") -> None:
         """A chunk stopped being resident (evicted or explicitly removed)."""

@@ -45,6 +45,12 @@ class BenefitClockPolicy(ReplacementPolicy):
             entry.clock = clock_weight(entry.benefit)
             self._ring.add(entry)
 
+    def on_insert_many(self, entries: list["CacheEntry"]) -> None:
+        with self._lock:
+            for entry in entries:
+                entry.clock = clock_weight(entry.benefit)
+            self._ring.add_many(entries)
+
     def on_remove(self, entry: "CacheEntry") -> None:
         # Lazy: the ring compacts on its next sweep.
         pass

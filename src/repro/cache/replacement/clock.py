@@ -47,6 +47,11 @@ class ClockRing:
         with self._lock:
             self._slots.append(entry)
 
+    def add_many(self, entries: list["CacheEntry"]) -> None:
+        """Append a whole admission wave in ring order, one lock take."""
+        with self._lock:
+            self._slots.extend(entries)
+
     def entries(self) -> list["CacheEntry"]:
         """Resident entries in ring order (diagnostics/tests)."""
         with self._lock:

@@ -60,6 +60,18 @@ class TwoLevelPolicy(ReplacementPolicy):
             entry.clock = clock_weight(entry.benefit)
             self._ring_of(entry).add(entry)
 
+    def on_insert_many(self, entries: list["CacheEntry"]) -> None:
+        with self._lock:
+            computed: list["CacheEntry"] = []
+            backend: list["CacheEntry"] = []
+            for entry in entries:
+                entry.clock = clock_weight(entry.benefit)
+                (backend if entry.is_backend_class else computed).append(entry)
+            if computed:
+                self._computed_ring.add_many(computed)
+            if backend:
+                self._backend_ring.add_many(backend)
+
     def on_remove(self, entry: "CacheEntry") -> None:
         pass
 

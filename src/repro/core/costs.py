@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import threading
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -78,6 +79,11 @@ class CostStore:
         self._pcs_arrays: dict[tuple[Level, int, Level], np.ndarray] = {}
         self._agg_cost: dict[tuple[Level, int, Level], float] = {}
         self._children: dict[tuple[Level, int], list[tuple[Level, int, int]]] = {}
+        self._topo_levels: tuple[Level, ...] = tuple(
+            sorted(schema.all_levels(), key=lambda l: (-sum(l), l))
+        )
+        """Most detailed first — by the time a wave's dirty frontier
+        reaches a level, every parent level has already settled."""
         self.total_updates = 0
         """Lifetime number of cost/best-parent modifications."""
         self._lock = threading.Lock()
@@ -120,14 +126,51 @@ class CostStore:
     def on_insert(self, level: Level, number: int) -> int:
         """A chunk entered the cache: its cost drops to 0.  Returns the
         number of cost/best modifications performed."""
+        return self.on_insert_many([(level, number)])
+
+    def on_evict(self, level: Level, number: int) -> int:
+        """A chunk left the cache: recompute its cost from its parents."""
+        return self.on_evict_many([(level, number)])
+
+    def on_insert_many(self, keys: Sequence[tuple[Level, int]]) -> int:
+        """A wave of chunks entered the cache.
+
+        Direct effects (cost 0, ``BEST_CACHED``) are written immediately;
+        the induced cost changes are carried level-by-level as a dirty
+        frontier towards the apex, each frontier chunk re-minimised once
+        with all its parent levels already settled, the ``_differs`` /
+        ``rel_tol`` propagation cutoffs applied vectorised per frontier.
+        """
+        with self._lock:
+            before = self.total_updates
+            self._wave_update(keys, insert=True)
+            return self.total_updates - before
+
+    def on_evict_many(self, keys: Sequence[tuple[Level, int]]) -> int:
+        """A wave of chunks left the cache (mirror of ``on_insert_many``)."""
+        with self._lock:
+            for level, number in keys:
+                if not self._cached[level][number]:
+                    raise ReproError(
+                        f"evicting chunk {number} of level {level} which the "
+                        "cost store does not believe is cached"
+                    )
+            before = self.total_updates
+            self._wave_update(keys, insert=False)
+            return self.total_updates - before
+
+    def scalar_on_insert(self, level: Level, number: int) -> int:
+        """Reference change-directed recursive cascade — the oracle the
+        batched wave is property-tested against, and the per-chunk side
+        of the ``update`` benchmark."""
         with self._lock:
             before = self.total_updates
             self._cached[level][number] = True
             self._apply(level, number, 0.0, BEST_CACHED)
             return self.total_updates - before
 
-    def on_evict(self, level: Level, number: int) -> int:
-        """A chunk left the cache: recompute its cost from its parents."""
+    def scalar_on_evict(self, level: Level, number: int) -> int:
+        """Reference per-chunk eviction cascade (see ``scalar_on_insert``)."""
         with self._lock:
             if not self._cached[level][number]:
                 raise ReproError(
@@ -283,6 +326,106 @@ class CostStore:
                 )
             self._children[key] = entries
         return entries
+
+    # ------------------------------------------------------------------ #
+    # batched wave propagation
+
+    def _mark_children_dirty(
+        self, level: Level, number: int, dirty: dict[Level, set[int]]
+    ) -> None:
+        for child_level, child_number, _ in self._child_entries(level, number):
+            bucket = dirty.get(child_level)
+            if bucket is None:
+                bucket = set()
+                dirty[child_level] = bucket
+            bucket.add(child_number)
+
+    def _wave_update(self, keys: Sequence[tuple[Level, int]], insert: bool) -> None:
+        """Apply one single-sign wave of direct insertions/evictions.
+
+        ``dirty[level]`` is the frontier: chunks whose (cost, best) must
+        be re-minimised once their parent levels have settled.  Direct
+        insertions need no parent information (cost 0 by definition) and
+        are written up front; direct evictions join the frontier at their
+        own level because a single wave may evict at several levels and a
+        chunk's recomputation reads its parents' final costs.
+        """
+        dirty: dict[Level, set[int]] = {}
+        for level, number in keys:
+            if insert:
+                self._cached[level][number] = True
+                old_cost = float(self._cost[level][number])
+                old_best = int(self._best[level][number])
+                cost_changed = _differs(old_cost, 0.0)
+                if not cost_changed and old_best == BEST_CACHED:
+                    continue
+                self._cost[level][number] = 0.0
+                self._best[level][number] = BEST_CACHED
+                self.total_updates += 1
+                if cost_changed and not self._within_rel_tol(old_cost, 0.0):
+                    self._mark_children_dirty(level, number, dirty)
+            else:
+                self._cached[level][number] = False
+                bucket = dirty.get(level)
+                if bucket is None:
+                    bucket = set()
+                    dirty[level] = bucket
+                bucket.add(number)
+        for level in self._topo_levels:
+            frontier = dirty.get(level)
+            if not frontier:
+                continue
+            cached = self._cached[level]
+            numbers = [n for n in sorted(frontier) if not cached[n]]
+            if not numbers:
+                # Cached chunks stay at cost 0 whatever their parents do;
+                # their children depend only on that 0, so the frontier
+                # dies here (mirrors the scalar cascade's cached-child
+                # early-out).
+                continue
+            idx = np.asarray(numbers, dtype=np.int64)
+            old_costs = self._cost[level][idx].copy()
+            old_bests = self._best[level][idx].copy()
+            new_costs = np.empty(len(numbers), dtype=np.float64)
+            new_bests = np.empty(len(numbers), dtype=np.int16)
+            for i, number in enumerate(numbers):
+                cost, best = self._best_option(level, number)
+                new_costs[i] = cost
+                new_bests[i] = best
+            cost_changed = _differs_vec(old_costs, new_costs)
+            changed = cost_changed | (old_bests != new_bests)
+            if changed.any():
+                self._cost[level][idx[changed]] = new_costs[changed]
+                self._best[level][idx[changed]] = new_bests[changed]
+                self.total_updates += int(changed.sum())
+            propagate = cost_changed
+            if self.rel_tol > 0.0 and propagate.any():
+                with np.errstate(invalid="ignore"):
+                    finite = np.isfinite(old_costs) & np.isfinite(new_costs)
+                    sub_tol = finite & (
+                        np.abs(new_costs - old_costs)
+                        <= self.rel_tol * np.maximum(old_costs, new_costs)
+                    )
+                propagate &= ~sub_tol
+            for i in np.flatnonzero(propagate):
+                self._mark_children_dirty(level, int(idx[i]), dirty)
+
+    def _within_rel_tol(self, old_cost: float, new_cost: float) -> bool:
+        """The sub-tolerance propagation cutoff (scalar form)."""
+        return (
+            self.rel_tol > 0.0
+            and math.isfinite(old_cost)
+            and math.isfinite(new_cost)
+            and abs(new_cost - old_cost)
+            <= self.rel_tol * max(old_cost, new_cost)
+        )
+
+
+def _differs_vec(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_differs` — elementwise noise cutoff."""
+    both_inf = np.isinf(a) & np.isinf(b)
+    with np.errstate(invalid="ignore"):
+        return ~both_inf & (np.abs(a - b) > _TOL)
 
 
 def _differs(a: float, b: float) -> bool:

@@ -17,11 +17,14 @@ Section 4.1 notes it is symmetric).
 from __future__ import annotations
 
 import threading
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.schema.cube import CubeSchema, Level
 from repro.util.errors import ReproError
+
+Key = tuple[Level, int]
 
 
 class CountStore:
@@ -43,6 +46,17 @@ class CountStore:
         self._propagation: dict[
             Level, dict[int, list[tuple[Level, int, np.ndarray]]]
         ] = {level: {} for level in schema.all_levels()}
+        self._topo_levels: tuple[Level, ...] = tuple(
+            sorted(schema.all_levels(), key=lambda l: (-sum(l), l))
+        )
+        """All levels, most detailed first — the BFS order a wave walks:
+        every cascade step moves strictly towards more aggregated levels
+        (smaller component sums), so by the time a level is processed its
+        pending delta is final."""
+        self._reduce_firsts: dict[tuple[Level, Level], list[np.ndarray]] = {}
+        """Memoised per-(parent level, child level) reduceat boundaries —
+        per dimension, the first parent chunk index covering each child
+        chunk coordinate (from ``child_chunk_spans``)."""
         self._lock = threading.Lock()
         """Serialises maintenance cascades: two concurrent on_insert /
         on_evict calls would otherwise interleave their recursive updates
@@ -72,13 +86,45 @@ class CountStore:
 
     def on_insert(self, level: Level, number: int) -> int:
         """A chunk entered the cache.  Returns count modifications made."""
+        return self.on_insert_many([(level, number)])
+
+    def on_evict(self, level: Level, number: int) -> int:
+        """A chunk left the cache.  Returns count modifications made."""
+        return self.on_evict_many([(level, number)])
+
+    def on_insert_many(self, keys: Sequence[Key]) -> int:
+        """A wave of chunks entered the cache.
+
+        Propagates the whole wave with one vectorised pass per lattice
+        level (in BFS order towards the apex) instead of one recursive
+        cascade per chunk.  The resulting count state is identical to
+        applying the scalar cascades one key at a time, and the returned
+        modification count matches their sum.
+        """
+        with self._lock:
+            before = self.total_updates
+            self._wave_update(keys, +1)
+            return self.total_updates - before
+
+    def on_evict_many(self, keys: Sequence[Key]) -> int:
+        """A wave of chunks left the cache (mirror of ``on_insert_many``)."""
+        with self._lock:
+            before = self.total_updates
+            self._wave_update(keys, -1)
+            return self.total_updates - before
+
+    def scalar_on_insert(self, level: Level, number: int) -> int:
+        """Reference per-chunk recursive cascade (the paper's
+        ``VCM_InsertUpdateCount``) — the oracle the batched wave is
+        property-tested against, and the per-chunk side of the
+        ``update`` benchmark."""
         with self._lock:
             before = self.total_updates
             self._insert_update(level, number)
             return self.total_updates - before
 
-    def on_evict(self, level: Level, number: int) -> int:
-        """A chunk left the cache.  Returns count modifications made."""
+    def scalar_on_evict(self, level: Level, number: int) -> int:
+        """Reference per-chunk eviction cascade (see ``scalar_on_insert``)."""
         with self._lock:
             before = self.total_updates
             self._evict_update(level, number)
@@ -141,3 +187,97 @@ class CountStore:
             ok = np.all((sibling_counts > 0) | (siblings == number))
             if ok:
                 self._evict_update(child_level, child_number)
+
+    # ------------------------------------------------------------------ #
+    # batched wave propagation
+
+    def _wave_update(self, keys: Iterable[Key], sign: int) -> None:
+        """Apply one single-sign wave of direct insertions/evictions.
+
+        ``pending[level]`` accumulates the ±1 deltas owed to each chunk of
+        a level — the direct keys plus every parent-path gain/loss
+        discovered while walking more detailed levels.  Because cascades
+        only ever move towards more aggregated levels, one pass over
+        ``_topo_levels`` settles everything.
+        """
+        per_level: dict[Level, list[int]] = {}
+        for level, number in keys:
+            per_level.setdefault(level, []).append(number)
+        if not per_level:
+            return
+        pending: dict[Level, np.ndarray] = {}
+        for level, numbers in per_level.items():
+            delta = np.zeros(self._counts[level].size, dtype=np.int32)
+            np.add.at(delta, numbers, sign)
+            pending[level] = delta
+        if sign < 0:
+            # Mirror the scalar precondition check before touching state:
+            # every directly evicted chunk must currently hold the counts
+            # it is about to give back.
+            for level, delta in pending.items():
+                short = np.flatnonzero(self._counts[level] + delta < 0)
+                if short.size:
+                    raise ReproError(
+                        f"count underflow at level {level} chunk "
+                        f"{int(short[0])}: evicting a chunk that was never "
+                        "counted"
+                    )
+        for level in self._topo_levels:
+            delta = pending.get(level)
+            if delta is None or not delta.any():
+                continue
+            counts = self._counts[level]
+            if sign < 0 and np.any(counts + delta < 0):
+                raise ReproError(
+                    f"count underflow during eviction wave at level {level}"
+                )
+            before_pos = counts > 0
+            counts += delta
+            self.total_updates += int(np.abs(delta).sum())
+            after_pos = counts > 0
+            if not np.any(before_pos != after_pos):
+                # No computability flips: no parent path changed status.
+                continue
+            for child_level in self.schema.children_of(level):
+                all_before = self._sibling_all(level, child_level, before_pos)
+                all_after = self._sibling_all(level, child_level, after_pos)
+                if sign > 0:
+                    # Paths via this level that just became successful.
+                    flipped = all_after & ~all_before
+                else:
+                    # Paths that were successful and no longer are.
+                    flipped = all_before & ~all_after
+                if not flipped.any():
+                    continue
+                child_delta = pending.get(child_level)
+                if child_delta is None:
+                    child_delta = np.zeros(
+                        self._counts[child_level].size, dtype=np.int32
+                    )
+                    pending[child_level] = child_delta
+                child_delta[flipped] += sign
+
+    def _sibling_all(
+        self, level: Level, child_level: Level, flags: np.ndarray
+    ) -> np.ndarray:
+        """For every chunk of ``child_level``: are ALL covering ``level``
+        chunks ``True`` in ``flags``?  One ``logical_and.reduceat`` per
+        dimension over the row-major chunk grid — the vectorised form of
+        the scalar cascade's per-child sibling scan."""
+        key = (level, child_level)
+        firsts_per_dim = self._reduce_firsts.get(key)
+        if firsts_per_dim is None:
+            spans = self.schema.chunks.child_chunk_spans(child_level, level)
+            firsts_per_dim = [
+                np.fromiter(
+                    (first for first, _ in per_coord),
+                    dtype=np.intp,
+                    count=len(per_coord),
+                )
+                for per_coord in spans
+            ]
+            self._reduce_firsts[key] = firsts_per_dim
+        grid = flags.reshape(self.schema.chunks.chunk_shape(level))
+        for axis, firsts in enumerate(firsts_per_dim):
+            grid = np.logical_and.reduceat(grid, firsts, axis=axis)
+        return grid.ravel()

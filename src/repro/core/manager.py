@@ -23,7 +23,7 @@ from repro.cache.replacement import make_policy
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.store import ChunkCache
 from repro.chunks.chunk import Chunk, ChunkOrigin
-from repro.core.plans import PlanNode
+from repro.core.plans import PlanCache, PlanNode
 from repro.core.sizes import SizeEstimator
 from repro.core.strategies import make_strategy
 from repro.core.strategies.base import LookupStrategy
@@ -164,6 +164,13 @@ class AggregateCache:
         aggregation cost exceeds the estimated backend cost, send it to
         the backend anyway.  Off by default (matching the paper's
         experiments, which always aggregate when possible).
+    plan_cache:
+        Attach a generation-stamped :class:`~repro.core.plans.PlanCache`
+        to the strategy (on by default): repeated lookups over lattice
+        regions with no intervening relevant cache movement reuse their
+        memoised plan/verdict instead of re-walking the lattice.  Plans
+        stay exactly as correct as fresh ones — any insert or evict at a
+        level that could affect a memoised answer invalidates it.
     obs:
         An :class:`~repro.obs.Observability` handle, shared with the
         chunk store, the replacement policy and the lookup strategy.
@@ -184,6 +191,7 @@ class AggregateCache:
         cost_rel_tol: float = 0.02,
         use_cost_optimizer: bool = False,
         keep_log: bool = False,
+        plan_cache: bool = True,
         obs: Observability | None = None,
     ) -> None:
         self.schema = schema
@@ -207,6 +215,10 @@ class AggregateCache:
             )
         self.strategy = strategy
         self.strategy.obs = self.obs
+        self.plan_cache: PlanCache | None = self.strategy.plan_cache
+        if plan_cache and self.plan_cache is None:
+            self.plan_cache = PlanCache(schema)
+            self.strategy.plan_cache = self.plan_cache
         self.use_cost_optimizer = use_cost_optimizer
         self.optimizer_redirects = 0
         """Chunks sent to the backend despite being cache-computable."""
@@ -349,14 +361,7 @@ class AggregateCache:
             for leaf_keys, benefit in reinforcements:
                 _, skipped = self.cache.reinforce(leaf_keys, benefit)
                 reinforcements_skipped += skipped
-            for chunk in computed:
-                state_updates += self._insert(
-                    chunk, benefit=chunk.compute_cost
-                )
-            for chunk in fetched:
-                state_updates += self._insert(
-                    chunk, benefit=chunk.compute_cost
-                )
+            state_updates += self._admit_wave(computed + fetched)
         breakdown.update_ms = update_span.elapsed_ms
 
         self.queries_run += 1
@@ -424,16 +429,17 @@ class AggregateCache:
         Returns the number of chunks evicted."""
         affected = set(numbers)
         base = self.schema.base_level
-        evicted = 0
+        victims: list[Key] = []
         for level, number in list(self.cache.resident_keys()):
             covering = self.schema.get_parent_chunk_numbers(
                 level, number, base
             )
             if any(int(n) in affected for n in covering):
-                self.cache.evict(level, number)
-                self.strategy.on_evict(level, number)
-                evicted += 1
-        return evicted
+                victims.append((level, number))
+        if victims:
+            self.cache.evict_many(victims)
+            self.strategy.on_evict_many(victims)
+        return len(victims)
 
     def refresh_from_backend(self, facts) -> tuple[list[int], int]:
         """Load new facts into the backend and invalidate stale cache
@@ -622,6 +628,49 @@ class AggregateCache:
                 )
             )
         return executions
+
+    def _admit_wave(self, chunks: list[Chunk]) -> int:
+        """Admit an aggregation/fetch wave: one batched cache admission,
+        then one batched count/cost cascade per movement direction.
+
+        The strategy sees the wave's NET movements: a chunk admitted and
+        then displaced by a later admission of the same wave never
+        existed as far as the summary state is concerned, and keys are
+        cascaded evictions-first so the final state is exactly the state
+        of the final resident set (the same fixpoint the per-chunk loop
+        reaches, without N scalar cascades).
+        """
+        if not chunks:
+            return 0
+        outcomes = self.cache.insert_many(
+            [(chunk, chunk.compute_cost) for chunk in chunks]
+        )
+        inserted: list[Key] = []
+        evicted: list[Key] = []
+        for chunk, outcome in zip(chunks, outcomes):
+            if outcome.inserted:
+                inserted.append(chunk.key)
+            for victim in outcome.evicted:
+                evicted.append(victim.key)
+        wave_keys = set(inserted)
+        net_evicted = [key for key in evicted if key not in wave_keys]
+        displaced = set(evicted)
+        net_inserted = [key for key in inserted if key not in displaced]
+        updates = 0
+        if net_evicted:
+            updates += self.strategy.on_evict_many(net_evicted)
+        if net_inserted:
+            updates += self.strategy.on_insert_many(net_inserted)
+        if updates and self.obs.enabled:
+            self.obs.metrics.counter("strategy.state_updates").inc(updates)
+            self.obs.tracer.emit(
+                "strategy.update_wave",
+                chunks=len(chunks),
+                inserted=len(net_inserted),
+                evictions=len(net_evicted),
+                updates=updates,
+            )
+        return updates
 
     def _insert(self, chunk: Chunk, benefit: float) -> int:
         """Admit a chunk, keeping the strategy's summary state in sync."""

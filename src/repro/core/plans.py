@@ -9,11 +9,14 @@ requested chunk.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import threading
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.sizes import SizeEstimator
-from repro.schema.cube import Level
+from repro.schema.cube import CubeSchema, Level
 
 
 @dataclass(frozen=True)
@@ -95,3 +98,104 @@ class PlanNode:
         ]
         lines.extend(child.describe(indent + 1) for child in self.inputs)
         return "\n".join(lines)
+
+
+class PlanCache:
+    """A generation-stamped memo of lookup results.
+
+    Repeated queries over a hot lattice region re-derive the same plans
+    (or the same "not computable" verdicts) on every call.  This cache
+    remembers the result per ``(level, number)`` — including ``None``
+    misses — and invalidates **cheaply**: instead of tracking which plans
+    reference which chunks, it keeps one generation counter per lattice
+    level, bumped whenever a chunk of that level enters or leaves the
+    cache.  A memoised result is stamped with the sum of the generations
+    of every level that could possibly affect it — the levels from which
+    its level is computable (its lattice ancestors, itself included).
+    Generations only grow, so a stamp mismatch means *some* relevant
+    movement happened and the entry is simply dropped: a stale hit
+    replans, it never serves an outdated plan.
+
+    This is deliberately level-granular (a base-level admission
+    invalidates every plan that could read base chunks, overlapping or
+    not); the win is O(1) bookkeeping per cache movement, which is what
+    the batched admission path needs.
+
+    Thread-safety: one mutex over the memo and the generation vector.
+    The concurrent service layer orders lookups and movements around its
+    phase locks already; the internal lock makes the cache safe for bare
+    multi-threaded use too.
+    """
+
+    def __init__(self, schema: CubeSchema, max_entries: int = 4096) -> None:
+        self.schema = schema
+        self.max_entries = int(max_entries)
+        levels = list(schema.all_levels())
+        self._level_index = {level: i for i, level in enumerate(levels)}
+        self._gens = np.zeros(len(levels), dtype=np.int64)
+        self._ancestor_idx: dict[Level, np.ndarray] = {}
+        self._entries: dict[tuple[Level, int], tuple[int, PlanNode | None]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stale_hits = 0
+        """Lookups whose memo entry existed but was generation-invalidated
+        (each one replans instead of serving the stale plan)."""
+        self._lock = threading.Lock()
+
+    def _stamp(self, level: Level) -> int:
+        """Current validity stamp for plans at ``level``: the sum of the
+        generation counters of every level whose residency can change
+        the correct answer."""
+        idx = self._ancestor_idx.get(level)
+        if idx is None:
+            idx = np.array(
+                [
+                    i
+                    for other, i in self._level_index.items()
+                    if all(a >= b for a, b in zip(other, level))
+                ],
+                dtype=np.int64,
+            )
+            self._ancestor_idx[level] = idx
+        return int(self._gens[idx].sum())
+
+    def lookup(self, level: Level, number: int) -> tuple[bool, PlanNode | None]:
+        """``(found, plan)`` — ``found`` is False on a miss or a stale hit
+        (the stale entry is dropped; the caller re-derives and re-stores)."""
+        with self._lock:
+            key = (level, number)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None
+            stamp, plan = entry
+            if stamp != self._stamp(level):
+                del self._entries[key]
+                self.stale_hits += 1
+                return False, None
+            self.hits += 1
+            return True, plan
+
+    def store(self, level: Level, number: int, plan: PlanNode | None) -> None:
+        with self._lock:
+            while len(self._entries) >= self.max_entries:
+                # FIFO overflow: drop the oldest memo (dict preserves
+                # insertion order); correctness never depends on what is
+                # cached, only on stamps.
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[(level, number)] = (self._stamp(level), plan)
+
+    def bump(self, levels: Iterable[Level]) -> None:
+        """Chunks moved at ``levels``: invalidate every memo whose level
+        is computable from any of them (O(1) per distinct level)."""
+        with self._lock:
+            for level in set(levels):
+                self._gens[self._level_index[level]] += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses + self.stale_hits
+        return self.hits / total if total else 0.0

@@ -15,11 +15,13 @@ from __future__ import annotations
 import abc
 from typing import ClassVar, Protocol
 
-from repro.core.plans import PlanNode
+from repro.core.plans import PlanCache, PlanNode
 from repro.core.sizes import SizeEstimator
 from repro.obs import NULL_OBS, Observability
 from repro.schema.cube import CubeSchema, Level
 from repro.util.errors import LookupBudgetExceeded
+
+Key = tuple[Level, int]
 
 
 class ChunkPresence(Protocol):
@@ -64,6 +66,11 @@ class LookupStrategy(abc.ABC):
         self.visit_budget = visit_budget
         self.obs: Observability = NULL_OBS
         """Observability handle; the owning manager rebinds it."""
+        self.plan_cache: PlanCache | None = None
+        """Optional generation-stamped memo of ``find`` results.  ``None``
+        (the default for bare strategies — keeps the paper's measured
+        visit counts exact) means every ``find`` walks the lattice; the
+        manager attaches a shared :class:`PlanCache` instance."""
         self.total_visits = 0
         """Lifetime recursive lookup visits (complexity instrumentation)."""
         self.last_find_visits = 0
@@ -75,19 +82,40 @@ class LookupStrategy(abc.ABC):
     def find(self, level: Level, number: int) -> PlanNode | None:
         """Plan for computing ``(level, number)`` from the cache, else None."""
         self.last_find_visits = 0
+        cache = self.plan_cache
+        if cache is not None:
+            found, plan = cache.lookup(level, number)
+            if found:
+                # Memoised verdict, still generation-valid: zero lattice
+                # visits (``lookup.visits`` observes an honest 0).
+                self._note_find(plan, from_plan_cache=True)
+                return plan
         plan = self._find(level, number)
-        if self.obs.enabled:
-            self.obs.metrics.counter("lookup.finds").inc()
-            self.obs.metrics.histogram("lookup.visits").observe(
-                self.last_find_visits
-            )
-            if plan is None:
-                self.obs.metrics.counter("lookup.missing").inc()
-            elif plan.is_leaf:
-                self.obs.metrics.counter("lookup.direct").inc()
-            else:
-                self.obs.metrics.counter("lookup.computable").inc()
+        if cache is not None:
+            cache.store(level, number, plan)
+        self._note_find(plan, from_plan_cache=False)
         return plan
+
+    def _note_find(self, plan: PlanNode | None, from_plan_cache: bool) -> None:
+        if not self.obs.enabled:
+            return
+        self.obs.metrics.counter("lookup.finds").inc()
+        self.obs.metrics.histogram("lookup.visits").observe(
+            self.last_find_visits
+        )
+        if self.plan_cache is not None:
+            name = (
+                "lookup.plan_cache.hits"
+                if from_plan_cache
+                else "lookup.plan_cache.misses"
+            )
+            self.obs.metrics.counter(name).inc()
+        if plan is None:
+            self.obs.metrics.counter("lookup.missing").inc()
+        elif plan.is_leaf:
+            self.obs.metrics.counter("lookup.direct").inc()
+        else:
+            self.obs.metrics.counter("lookup.computable").inc()
 
     @abc.abstractmethod
     def _find(self, level: Level, number: int) -> PlanNode | None:
@@ -99,14 +127,51 @@ class LookupStrategy(abc.ABC):
 
     # ------------------------------------------------------------------ #
     # maintenance hooks (no-ops for the exhaustive strategies)
+    #
+    # The public hooks also keep the plan cache honest: ANY residency
+    # change — even for the stateless strategies — can change a memoised
+    # plan's validity, so the generation bump happens here, before the
+    # strategy-specific state maintenance.
 
     def on_insert(self, level: Level, number: int) -> int:
         """Called after a chunk enters the cache.  Returns update count."""
-        return 0
+        if self.plan_cache is not None:
+            self.plan_cache.bump((level,))
+        return self._on_insert(level, number)
 
     def on_evict(self, level: Level, number: int) -> int:
         """Called after a chunk leaves the cache.  Returns update count."""
+        if self.plan_cache is not None:
+            self.plan_cache.bump((level,))
+        return self._on_evict(level, number)
+
+    def on_insert_many(self, keys: list[Key]) -> int:
+        """A whole admission wave entered the cache at once."""
+        if not keys:
+            return 0
+        if self.plan_cache is not None:
+            self.plan_cache.bump(level for level, _ in keys)
+        return self._on_insert_many(keys)
+
+    def on_evict_many(self, keys: list[Key]) -> int:
+        """A whole eviction wave left the cache at once."""
+        if not keys:
+            return 0
+        if self.plan_cache is not None:
+            self.plan_cache.bump(level for level, _ in keys)
+        return self._on_evict_many(keys)
+
+    def _on_insert(self, level: Level, number: int) -> int:
         return 0
+
+    def _on_evict(self, level: Level, number: int) -> int:
+        return 0
+
+    def _on_insert_many(self, keys: list[Key]) -> int:
+        return sum(self._on_insert(level, number) for level, number in keys)
+
+    def _on_evict_many(self, keys: list[Key]) -> int:
+        return sum(self._on_evict(level, number) for level, number in keys)
 
     def state_bytes(self) -> int:
         """Bytes of summary state maintained (paper's Table 3 accounting)."""

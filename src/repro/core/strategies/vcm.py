@@ -79,11 +79,17 @@ class VCMStrategy(LookupStrategy):
     # ------------------------------------------------------------------ #
     # maintenance
 
-    def on_insert(self, level: Level, number: int) -> int:
+    def _on_insert(self, level: Level, number: int) -> int:
         return self.counts.on_insert(level, number)
 
-    def on_evict(self, level: Level, number: int) -> int:
+    def _on_evict(self, level: Level, number: int) -> int:
         return self.counts.on_evict(level, number)
+
+    def _on_insert_many(self, keys: list[tuple[Level, int]]) -> int:
+        return self.counts.on_insert_many(keys)
+
+    def _on_evict_many(self, keys: list[tuple[Level, int]]) -> int:
+        return self.counts.on_evict_many(keys)
 
     def state_bytes(self) -> int:
         return self.counts.num_entries() * self.COUNT_BYTES

@@ -77,14 +77,24 @@ class VCMCStrategy(LookupStrategy):
     # ------------------------------------------------------------------ #
     # maintenance
 
-    def on_insert(self, level: Level, number: int) -> int:
+    def _on_insert(self, level: Level, number: int) -> int:
         updates = self.counts.on_insert(level, number)
         updates += self.costs.on_insert(level, number)
         return updates
 
-    def on_evict(self, level: Level, number: int) -> int:
+    def _on_evict(self, level: Level, number: int) -> int:
         updates = self.counts.on_evict(level, number)
         updates += self.costs.on_evict(level, number)
+        return updates
+
+    def _on_insert_many(self, keys: list[tuple[Level, int]]) -> int:
+        updates = self.counts.on_insert_many(keys)
+        updates += self.costs.on_insert_many(keys)
+        return updates
+
+    def _on_evict_many(self, keys: list[tuple[Level, int]]) -> int:
+        updates = self.counts.on_evict_many(keys)
+        updates += self.costs.on_evict_many(keys)
         return updates
 
     def state_bytes(self) -> int:

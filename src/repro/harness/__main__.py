@@ -25,6 +25,7 @@ from repro.harness.unit_experiments import (
 
 EXPERIMENTS = (
     "kernel",
+    "update",
     "benefit",
     "cost_variation",
     "table1",
@@ -136,6 +137,15 @@ def _run(args: argparse.Namespace) -> int:
         ).format()
 
     run("kernel", _kernel)
+
+    def _update() -> str:
+        from repro.harness.update_bench import run_update_benchmark
+
+        return run_update_benchmark(
+            config, out_path="BENCH_update.json"
+        ).format()
+
+    run("update", _update)
     run("benefit", lambda: run_aggregation_benefit(config).format())
     run("cost_variation", lambda: run_cost_variation(config).format())
     run("table1", lambda: run_table1(config).format())

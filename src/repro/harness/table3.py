@@ -8,8 +8,13 @@ under 1% of the base table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import sys
+from dataclasses import dataclass, field, fields
 
+import numpy as np
+
+from repro.cache.store import CacheEntry
+from repro.chunks.chunk import Chunk
 from repro.harness.common import build_components, empty_cache, strategy_on
 from repro.harness.config import ExperimentConfig
 from repro.util.tables import render_table
@@ -23,6 +28,9 @@ class Table3Result:
     total_chunks: int = 0
     base_bytes: int = 0
     state_bytes: dict[str, int] = field(default_factory=dict)
+    entry_overhead: dict[str, dict[str, int]] = field(default_factory=dict)
+    """Measured per-instance python-object bytes of the slotted cache
+    bookkeeping classes vs equivalent ``__dict__``-based twins."""
 
     def format(self) -> str:
         headers = ["", "State bytes", "% of base table"]
@@ -36,7 +44,62 @@ class Table3Result:
             f"({self.total_chunks} chunks over all levels, "
             f"base table {self.base_bytes} bytes)."
         )
-        return render_table(headers, rows, title=title)
+        table = render_table(headers, rows, title=title)
+        if self.entry_overhead:
+            parts = []
+            for name, sizes in self.entry_overhead.items():
+                parts.append(
+                    f"{name} {sizes['slotted']} B slotted vs "
+                    f"{sizes['dict']} B with __dict__ "
+                    f"(saves {sizes['delta']} B)"
+                )
+            table += (
+                "\nPer-resident-chunk bookkeeping (measured): "
+                + "; ".join(parts)
+                + "."
+            )
+        return table
+
+
+def _dict_twin_bytes(obj) -> int:
+    """Bytes one instance would occupy as a plain ``__dict__`` class with
+    the same attributes (object header plus its attribute dict)."""
+
+    class _Twin:
+        pass
+
+    twin = _Twin()
+    for f in fields(obj):
+        setattr(twin, f.name, getattr(obj, f.name))
+    return sys.getsizeof(twin) + sys.getsizeof(twin.__dict__)
+
+
+def measure_entry_overhead() -> dict[str, dict[str, int]]:
+    """Measured per-instance overhead of the slotted bookkeeping classes.
+
+    The payload arrays dominate a chunk's footprint, but the *fixed*
+    python-object overhead is paid once per resident chunk — exactly the
+    regime Table 3 accounts — so the ``slots=True`` saving is reported
+    next to the strategies' state bytes.
+    """
+    chunk = Chunk(
+        level=(0,),
+        number=0,
+        coords=(np.array([0], dtype=np.int64),),
+        values=np.array([1.0]),
+        counts=np.array([1], dtype=np.int64),
+    )
+    entry = CacheEntry(chunk=chunk, benefit=1.0, size_bytes=1)
+    overhead = {}
+    for name, obj in (("Chunk", chunk), ("CacheEntry", entry)):
+        slotted = sys.getsizeof(obj)
+        as_dict = _dict_twin_bytes(obj)
+        overhead[name] = {
+            "slotted": slotted,
+            "dict": as_dict,
+            "delta": as_dict - slotted,
+        }
+    return overhead
 
 
 def run_table3(config: ExperimentConfig) -> Table3Result:
@@ -50,4 +113,5 @@ def run_table3(config: ExperimentConfig) -> Table3Result:
     for algo in ALGORITHMS:
         strategy = strategy_on(algo, components, cache)
         result.state_bytes[algo] = strategy.state_bytes()
+    result.entry_overhead = measure_entry_overhead()
     return result

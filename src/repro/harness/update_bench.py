@@ -1,0 +1,349 @@
+"""The ``update`` harness experiment: batched vs per-chunk maintenance.
+
+Two micro-benchmarks over the strategy metadata stores, each comparing
+one batched wave against the equivalent per-chunk cascade loop:
+
+* **counts** — a multi-level insertion wave (every base chunk plus every
+  chunk of the kernel bench level) followed by the mirror eviction wave:
+  N ``scalar_on_insert``/``scalar_on_evict`` recursive cascades vs one
+  ``on_insert_many``/``on_evict_many`` vectorised pass per lattice level.
+* **costs** — the same wave through the VCMC cost/best-parent store:
+  N change-directed recursive cascades vs the batched dirty-frontier
+  propagation.
+
+Each case runs at several dataset scales (the scaled points recalibrate
+the exact size estimator, which changes the cost surface the cascades
+walk) and verifies up front that both paths leave **identical** store
+state — the batched wave is an optimisation, not an approximation.
+
+The run also measures the generation-stamped plan cache on the paper's
+query stream: the stream is played twice through one manager and the
+repeat pass's hit ratio shows how many lattice searches the cache
+skipped once admissions quiesce.
+
+The result renders as a table and exports as ``BENCH_update.json`` so
+future changes have a perf trajectory to regress against; see
+``docs/perf.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.costs import CostStore
+from repro.core.counts import CountStore
+from repro.core.manager import AggregateCache
+from repro.harness.common import build_components
+from repro.harness.config import ExperimentConfig
+from repro.harness.kernel_bench import _best_of, _sweep_configs, pick_bench_level
+from repro.schema.cube import Level
+from repro.util.tables import render_table
+from repro.workload.stream import QueryStreamGenerator
+
+#: decorrelate the plan-cache stream from the figure experiments' streams
+_STREAM_SEED_OFFSET = 7001
+
+
+@dataclass
+class UpdateCase:
+    """One batched-vs-per-chunk store comparison at one dataset scale."""
+
+    store: str
+    tuples: int
+    wave: int
+    per_chunk_ms: float
+    batched_ms: float
+    per_chunk_updates: int
+    batched_updates: int
+    state_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.per_chunk_ms / self.batched_ms if self.batched_ms > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "store": self.store,
+            "tuples": self.tuples,
+            "wave": self.wave,
+            "per_chunk_ms": self.per_chunk_ms,
+            "batched_ms": self.batched_ms,
+            "per_chunk_updates": self.per_chunk_updates,
+            "batched_updates": self.batched_updates,
+            "state_identical": self.state_identical,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class UpdateBenchResult:
+    """All store cases plus the plan-cache stream measurement."""
+
+    config: ExperimentConfig
+    level: Level
+    repeats: int
+    cases: list[UpdateCase] = field(default_factory=list)
+    plan_cache: dict = field(default_factory=dict)
+
+    def case(self, store: str, tuples: int | None = None) -> UpdateCase:
+        """The case for ``store`` — smallest dataset scale by default."""
+        matches = sorted(
+            (c for c in self.cases if c.store == store), key=lambda c: c.tuples
+        )
+        if not matches:
+            raise KeyError(store)
+        if tuples is None:
+            return matches[0]
+        for case in matches:
+            if case.tuples == tuples:
+                return case
+        raise KeyError((store, tuples))
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.config.schema_name,
+            "num_tuples": self.config.num_tuples,
+            "wave_level": list(self.level),
+            "repeats": self.repeats,
+            "python": platform.python_version(),
+            "stores": [case.as_dict() for case in self.cases],
+            "plan_cache": self.plan_cache,
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def format(self) -> str:
+        headers = [
+            "Store", "Tuples", "Wave", "Per-chunk (ms)", "Batched (ms)",
+            "Updates", "Identical", "Speedup",
+        ]
+        rows = [
+            [
+                case.store,
+                case.tuples,
+                case.wave,
+                f"{case.per_chunk_ms:.3f}",
+                f"{case.batched_ms:.3f}",
+                case.batched_updates,
+                "yes" if case.state_identical else "NO",
+                f"{case.speedup:.1f}x",
+            ]
+            for case in self.cases
+        ]
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Update benchmark: batched vs per-chunk metadata "
+                f"maintenance (wave = base + level {self.level}, "
+                f"best of {self.repeats})."
+            ),
+        )
+        pc = self.plan_cache
+        return table + (
+            "\nPlan cache over the repeated query stream: "
+            f"{pc['hits']}/{pc['hits'] + pc['misses']} lookups served "
+            f"({pc['hit_ratio']:.0%} overall, "
+            f"{pc['repeat_pass_hit_ratio']:.0%} on the repeat pass, "
+            f"{pc['stale_hits']} stale entries replanned)."
+        )
+
+
+def _wave_keys(schema, level: Level) -> list[tuple[Level, int]]:
+    """The benchmark wave: every base chunk plus every chunk of the bench
+    level — a multi-level wave like manager preload followed by a dense
+    admission sweep, and the worst case for cascade fan-out (inserting
+    the whole base level makes every chunk in the cube computable)."""
+    keys = [
+        (schema.base_level, n)
+        for n in range(schema.num_chunks(schema.base_level))
+    ]
+    keys.extend((level, n) for n in range(schema.num_chunks(level)))
+    return keys
+
+
+def _counts_identical(a: CountStore, b: CountStore) -> bool:
+    return all(
+        np.array_equal(a.counts_array(level), b.counts_array(level))
+        for level in a.schema.all_levels()
+    )
+
+
+def _costs_identical(a: CostStore, b: CostStore) -> bool:
+    """Bitwise cost/cached identity plus best-parent equivalence.
+
+    At an exact cost tie the scalar cascade keeps its historical pointer
+    while the batched re-minimisation takes the first strict minimum;
+    both are valid least-cost paths, so pointers must be equal *or* each
+    point at a parent whose path cost equals the recorded least cost.
+    """
+    for level in a.schema.all_levels():
+        if not np.array_equal(a._cost[level], b._cost[level]):
+            return False
+        if not np.array_equal(a._cached[level], b._cached[level]):
+            return False
+        differs = np.flatnonzero(a._best[level] != b._best[level])
+        for number in differs.tolist():
+            for store in (a, b):
+                best = int(store._best[level][number])
+                if best < 0:
+                    return False
+                via = store._cost_via(
+                    level, number, store._parents[level][best]
+                )
+                if via != float(store._cost[level][number]):
+                    return False
+    return True
+
+
+def _bench_counts(schema, keys, tuples, repeats, result) -> None:
+    scalar_store = CountStore(schema)
+    batched_store = CountStore(schema)
+    # Verification pass: identical final state and update totals.
+    per_chunk_updates = sum(
+        scalar_store.scalar_on_insert(level, n) for level, n in keys
+    )
+    batched_updates = batched_store.on_insert_many(keys)
+    identical = (
+        _counts_identical(scalar_store, batched_store)
+        and per_chunk_updates == batched_updates
+    )
+    for level, n in keys:
+        scalar_store.scalar_on_evict(level, n)
+    batched_store.on_evict_many(keys)
+
+    def per_chunk():
+        for level, n in keys:
+            scalar_store.scalar_on_insert(level, n)
+        for level, n in keys:
+            scalar_store.scalar_on_evict(level, n)
+
+    def batched():
+        batched_store.on_insert_many(keys)
+        batched_store.on_evict_many(keys)
+
+    result.cases.append(
+        UpdateCase(
+            store="counts",
+            tuples=tuples,
+            wave=len(keys),
+            per_chunk_ms=_best_of(repeats, per_chunk),
+            batched_ms=_best_of(repeats, batched),
+            per_chunk_updates=per_chunk_updates,
+            batched_updates=batched_updates,
+            state_identical=identical,
+        )
+    )
+
+
+def _bench_costs(schema, sizes, keys, tuples, repeats, result) -> None:
+    scalar_store = CostStore(schema, sizes)
+    batched_store = CostStore(schema, sizes)
+    per_chunk_updates = sum(
+        scalar_store.scalar_on_insert(level, n) for level, n in keys
+    )
+    batched_updates = batched_store.on_insert_many(keys)
+    identical = _costs_identical(scalar_store, batched_store)
+    for level, n in keys:
+        scalar_store.scalar_on_evict(level, n)
+    batched_store.on_evict_many(keys)
+
+    def per_chunk():
+        for level, n in keys:
+            scalar_store.scalar_on_insert(level, n)
+        for level, n in keys:
+            scalar_store.scalar_on_evict(level, n)
+
+    def batched():
+        batched_store.on_insert_many(keys)
+        batched_store.on_evict_many(keys)
+
+    result.cases.append(
+        UpdateCase(
+            store="costs",
+            tuples=tuples,
+            wave=len(keys),
+            per_chunk_ms=_best_of(repeats, per_chunk),
+            batched_ms=_best_of(repeats, batched),
+            per_chunk_updates=per_chunk_updates,
+            batched_updates=batched_updates,
+            state_identical=identical,
+        )
+    )
+
+
+def _plan_cache_stats(config: ExperimentConfig) -> dict:
+    """Play the paper's query stream twice through one manager and read
+    the plan-cache counters: the repeat pass shows the hit ratio once
+    admissions quiesce (a hit skips the lattice search entirely)."""
+    components = build_components(config)
+    manager = AggregateCache(
+        components.schema,
+        components.backend,
+        capacity_bytes=components.capacity_for(0.91),
+        strategy="vcmc",
+        policy="benefit",
+    )
+    generator = QueryStreamGenerator(
+        components.schema,
+        max_extent=config.max_extent,
+        seed=config.seed + _STREAM_SEED_OFFSET,
+    )
+    queries = generator.generate(config.num_queries)
+    cache = manager.plan_cache
+    for query in queries:
+        manager.query(query)
+    first_hits, first_misses = cache.hits, cache.misses
+    for query in queries:
+        manager.query(query)
+    repeat_hits = cache.hits - first_hits
+    repeat_misses = cache.misses - first_misses
+    repeat_total = repeat_hits + repeat_misses
+    return {
+        "queries": 2 * len(queries),
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "stale_hits": cache.stale_hits,
+        "hit_ratio": cache.hit_ratio,
+        "repeat_pass_hit_ratio": (
+            repeat_hits / repeat_total if repeat_total else 0.0
+        ),
+        "entries": len(cache),
+    }
+
+
+def run_update_benchmark(
+    config: ExperimentConfig,
+    repeats: int = 5,
+    out_path: str | Path | None = None,
+) -> UpdateBenchResult:
+    """Run both store cases across dataset scales plus the plan-cache
+    stream measurement; optionally export ``BENCH_update.json``."""
+    level = pick_bench_level(build_components(config).schema)
+    result = UpdateBenchResult(config=config, level=level, repeats=repeats)
+    for scale_config in _sweep_configs(config):
+        components = build_components(scale_config)
+        schema = components.schema
+        keys = _wave_keys(schema, level)
+        _bench_counts(schema, keys, scale_config.num_tuples, repeats, result)
+        _bench_costs(
+            schema,
+            components.sizes,
+            keys,
+            scale_config.num_tuples,
+            repeats,
+            result,
+        )
+    result.plan_cache = _plan_cache_stats(config)
+
+    if out_path is not None:
+        result.write_json(out_path)
+    return result

@@ -277,14 +277,7 @@ class ConcurrentAggregateCache:
                 for leaf_keys, benefit in reinforcements:
                     _, skipped = manager.cache.reinforce(leaf_keys, benefit)
                     reinforcements_skipped += skipped
-                for chunk in computed:
-                    state_updates += manager._insert(
-                        chunk, benefit=chunk.compute_cost
-                    )
-                for chunk in led_chunks:
-                    state_updates += manager._insert(
-                        chunk, benefit=chunk.compute_cost
-                    )
+                state_updates += manager._admit_wave(computed + led_chunks)
             breakdown.update_ms = update_span.elapsed_ms
             if led_keys:
                 self.flights.release(led_keys)

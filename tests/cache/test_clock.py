@@ -97,3 +97,40 @@ def test_clock_weight_monotone_and_capped():
     assert clock_weight(-1.0) == 0.0
     assert clock_weight(1.0) < clock_weight(100.0)
     assert clock_weight(1e30) == CLOCK_CAP
+
+
+def test_clock_weight_curve_pinned():
+    """Exact points of the log2(1 + benefit) curve and its cap — the
+    single source of truth in ``replacement/base`` that both ring
+    policies must keep deriving their tick values from."""
+    assert CLOCK_CAP == 48.0
+    assert clock_weight(1.0) == 1.0
+    assert clock_weight(3.0) == 2.0
+    assert clock_weight(2.0**20 - 1.0) == 20.0
+    assert clock_weight(2.0**60) == CLOCK_CAP
+
+
+def test_policies_share_the_weight_curve():
+    """Scalar ``on_insert`` and the batched ``on_insert_many`` of both
+    ring policies assign the same base-curve clock values."""
+    from repro.cache.replacement import make_policy
+
+    benefits = [0.0, 1.0, 3.0, 250.0, 2.0**60]
+    for name in ("benefit", "two_level"):
+        scalar_policy = make_policy(name)
+        batched_policy = make_policy(name)
+        scalar_entries, batched_entries = [], []
+        for number, benefit in enumerate(benefits):
+            for bucket in (scalar_entries, batched_entries):
+                e = entry(number)
+                e.benefit = benefit
+                bucket.append(e)
+        for e in scalar_entries:
+            scalar_policy.on_insert(e)
+        batched_policy.on_insert_many(batched_entries)
+        for scalar_e, batched_e in zip(scalar_entries, batched_entries):
+            assert (
+                scalar_e.clock
+                == batched_e.clock
+                == clock_weight(scalar_e.benefit)
+            ), name

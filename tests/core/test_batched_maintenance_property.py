@@ -1,0 +1,173 @@
+"""Property suite: batched maintenance waves equal the scalar cascades.
+
+``on_insert_many`` / ``on_evict_many`` replace N recursive per-chunk
+cascades with one vectorised pass per lattice level — an optimisation
+that must be *invisible*: after any interleaving of insert and evict
+waves, a store driven by batched waves holds exactly the state of a
+store driven by the scalar reference cascades (``scalar_on_insert`` /
+``scalar_on_evict``) one key at a time.
+
+For counts that means bitwise-equal count arrays AND the same
+``total_updates`` charge (the paper's Table 2 metric).  For costs it
+means bitwise-equal cost/cached arrays — guaranteed here by an
+integer-valued size stub, so every path cost is an exact float64 sum —
+with best-parent pointers equal or tied: at an exact cost tie the
+scalar cascade keeps its historical pointer while the batched
+re-minimisation takes the first strict minimum, and both are valid
+least-cost paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostStore
+from repro.core.counts import CountStore
+from repro.schema import apb_tiny_schema
+
+SCHEMA = apb_tiny_schema()
+ALL_KEYS = [
+    (level, number)
+    for level in SCHEMA.all_levels()
+    for number in range(SCHEMA.num_chunks(level))
+]
+
+
+class IntegerSizes:
+    """Deterministic integer chunk sizes: path costs become exact small
+    float64 sums, so batched and scalar cost arithmetic is bitwise equal
+    regardless of summation order."""
+
+    def chunk_tuples(self, level, number) -> int:
+        return sum(level) * 7 + number % 5 + 1
+
+
+@st.composite
+def wave_schedules(draw):
+    """A sequence of single-sign waves: each round inserts a fresh subset
+    of non-resident chunks as one wave, then evicts a subset of resident
+    chunks as one wave (waves may span several lattice levels)."""
+    schedule = []
+    resident: set = set()
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        available = sorted(k for k in ALL_KEYS if k not in resident)
+        if available:
+            indices = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=len(available) - 1),
+                    max_size=10,
+                    unique=True,
+                )
+            )
+            insert = [available[i] for i in indices]
+            if insert:
+                resident.update(insert)
+                schedule.append(("insert", insert))
+        residents = sorted(resident)
+        if residents:
+            indices = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=len(residents) - 1),
+                    max_size=8,
+                    unique=True,
+                )
+            )
+            evict = [residents[i] for i in indices]
+            if evict:
+                resident.difference_update(evict)
+                schedule.append(("evict", evict))
+    return schedule
+
+
+def apply_scalar(store, op: str, keys) -> int:
+    method = (
+        store.scalar_on_insert if op == "insert" else store.scalar_on_evict
+    )
+    return sum(method(level, number) for level, number in keys)
+
+
+def apply_batched(store, op: str, keys) -> int:
+    method = store.on_insert_many if op == "insert" else store.on_evict_many
+    return method(keys)
+
+
+@settings(max_examples=80, deadline=None)
+@given(schedule=wave_schedules())
+def test_batched_count_waves_equal_scalar_cascades(schedule):
+    scalar = CountStore(SCHEMA)
+    batched = CountStore(SCHEMA)
+    for op, keys in schedule:
+        scalar_updates = apply_scalar(scalar, op, keys)
+        batched_updates = apply_batched(batched, op, keys)
+        assert batched_updates == scalar_updates, (
+            f"update charge diverged on {op} wave {keys}"
+        )
+        for level in SCHEMA.all_levels():
+            assert np.array_equal(
+                scalar.counts_array(level), batched.counts_array(level)
+            ), f"counts diverged at level {level} after {op} wave {keys}"
+    assert batched.total_updates == scalar.total_updates
+
+
+def assert_best_equivalent(scalar: CostStore, batched: CostStore) -> None:
+    """Pointers equal, or tied: each store's recorded pointer reaches its
+    (identical) recorded least cost."""
+    for level in SCHEMA.all_levels():
+        differs = np.flatnonzero(scalar._best[level] != batched._best[level])
+        for number in differs.tolist():
+            for store in (scalar, batched):
+                best = int(store._best[level][number])
+                assert best >= 0, (
+                    f"pointer sentinel mismatch at level {level} "
+                    f"chunk {number}"
+                )
+                via = store._cost_via(
+                    level, number, store._parents[level][best]
+                )
+                assert via == float(store._cost[level][number]), (
+                    f"non-minimal best parent at level {level} "
+                    f"chunk {number}"
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=wave_schedules())
+def test_batched_cost_waves_equal_scalar_cascades(schedule):
+    sizes = IntegerSizes()
+    scalar = CostStore(SCHEMA, sizes, rel_tol=0.0)
+    batched = CostStore(SCHEMA, sizes, rel_tol=0.0)
+    for op, keys in schedule:
+        apply_scalar(scalar, op, keys)
+        apply_batched(batched, op, keys)
+        for level in SCHEMA.all_levels():
+            assert np.array_equal(
+                scalar._cost[level], batched._cost[level]
+            ), f"costs diverged at level {level} after {op} wave {keys}"
+            assert np.array_equal(
+                scalar._cached[level], batched._cached[level]
+            ), f"cached flags diverged at level {level}"
+        assert_best_equivalent(scalar, batched)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=wave_schedules())
+def test_batched_waves_equal_rebuild_from_resident_set(schedule):
+    """Order independence, the stronger form: after any schedule the
+    batched store equals a store rebuilt from the final resident set in
+    one insertion wave."""
+    store = CountStore(SCHEMA)
+    resident: set = set()
+    for op, keys in schedule:
+        apply_batched(store, op, keys)
+        if op == "insert":
+            resident.update(keys)
+        else:
+            resident.difference_update(keys)
+    rebuilt = CountStore(SCHEMA)
+    rebuilt.on_insert_many(sorted(resident))
+    for level in SCHEMA.all_levels():
+        assert np.array_equal(
+            store.counts_array(level), rebuilt.counts_array(level)
+        )
