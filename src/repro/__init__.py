@@ -26,7 +26,14 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
 reproduction results.
 """
 
-from repro.backend import BackendDatabase, CostModel, FactTable, generate_fact_table
+from repro.backend import (
+    BackendDatabase,
+    CostModel,
+    FactTable,
+    ResilientBackend,
+    generate_fact_table,
+)
+from repro.faults import FailpointRegistry
 from repro.cache import ChunkCache, make_policy
 from repro.chunks import Chunk, ChunkOrigin
 from repro.core import (
@@ -68,6 +75,7 @@ __all__ = [
     "CubeSchema",
     "Dimension",
     "FactTable",
+    "FailpointRegistry",
     "MemberCatalog",
     "Observability",
     "OlapSession",
@@ -76,6 +84,7 @@ __all__ = [
     "QueryKind",
     "QueryResult",
     "QueryStreamGenerator",
+    "ResilientBackend",
     "STRATEGY_NAMES",
     "SizeEstimator",
     "StreamMix",

@@ -3,11 +3,14 @@
 from repro.backend.cost_model import CostModel
 from repro.backend.engine import BackendDatabase, BackendRequestStats
 from repro.backend.generator import FactTable, generate_fact_table
+from repro.backend.resilient import BreakerState, ResilientBackend
 
 __all__ = [
     "BackendDatabase",
     "BackendRequestStats",
+    "BreakerState",
     "CostModel",
     "FactTable",
+    "ResilientBackend",
     "generate_fact_table",
 ]

@@ -24,6 +24,7 @@ from repro.aggregation.aggregate import rollup_chunks, rollup_many
 from repro.backend.cost_model import CostModel
 from repro.backend.generator import FactTable
 from repro.chunks.chunk import Chunk, ChunkOrigin
+from repro.faults.registry import failpoint
 from repro.obs import NULL_OBS, Observability
 from repro.schema.cube import CubeSchema, Level
 from repro.util.errors import ReproError
@@ -199,6 +200,7 @@ class BackendDatabase:
         stats = BackendRequestStats(chunks_requested=len(requests))
         if not requests:
             return [], stats
+        failpoint("backend.fetch", chunks=len(requests))
         watch = Stopwatch()
         results: list[Chunk | None] = [None] * len(requests)
         base = self.schema.base_level
@@ -207,6 +209,7 @@ class BackendDatabase:
             by_level.setdefault(level, []).append(index)
         for level, indices in by_level.items():
             numbers = [requests[i][1] for i in indices]
+            failpoint("backend.scan", level=level, chunks=len(numbers))
             sources_per_target: list[list[Chunk]] = []
             scanned_per_target: list[int] = []
             for number in numbers:

@@ -1,0 +1,276 @@
+"""A resilient wrapper around :class:`~repro.backend.engine.BackendDatabase`.
+
+The cache treats the backend as an unreliable tier: fetches may fail
+transiently, hang, or return corrupt payloads.  :class:`ResilientBackend`
+keeps :meth:`fetch`'s contract (same signature, same return, identical
+results when nothing fails) while adding three layers:
+
+* **timeout** — a fetch whose wall-clock exceeds ``timeout_s`` counts as
+  a :class:`~repro.faults.errors.BackendTimeout` failure even though it
+  eventually returned (the synchronous engine cannot be interrupted, so
+  the late result is used when it is the last attempt's);
+* **retry** — capped exponential backoff with seeded jitter on the
+  retryable errors (:class:`TransientBackendError` and its timeout
+  subclass, :class:`CorruptChunkError` — fresh bytes cure corruption);
+* **circuit breaker** — ``failure_threshold`` consecutive failures open
+  the circuit; while open every fetch fails fast with
+  :class:`CircuitOpenError` without touching the backend; after
+  ``reset_timeout_s`` one probe is let through (half-open) and its
+  outcome re-closes or re-opens the breaker.
+
+Every transition and retry is reported through the observability layer:
+``backend.retries`` / ``backend.breaker.transitions`` /
+``backend.fast_failures`` counters, the ``backend.breaker_state`` gauge
+(0 closed, 1 half-open, 2 open) and ``backend.retry`` /
+``backend.breaker`` tracer events.  With no failures none of these are
+touched, so a fault-free run is observationally identical to the bare
+backend.
+
+Everything else (``compute_level``, ``append``, ``cost_model``,
+``num_tuples``, …) delegates to the wrapped backend unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+from enum import Enum
+
+from repro.backend.engine import BackendDatabase, BackendRequestStats
+from repro.chunks.chunk import Chunk
+from repro.faults.errors import (
+    BackendTimeout,
+    CircuitOpenError,
+    CorruptChunkError,
+    TransientBackendError,
+)
+from repro.obs import NULL_OBS, Observability
+from repro.schema.cube import Level
+from repro.util.rng import make_rng
+
+#: Errors a retry may fix.  CircuitOpenError is deliberately absent (the
+#: breaker raised it, retrying would just hammer the breaker) and so is
+#: the FaultError base (unknown fault flavours should surface).
+RETRYABLE_ERRORS = (TransientBackendError, CorruptChunkError)
+
+
+class BreakerState(Enum):
+    """Circuit breaker states, with their ``backend.breaker_state`` gauge
+    encoding as values."""
+
+    CLOSED = 0
+    HALF_OPEN = 1
+    OPEN = 2
+
+
+class ResilientBackend:
+    """Retry, timeout and circuit-breaker armour for a backend.
+
+    Parameters
+    ----------
+    inner:
+        The backend to protect (anything with ``fetch``; normally a
+        :class:`BackendDatabase`).
+    max_retries:
+        Extra attempts after the first failure of one fetch (0 disables
+        retrying).
+    base_backoff_s, max_backoff_s, jitter:
+        Backoff before retry ``k`` is ``min(base * 2**(k-1), max)``
+        scaled by ``1 + U(0, jitter)`` from the seeded RNG.
+    timeout_s:
+        Wall-clock budget per attempt; ``None`` disables the check.
+    failure_threshold:
+        Consecutive failures (across callers) that open the breaker.
+    reset_timeout_s:
+        How long the breaker stays open before letting one probe through.
+    seed:
+        Seed for the jitter RNG (deterministic backoff schedules).
+    sleep, clock:
+        Injectable ``time.sleep`` / ``time.monotonic`` (tests pass a
+        no-op sleep and a fake clock).
+    obs:
+        Observability handle; may be rebound after construction.
+    """
+
+    def __init__(
+        self,
+        inner: BackendDatabase,
+        *,
+        max_retries: int = 3,
+        base_backoff_s: float = 0.01,
+        max_backoff_s: float = 0.5,
+        jitter: float = 0.5,
+        timeout_s: float | None = None,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        seed=None,
+        sleep=time.sleep,
+        clock=time.monotonic,
+        obs: Observability | None = None,
+    ) -> None:
+        self.inner = inner
+        self.max_retries = int(max_retries)
+        self.base_backoff_s = float(base_backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self.jitter = float(jitter)
+        self.timeout_s = timeout_s
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.obs = obs or NULL_OBS
+        self._rng = make_rng(seed)
+        self._sleep = sleep
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.retries = 0
+        """Lifetime retry attempts."""
+        self.fast_failures = 0
+        """Fetches rejected by an open breaker without touching the backend."""
+        self.breaker_transitions: list[tuple[str, str]] = []
+        """Lifetime (from, to) state transitions, in order."""
+
+    # ------------------------------------------------------------------ #
+    # introspection / delegation
+
+    @property
+    def breaker_state(self) -> BreakerState:
+        with self._lock:
+            return self._state
+
+    def __getattr__(self, name):
+        # Everything not overridden (cost_model, num_tuples, schema,
+        # compute_level, append, totals, base_chunk, ...) passes through.
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientBackend(state={self.breaker_state.name}, "
+            f"retries={self.retries}, inner={self.inner!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # the protected fetch
+
+    def fetch(
+        self, requests: Sequence[tuple[Level, int]]
+    ) -> tuple[list[Chunk], BackendRequestStats]:
+        """Fetch through the breaker with retries; contract identical to
+        :meth:`BackendDatabase.fetch` when nothing fails."""
+        self._gate()
+        attempt = 0
+        while True:
+            start = self._clock()
+            try:
+                chunks, stats = self.inner.fetch(requests)
+            except RETRYABLE_ERRORS as error:
+                failure: Exception = error
+            else:
+                elapsed = self._clock() - start
+                if self.timeout_s is not None and elapsed > self.timeout_s:
+                    failure = BackendTimeout(
+                        f"backend fetch took {elapsed:.3f}s "
+                        f"(budget {self.timeout_s:.3f}s)"
+                    )
+                else:
+                    self._on_success()
+                    return chunks, stats
+            opened = self._on_failure()
+            attempt += 1
+            if opened or attempt > self.max_retries:
+                raise failure
+            self._note_retry(attempt, failure)
+            self._sleep(self._backoff_s(attempt))
+
+    # ------------------------------------------------------------------ #
+    # breaker internals
+
+    def _gate(self) -> None:
+        """Fail fast while open; admit a single probe when half-open."""
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return
+            if self._state is BreakerState.OPEN:
+                if self._clock() - self._opened_at >= self.reset_timeout_s:
+                    self._transition(BreakerState.HALF_OPEN)
+                    self._probe_in_flight = True
+                    return
+                self.fast_failures += 1
+            elif not self._probe_in_flight:
+                # Half-open with no probe running (a previous probe's
+                # thread died): take over as the probe.
+                self._probe_in_flight = True
+                return
+            else:
+                self.fast_failures += 1
+            fast = self.fast_failures
+        if self.obs.enabled:
+            self.obs.metrics.counter("backend.fast_failures").inc()
+        raise CircuitOpenError(
+            f"circuit breaker open ({fast} fast failures so far)"
+        )
+
+    def _on_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED)
+
+    def _on_failure(self) -> bool:
+        """Count one failed attempt; returns True when the breaker is now
+        open (the caller must stop retrying)."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                self._probe_in_flight = False
+                self._transition(BreakerState.OPEN)
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(BreakerState.OPEN)
+            return self._state is BreakerState.OPEN
+
+    def _transition(self, to: BreakerState) -> None:
+        """Record a state change (caller holds the lock)."""
+        from_state = self._state
+        self._state = to
+        if to is BreakerState.OPEN:
+            self._opened_at = self._clock()
+        self.breaker_transitions.append((from_state.name, to.name))
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("backend.breaker.transitions").inc()
+            obs.metrics.gauge("backend.breaker_state").set(to.value)
+            obs.tracer.emit(
+                "backend.breaker",
+                from_state=from_state.name,
+                to_state=to.name,
+                consecutive_failures=self._consecutive_failures,
+            )
+
+    # ------------------------------------------------------------------ #
+    # retry internals
+
+    def _backoff_s(self, attempt: int) -> float:
+        base = min(
+            self.base_backoff_s * (2.0 ** (attempt - 1)), self.max_backoff_s
+        )
+        with self._lock:
+            scale = 1.0 + self.jitter * float(self._rng.random())
+        return base * scale
+
+    def _note_retry(self, attempt: int, error: Exception) -> None:
+        with self._lock:
+            self.retries += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("backend.retries").inc()
+            self.obs.tracer.emit(
+                "backend.retry",
+                attempt=attempt,
+                error=type(error).__name__,
+            )

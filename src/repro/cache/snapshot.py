@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.chunks.chunk import Chunk, ChunkOrigin
 from repro.core.manager import AggregateCache
+from repro.faults.errors import CorruptChunkError
+from repro.faults.registry import failpoint
 from repro.util.errors import ReproError
 
 _FORMAT_VERSION = 1
@@ -71,6 +73,13 @@ def load_cache_snapshot(manager: AggregateCache, path: str | Path) -> int:
     Returns the number of chunks restored; chunks the policy declines
     (e.g. the capacity shrank) are skipped silently — the cache stays
     correct either way.
+
+    A chunk that fails its integrity check (mismatched array lengths, or
+    an injected :class:`CorruptChunkError` at the ``snapshot.load``
+    failpoint) is dropped *individually*: the rest of the snapshot still
+    restores, and because every surviving chunk goes through the
+    ordinary admission path the count/cost state is rebuilt consistently
+    for exactly the set that made it in.
     """
     with np.load(Path(path), allow_pickle=True) as data:
         version = int(data["version"][0])
@@ -87,26 +96,28 @@ def load_cache_snapshot(manager: AggregateCache, path: str | Path) -> int:
                 f"schema has {manager.schema.ndims}"
             )
         restored = 0
+        skipped = 0
         metadata = data["metadata"]
         for i in range(count):
             level_text, number, origin, benefit = metadata[i]
             level = tuple(int(x) for x in str(level_text).split(","))
-            extras = []
-            m = 0
-            while f"chunk_{i}_extra_{m}" in data:
-                extras.append(data[f"chunk_{i}_extra_{m}"])
-                m += 1
-            chunk = Chunk(
-                level=level,
-                number=int(number),
-                coords=tuple(
-                    data[f"chunk_{i}_coords_{d}"] for d in range(ndims)
-                ),
-                values=data[f"chunk_{i}_values"],
-                counts=data[f"chunk_{i}_counts"],
-                origin=ChunkOrigin(str(origin)),
-                extras=tuple(extras),
-            )
+            try:
+                failpoint(
+                    "snapshot.load", index=i, level=level, number=int(number)
+                )
+                chunk = _read_chunk(data, i, ndims, level, number, origin)
+            except CorruptChunkError:
+                skipped += 1
+                if manager.obs.enabled:
+                    manager.obs.metrics.counter(
+                        "snapshot.corrupt_chunks"
+                    ).inc()
+                    manager.obs.tracer.emit(
+                        "snapshot.corrupt",
+                        level=list(level),
+                        number=int(number),
+                    )
+                continue
             if manager.cache.contains(level, chunk.number):
                 continue
             updates = manager._insert(chunk, benefit=float(benefit))
@@ -114,3 +125,32 @@ def load_cache_snapshot(manager: AggregateCache, path: str | Path) -> int:
             if manager.cache.contains(level, chunk.number):
                 restored += 1
         return restored
+
+
+def _read_chunk(data, i: int, ndims: int, level, number, origin) -> Chunk:
+    """Deserialise chunk ``i``, validating that its arrays agree."""
+    extras = []
+    m = 0
+    while f"chunk_{i}_extra_{m}" in data:
+        extras.append(data[f"chunk_{i}_extra_{m}"])
+        m += 1
+    coords = tuple(data[f"chunk_{i}_coords_{d}"] for d in range(ndims))
+    values = data[f"chunk_{i}_values"]
+    counts = data[f"chunk_{i}_counts"]
+    rows = len(values)
+    if len(counts) != rows or any(len(axis) != rows for axis in coords) or any(
+        len(extra) != rows for extra in extras
+    ):
+        raise CorruptChunkError(
+            f"snapshot chunk {int(number)} of level {level} has "
+            "mismatched array lengths"
+        )
+    return Chunk(
+        level=level,
+        number=int(number),
+        coords=coords,
+        values=values,
+        counts=counts,
+        origin=ChunkOrigin(str(origin)),
+        extras=tuple(extras),
+    )

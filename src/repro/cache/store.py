@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.chunks.chunk import Chunk
+from repro.faults.registry import failpoint
 from repro.obs import NULL_OBS, Observability
 from repro.schema.cube import Level
 from repro.util.errors import ReproError
@@ -163,6 +164,10 @@ class ChunkCache:
         CLOCK).  Empty chunks are cached too: knowing a region is empty is
         as valuable as knowing its contents.
         """
+        # Before the lock and before any mutation: an injected fault
+        # leaves the store, the policy and the caller's strategy state
+        # exactly as they were.
+        failpoint("cache.insert", level=chunk.level, number=chunk.number)
         with self._lock:
             key = chunk.key
             if key in self._entries:
@@ -230,6 +235,9 @@ class ChunkCache:
         outcomes: list[InsertOutcome] = []
         admitted: list[CacheEntry] = []
         pending: list[CacheEntry] = []
+        items = list(items)
+        # One failpoint per wave, before any mutation (see insert()).
+        failpoint("cache.insert", wave=len(items))
         with self._lock:
             for chunk, benefit in items:
                 key = chunk.key

@@ -27,6 +27,7 @@ from repro.core.plans import PlanCache, PlanNode
 from repro.core.sizes import SizeEstimator
 from repro.core.strategies import make_strategy
 from repro.core.strategies.base import LookupStrategy
+from repro.faults.errors import FaultError
 from repro.obs import NULL_OBS, Observability, span
 from repro.schema.cube import CubeSchema, Level
 from repro.util.errors import ReproError
@@ -57,9 +58,19 @@ class QueryResult:
     reinforcement landed.  Always 0 in sequential use (reinforcement is
     applied before this query's own admissions can evict anything); under
     concurrent serving a racing eviction can make it positive."""
+    degraded: bool = False
+    """True when the backend failed during this query and the answer was
+    assembled from the cache alone (``degraded_mode``).  Every chunk that
+    *is* present is exact; ``unanswered`` lists the ones that are not."""
+    coverage: float = 1.0
+    """Fraction of the query's chunks actually answered (1.0 unless the
+    query is degraded)."""
+    unanswered: tuple[int, ...] = ()
+    """Chunk numbers the degraded path could not answer (missing from
+    ``chunks``); empty unless ``degraded``."""
 
     def total_value(self) -> float:
-        """Grand total of the measure over the query region."""
+        """Grand total of the measure over the answered query region."""
         return sum(chunk.total() for chunk in self.chunks)
 
     @property
@@ -171,6 +182,17 @@ class AggregateCache:
         memoised plan/verdict instead of re-walking the lattice.  Plans
         stay exactly as correct as fresh ones — any insert or evict at a
         level that could affect a memoised answer invalidates it.
+    degraded_mode:
+        When the backend phase fails with a typed fault
+        (:class:`~repro.faults.errors.FaultError` — transient errors,
+        timeouts, corrupt payloads, an open circuit breaker), answer the
+        query from the cache alone instead of raising: chunks the
+        strategy can still compute are aggregated (exact answers), the
+        rest are reported in :attr:`QueryResult.unanswered` with
+        ``degraded=True`` and ``coverage < 1``.  Off by default — the
+        pre-existing raise-through behaviour is unchanged unless opted
+        in.  Pair with :class:`~repro.backend.ResilientBackend` so only
+        post-retry failures degrade.
     obs:
         An :class:`~repro.obs.Observability` handle, shared with the
         chunk store, the replacement policy and the lookup strategy.
@@ -192,6 +214,7 @@ class AggregateCache:
         use_cost_optimizer: bool = False,
         keep_log: bool = False,
         plan_cache: bool = True,
+        degraded_mode: bool = False,
         obs: Observability | None = None,
     ) -> None:
         self.schema = schema
@@ -222,6 +245,10 @@ class AggregateCache:
         self.use_cost_optimizer = use_cost_optimizer
         self.optimizer_redirects = 0
         """Chunks sent to the backend despite being cache-computable."""
+        self.degraded_mode = degraded_mode
+        self.degraded_queries = 0
+        """Queries answered (fully or partially) without the backend
+        after a backend fault (``degraded_mode`` only)."""
         self.keep_log = keep_log
         self.query_log: list[QueryLogRecord] = []
         """Structured per-query records when ``keep_log`` is set."""
@@ -336,19 +363,51 @@ class AggregateCache:
         # Phase 3 — one batched backend request for everything missing.
         # The phase's charge is the cost model's simulated milliseconds,
         # not local wall-clock, so the span records the stats total.
+        # In degraded mode a typed backend fault does not abort the
+        # query: the missing chunks are re-planned cache-only (exact
+        # answers where the lattice still covers them) and the rest are
+        # reported as unanswered.
         missing = [n for n, plan in plans.items() if plan is None]
         fetched: list[Chunk] = []
+        degraded = False
+        unanswered: tuple[int, ...] = ()
         if missing:
             with span(
                 obs, "backend", chunks=len(missing)
             ) as backend_span:
-                fetched, stats = self.backend.fetch(
-                    [(query.level, n) for n in missing]
-                )
-                backend_span.record(stats.total_ms)
+                try:
+                    fetched, stats = self.backend.fetch(
+                        [(query.level, n) for n in missing]
+                    )
+                    backend_span.record(stats.total_ms)
+                except FaultError:
+                    if not self.degraded_mode:
+                        raise
+                    degraded = True
             breakdown.backend_ms = backend_span.elapsed_ms
             for chunk in fetched:
                 results[chunk.number] = chunk
+            if degraded:
+                with span(obs, "aggregate") as salvage_span:
+                    direct, executions, leftovers = self._salvage_from_cache(
+                        query.level, missing
+                    )
+                    unanswered = tuple(leftovers)
+                    for number, chunk in direct.items():
+                        results[number] = chunk
+                        direct_hits += 1
+                    for number, execution in executions:
+                        chunk = execution.chunk
+                        chunk.compute_cost = self.cost_model.aggregation_ms(
+                            execution.tuples_aggregated
+                        )
+                        results[number] = chunk
+                        computed.append(chunk)
+                        tuples_aggregated += execution.tuples_aggregated
+                        reinforcements.append(
+                            (execution.leaf_keys, chunk.compute_cost)
+                        )
+                breakdown.aggregate_ms += salvage_span.elapsed_ms
 
         # Phase 4 — admit new chunks and maintain count/cost state.
         # Reinforcement is applied BEFORE the admissions: an insert can
@@ -365,12 +424,14 @@ class AggregateCache:
         breakdown.update_ms = update_span.elapsed_ms
 
         self.queries_run += 1
-        complete_hit = not missing
+        complete_hit = not missing or (degraded and not unanswered)
         if complete_hit:
             self.complete_hits += 1
+        if degraded:
+            self.degraded_queries += 1
         result = QueryResult(
             query=query,
-            chunks=[results[n] for n in numbers],
+            chunks=[results[n] for n in numbers if n in results],
             complete_hit=complete_hit,
             breakdown=breakdown,
             direct_hits=direct_hits,
@@ -380,6 +441,9 @@ class AggregateCache:
             lookup_visits=self.strategy.total_visits - visits_before,
             state_updates=state_updates,
             reinforcements_skipped=reinforcements_skipped,
+            degraded=degraded,
+            coverage=(len(numbers) - len(unanswered)) / len(numbers),
+            unanswered=unanswered,
         )
         if obs.enabled:
             self._emit_query_event(result)
@@ -402,6 +466,23 @@ class AggregateCache:
             result.lookup_visits
         )
         obs.metrics.gauge("cache.used_bytes").set(self.cache.used_bytes)
+        # Degraded-serving accounting only exists on degraded queries, so
+        # a fault-free run's counters and events are bit-identical to a
+        # build without the degraded path at all.
+        degraded_fields = {}
+        if result.degraded:
+            obs.metrics.counter("backend.degraded_queries").inc()
+            obs.metrics.counter("backend.degraded_answers").inc(
+                len(result.chunks)
+            )
+            obs.metrics.counter("backend.unanswered_chunks").inc(
+                len(result.unanswered)
+            )
+            degraded_fields = dict(
+                degraded=True,
+                coverage=result.coverage,
+                unanswered=list(result.unanswered),
+            )
         obs.tracer.emit(
             "query",
             query_seq=self.queries_run,
@@ -420,6 +501,7 @@ class AggregateCache:
             state_updates=result.state_updates,
             reinforcements_skipped=result.reinforcements_skipped,
             cache_used_bytes=self.cache.used_bytes,
+            **degraded_fields,
         )
 
     def invalidate_base_chunks(self, numbers: list[int]) -> int:
@@ -629,6 +711,42 @@ class AggregateCache:
             )
         return executions
 
+    def _salvage_from_cache(
+        self, level: Level, numbers: list[int]
+    ) -> tuple[dict[int, Chunk], list[tuple[int, _PlanExecution]], list[int]]:
+        """Cache-only re-lookup for chunks whose backend fetch failed.
+
+        Re-running :meth:`LookupStrategy.find` matters even though phase
+        1 already said 'miss': the cost optimizer may have redirected a
+        computable chunk to the backend, and under concurrent serving
+        the cache may have gained usable chunks since phase 1.  Returns
+        ``(direct hits, (number, execution) pairs, unanswered numbers)``;
+        every answered chunk is exact — 'degraded' refers to coverage,
+        never to correctness.
+        """
+        direct: dict[int, Chunk] = {}
+        pending: list[tuple[int, PlanNode]] = []
+        unanswered: list[int] = []
+        for number in numbers:
+            plan = self.strategy.find(level, number)
+            if plan is None:
+                unanswered.append(number)
+            elif plan.is_leaf:
+                direct[number] = self.cache.get(level, number)
+            else:
+                pending.append((number, plan))
+        executions: list[tuple[int, _PlanExecution]] = []
+        if pending:
+            executions = list(
+                zip(
+                    [number for number, _ in pending],
+                    self._execute_plans_batched(
+                        [plan for _, plan in pending]
+                    ),
+                )
+            )
+        return direct, executions, unanswered
+
     def _admit_wave(self, chunks: list[Chunk]) -> int:
         """Admit an aggregation/fetch wave: one batched cache admission,
         then one batched count/cost cascade per movement direction.
@@ -639,23 +757,47 @@ class AggregateCache:
         cascaded evictions-first so the final state is exactly the state
         of the final resident set (the same fixpoint the per-chunk loop
         reaches, without N scalar cascades).
+
+        Netting works off each key's ORDERED event sequence, not set
+        membership: within one wave a key sees at most one insertion
+        (wave keys are unique; re-offering a resident chunk is a refresh,
+        not an event) but may be evicted, re-admitted by its own wave
+        item, and evicted again — the ``[evict, insert, evict]`` pattern,
+        reachable when a racing query admitted the chunk between this
+        query's planning and its admission.  Set-based netting cancels
+        that key out of both lists and strands its count/cost state; the
+        first and last events give the true start/end residency.
         """
         if not chunks:
             return 0
         outcomes = self.cache.insert_many(
             [(chunk, chunk.compute_cost) for chunk in chunks]
         )
-        inserted: list[Key] = []
-        evicted: list[Key] = []
+        # Per-key event streams in processing order; an item's victims
+        # are evicted before the item itself lands.
+        events: dict[Key, list[bool]] = {}
+        order: list[Key] = []
         for chunk, outcome in zip(chunks, outcomes):
-            if outcome.inserted:
-                inserted.append(chunk.key)
             for victim in outcome.evicted:
-                evicted.append(victim.key)
-        wave_keys = set(inserted)
-        net_evicted = [key for key in evicted if key not in wave_keys]
-        displaced = set(evicted)
-        net_inserted = [key for key in inserted if key not in displaced]
+                events.setdefault(victim.key, []).append(False)
+                order.append(victim.key)
+            if outcome.inserted:
+                events.setdefault(chunk.key, []).append(True)
+                order.append(chunk.key)
+        seen: set[Key] = set()
+        net_inserted: list[Key] = []
+        net_evicted: list[Key] = []
+        for key in order:
+            if key in seen:
+                continue
+            seen.add(key)
+            stream = events[key]
+            was_resident = not stream[0]  # first event an evict => was in
+            is_resident = stream[-1]  # last event an insert => still in
+            if is_resident and not was_resident:
+                net_inserted.append(key)
+            elif was_resident and not is_resident:
+                net_evicted.append(key)
         updates = 0
         if net_evicted:
             updates += self.strategy.on_evict_many(net_evicted)

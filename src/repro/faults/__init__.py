@@ -1,0 +1,33 @@
+"""Deterministic fault injection (failpoints) and its typed errors.
+
+See ``docs/faults.md`` for the site catalogue, the resilient backend
+path that consumes these errors, and the degraded-result semantics.
+"""
+
+from repro.faults.errors import (
+    BackendTimeout,
+    CircuitOpenError,
+    CorruptChunkError,
+    FaultError,
+    TransientBackendError,
+)
+from repro.faults.registry import (
+    SITES,
+    FailpointRegistry,
+    arm,
+    disarm,
+    failpoint,
+)
+
+__all__ = [
+    "BackendTimeout",
+    "CircuitOpenError",
+    "CorruptChunkError",
+    "FailpointRegistry",
+    "FaultError",
+    "SITES",
+    "TransientBackendError",
+    "arm",
+    "disarm",
+    "failpoint",
+]

@@ -1,0 +1,45 @@
+"""Typed fault errors raised by failpoints and the resilient backend.
+
+The hierarchy mirrors how each failure should be handled:
+
+* :class:`FaultError` — base of everything injectable; the degraded
+  serving path catches exactly this, so a genuine programming error
+  (plain :class:`~repro.util.errors.ReproError`, ``KeyError``, …) still
+  propagates instead of being silently absorbed as an outage.
+* :class:`TransientBackendError` — the backend was reachable but failed;
+  a retry may succeed.  :class:`BackendTimeout` is its timeout flavour.
+* :class:`CorruptChunkError` — the payload arrived but failed integrity
+  checks; a re-fetch gives fresh bytes (retryable from the backend), a
+  snapshot load skips the chunk instead.
+* :class:`CircuitOpenError` — raised by
+  :class:`~repro.backend.resilient.ResilientBackend` while its breaker
+  is open: the backend was not contacted at all.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ReproError
+
+
+class FaultError(ReproError):
+    """Base class for injectable faults and resilience-layer failures."""
+
+
+class TransientBackendError(FaultError):
+    """The backend failed in a way a retry may fix (connection reset,
+    replica hiccup, injected outage)."""
+
+
+class BackendTimeout(TransientBackendError):
+    """The backend did not answer within the configured timeout."""
+
+
+class CorruptChunkError(FaultError):
+    """A chunk payload failed an integrity check (torn write, bad
+    deserialisation).  Re-fetching from the backend is the cure; a
+    snapshot restore drops the chunk instead."""
+
+
+class CircuitOpenError(FaultError):
+    """The circuit breaker is open: the request failed fast without
+    touching the backend."""

@@ -1,0 +1,260 @@
+"""Deterministic failpoints: named injection sites with scripted or
+seeded-probabilistic triggers.
+
+Instrumented code calls :func:`failpoint` at a handful of named sites
+(``backend.fetch``, ``backend.scan``, ``cache.insert``,
+``snapshot.load``, ``service.lock``).  With no registry armed — the
+default, and the only state production code ever runs in — the call is
+one module-global read and a ``None`` check; the overhead budget is
+enforced by ``benchmarks/test_faults_overhead.py``.
+
+A test arms a :class:`FailpointRegistry` for a scope::
+
+    registry = FailpointRegistry(seed=7)
+    registry.fail("backend.fetch", TransientBackendError, calls=range(3, 6))
+    registry.fail("backend.scan", CorruptChunkError, p=0.05)
+    registry.delay("service.lock", latency_ms=2.0, p=0.2)
+    with registry.armed():
+        ...drive queries...
+    assert registry.fired("backend.fetch") == 3
+
+Rules are evaluated in registration order on every hit of their site;
+delay rules sleep and fall through, the first matching fail rule raises.
+Scripted triggers (``calls`` — 1-based call indices — or ``predicate``)
+are fully deterministic; probabilistic triggers draw from one seeded
+:mod:`repro.util.rng` stream under the registry lock, so a single-
+threaded run is reproducible draw for draw and a multi-threaded run is
+reproducible as a set.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Container
+from dataclasses import dataclass, field
+
+from repro.faults.errors import FaultError
+from repro.util.rng import make_rng
+
+#: The failpoint sites wired into the library (a catalogue, not a gate —
+#: registries may script any site name, e.g. one private to a test).
+SITES = (
+    "backend.fetch",
+    "backend.scan",
+    "cache.insert",
+    "snapshot.load",
+    "service.lock",
+)
+
+_ACTIVE: "FailpointRegistry | None" = None
+
+
+def failpoint(site: str, **ctx) -> None:
+    """One injection site.  No-op (one global read) unless a registry is
+    armed; otherwise counts the call and evaluates the site's rules,
+    which may sleep or raise a typed :class:`FaultError`."""
+    registry = _ACTIVE
+    if registry is None:
+        return
+    registry.hit(site, ctx)
+
+
+def arm(registry: "FailpointRegistry") -> None:
+    """Make ``registry`` the process-wide active registry."""
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE is not registry:
+        raise FaultError("another FailpointRegistry is already armed")
+    _ACTIVE = registry
+
+
+def disarm() -> None:
+    """Return every failpoint to its no-op state."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@dataclass
+class _Rule:
+    """One trigger + action attached to a site."""
+
+    error: type[FaultError] | FaultError | None
+    latency_ms: float
+    p: float | None
+    calls: Container[int] | None
+    predicate: Callable[[dict, int], bool] | None
+    times: int | None
+    fired: int = 0
+
+    def matches(self, ctx: dict, call_index: int, draw: Callable[[], float]) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.calls is not None and call_index not in self.calls:
+            return False
+        if self.predicate is not None and not self.predicate(ctx, call_index):
+            return False
+        if self.p is not None and draw() >= self.p:
+            return False
+        return True
+
+
+@dataclass
+class _Site:
+    """Per-site call accounting plus its rule list."""
+
+    calls: int = 0
+    fired: int = 0
+    rules: list[_Rule] = field(default_factory=list)
+
+
+class FailpointRegistry:
+    """Named injection sites with deterministic triggers.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the probabilistic triggers' RNG (``util.rng`` rules:
+        int, ready Generator, or None for the package default).
+    sleep:
+        Injectable sleep for delay rules (tests pass a no-op to keep
+        chaos runs fast while still exercising the delay path).
+    """
+
+    def __init__(self, seed=None, sleep: Callable[[float], None] = time.sleep) -> None:
+        self._rng = make_rng(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._sites: dict[str, _Site] = {}
+
+    # ------------------------------------------------------------------ #
+    # scripting
+
+    def fail(
+        self,
+        site: str,
+        error: type[FaultError] | FaultError,
+        *,
+        p: float | None = None,
+        calls: Container[int] | None = None,
+        predicate: Callable[[dict, int], bool] | None = None,
+        times: int | None = None,
+    ) -> "FailpointRegistry":
+        """Raise ``error`` when the trigger matches.
+
+        ``calls`` holds 1-based call indices of the site (any container,
+        e.g. ``range(3, 6)`` or ``{1, 4}``); ``predicate(ctx, index)``
+        scripts arbitrary conditions; ``p`` adds a seeded coin flip; all
+        given conditions must hold together.  ``times`` caps how often
+        the rule fires.  Returns ``self`` for chaining.
+        """
+        self._site(site).rules.append(
+            _Rule(error=error, latency_ms=0.0, p=p, calls=calls,
+                  predicate=predicate, times=times)
+        )
+        return self
+
+    def delay(
+        self,
+        site: str,
+        latency_ms: float,
+        *,
+        p: float | None = None,
+        calls: Container[int] | None = None,
+        predicate: Callable[[dict, int], bool] | None = None,
+        times: int | None = None,
+    ) -> "FailpointRegistry":
+        """Sleep ``latency_ms`` when the trigger matches (then keep
+        evaluating later rules).  Trigger semantics as in :meth:`fail`."""
+        self._site(site).rules.append(
+            _Rule(error=None, latency_ms=latency_ms, p=p, calls=calls,
+                  predicate=predicate, times=times)
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def armed(self):
+        """Context manager: arm this registry for the enclosed block."""
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _armed():
+            arm(self)
+            try:
+                yield self
+            finally:
+                disarm()
+
+        return _armed()
+
+    def reset(self) -> None:
+        """Zero every call/fire counter (rules stay registered)."""
+        with self._lock:
+            for site in self._sites.values():
+                site.calls = 0
+                site.fired = 0
+                for rule in site.rules:
+                    rule.fired = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def calls(self, site: str) -> int:
+        """How many times ``site`` was hit while armed."""
+        with self._lock:
+            state = self._sites.get(site)
+            return state.calls if state else 0
+
+    def fired(self, site: str) -> int:
+        """How many faults (delays or errors) ``site`` delivered."""
+        with self._lock:
+            state = self._sites.get(site)
+            return state.fired if state else 0
+
+    # ------------------------------------------------------------------ #
+    # the hot path (armed only)
+
+    def hit(self, site: str, ctx: dict) -> None:
+        """Count one call of ``site`` and run its matching rules."""
+        sleep_ms = 0.0
+        error: FaultError | None = None
+        with self._lock:
+            state = self._site(site)
+            state.calls += 1
+            index = state.calls
+            draw = self._rng.random
+            for rule in state.rules:
+                if not rule.matches(ctx, index, draw):
+                    continue
+                rule.fired += 1
+                state.fired += 1
+                if rule.error is None:
+                    sleep_ms += rule.latency_ms
+                    continue
+                error = (
+                    rule.error
+                    if isinstance(rule.error, FaultError)
+                    else rule.error(
+                        f"injected {site} fault (call #{index})"
+                    )
+                )
+                break
+        if sleep_ms > 0.0:
+            self._sleep(sleep_ms / 1000.0)
+        if error is not None:
+            raise error
+
+    def _site(self, site: str) -> _Site:
+        state = self._sites.get(site)
+        if state is None:
+            state = self._sites[site] = _Site()
+        return state
+
+    def __repr__(self) -> str:
+        with self._lock:
+            sites = {
+                name: (state.calls, state.fired)
+                for name, state in self._sites.items()
+            }
+        return f"FailpointRegistry(sites={sites})"

@@ -39,6 +39,7 @@ EXPERIMENTS = (
     "locality",
     "ablations",
     "service",
+    "faults",
 )
 
 
@@ -182,6 +183,13 @@ def _run(args: argparse.Namespace) -> int:
         return run_service_throughput(config, worker_counts=counts).format()
 
     run("service", _service)
+
+    def _faults() -> str:
+        from repro.harness.faults_run import run_faults_experiment
+
+        return run_faults_experiment(config).format()
+
+    run("faults", _faults)
 
     if wanted & {"fig7", "fig8"}:
         comparison = run_policy_comparison(config)

@@ -1,0 +1,230 @@
+"""Fault-injection availability experiment (``faults``).
+
+Answers the operational question the chaos tests assert piecewise: *what
+does a client actually see when the backend dies under the cache?*  The
+seeded query stream is split into three phases served concurrently
+against one manager in degraded mode behind a
+:class:`~repro.backend.resilient.ResilientBackend`:
+
+* **before** — fault-free warmup; establishes the baseline hit ratio;
+* **during** — a scripted total outage (every ``backend.fetch`` raises
+  :class:`~repro.faults.errors.TransientBackendError`); queries keep
+  returning, answering whatever the resident set covers;
+* **after** — the failpoint registry is disarmed, the breaker is allowed
+  to re-close (half-open probes), and serving returns to normal.
+
+The table reports, per phase, how many queries degraded, the mean
+coverage (fraction of each query's chunks answered), and the retry /
+fast-failure / breaker accounting — i.e. the availability story:
+zero unhandled exceptions, partial answers during the outage, automatic
+recovery after it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.backend.engine import BackendDatabase
+from repro.backend.generator import generate_fact_table
+from repro.backend.resilient import BreakerState, ResilientBackend
+from repro.core.manager import AggregateCache
+from repro.faults import FailpointRegistry, TransientBackendError
+from repro.harness.common import build_components
+from repro.harness.config import ExperimentConfig
+from repro.harness.streams import _STREAM_SEED_OFFSET, SchemeSpec
+from repro.service import ConcurrentAggregateCache
+from repro.util.errors import ReproError
+from repro.util.tables import render_table
+from repro.workload.query import Query
+from repro.workload.stream import QueryStreamGenerator
+
+WORKERS = 4
+
+
+@dataclass
+class PhaseResult:
+    """Client-visible accounting for one phase of the outage timeline."""
+
+    name: str
+    queries: int
+    complete_hits: int
+    degraded: int
+    mean_coverage: float
+    unanswered_chunks: int
+    backend_requests: int
+    retries: int
+    fast_failures: int
+
+
+@dataclass
+class FaultsResult:
+    config: ExperimentConfig
+    fraction: float
+    scheme: SchemeSpec
+    phases: list[PhaseResult] = field(default_factory=list)
+    breaker_transitions: list[tuple[str, str]] = field(default_factory=list)
+    recovery_probes: int = 0
+    final_breaker_state: str = ""
+
+    def format(self) -> str:
+        headers = [
+            "Phase", "Queries", "Complete hits", "Degraded",
+            "Mean coverage", "Unanswered chunks",
+            "Backend reqs", "Retries", "Fast fails",
+        ]
+        rows = []
+        for phase in self.phases:
+            rows.append([
+                phase.name,
+                phase.queries,
+                phase.complete_hits,
+                phase.degraded,
+                f"{phase.mean_coverage:.2f}",
+                phase.unanswered_chunks,
+                phase.backend_requests,
+                phase.retries,
+                phase.fast_failures,
+            ])
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Availability under a scripted backend outage "
+                f"(scheme={self.scheme.label}, "
+                f"cache={self.config.cache_label(self.fraction)}, "
+                f"workers={WORKERS})."
+            ),
+        )
+        transitions = (
+            " -> ".join(
+                [self.breaker_transitions[0][0]]
+                + [to for _, to in self.breaker_transitions]
+            )
+            if self.breaker_transitions
+            else "(none)"
+        )
+        return (
+            f"{table}\n"
+            f"Breaker: {transitions}; re-closed after "
+            f"{self.recovery_probes} probe(s); final state "
+            f"{self.final_breaker_state}.\n"
+            "Every query returned a result; no exception reached a client."
+        )
+
+
+def _serve_phase(
+    name: str,
+    service: ConcurrentAggregateCache,
+    resilient: ResilientBackend,
+    queries: list[Query],
+) -> PhaseResult:
+    inner = resilient.inner
+    requests_before = inner.totals.requests
+    retries_before = resilient.retries
+    fast_before = resilient.fast_failures
+    results = service.serve(queries, workers=WORKERS)
+    coverages = [r.coverage for r in results]
+    return PhaseResult(
+        name=name,
+        queries=len(results),
+        complete_hits=sum(1 for r in results if r.complete_hit),
+        degraded=sum(1 for r in results if r.degraded),
+        mean_coverage=(
+            sum(coverages) / len(coverages) if coverages else 1.0
+        ),
+        unanswered_chunks=sum(len(r.unanswered) for r in results),
+        backend_requests=inner.totals.requests - requests_before,
+        retries=resilient.retries - retries_before,
+        fast_failures=resilient.fast_failures - fast_before,
+    )
+
+
+def run_faults_experiment(
+    config: ExperimentConfig,
+    fraction: float | None = None,
+    scheme: SchemeSpec | None = None,
+) -> FaultsResult:
+    """Serve the seeded stream across a scripted outage timeline."""
+    scheme = scheme or SchemeSpec(strategy="vcmc", policy="two_level")
+    components = build_components(config)
+    if fraction is None:
+        # The smallest configured cache: the outage only shows when the
+        # stream actually misses, and an over-provisioned cache never does.
+        fraction = min(config.cache_fractions)
+    # A fresh backend: the memoised shared one must not absorb this
+    # experiment's request accounting.
+    facts = generate_fact_table(
+        components.schema,
+        num_tuples=config.num_tuples,
+        seed=config.seed,
+        skew=config.skew,
+        mode=config.data_mode,
+        combo_density=config.combo_density,
+        cell_fill=config.cell_fill,
+    )
+    backend = BackendDatabase(
+        components.schema, facts, components.backend.cost_model
+    )
+    resilient = ResilientBackend(
+        backend,
+        max_retries=1,
+        base_backoff_s=0.001,
+        max_backoff_s=0.01,
+        failure_threshold=3,
+        reset_timeout_s=0.05,
+        seed=config.seed,
+    )
+    manager = AggregateCache(
+        components.schema,
+        resilient,
+        capacity_bytes=components.capacity_for(fraction),
+        strategy=scheme.strategy,
+        policy=scheme.policy,
+        preload=scheme.preload,
+        preload_headroom=config.preload_headroom,
+        sizes=components.sizes,
+        degraded_mode=True,
+    )
+    service = ConcurrentAggregateCache(manager)
+    stream = list(
+        QueryStreamGenerator(
+            components.schema,
+            max_extent=config.max_extent,
+            seed=config.seed + _STREAM_SEED_OFFSET,
+        ).generate(config.num_queries)
+    )
+    third = max(len(stream) // 3, 1)
+    before, during, after = (
+        stream[:third],
+        stream[third : 2 * third],
+        stream[2 * third :],
+    )
+
+    result = FaultsResult(config=config, fraction=fraction, scheme=scheme)
+    result.phases.append(_serve_phase("before", service, resilient, before))
+
+    registry = FailpointRegistry(seed=config.seed)
+    registry.fail("backend.fetch", TransientBackendError)
+    with registry.armed():
+        result.phases.append(
+            _serve_phase("during", service, resilient, during)
+        )
+
+    # Outage over: let the breaker re-close via half-open probes before
+    # the recovery phase, counting how many it took.
+    probe = Query.full_level(components.schema, components.schema.base_level)
+    for attempt in range(1, 51):
+        if not service.query(probe).degraded:
+            result.recovery_probes = attempt
+            break
+        time.sleep(resilient.reset_timeout_s)
+    result.phases.append(_serve_phase("after", service, resilient, after))
+    result.breaker_transitions = list(resilient.breaker_transitions)
+    result.final_breaker_state = resilient.breaker_state.name
+    if resilient.breaker_state is not BreakerState.CLOSED:
+        raise ReproError(
+            "circuit breaker failed to re-close after the scripted outage "
+            f"(state={result.final_breaker_state})"
+        )
+    return result

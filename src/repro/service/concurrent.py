@@ -32,8 +32,14 @@ pool, returning per-query results in submission order.  With
 ``workers=1`` the results are identical — field for field — to running
 the sequential manager over the same stream.
 
-See ``docs/service.md`` for the full locking design and which counters
-are exact vs approximate under concurrency.
+When the wrapped manager has ``degraded_mode`` set, a typed backend
+fault (see :mod:`repro.faults`) during phase 3 degrades the query
+instead of failing it: chunks still coverable by the cache are
+aggregated under a read lock (exact answers), the rest are reported in
+``QueryResult.unanswered``, and single-flight followers observe their
+leader's failure without re-hitting the dead backend.  See
+``docs/service.md`` for the locking design and ``docs/faults.md`` for
+the degraded-result semantics.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ from repro.core.manager import (
     _slice_chunk,
 )
 from repro.core.plans import PlanNode
+from repro.faults.errors import FaultError
 from repro.schema.cube import Level
 from repro.service.rwlock import ReadWriteLock
 from repro.service.singleflight import SingleFlightTable
@@ -249,13 +256,54 @@ class ConcurrentAggregateCache:
                         missing.append(number)
         breakdown.aggregate_ms = aggregate_span.elapsed_ms
 
-        # Phase 3 — backend, under no lock, deduplicated per chunk.
+        # Phases 3 and 4 run under a flight guard: once this query has
+        # claimed single-flight leaderships, ANY exception on the way to
+        # the normal release must abandon them — failing unpublished
+        # flights (waking waiters with the error) and retiring published
+        # ones (whose chunks were never admitted).  Without the guard a
+        # raise after publish strands the flight in the table forever.
         led_keys: list[Key] = []
+        try:
+            return self._finish_query(
+                query, numbers, breakdown, results, computed,
+                reinforcements, missing, direct_hits, tuples_aggregated,
+                visits, redirects, led_keys,
+            )
+        except BaseException as exc:
+            if led_keys:
+                self.flights.abandon(led_keys, exc)
+            raise
+
+    def _finish_query(
+        self,
+        query: Query,
+        numbers,
+        breakdown: TimeBreakdown,
+        results: dict[int, Chunk],
+        computed: list[Chunk],
+        reinforcements: list[tuple[set[Key], float]],
+        missing: list[int],
+        direct_hits: int,
+        tuples_aggregated: int,
+        visits: int,
+        redirects: int,
+        led_keys: list[Key],
+    ) -> QueryResult:
+        """Phases 3 (backend / single-flight) and 4 (admit + publish) of
+        one query.  ``led_keys`` is the caller's flight guard list and is
+        mutated in place so the caller can abandon claims on error."""
+        manager = self.manager
+        obs = manager.obs
+
+        # Phase 3 — backend, under no lock, deduplicated per chunk.
         led_chunks: list[Chunk] = []
+        degraded = False
+        unanswered: tuple[int, ...] = ()
+        backend_count = 0
         if missing:
             with span(obs, "backend", chunks=len(missing)) as backend_span:
-                led_keys, led_chunks, shared, charge_ms = (
-                    self._fetch_missing(query.level, missing)
+                led_chunks, shared, failed_keys, charge_ms = (
+                    self._fetch_missing(query.level, missing, led_keys)
                 )
                 if led_keys:
                     backend_span.record(charge_ms)
@@ -264,6 +312,48 @@ class ConcurrentAggregateCache:
                 results[chunk.number] = chunk
             for (_, number), chunk in shared.items():
                 results[number] = chunk
+            backend_count = len(led_chunks) + len(shared)
+            if failed_keys:
+                # Degraded path: the backend (or another query's flight)
+                # failed for these chunks — re-plan them cache-only under
+                # a read lock, with the usual revalidation against racing
+                # evictions.  Everything salvaged is exact.
+                degraded = True
+                leftovers: list[int] = []
+                with self._rw.read_locked():
+                    with span(obs, "aggregate") as salvage_span:
+                        for level, number in failed_keys:
+                            plan, found_visits = self._find(level, number)
+                            visits += found_visits
+                            if plan is None:
+                                leftovers.append(number)
+                                continue
+                            chunk, execution, extra_visits = (
+                                self._materialise(level, number, plan)
+                            )
+                            visits += extra_visits
+                            if chunk is not None:
+                                results[number] = chunk
+                                direct_hits += 1
+                            elif execution is not None:
+                                out = execution.chunk
+                                out.compute_cost = (
+                                    manager.cost_model.aggregation_ms(
+                                        execution.tuples_aggregated
+                                    )
+                                )
+                                results[number] = out
+                                computed.append(out)
+                                tuples_aggregated += (
+                                    execution.tuples_aggregated
+                                )
+                                reinforcements.append(
+                                    (execution.leaf_keys, out.compute_cost)
+                                )
+                            else:
+                                leftovers.append(number)
+                breakdown.aggregate_ms += salvage_span.elapsed_ms
+                unanswered = tuple(leftovers)
 
         # Phase 4 — admit and maintain state, under the write lock.
         # Reinforcement first (see AggregateCache.query), then the
@@ -281,23 +371,30 @@ class ConcurrentAggregateCache:
             breakdown.update_ms = update_span.elapsed_ms
             if led_keys:
                 self.flights.release(led_keys)
+                led_keys.clear()
             manager.optimizer_redirects += redirects
             manager.queries_run += 1
-            complete_hit = not missing
+            complete_hit = not missing or (degraded and not unanswered)
             if complete_hit:
                 manager.complete_hits += 1
+            if degraded:
+                manager.degraded_queries += 1
+            answered = [n for n in numbers if n in results]
             result = QueryResult(
                 query=query,
-                chunks=[results[n] for n in numbers],
+                chunks=[results[n] for n in answered],
                 complete_hit=complete_hit,
                 breakdown=breakdown,
                 direct_hits=direct_hits,
                 aggregated=len(computed),
-                from_backend=len(missing),
+                from_backend=backend_count,
                 tuples_aggregated=tuples_aggregated,
                 lookup_visits=visits,
                 state_updates=state_updates,
                 reinforcements_skipped=reinforcements_skipped,
+                degraded=degraded,
+                coverage=len(answered) / len(numbers),
+                unanswered=unanswered,
             )
             if obs.enabled:
                 manager._emit_query_event(result)
@@ -378,38 +475,64 @@ class ConcurrentAggregateCache:
                 return None, None, visits
 
     def _fetch_missing(
-        self, level: Level, missing: Sequence[int]
-    ) -> tuple[list[Key], list[Chunk], dict[Key, Chunk], float]:
+        self, level: Level, missing: Sequence[int], led_keys: list[Key]
+    ) -> tuple[list[Chunk], dict[Key, Chunk], list[Key], float]:
         """Resolve the missing chunks through the single-flight table.
 
-        Returns the keys this query led (it must admit and then release
-        them), the chunks it fetched for those keys, the follower chunks
-        shared from other queries' flights, and the milliseconds to
-        charge the backend phase (the cost model's simulated time for the
-        led fetch; follower waits are wall-clock and land in the span's
-        measured time only when nothing was led).
+        ``led_keys`` is the caller's (initially empty) flight guard: the
+        keys this query claimed leadership of are appended in place, so
+        they are visible to the caller's abandon handler even if this
+        method raises.  Returns the chunks fetched for the led keys, the
+        follower chunks shared from other queries' flights, the keys
+        whose resolution failed with a typed backend fault (degraded
+        mode only — otherwise the fault propagates), and the
+        milliseconds to charge the backend phase (the cost model's
+        simulated time for the led fetch; follower waits are wall-clock
+        and land in the span's measured time only when nothing was led).
+
+        A failed led fetch fails ONLY the led flights; joined flights
+        are still awaited, because their leaders' backends may well have
+        succeeded.  A failed follower wait, conversely, does not disturb
+        this query's own led flights.
         """
         manager = self.manager
         obs = manager.obs
+        degrade = manager.degraded_mode
         keys: list[Key] = [(level, number) for number in missing]
-        led_keys, joined = self.flights.claim(keys)
+        claimed, joined = self.flights.claim(keys)
+        led_keys.extend(claimed)
         led_chunks: list[Chunk] = []
+        failed: list[Key] = []
         charge_ms = 0.0
-        if led_keys:
+        if claimed:
             try:
-                led_chunks, stats = manager.backend.fetch(led_keys)
+                led_chunks, stats = manager.backend.fetch(claimed)
+            except FaultError as exc:
+                self.flights.fail(claimed, exc)
+                led_keys.clear()
+                if not degrade:
+                    raise
+                failed.extend(claimed)
             except BaseException as exc:
-                self.flights.fail(led_keys, exc)
+                self.flights.fail(claimed, exc)
+                led_keys.clear()
                 raise
-            charge_ms = stats.total_ms
-            for key, chunk in zip(led_keys, led_chunks):
-                self.flights.publish(key, chunk)
+            else:
+                charge_ms = stats.total_ms
+                for key, chunk in zip(claimed, led_chunks):
+                    self.flights.publish(key, chunk)
         if joined and obs.enabled:
             obs.metrics.counter("service.singleflight.shared").inc(
                 len(joined)
             )
-        shared = {
-            key: self.flights.wait(flight, self.flight_timeout_s)
-            for key, flight in joined.items()
-        }
-        return led_keys, led_chunks, shared, charge_ms
+        shared: dict[Key, Chunk] = {}
+        for key, flight in joined.items():
+            try:
+                shared[key] = self.flights.wait(
+                    flight, self.flight_timeout_s
+                )
+            except FaultError:
+                if not degrade:
+                    raise
+                failed.append(key)
+        return led_chunks, shared, failed, charge_ms

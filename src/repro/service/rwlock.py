@@ -21,6 +21,8 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 
+from repro.faults.registry import failpoint
+
 
 class ReadWriteLock:
     """Shared/exclusive lock with writer preference."""
@@ -35,6 +37,9 @@ class ReadWriteLock:
     # read side
 
     def acquire_read(self) -> None:
+        # Failpoint before touching the condition: an injected fault or
+        # delay never fires while holding the lock's own mutex.
+        failpoint("service.lock", mode="read")
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
@@ -60,6 +65,7 @@ class ReadWriteLock:
     # write side
 
     def acquire_write(self) -> None:
+        failpoint("service.lock", mode="write")
         with self._cond:
             self._writers_waiting += 1
             try:

@@ -102,6 +102,26 @@ class SingleFlightTable:
             for key in keys:
                 self._flights.pop(key, None)
 
+    def abandon(self, keys: list[Hashable], error: BaseException) -> None:
+        """Leader error path: retire ``keys`` no matter what state each
+        flight is in.  Published flights are simply released; unpublished
+        ones are failed with ``error`` so their waiters wake immediately
+        instead of stranding until the liveness timeout.
+
+        This is the leader's ``finally`` hammer: any exception between
+        ``claim`` and the normal ``release`` (a failed fetch for *other*
+        keys of the same query, a follower wait that raised, a fault
+        injected during the admission phase) must not leave a flight in
+        the table — a stranded published flight would serve a chunk that
+        was never admitted to every future misser, forever.
+        """
+        with self._lock:
+            flights = [self._flights.pop(key, None) for key in keys]
+        for flight in flights:
+            if flight is not None and not flight.done:
+                flight.error = error
+                flight.event.set()
+
     def wait(self, flight: Flight, timeout: float | None = None):
         """Follower: block until the leader publishes, then share the
         result.  Raises the leader's error if the fetch failed, and

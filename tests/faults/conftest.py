@@ -1,0 +1,15 @@
+"""Fault-injection fixtures: every test leaves the failpoints disarmed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import disarm
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after_each_test():
+    """A failing assertion inside an ``armed()`` block must not leak an
+    armed registry into the next test."""
+    yield
+    disarm()

@@ -1,0 +1,271 @@
+"""Chaos testing: seeded fault schedules against 6-worker serving.
+
+Each run derives a fault schedule from one seed — a backend outage
+window, probabilistic scan corruption, and lock/admission latency — and
+drives a seeded query stream through :class:`ConcurrentAggregateCache`
+over a :class:`ResilientBackend` in degraded mode.  The properties:
+
+* **no unhandled exceptions** — every query returns a
+  :class:`QueryResult` even mid-outage;
+* **no torn results** — each result's answered + unanswered chunks
+  partition the query exactly, and every answered chunk is bit-exact
+  against a direct aggregation of the fact table;
+* **state integrity** — byte accounting and the Count/Cost stores equal
+  a from-scratch rebuild off the final resident set;
+* **recovery** — after the schedule ends the circuit breaker re-closes
+  and queries stop degrading.
+
+A failing seed is appended to ``$CHAOS_REPLAY_PATH`` (default
+``chaos_replay.txt``) before the assertion propagates, so CI can attach
+it as an artifact and the run can be replayed locally with
+``CHAOS_SEEDS=<seed> pytest tests/faults/test_chaos_properties.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    ConcurrentAggregateCache,
+    CostModel,
+    CountStore,
+    Query,
+    QueryStreamGenerator,
+    ResilientBackend,
+)
+from repro.backend.resilient import BreakerState
+from repro.core.costs import CostStore
+from repro.faults import (
+    CorruptChunkError,
+    FailpointRegistry,
+    TransientBackendError,
+)
+from repro.util.rng import make_rng
+from tests.helpers import direct_aggregate, expected_cells_in_chunk
+
+WORKERS = 6
+NUM_QUERIES = 48
+
+#: The CI smoke matrix: fixed seeds, overridable for replay via
+#: ``CHAOS_SEEDS=1,2,3``.
+CHAOS_SEED_MATRIX = tuple(
+    int(s)
+    for s in os.environ.get("CHAOS_SEEDS", "101,202,303,404").split(",")
+)
+
+
+def record_failing_seed(seed: int) -> None:
+    path = os.environ.get("CHAOS_REPLAY_PATH", "chaos_replay.txt")
+    with open(path, "a") as handle:
+        handle.write(f"{seed}\n")
+
+
+def build_schedule(seed: int) -> FailpointRegistry:
+    """Derive one deterministic fault schedule from ``seed``."""
+    plan_rng = make_rng(seed)
+    registry = FailpointRegistry(seed=seed)
+    # A hard outage window over the backend's fetch entry point.  With
+    # retries in front, a window of w calls kills roughly w/2 queries.
+    start = int(plan_rng.integers(2, 20))
+    width = int(plan_rng.integers(4, 16))
+    registry.fail(
+        "backend.fetch", TransientBackendError, calls=range(start, start + width)
+    )
+    # Sporadic scan corruption (retryable: fresh bytes cure it).
+    registry.fail("backend.scan", CorruptChunkError, p=0.02)
+    # Latency on the lock and admission paths to shake out interleavings.
+    registry.delay("service.lock", latency_ms=0.2, p=0.05)
+    registry.delay("cache.insert", latency_ms=0.2, p=0.10)
+    return registry
+
+
+def run_chaos(schema, facts, seed: int):
+    backend = BackendDatabase(schema, facts, CostModel())
+    resilient = ResilientBackend(
+        backend,
+        max_retries=1,
+        base_backoff_s=0.0001,
+        max_backoff_s=0.001,
+        failure_threshold=3,
+        reset_timeout_s=0.02,
+        seed=seed,
+    )
+    manager = AggregateCache(
+        schema,
+        resilient,
+        capacity_bytes=max(int(backend.base_size_bytes * 0.6), 1),
+        strategy="vcmc",
+        policy="two_level",
+        cost_rel_tol=0.0,
+        degraded_mode=True,
+    )
+    service = ConcurrentAggregateCache(manager, flight_timeout_s=15.0)
+    stream = list(
+        QueryStreamGenerator(schema, max_extent=3, seed=seed).generate(
+            NUM_QUERIES
+        )
+    )
+    registry = build_schedule(seed)
+    with registry.armed():
+        # serve() re-raises any worker exception: its clean return IS the
+        # zero-unhandled-exceptions property.
+        results = service.serve(stream, workers=WORKERS)
+    return service, resilient, stream, results
+
+
+def check_run(schema, facts, service, resilient, stream, results) -> int:
+    """All chaos properties; returns the count of degraded-but-answered
+    results so the caller can assert on schedule effectiveness."""
+    manager = service.manager
+    assert len(results) == len(stream)
+    assert all(r is not None for r in results)
+
+    truths: dict = {}
+    degraded_with_answers = 0
+    for query, result in zip(stream, results):
+        numbers = query.chunk_numbers(schema)
+        answered = [chunk.number for chunk in result.chunks]
+        # Not torn: answered + unanswered partition the query, in order.
+        assert sorted(answered + list(result.unanswered)) == sorted(numbers)
+        assert answered == [
+            n for n in numbers if n not in set(result.unanswered)
+        ]
+        assert result.coverage == pytest.approx(
+            len(answered) / len(numbers)
+        )
+        if not result.degraded:
+            assert result.unanswered == ()
+            assert result.coverage == 1.0
+        elif answered:
+            degraded_with_answers += 1
+        # Every answered chunk — degraded or not — is exact.
+        level = query.level
+        if level not in truths:
+            truths[level] = direct_aggregate(facts, level)
+        for chunk in result.chunks:
+            expected = expected_cells_in_chunk(
+                schema, truths[level], level, chunk.number
+            )
+            assert chunk.cell_dict() == pytest.approx(expected), (
+                query,
+                chunk.number,
+            )
+
+    assert service.flights.in_progress() == 0
+    assert manager.degraded_queries == sum(
+        1 for r in results if r.degraded
+    )
+
+    # Byte accounting and Count/Cost state equal a rebuild from the
+    # final resident set.
+    cache = manager.cache
+    assert cache.used_bytes == sum(
+        entry.size_bytes for entry in cache.entries()
+    )
+    resident = list(cache.resident_keys())
+    rebuilt_counts = CountStore(schema)
+    rebuilt_counts.on_insert_many(resident)
+    for level in schema.all_levels():
+        assert np.array_equal(
+            manager.strategy.counts.counts_array(level),
+            rebuilt_counts.counts_array(level),
+        ), f"count store diverged at level {level}"
+    costs = manager.strategy.costs
+    rebuilt_costs = CostStore(schema, costs.sizes)
+    rebuilt_costs.on_insert_many(resident)
+    for level in schema.all_levels():
+        maintained = costs._cost[level]
+        recomputed = rebuilt_costs._cost[level]
+        assert np.array_equal(
+            np.isfinite(maintained), np.isfinite(recomputed)
+        ), f"computability diverged at level {level}"
+        assert np.array_equal(
+            costs._cached[level], rebuilt_costs._cached[level]
+        ), f"cached flags diverged at level {level}"
+        finite = np.isfinite(maintained)
+        assert np.allclose(
+            maintained[finite], recomputed[finite], rtol=0.0, atol=1e-6
+        ), f"cost surface diverged at level {level}"
+
+    # Recovery: the schedule is exhausted and the registry disarmed, so
+    # within a few breaker reset windows queries stop degrading.
+    probe = Query.full_level(schema, schema.base_level)
+    healed = None
+    for _ in range(50):
+        healed = service.query(probe)
+        if not healed.degraded:
+            break
+        time.sleep(resilient.reset_timeout_s)
+    assert healed is not None and not healed.degraded, (
+        "breaker failed to re-close after the outage ended"
+    )
+    assert resilient.breaker_state is BreakerState.CLOSED
+    return degraded_with_answers
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEED_MATRIX)
+def test_chaos_seed_matrix(tiny_schema, tiny_facts, seed):
+    try:
+        service, resilient, stream, results = run_chaos(
+            tiny_schema, tiny_facts, seed
+        )
+        check_run(tiny_schema, tiny_facts, service, resilient, stream, results)
+    except Exception:
+        record_failing_seed(seed)
+        raise
+
+
+def test_matrix_produces_degraded_but_correct_answers(
+    tiny_schema, tiny_facts
+):
+    # Acceptance: across the fixed matrix, at least one query is answered
+    # degraded (cache-only) yet exact, and at least one outage actually
+    # opened the breaker.
+    degraded_answers = 0
+    opened = 0
+    for seed in CHAOS_SEED_MATRIX:
+        try:
+            service, resilient, stream, results = run_chaos(
+                tiny_schema, tiny_facts, seed
+            )
+            degraded_answers += check_run(
+                tiny_schema, tiny_facts, service, resilient, stream, results
+            )
+            opened += sum(
+                1
+                for (_, to) in resilient.breaker_transitions
+                if to == "OPEN"
+            )
+        except Exception:
+            record_failing_seed(seed)
+            raise
+    assert degraded_answers >= 1, (
+        "no seed produced a degraded-but-answered query; the schedules "
+        "are not exercising the salvage path"
+    )
+    assert opened >= 1, "no outage window opened the circuit breaker"
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_fault_schedules(tiny_schema, tiny_facts, seed):
+    try:
+        service, resilient, stream, results = run_chaos(
+            tiny_schema, tiny_facts, seed
+        )
+        check_run(tiny_schema, tiny_facts, service, resilient, stream, results)
+    except Exception:
+        record_failing_seed(seed)
+        raise

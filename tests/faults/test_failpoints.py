@@ -1,0 +1,155 @@
+"""Unit tests for the failpoint registry: triggers, determinism, arming."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    FailpointRegistry,
+    FaultError,
+    TransientBackendError,
+    arm,
+    disarm,
+    failpoint,
+)
+
+
+def test_disarmed_failpoint_is_a_noop():
+    failpoint("backend.fetch", chunks=3)  # nothing armed: must not raise
+
+
+def test_scripted_nth_call_trigger():
+    registry = FailpointRegistry()
+    registry.fail("site", TransientBackendError, calls={2, 4})
+    with registry.armed():
+        failpoint("site")
+        with pytest.raises(TransientBackendError):
+            failpoint("site")
+        failpoint("site")
+        with pytest.raises(TransientBackendError):
+            failpoint("site")
+        failpoint("site")
+    assert registry.calls("site") == 5
+    assert registry.fired("site") == 2
+
+
+def test_call_range_trigger_models_an_outage_window():
+    registry = FailpointRegistry()
+    registry.fail("site", TransientBackendError, calls=range(3, 6))
+    outcomes = []
+    with registry.armed():
+        for _ in range(7):
+            try:
+                failpoint("site")
+                outcomes.append("ok")
+            except TransientBackendError:
+                outcomes.append("fail")
+    assert outcomes == ["ok", "ok", "fail", "fail", "fail", "ok", "ok"]
+
+
+def test_predicate_trigger_sees_context():
+    registry = FailpointRegistry()
+    registry.fail(
+        "site",
+        TransientBackendError,
+        predicate=lambda ctx, index: ctx.get("chunks", 0) > 2,
+    )
+    with registry.armed():
+        failpoint("site", chunks=1)
+        with pytest.raises(TransientBackendError):
+            failpoint("site", chunks=5)
+
+
+def test_probabilistic_trigger_is_seed_deterministic():
+    def fire_pattern(seed):
+        registry = FailpointRegistry(seed=seed)
+        registry.fail("site", TransientBackendError, p=0.5)
+        pattern = []
+        with registry.armed():
+            for _ in range(50):
+                try:
+                    failpoint("site")
+                    pattern.append(False)
+                except TransientBackendError:
+                    pattern.append(True)
+        return pattern
+
+    assert fire_pattern(7) == fire_pattern(7)
+    assert fire_pattern(7) != fire_pattern(8)
+    assert any(fire_pattern(7)), "p=0.5 over 50 calls must fire sometimes"
+
+
+def test_times_caps_rule_firings():
+    registry = FailpointRegistry()
+    registry.fail("site", TransientBackendError, times=2)
+    fired = 0
+    with registry.armed():
+        for _ in range(5):
+            try:
+                failpoint("site")
+            except TransientBackendError:
+                fired += 1
+    assert fired == 2
+
+
+def test_delay_rule_sleeps_and_falls_through():
+    slept = []
+    registry = FailpointRegistry(sleep=slept.append)
+    registry.delay("site", latency_ms=25.0, calls={1})
+    with registry.armed():
+        failpoint("site")
+        failpoint("site")
+    assert slept == [0.025]
+    assert registry.fired("site") == 1
+
+
+def test_error_instances_are_raised_as_given():
+    registry = FailpointRegistry()
+    error = TransientBackendError("the very one")
+    registry.fail("site", error, calls={1})
+    with registry.armed():
+        with pytest.raises(TransientBackendError, match="the very one"):
+            failpoint("site")
+
+
+def test_reset_zeroes_counters_but_keeps_rules():
+    registry = FailpointRegistry()
+    registry.fail("site", TransientBackendError, calls={1})
+    with registry.armed():
+        with pytest.raises(TransientBackendError):
+            failpoint("site")
+    registry.reset()
+    assert registry.calls("site") == 0
+    with registry.armed():
+        with pytest.raises(TransientBackendError):
+            failpoint("site")  # call #1 again after reset
+
+
+def test_double_arm_of_a_different_registry_is_rejected():
+    first, second = FailpointRegistry(), FailpointRegistry()
+    arm(first)
+    try:
+        arm(first)  # re-arming the same registry is fine
+        with pytest.raises(FaultError):
+            arm(second)
+    finally:
+        disarm()
+
+
+def test_concurrent_hits_count_exactly():
+    registry = FailpointRegistry()
+    hits_per_thread = 500
+
+    def worker():
+        for _ in range(hits_per_thread):
+            failpoint("site")
+
+    with registry.armed():
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert registry.calls("site") == 8 * hits_per_thread

@@ -1,0 +1,221 @@
+"""ResilientBackend: retry, timeout and circuit-breaker behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ResilientBackend
+from repro.backend.resilient import BreakerState
+from repro.faults import (
+    BackendTimeout,
+    CircuitOpenError,
+    FailpointRegistry,
+    TransientBackendError,
+)
+from repro.obs import Observability
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def no_sleep(_seconds: float) -> None:
+    pass
+
+
+def make_resilient(tiny_backend, **kwargs):
+    kwargs.setdefault("sleep", no_sleep)
+    kwargs.setdefault("seed", 11)
+    return ResilientBackend(tiny_backend, **kwargs)
+
+
+@pytest.fixture
+def requests(tiny_schema):
+    level = tiny_schema.base_level
+    return [(level, n) for n in range(tiny_schema.num_chunks(level))]
+
+
+def test_fault_free_fetch_is_identical_to_inner(tiny_backend, requests):
+    resilient = make_resilient(tiny_backend)
+    chunks, stats = resilient.fetch(requests)
+    bare_chunks, bare_stats = tiny_backend.fetch(requests)
+    assert [c.cell_dict() for c in chunks] == [c.cell_dict() for c in bare_chunks]
+    assert stats.chunks_requested == bare_stats.chunks_requested
+    assert resilient.retries == 0
+    assert resilient.breaker_state is BreakerState.CLOSED
+    assert resilient.breaker_transitions == []
+
+
+def test_delegates_everything_but_fetch(tiny_backend):
+    resilient = make_resilient(tiny_backend)
+    assert resilient.num_tuples == tiny_backend.num_tuples
+    assert resilient.cost_model is tiny_backend.cost_model
+    assert resilient.base_chunk_numbers() == tiny_backend.base_chunk_numbers()
+
+
+def test_retries_through_a_transient_failure(tiny_backend, requests):
+    resilient = make_resilient(
+        tiny_backend, obs=Observability.in_memory(), max_retries=3
+    )
+    registry = FailpointRegistry()
+    registry.fail("backend.fetch", TransientBackendError, calls={1, 2})
+    with registry.armed():
+        chunks, _ = resilient.fetch(requests)
+    assert len(chunks) == len(requests)
+    assert resilient.retries == 2
+    assert resilient.breaker_state is BreakerState.CLOSED
+    snapshot = resilient.obs.metrics.snapshot()
+    assert snapshot["counters"]["backend.retries"] == 2
+
+
+def test_exhausted_retries_raise_the_last_error(tiny_backend, requests):
+    resilient = make_resilient(tiny_backend, max_retries=1, failure_threshold=99)
+    registry = FailpointRegistry()
+    registry.fail("backend.fetch", TransientBackendError)
+    with registry.armed():
+        with pytest.raises(TransientBackendError):
+            resilient.fetch(requests)
+        assert registry.calls("backend.fetch") == 2  # 1 try + 1 retry
+
+
+def test_breaker_opens_and_fails_fast_without_touching_backend(
+    tiny_backend, requests
+):
+    clock = FakeClock()
+    resilient = make_resilient(
+        tiny_backend,
+        max_retries=10,
+        failure_threshold=3,
+        clock=clock,
+        obs=Observability.in_memory(),
+    )
+    registry = FailpointRegistry()
+    registry.fail("backend.fetch", TransientBackendError)
+    with registry.armed():
+        with pytest.raises(TransientBackendError):
+            resilient.fetch(requests)
+        # Opening the breaker stops the retry loop at the threshold.
+        assert registry.calls("backend.fetch") == 3
+        assert resilient.breaker_state is BreakerState.OPEN
+        with pytest.raises(CircuitOpenError):
+            resilient.fetch(requests)
+        assert registry.calls("backend.fetch") == 3  # fast-fail: inner untouched
+    assert resilient.fast_failures == 1
+    snapshot = resilient.obs.metrics.snapshot()
+    assert snapshot["counters"]["backend.fast_failures"] == 1
+    assert snapshot["gauges"]["backend.breaker_state"] == BreakerState.OPEN.value
+
+
+def test_half_open_probe_closes_breaker_on_recovery(tiny_backend, requests):
+    clock = FakeClock()
+    resilient = make_resilient(
+        tiny_backend,
+        max_retries=0,
+        failure_threshold=1,
+        reset_timeout_s=5.0,
+        clock=clock,
+    )
+    registry = FailpointRegistry()
+    registry.fail("backend.fetch", TransientBackendError, times=1)
+    with registry.armed():
+        with pytest.raises(TransientBackendError):
+            resilient.fetch(requests)
+        assert resilient.breaker_state is BreakerState.OPEN
+        clock.advance(5.0)
+        chunks, _ = resilient.fetch(requests)  # the half-open probe
+    assert len(chunks) == len(requests)
+    assert resilient.breaker_state is BreakerState.CLOSED
+    assert resilient.breaker_transitions == [
+        ("CLOSED", "OPEN"),
+        ("OPEN", "HALF_OPEN"),
+        ("HALF_OPEN", "CLOSED"),
+    ]
+
+
+def test_failed_probe_reopens_breaker(tiny_backend, requests):
+    clock = FakeClock()
+    resilient = make_resilient(
+        tiny_backend,
+        max_retries=0,
+        failure_threshold=1,
+        reset_timeout_s=5.0,
+        clock=clock,
+    )
+    registry = FailpointRegistry()
+    registry.fail("backend.fetch", TransientBackendError)
+    with registry.armed():
+        with pytest.raises(TransientBackendError):
+            resilient.fetch(requests)
+        clock.advance(5.0)
+        with pytest.raises(TransientBackendError):
+            resilient.fetch(requests)  # probe fails
+        assert resilient.breaker_state is BreakerState.OPEN
+        # Fast-fail resumes until the next reset window.
+        with pytest.raises(CircuitOpenError):
+            resilient.fetch(requests)
+    assert resilient.breaker_transitions == [
+        ("CLOSED", "OPEN"),
+        ("OPEN", "HALF_OPEN"),
+        ("HALF_OPEN", "OPEN"),
+    ]
+
+
+def test_slow_fetch_counts_as_timeout_and_is_retried(tiny_backend, requests):
+    ticks = iter([0.0, 10.0, 10.0, 10.5])
+    resilient = make_resilient(
+        tiny_backend,
+        timeout_s=1.0,
+        max_retries=2,
+        clock=lambda: next(ticks),
+    )
+    chunks, _ = resilient.fetch(requests)
+    assert len(chunks) == len(requests)
+    assert resilient.retries == 1
+
+
+def test_timeout_exhaustion_raises_backend_timeout(tiny_backend, requests):
+    clock = FakeClock()
+
+    def slow_clock():
+        clock.advance(10.0)  # every clock read jumps: each attempt "hangs"
+        return clock.now
+
+    resilient = make_resilient(
+        tiny_backend,
+        timeout_s=1.0,
+        max_retries=1,
+        failure_threshold=99,
+        clock=slow_clock,
+    )
+    with pytest.raises(BackendTimeout):
+        resilient.fetch(requests)
+
+
+def test_backoff_grows_and_is_capped(tiny_backend):
+    resilient = make_resilient(
+        tiny_backend,
+        base_backoff_s=0.01,
+        max_backoff_s=0.04,
+        jitter=0.0,
+    )
+    assert resilient._backoff_s(1) == pytest.approx(0.01)
+    assert resilient._backoff_s(2) == pytest.approx(0.02)
+    assert resilient._backoff_s(3) == pytest.approx(0.04)
+    assert resilient._backoff_s(6) == pytest.approx(0.04)  # capped
+
+
+def test_jittered_backoff_is_seed_deterministic(tiny_backend):
+    first = make_resilient(tiny_backend, seed=3, jitter=0.5)
+    second = make_resilient(tiny_backend, seed=3, jitter=0.5)
+    assert [first._backoff_s(k) for k in (1, 2, 3)] == [
+        second._backoff_s(k) for k in (1, 2, 3)
+    ]

@@ -1,0 +1,103 @@
+"""Regression tests: no single-flight entry may outlive its query.
+
+The latent leak this PR fixes: a leader that *published* its flights and
+then raised before phase 4's ``release`` (an admission fault, a failed
+follower wait on another query's flight) left the published flights in
+the table forever — every future misser of those chunks would "share" a
+chunk that was never admitted, and the backend was never asked again.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import AggregateCache, BackendDatabase, ConcurrentAggregateCache, CostModel, Query
+from repro.faults import (
+    CorruptChunkError,
+    FailpointRegistry,
+    TransientBackendError,
+)
+
+
+def make_service(tiny_schema, tiny_facts, **kwargs):
+    backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+    kwargs.setdefault("strategy", "vcmc")
+    kwargs.setdefault("preload", False)
+    manager = AggregateCache(tiny_schema, backend, 1 << 30, **kwargs)
+    return ConcurrentAggregateCache(manager)
+
+
+def test_admission_fault_abandons_led_flights(tiny_schema, tiny_facts):
+    service = make_service(tiny_schema, tiny_facts)
+    query = Query.full_level(tiny_schema, tiny_schema.base_level)
+    registry = FailpointRegistry()
+    registry.fail("cache.insert", CorruptChunkError, calls={1})
+    with registry.armed():
+        with pytest.raises(CorruptChunkError):
+            service.query(query)
+        # The fix: the flight guard abandons every claimed leadership on
+        # the way out.  Before it, the published flights stayed here
+        # forever.
+        assert service.flights.in_progress() == 0
+    # And the chunks are re-fetchable: nothing stale is served.
+    result = service.query(query)
+    assert len(result.chunks) == query.num_chunks
+    assert result.from_backend == query.num_chunks
+    follow_up = service.query(query)
+    assert follow_up.complete_hit
+
+
+def test_follower_observes_leader_failure_without_refetching(
+    tiny_schema, tiny_facts
+):
+    gate = threading.Event()
+    registry = FailpointRegistry(sleep=lambda _s: gate.wait(10))
+    registry.delay("backend.fetch", latency_ms=1.0, calls={1})
+    registry.fail("backend.fetch", TransientBackendError, calls={1})
+
+    service = make_service(tiny_schema, tiny_facts, degraded_mode=True)
+    query = Query.full_level(tiny_schema, tiny_schema.base_level)
+    results = {}
+
+    def run(name):
+        results[name] = service.query(query)
+
+    with registry.armed():
+        leader = threading.Thread(target=run, args=("leader",))
+        leader.start()
+        # The leader is asleep inside the backend holding its claims.
+        for _ in range(1000):
+            if service.flights.in_progress() == query.num_chunks:
+                break
+            threading.Event().wait(0.005)
+        assert service.flights.in_progress() == query.num_chunks
+
+        follower = threading.Thread(target=run, args=("follower",))
+        follower.start()
+        for _ in range(1000):
+            if service.flights.joined >= query.num_chunks:
+                break
+            threading.Event().wait(0.005)
+        assert service.flights.joined == query.num_chunks
+
+        gate.set()  # leader wakes, its fetch raises, flights fail
+        leader.join(timeout=10)
+        follower.join(timeout=10)
+
+    assert registry.calls("backend.fetch") == 1, (
+        "the follower must observe the leader's failure, not re-hit "
+        "the dead backend"
+    )
+    for result in results.values():
+        assert result.degraded
+        assert result.coverage == 0.0
+        assert len(result.unanswered) == query.num_chunks
+    assert service.flights.in_progress() == 0
+    assert service.manager.degraded_queries == 2
+
+    # After the outage the chunks fetch normally.
+    healed = service.query(query)
+    assert not healed.degraded
+    assert healed.from_backend == query.num_chunks

@@ -97,3 +97,47 @@ def test_wait_timeout_raises():
     _, joined = table.claim(["k"])
     with pytest.raises(ReproError, match="timed out"):
         table.wait(joined["k"], timeout=0.05)
+
+
+def test_abandon_fails_unpublished_and_retires_published():
+    table = SingleFlightTable()
+    table.claim(["a", "b"])
+    table.publish("a", "chunk-a")
+    _, joined = table.claim(["a", "b"])
+    assert set(joined) == {"a", "b"}
+
+    table.abandon(["a", "b"], RuntimeError("leader died"))
+    assert table.in_progress() == 0
+    # The published flight keeps its result for waiters already holding
+    # it, but is gone from the table — no future claimant can share a
+    # chunk that was never admitted.
+    assert table.wait(joined["a"], timeout=1) == "chunk-a"
+    with pytest.raises(RuntimeError, match="leader died"):
+        table.wait(joined["b"], timeout=1)
+    led, joined_after = table.claim(["a", "b"])
+    assert led == ["a", "b"] and not joined_after
+
+
+def test_abandon_wakes_blocked_waiters():
+    table = SingleFlightTable()
+    table.claim(["k"])
+    _, joined = table.claim(["k"])
+    errors = []
+
+    def waiter():
+        try:
+            table.wait(joined["k"], timeout=5)
+        except RuntimeError as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    table.abandon(["k"], RuntimeError("abandoned"))
+    thread.join(timeout=5)
+    assert len(errors) == 1
+
+
+def test_abandon_of_unknown_keys_is_a_noop():
+    table = SingleFlightTable()
+    table.abandon(["ghost"], RuntimeError("x"))
+    assert table.in_progress() == 0
