@@ -1,0 +1,29 @@
+"""Workload-adaptive caching: semantic plan canonicalization plus the
+score-driven precompute loop.  See ``docs/adaptive.md``."""
+
+from repro.adaptive.canonical import (
+    AGGREGATES,
+    AVG,
+    COUNT,
+    SUM,
+    CanonicalQuery,
+    QuerySpec,
+    aggregate_answer,
+    canonicalize,
+)
+from repro.adaptive.precompute import AdaptiveActions, AdaptivePrecomputer
+from repro.adaptive.tracker import WorkloadTracker
+
+__all__ = [
+    "AGGREGATES",
+    "AVG",
+    "COUNT",
+    "SUM",
+    "AdaptiveActions",
+    "AdaptivePrecomputer",
+    "CanonicalQuery",
+    "QuerySpec",
+    "WorkloadTracker",
+    "aggregate_answer",
+    "canonicalize",
+]

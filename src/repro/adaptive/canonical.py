@@ -1,0 +1,165 @@
+"""Semantic plan canonicalization.
+
+User-shaped queries arrive in many equivalent spellings: group-by
+dimensions listed in any order, selection ranges that differ but snap to
+the same chunk boundaries, and ``AVG`` phrased separately from the
+``SUM``/``COUNT`` it decomposes into.  The canonicalizer maps every
+member of such an equivalence class onto ONE :class:`CanonicalQuery`, so
+the plan cache and the single-flight table key on semantics instead of
+surface syntax — two spellings of the same question share memoised plans
+and deduplicated backend fetches instead of planning and fetching twice.
+
+The three collapses, in order:
+
+1. **Commuted group-by dimensions** — ``group_by`` entries are named, so
+   ``(("product", 2), ("store", 1))`` and its transposition produce the
+   identical level tuple once sorted into schema dimension order.
+   Unnamed dimensions take level 0 (fully aggregated), matching SQL's
+   "not in the GROUP BY" meaning.
+2. **Containing/contained ranges** — per-dimension ordinal selections
+   are snapped *outward* to chunk boundaries (the DRSN98 contract, via
+   :meth:`Query.from_cell_ranges`); any two ranges inside the same
+   covering chunks canonicalize identically.  Unnamed dimensions cover
+   their full domain.
+3. **AVG as SUM/COUNT** — chunks always carry both values and counts, so
+   the aggregate function is *erased* from the canonical key:
+   ``SUM``, ``COUNT`` and ``AVG`` over one region are a single cached
+   computation, finished off per-aggregate by :func:`aggregate_answer`.
+
+Correctness contract (property-tested in ``tests/adaptive``): equal
+canonical keys imply bit-identical answers — the canonical query is
+chunk-aligned, and chunk answers are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import SchemaError
+from repro.workload.query import Query
+
+Key = tuple[Level, int]
+
+SUM = "sum"
+COUNT = "count"
+AVG = "avg"
+AGGREGATES = (SUM, COUNT, AVG)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A user-shaped multi-dimensional query, before canonicalization.
+
+    Parameters
+    ----------
+    group_by:
+        ``(dimension name, level)`` pairs in ANY order.  Dimensions not
+        named are fully aggregated (level 0).
+    cell_ranges:
+        ``(dimension name, lo, hi)`` half-open ordinal selections at that
+        dimension's group-by level, in any order.  Dimensions not named
+        select their whole domain.
+    aggregate:
+        ``"sum"``, ``"count"`` or ``"avg"`` — erased from the canonical
+        key (see module docstring), applied by :func:`aggregate_answer`.
+    """
+
+    group_by: tuple[tuple[str, int], ...] = ()
+    cell_ranges: tuple[tuple[str, int, int], ...] = ()
+    aggregate: str = SUM
+
+
+@dataclass(frozen=True)
+class CanonicalQuery:
+    """The canonical form: a group-by level in schema dimension order
+    plus chunk-aligned per-dimension ranges.  Everything semantic and
+    nothing syntactic — equal instances answer identically."""
+
+    level: Level
+    chunk_ranges: tuple[tuple[int, int], ...] = field(default=())
+
+    @property
+    def key(self) -> tuple:
+        """The hashable identity shared by plan-cache/single-flight
+        keying — equal keys guarantee bit-identical answers."""
+        return (self.level, self.chunk_ranges)
+
+    def to_query(self) -> Query:
+        """The chunk-aligned :class:`Query` the cache core executes."""
+        return Query(self.level, self.chunk_ranges)
+
+    def chunk_keys(self, schema: CubeSchema) -> list[Key]:
+        """Per-chunk ``(level, number)`` keys — the unit both the plan
+        cache and the single-flight table deduplicate on."""
+        return [
+            (self.level, number)
+            for number in self.to_query().chunk_numbers(schema)
+        ]
+
+
+def canonicalize(schema: CubeSchema, spec: QuerySpec) -> CanonicalQuery:
+    """Map a :class:`QuerySpec` onto its canonical equivalence-class
+    representative (see the module docstring for the three collapses)."""
+    if spec.aggregate not in AGGREGATES:
+        raise SchemaError(
+            f"unknown aggregate {spec.aggregate!r}; expected one of "
+            f"{list(AGGREGATES)}"
+        )
+    per_dim_level: dict[int, int] = {}
+    for name, dim_level in spec.group_by:
+        index = schema.dim_index(name)
+        if index in per_dim_level:
+            raise SchemaError(f"dimension {name!r} named twice in group_by")
+        height = schema.dimensions[index].height
+        if not 0 <= dim_level <= height:
+            raise SchemaError(
+                f"dimension {name!r} has no level {dim_level} "
+                f"(heights are 0..{height})"
+            )
+        per_dim_level[index] = dim_level
+    level: Level = tuple(
+        per_dim_level.get(i, 0) for i in range(schema.ndims)
+    )
+
+    per_dim_range: dict[int, tuple[int, int]] = {}
+    for name, lo, hi in spec.cell_ranges:
+        index = schema.dim_index(name)
+        if index in per_dim_range:
+            raise SchemaError(
+                f"dimension {name!r} named twice in cell_ranges"
+            )
+        per_dim_range[index] = (lo, hi)
+    cell_ranges = tuple(
+        per_dim_range.get(i, (0, dim.cardinality(level[i])))
+        for i, dim in enumerate(schema.dimensions)
+    )
+    # from_cell_ranges validates bounds and snaps outward to chunk
+    # boundaries — the containment collapse.
+    query = Query.from_cell_ranges(schema, level, cell_ranges)
+    return CanonicalQuery(level=query.level, chunk_ranges=query.chunk_ranges)
+
+
+def aggregate_answer(chunks, aggregate: str = SUM) -> float:
+    """Finish a canonical (SUM/COUNT-carrying) answer per aggregate.
+
+    ``chunks`` is any iterable of answer chunks (e.g.
+    ``QueryResult.chunks``); AVG is computed as total SUM over total
+    COUNT — the decomposition that lets all three aggregates share one
+    cached computation.
+    """
+    if aggregate not in AGGREGATES:
+        raise SchemaError(
+            f"unknown aggregate {aggregate!r}; expected one of "
+            f"{list(AGGREGATES)}"
+        )
+    total = 0.0
+    count = 0
+    for chunk in chunks:
+        total += float(chunk.values.sum())
+        count += int(chunk.counts.sum())
+    if aggregate == SUM:
+        return total
+    if aggregate == COUNT:
+        return float(count)
+    return total / count if count else 0.0

@@ -1,0 +1,228 @@
+"""The adaptive precompute loop: promote what the workload wants.
+
+Static pre-loading (two-level rule 3) bets the cache's seed on one
+group-by chosen before any query arrives.  The adaptive loop re-makes
+that bet continuously: a :class:`~repro.adaptive.tracker.WorkloadTracker`
+scores every lattice level online by ``frequency x benefit``, and idle
+cycles *promote* the winners — compute the whole group-by in one batched
+backend pass, admit it through the ordinary maintenance path, and **pin**
+its resident chunks so churn cannot evict them — while *demoting*
+(unpinning) previous winners the workload has drifted away from.  The
+replacement policy reclaims demoted chunks naturally; demotion never
+evicts by itself.
+
+Promotions go through :meth:`AggregateCache._admit_wave`, so virtual
+counts, costs and region-scoped plan-cache generations stay exactly
+maintained — a promoted group-by immediately turns lookups beneath it
+into computable plans, and nothing about answer correctness changes
+(pinned chunks are ordinary exact chunks; only their evictability
+differs).
+
+Thread-safety: :meth:`AdaptivePrecomputer.note_query` is safe from any
+thread (the tracker locks internally).  :meth:`run_idle_cycle` mutates
+cache state and MUST be serialised against serving — call it directly on
+a sequential manager, or via
+:meth:`~repro.service.concurrent.ConcurrentAggregateCache.idle_tick`,
+which takes the service write lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chunks.chunk import ChunkOrigin
+from repro.core.manager import AggregateCache
+from repro.adaptive.tracker import WorkloadTracker
+from repro.schema.cube import Level
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class AdaptiveActions:
+    """What one idle cycle did (and why, via the score snapshot)."""
+
+    promoted: tuple[Level, ...] = ()
+    demoted: tuple[Level, ...] = ()
+    winners: tuple[Level, ...] = ()
+    scores: dict[Level, float] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.promoted or self.demoted)
+
+
+class AdaptivePrecomputer:
+    """Score-driven promotion/demotion of whole group-bys.
+
+    Parameters
+    ----------
+    manager:
+        The sequential manager whose cache is managed.
+    tracker:
+        The workload tracker to read scores from; built fresh (sharing
+        the manager's schema and size estimator) when omitted.
+    budget_fraction:
+        Fraction of the cache capacity the pinned set may occupy.  The
+        remainder stays available to ordinary query-driven churn, so
+        promotion can never starve the demand-driven side entirely.
+    stickiness:
+        Hysteresis multiplier applied to already-pinned levels during
+        winner selection.  A challenger must out-score an incumbent by
+        this factor to displace it, preventing promote/demote
+        oscillation when two levels' scores are close.
+    warmup:
+        Recorded queries required before the first promotion.  A
+        handful of queries is pure noise — promoting on it causes the
+        very churn (admission waves, plan-cache bumps) the loop exists
+        to remove, only to demote the mistake a cycle later.
+    """
+
+    def __init__(
+        self,
+        manager: AggregateCache,
+        tracker: WorkloadTracker | None = None,
+        budget_fraction: float = 0.5,
+        stickiness: float = 2.0,
+        half_life: float = 64.0,
+        warmup: int = 16,
+    ) -> None:
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError(
+                f"budget_fraction must be in (0, 1], got {budget_fraction}"
+            )
+        if stickiness < 1.0:
+            raise ValueError(
+                f"stickiness must be >= 1.0, got {stickiness}"
+            )
+        self.manager = manager
+        self.tracker = tracker or WorkloadTracker(
+            manager.schema, manager.sizes, half_life=half_life
+        )
+        self.budget_fraction = budget_fraction
+        self.stickiness = stickiness
+        self.warmup = warmup
+        self._pinned: dict[Level, list[int]] = {}
+        self.promotions = 0
+        """Lifetime levels promoted (computed, admitted and pinned)."""
+        self.demotions = 0
+        """Lifetime levels demoted (unpinned; reclaim is the policy's)."""
+        self.cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # observation
+
+    def note_query(self, query: Query) -> None:
+        """Feed one served query into the tracker (any thread)."""
+        self.tracker.record(query.level)
+
+    @property
+    def pinned_levels(self) -> tuple[Level, ...]:
+        return tuple(self._pinned)
+
+    # ------------------------------------------------------------------ #
+    # the idle cycle
+
+    def run_idle_cycle(self) -> AdaptiveActions:
+        """One promote/demote pass.  Caller must hold exclusive access
+        to the manager (see module docstring)."""
+        manager = self.manager
+        self.cycles += 1
+        if self.tracker.queries_recorded < self.warmup:
+            return AdaptiveActions()
+        scores = self.tracker.scores()
+        winners = self._select_winners(scores)
+        winner_set = set(winners)
+
+        # Demote first: freed pin budget (and, once the policy reclaims,
+        # cache space) is what the new winners get admitted into.
+        demoted = tuple(
+            level for level in list(self._pinned) if level not in winner_set
+        )
+        for level in demoted:
+            self._unpin(level)
+        promoted = tuple(
+            level for level in winners if level not in self._pinned
+        )
+        for level in promoted:
+            self._promote(level)
+
+        obs = manager.obs
+        if obs.enabled:
+            obs.metrics.counter("adaptive.cycles").inc()
+            if promoted:
+                obs.metrics.counter("adaptive.promotions").inc(len(promoted))
+            if demoted:
+                obs.metrics.counter("adaptive.demotions").inc(len(demoted))
+            obs.metrics.gauge("adaptive.pinned_levels").set(
+                len(self._pinned)
+            )
+            if promoted or demoted:
+                obs.tracer.emit(
+                    "adaptive.cycle",
+                    promoted=[list(level) for level in promoted],
+                    demoted=[list(level) for level in demoted],
+                )
+        return AdaptiveActions(
+            promoted=promoted,
+            demoted=demoted,
+            winners=tuple(winners),
+            scores=scores,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _select_winners(self, scores: dict[Level, float]) -> list[Level]:
+        """Greedy fill of the pin budget by effective score.
+
+        Incumbents' scores are multiplied by ``stickiness`` so a
+        near-tie never flips the pinned set; the schema's level index
+        breaks exact ties deterministically.
+        """
+        manager = self.manager
+        budget = self.budget_fraction * manager.cache.capacity_bytes
+        ranked = sorted(
+            (
+                (level, score * (self.stickiness if level in self._pinned else 1.0))
+                for level, score in scores.items()
+                if score > 0.0
+            ),
+            key=lambda pair: (-pair[1], manager.schema.level_index(pair[0])),
+        )
+        winners: list[Level] = []
+        used = 0.0
+        for level, _effective in ranked:
+            size = manager.sizes.level_bytes(level)
+            if used + size > budget:
+                continue
+            winners.append(level)
+            used += size
+        return winners
+
+    def _promote(self, level: Level) -> None:
+        """Compute, admit and pin one whole group-by."""
+        manager = self.manager
+        chunks = manager.backend.compute_level(level)
+        for chunk in chunks:
+            chunk.origin = ChunkOrigin.PRELOAD
+        manager._admit_wave(chunks)
+        # Pin whatever actually landed: under pressure an admission can
+        # be rejected, and pinning must never invent residency.
+        pinned_numbers = []
+        for chunk in chunks:
+            entry = manager.cache.entry(level, chunk.number)
+            if entry is not None:
+                entry.pinned = True
+                pinned_numbers.append(chunk.number)
+        self._pinned[level] = pinned_numbers
+        self.promotions += 1
+
+    def _unpin(self, level: Level) -> None:
+        """Demote one group-by: unpin only — eviction stays with the
+        replacement policy, which now sees the chunks as ordinary
+        victims."""
+        for number in self._pinned.pop(level, ()):
+            entry = self.manager.cache.entry(level, number)
+            if entry is not None:
+                entry.pinned = False
+        self.demotions += 1

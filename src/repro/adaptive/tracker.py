@@ -1,0 +1,134 @@
+"""Online workload tracking for the adaptive precompute loop.
+
+The tracker maintains an exponentially decayed *mass* per group-by
+level — recent queries weigh more, old ones fade with a configurable
+half-life — and derives from it a per-level **score**:
+
+``score(v) = demand(v) x benefit_density(v)``
+
+where *demand* is the decayed mass of every level a resident copy of
+``v`` can answer by aggregation (all levels componentwise <= v,
+including v itself), and *benefit density* is the static
+descendants-per-byte factor shared with pre-loading
+(:func:`repro.cache.preload.benefit_density`).  Pre-loading is exactly
+this score with a uniform workload assumed; the tracker supplies the
+measured one, which is what lets the precompute loop follow a drifting
+Zipf workload instead of betting once at startup.
+
+Decay is *lazy*: nothing is touched on a tick except the recorded
+level — each level's mass carries the tick it was last updated at and
+is decayed on read.  Recording is O(1); scoring is O(levels).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cache.preload import benefit_density
+from repro.core.sizes import SizeEstimator
+from repro.schema.cube import CubeSchema, Level
+
+
+class WorkloadTracker:
+    """Decayed per-level query mass plus the frequency-x-benefit score.
+
+    Parameters
+    ----------
+    schema, sizes:
+        The cube and its size estimator (for the benefit term).
+    half_life:
+        Number of recorded queries over which a level's mass halves when
+        it receives no new traffic.  Small values chase the workload
+        aggressively; large values smooth over bursts.
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        sizes: SizeEstimator,
+        half_life: float = 64.0,
+    ) -> None:
+        if half_life <= 0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        self.schema = schema
+        self.sizes = sizes
+        self.half_life = half_life
+        self._decay = 0.5 ** (1.0 / half_life)
+        self._mass: dict[Level, float] = {}
+        self._stamp: dict[Level, int] = {}
+        self._tick = 0
+        self.queries_recorded = 0
+        self._coverable: dict[Level, tuple[Level, ...]] = {}
+        """Memo: for a level v, every level computable from a resident
+        copy of v (componentwise <= v)."""
+        self._density: dict[Level, float] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # recording
+
+    def record(self, level: Level, weight: float = 1.0) -> None:
+        """One query hit ``level``.  O(1): only this level is touched."""
+        with self._lock:
+            self._tick += 1
+            self.queries_recorded += 1
+            self._mass[level] = self._decayed(level) + weight
+            self._stamp[level] = self._tick
+
+    # ------------------------------------------------------------------ #
+    # reading
+
+    def mass(self, level: Level) -> float:
+        """Decayed query mass of one level as of the current tick."""
+        with self._lock:
+            return self._decayed(level)
+
+    def demand(self, level: Level) -> float:
+        """Decayed mass of every level a resident ``level`` can answer."""
+        with self._lock:
+            return self._demand(level)
+
+    def score(self, level: Level) -> float:
+        """``demand x benefit_density`` — the promotion ranking key."""
+        with self._lock:
+            return self._demand(level) * self._benefit_density(level)
+
+    def scores(self) -> dict[Level, float]:
+        """Score of every lattice level, one consistent snapshot."""
+        with self._lock:
+            return {
+                level: self._demand(level) * self._benefit_density(level)
+                for level in self.schema.all_levels()
+            }
+
+    # ------------------------------------------------------------------ #
+    # internals (call with the lock held)
+
+    def _decayed(self, level: Level) -> float:
+        mass = self._mass.get(level)
+        if mass is None:
+            return 0.0
+        age = self._tick - self._stamp[level]
+        if age:
+            mass *= self._decay**age
+            self._mass[level] = mass
+            self._stamp[level] = self._tick
+        return mass
+
+    def _demand(self, level: Level) -> float:
+        covered = self._coverable.get(level)
+        if covered is None:
+            covered = tuple(
+                other
+                for other in self.schema.all_levels()
+                if all(o <= v for o, v in zip(other, level))
+            )
+            self._coverable[level] = covered
+        return sum(self._decayed(other) for other in covered)
+
+    def _benefit_density(self, level: Level) -> float:
+        density = self._density.get(level)
+        if density is None:
+            density = benefit_density(self.sizes, level)
+            self._density[level] = density
+        return density

@@ -9,6 +9,12 @@ Materialisation goes through ``BackendDatabase.compute_level``, which
 aggregates every chunk of the chosen group-by in one batched
 ``rollup_many`` pass over the base chunks — pre-loading costs one kernel
 invocation per level, not one per chunk.
+
+The static *benefit* factor of the rule — descendant coverage per byte —
+is exposed as :func:`benefit_density` because the adaptive precompute
+loop (:mod:`repro.adaptive`) scores lattice nodes online by
+``frequency x benefit`` with the same benefit term: pre-loading is the
+workload-blind special case of that score.
 """
 
 from __future__ import annotations
@@ -22,27 +28,44 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core uses cache)
     from repro.core.sizes import SizeEstimator
 
 
+def benefit_density(sizes: "SizeEstimator", level: Level) -> float:
+    """Descendant coverage per estimated byte: how much of the lattice a
+    resident copy of ``level`` makes computable, relative to the cache
+    space it occupies."""
+    return lattice.descendant_count(level) / max(
+        sizes.level_bytes(level), 1.0
+    )
+
+
+def rank_preload_levels(
+    schema: CubeSchema,
+    sizes: "SizeEstimator",
+    budget_bytes: float,
+) -> list[Level]:
+    """Every level fitting the budget, best first by the paper's rule:
+    most lattice descendants, ties to the larger (more detailed)
+    group-by, which strictly dominates for answering queries."""
+    fitting = [
+        level
+        for level in schema.all_levels()
+        if sizes.level_bytes(level) <= budget_bytes
+    ]
+    fitting.sort(
+        key=lambda level: (
+            lattice.descendant_count(level),
+            sizes.level_bytes(level),
+        ),
+        reverse=True,
+    )
+    return fitting
+
+
 def choose_preload_level(
     schema: CubeSchema,
     sizes: "SizeEstimator",
     capacity_bytes: int,
     headroom: float = 1.0,
 ) -> Level | None:
-    """The group-by to pre-load, or ``None`` if nothing fits.
-
-    Picks the level with the most lattice descendants whose estimated size
-    is at most ``capacity_bytes * headroom``; ties go to the larger (more
-    detailed) group-by, which strictly dominates for answering queries.
-    """
-    budget = capacity_bytes * headroom
-    best: Level | None = None
-    best_key: tuple[int, float] | None = None
-    for level in schema.all_levels():
-        est_bytes = sizes.level_bytes(level)
-        if est_bytes > budget:
-            continue
-        key = (lattice.descendant_count(level), est_bytes)
-        if best_key is None or key > best_key:
-            best = level
-            best_key = key
-    return best
+    """The group-by to pre-load, or ``None`` if nothing fits."""
+    ranked = rank_preload_levels(schema, sizes, capacity_bytes * headroom)
+    return ranked[0] if ranked else None

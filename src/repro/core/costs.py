@@ -51,6 +51,12 @@ class CostStore:
     correctness is never affected.  The default 0.0 is exact.
     """
 
+    batch_crossover: int = 32
+    """Waves smaller than this run the scalar change-directed cascades
+    inline under one lock hold instead of the dirty-frontier machinery
+    (see :attr:`CountStore.batch_crossover`); set to 0 to force the
+    vectorised path."""
+
     def __init__(
         self,
         schema: CubeSchema,
@@ -140,10 +146,17 @@ class CostStore:
         frontier towards the apex, each frontier chunk re-minimised once
         with all its parent levels already settled, the ``_differs`` /
         ``rel_tol`` propagation cutoffs applied vectorised per frontier.
+        Waves below ``batch_crossover`` keys run the scalar cascades
+        under the single lock hold instead (the small-wave crossover).
         """
         with self._lock:
             before = self.total_updates
-            self._wave_update(keys, insert=True)
+            if len(keys) < self.batch_crossover:
+                for level, number in keys:
+                    self._cached[level][number] = True
+                    self._apply(level, number, 0.0, BEST_CACHED)
+            else:
+                self._wave_update(keys, insert=True)
             return self.total_updates - before
 
     def on_evict_many(self, keys: Sequence[tuple[Level, int]]) -> int:
@@ -156,7 +169,13 @@ class CostStore:
                         "cost store does not believe is cached"
                     )
             before = self.total_updates
-            self._wave_update(keys, insert=False)
+            if len(keys) < self.batch_crossover:
+                for level, number in keys:
+                    self._cached[level][number] = False
+                    cost, best = self._best_option(level, number)
+                    self._apply(level, number, cost, best)
+            else:
+                self._wave_update(keys, insert=False)
             return self.total_updates - before
 
     def scalar_on_insert(self, level: Level, number: int) -> int:

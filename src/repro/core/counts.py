@@ -35,6 +35,14 @@ class CountStore:
     memory for safety).
     """
 
+    batch_crossover: int = 32
+    """Waves smaller than this run the scalar recursive cascades inline
+    (one lock hold for the whole wave) instead of the vectorised
+    per-level passes: the wave machinery's per-level array setup only
+    pays for itself once enough keys amortise it, mirroring
+    ``rollup_many``'s dense/sparse kernel switch.  Both paths leave
+    identical state; set to 0 to force the vectorised path."""
+
     def __init__(self, schema: CubeSchema) -> None:
         self.schema = schema
         self._counts: dict[Level, np.ndarray] = {
@@ -99,18 +107,46 @@ class CountStore:
         level (in BFS order towards the apex) instead of one recursive
         cascade per chunk.  The resulting count state is identical to
         applying the scalar cascades one key at a time, and the returned
-        modification count matches their sum.
+        modification count matches their sum.  Waves below
+        ``batch_crossover`` keys skip the vectorised machinery and run
+        the scalar cascades under the single lock hold instead — the
+        adaptive crossover that keeps small admission waves (the common
+        per-query case) at least as fast as the per-chunk loop.
         """
         with self._lock:
             before = self.total_updates
-            self._wave_update(keys, +1)
+            if len(keys) < self.batch_crossover:
+                for level, number in keys:
+                    self._insert_update(level, number)
+            else:
+                self._wave_update(keys, +1)
             return self.total_updates - before
 
     def on_evict_many(self, keys: Sequence[Key]) -> int:
         """A wave of chunks left the cache (mirror of ``on_insert_many``)."""
         with self._lock:
             before = self.total_updates
-            self._wave_update(keys, -1)
+            if len(keys) < self.batch_crossover:
+                # Mirror the vectorised path's precondition: validate every
+                # direct key before mutating any state, so a bad wave
+                # raises without leaving a partially applied cascade.
+                owed: dict[Level, dict[int, int]] = {}
+                for level, number in keys:
+                    per = owed.setdefault(level, {})
+                    per[number] = per.get(number, 0) + 1
+                for level, per in owed.items():
+                    counts = self._counts[level]
+                    for number, debt in per.items():
+                        if counts[number] < debt:
+                            raise ReproError(
+                                f"count underflow at level {level} chunk "
+                                f"{number}: evicting a chunk that was never "
+                                "counted"
+                            )
+                for level, number in keys:
+                    self._evict_update(level, number)
+            else:
+                self._wave_update(keys, -1)
             return self.total_updates - before
 
     def scalar_on_insert(self, level: Level, number: int) -> int:

@@ -180,8 +180,11 @@ class AggregateCache:
         to the strategy (on by default): repeated lookups over lattice
         regions with no intervening relevant cache movement reuse their
         memoised plan/verdict instead of re-walking the lattice.  Plans
-        stay exactly as correct as fresh ones — any insert or evict at a
-        level that could affect a memoised answer invalidates it.
+        stay exactly as correct as fresh ones — any insert or evict in a
+        chunk region that could affect a memoised answer invalidates it.
+        Pass a ready :class:`PlanCache` instance to control its region
+        granularity (``max_regions_per_level=1`` reproduces the legacy
+        per-level invalidation).
     degraded_mode:
         When the backend phase fails with a typed fault
         (:class:`~repro.faults.errors.FaultError` — transient errors,
@@ -213,7 +216,7 @@ class AggregateCache:
         cost_rel_tol: float = 0.02,
         use_cost_optimizer: bool = False,
         keep_log: bool = False,
-        plan_cache: bool = True,
+        plan_cache: bool | PlanCache = True,
         degraded_mode: bool = False,
         obs: Observability | None = None,
     ) -> None:
@@ -239,7 +242,10 @@ class AggregateCache:
         self.strategy = strategy
         self.strategy.obs = self.obs
         self.plan_cache: PlanCache | None = self.strategy.plan_cache
-        if plan_cache and self.plan_cache is None:
+        if isinstance(plan_cache, PlanCache):
+            self.plan_cache = plan_cache
+            self.strategy.plan_cache = plan_cache
+        elif plan_cache and self.plan_cache is None:
             self.plan_cache = PlanCache(schema)
             self.strategy.plan_cache = self.plan_cache
         self.use_cost_optimizer = use_cost_optimizer
@@ -563,6 +569,16 @@ class AggregateCache:
             _slice_chunk(chunk, cell_ranges) for chunk in result.chunks
         ]
         return replace(result, chunks=sliced)
+
+    def query_spec(self, spec) -> QueryResult:
+        """Answer a user-shaped :class:`~repro.adaptive.canonical.QuerySpec`
+        through the canonicalization layer: equivalent shapes (commuted
+        group-by dimensions, contained ranges, AVG as SUM/COUNT) collapse
+        onto one canonical chunk-aligned query, so they share plan-cache
+        and single-flight keys."""
+        from repro.adaptive.canonical import canonicalize
+
+        return self.query(canonicalize(self.schema, spec).to_query())
 
     # ------------------------------------------------------------------ #
     # internals

@@ -15,7 +15,7 @@ from __future__ import annotations
 import abc
 from typing import ClassVar, Protocol
 
-from repro.core.plans import PlanCache, PlanNode
+from repro.core.plans import PlanCache, PlanNode, PlanOutcome
 from repro.core.sizes import SizeEstimator
 from repro.obs import NULL_OBS, Observability
 from repro.schema.cube import CubeSchema, Level
@@ -83,33 +83,42 @@ class LookupStrategy(abc.ABC):
         """Plan for computing ``(level, number)`` from the cache, else None."""
         self.last_find_visits = 0
         cache = self.plan_cache
+        outcome: PlanOutcome | None = None
         if cache is not None:
-            found, plan = cache.lookup(level, number)
-            if found:
+            outcome, plan = cache.lookup(level, number)
+            if outcome is PlanOutcome.HIT:
                 # Memoised verdict, still generation-valid: zero lattice
                 # visits (``lookup.visits`` observes an honest 0).
-                self._note_find(plan, from_plan_cache=True)
+                self._note_find(plan, outcome)
                 return plan
         plan = self._find(level, number)
         if cache is not None:
             cache.store(level, number, plan)
-        self._note_find(plan, from_plan_cache=False)
+        self._note_find(plan, outcome)
         return plan
 
-    def _note_find(self, plan: PlanNode | None, from_plan_cache: bool) -> None:
+    _PLAN_CACHE_COUNTERS = {
+        PlanOutcome.HIT: "lookup.plan_cache.hits",
+        PlanOutcome.MISS: "lookup.plan_cache.misses",
+        PlanOutcome.STALE: "lookup.plan_cache.stale_hits",
+    }
+
+    def _note_find(
+        self, plan: PlanNode | None, outcome: PlanOutcome | None
+    ) -> None:
         if not self.obs.enabled:
             return
         self.obs.metrics.counter("lookup.finds").inc()
         self.obs.metrics.histogram("lookup.visits").observe(
             self.last_find_visits
         )
-        if self.plan_cache is not None:
-            name = (
-                "lookup.plan_cache.hits"
-                if from_plan_cache
-                else "lookup.plan_cache.misses"
-            )
-            self.obs.metrics.counter(name).inc()
+        if outcome is not None:
+            # Stale hits are counted apart from misses: both replan, but
+            # a stale hit is invalidation churn, not a cold memo — the
+            # honest hit ratio divides by all three.
+            self.obs.metrics.counter(
+                self._PLAN_CACHE_COUNTERS[outcome]
+            ).inc()
         if plan is None:
             self.obs.metrics.counter("lookup.missing").inc()
         elif plan.is_leaf:
@@ -131,18 +140,20 @@ class LookupStrategy(abc.ABC):
     # The public hooks also keep the plan cache honest: ANY residency
     # change — even for the stateless strategies — can change a memoised
     # plan's validity, so the generation bump happens here, before the
-    # strategy-specific state maintenance.
+    # strategy-specific state maintenance.  Bumps carry the full
+    # ``(level, number)`` keys so the plan cache can scope invalidation
+    # to the chunk regions the wave actually touched.
 
     def on_insert(self, level: Level, number: int) -> int:
         """Called after a chunk enters the cache.  Returns update count."""
         if self.plan_cache is not None:
-            self.plan_cache.bump((level,))
+            self.plan_cache.bump(((level, number),))
         return self._on_insert(level, number)
 
     def on_evict(self, level: Level, number: int) -> int:
         """Called after a chunk leaves the cache.  Returns update count."""
         if self.plan_cache is not None:
-            self.plan_cache.bump((level,))
+            self.plan_cache.bump(((level, number),))
         return self._on_evict(level, number)
 
     def on_insert_many(self, keys: list[Key]) -> int:
@@ -150,7 +161,7 @@ class LookupStrategy(abc.ABC):
         if not keys:
             return 0
         if self.plan_cache is not None:
-            self.plan_cache.bump(level for level, _ in keys)
+            self.plan_cache.bump(keys)
         return self._on_insert_many(keys)
 
     def on_evict_many(self, keys: list[Key]) -> int:
@@ -158,7 +169,7 @@ class LookupStrategy(abc.ABC):
         if not keys:
             return 0
         if self.plan_cache is not None:
-            self.plan_cache.bump(level for level, _ in keys)
+            self.plan_cache.bump(keys)
         return self._on_evict_many(keys)
 
     def _on_insert(self, level: Level, number: int) -> int:

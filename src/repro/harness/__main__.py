@@ -26,6 +26,7 @@ from repro.harness.unit_experiments import (
 EXPERIMENTS = (
     "kernel",
     "update",
+    "adaptive",
     "benefit",
     "cost_variation",
     "table1",
@@ -147,6 +148,15 @@ def _run(args: argparse.Namespace) -> int:
         ).format()
 
     run("update", _update)
+
+    def _adaptive() -> str:
+        from repro.harness.adaptive_bench import run_adaptive_benchmark
+
+        return run_adaptive_benchmark(
+            config, out_path="BENCH_adaptive.json"
+        ).format()
+
+    run("adaptive", _adaptive)
     run("benefit", lambda: run_aggregation_benefit(config).format())
     run("cost_variation", lambda: run_cost_variation(config).format())
     run("table1", lambda: run_table1(config).format())

@@ -1,0 +1,308 @@
+"""The ``adaptive`` harness experiment: region-scoped invalidation plus
+the workload-adaptive precompute loop.
+
+Three arms, identical in everything except the machinery under test:
+
+* **seed** — the legacy invalidation scheme: a plan cache with ONE
+  region per level, so any cache movement at a level invalidates every
+  memo depending on it (the stale-hit storm this PR fixes: the seed
+  measured 4 hits / 59 stale / 23 misses = 4.6% on the mixed workload);
+* **region** — the region-scoped plan cache: generation counters per
+  chunk region, so movement only invalidates memos whose dependency
+  regions were actually touched;
+* **adaptive** — region scoping plus the
+  :class:`~repro.adaptive.precompute.AdaptivePrecomputer`: idle cycles
+  promote/pin the workload's hot group-bys, which both answers queries
+  by aggregation and quiesces admissions — a stable cache is what lets
+  plan memos survive.
+
+Two workloads per arm:
+
+* the paper's **mixed** stream played twice (the seed baseline's
+  scenario) — plan-cache hit/stale/miss accounting;
+* a **drifting Zipf** stream — p50/p99 per-query latency plus the
+  promotion/demotion trail, showing adaptation following the drift.
+
+Every arm's answers on the drifting stream are compared chunk by chunk
+— values and counts byte-for-byte — against a no-plan-cache reference
+manager: the whole layer is an optimisation, never an approximation.
+
+All serving goes through :class:`ConcurrentAggregateCache` with one
+worker, so the measured path is the production (service) path and
+results are deterministic.  Exports ``BENCH_adaptive.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.adaptive.precompute import AdaptivePrecomputer
+from repro.core.manager import AggregateCache, QueryResult
+from repro.core.plans import PlanCache
+from repro.harness.common import build_components
+from repro.harness.config import ExperimentConfig
+from repro.service.concurrent import ConcurrentAggregateCache
+from repro.util.tables import render_table
+from repro.workload.drift import DriftingZipfStream
+from repro.workload.query import Query
+from repro.workload.stream import QueryStreamGenerator
+
+#: decorrelate this experiment's streams from the figure experiments'
+_MIXED_SEED_OFFSET = 7001  # same stream as the ``update`` measurement
+_DRIFT_SEED_OFFSET = 9103
+
+#: the seed repo's measured mixed-workload hit ratio (4 hits / 23 misses
+#: / 59 stale = 4/86) — the baseline the CI gate multiplies.
+SEED_BASELINE_HIT_RATIO = 0.0465
+
+ARMS = ("seed", "region", "adaptive")
+
+
+@dataclass
+class AdaptiveArmRun:
+    """One arm's accounting over one workload."""
+
+    arm: str
+    plan: dict = field(default_factory=dict)
+    complete_hit_ratio: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    promotions: int = 0
+    demotions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "arm": self.arm,
+            "plan_cache": self.plan,
+            "complete_hit_ratio": self.complete_hit_ratio,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+        }
+
+
+@dataclass
+class AdaptiveBenchResult:
+    """Both workloads across all arms, plus the identity verdict."""
+
+    config: ExperimentConfig
+    mixed_queries: int
+    drift_queries: int
+    mixed: dict[str, AdaptiveArmRun] = field(default_factory=dict)
+    drift: dict[str, AdaptiveArmRun] = field(default_factory=dict)
+    answers_identical: bool = True
+
+    def hit_ratio(self, arm: str) -> float:
+        return self.mixed[arm].plan["hit_ratio"]
+
+    def deltas(self) -> dict:
+        """Hit-ratio and latency movement of each arm vs the seed arm."""
+        seed = self.drift["seed"]
+        out: dict[str, dict] = {}
+        for arm in ARMS:
+            if arm == "seed":
+                continue
+            run = self.drift[arm]
+            out[arm] = {
+                "mixed_hit_ratio_delta": (
+                    self.hit_ratio(arm) - self.hit_ratio("seed")
+                ),
+                "p50_ms_delta": run.p50_ms - seed.p50_ms,
+                "p99_ms_delta": run.p99_ms - seed.p99_ms,
+            }
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.config.schema_name,
+            "num_tuples": self.config.num_tuples,
+            "python": platform.python_version(),
+            "mixed_queries": self.mixed_queries,
+            "drift_queries": self.drift_queries,
+            "seed_baseline_hit_ratio": SEED_BASELINE_HIT_RATIO,
+            "mixed": {arm: run.as_dict() for arm, run in self.mixed.items()},
+            "drift": {arm: run.as_dict() for arm, run in self.drift.items()},
+            "deltas": self.deltas(),
+            "answers_identical": self.answers_identical,
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def format(self) -> str:
+        headers = [
+            "Arm", "Mixed plan hit %", "Stale", "Drift plan hit %",
+            "p50 ms", "p99 ms", "Promoted", "Demoted",
+        ]
+        rows = []
+        for arm in ARMS:
+            mixed, drift = self.mixed[arm], self.drift[arm]
+            rows.append([
+                arm,
+                f"{100 * mixed.plan['hit_ratio']:.0f}%",
+                mixed.plan["stale_hits"],
+                f"{100 * drift.plan['hit_ratio']:.0f}%",
+                f"{drift.p50_ms:.3f}",
+                f"{drift.p99_ms:.3f}",
+                drift.promotions,
+                drift.demotions,
+            ])
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Adaptive caching: plan-cache invalidation scoping and "
+                f"workload-adaptive precompute (mixed={self.mixed_queries} "
+                f"queries x2, drift={self.drift_queries} queries)."
+            ),
+        )
+        return table + (
+            "\nAnswers identical to the no-plan-cache reference: "
+            + ("yes" if self.answers_identical else "NO — BUG")
+        )
+
+
+def _build_arm(
+    components, fraction: float, arm: str
+) -> ConcurrentAggregateCache:
+    """A fresh service for one arm; arms differ ONLY in plan-cache
+    region granularity and the presence of the precompute loop."""
+    plan_cache: bool | PlanCache = True
+    if arm == "seed":
+        plan_cache = PlanCache(components.schema, max_regions_per_level=1)
+    manager = AggregateCache(
+        components.schema,
+        components.backend,
+        capacity_bytes=components.capacity_for(fraction),
+        strategy="vcmc",
+        policy="benefit",
+        sizes=components.sizes,
+        plan_cache=plan_cache,
+    )
+    adaptive = None
+    if arm == "adaptive":
+        adaptive = AdaptivePrecomputer(manager, budget_fraction=0.6)
+    return ConcurrentAggregateCache(manager, adaptive=adaptive)
+
+
+def _serve(
+    service: ConcurrentAggregateCache,
+    queries: list[Query],
+    idle_every: int | None,
+) -> list[QueryResult]:
+    """Serve sequentially (workers=1 path), interleaving idle cycles."""
+    results = []
+    for index, query in enumerate(queries):
+        results.append(service.query(query))
+        if idle_every and (index + 1) % idle_every == 0:
+            service.idle_tick()
+    return results
+
+
+def _chunks_identical(a: QueryResult, b: QueryResult) -> bool:
+    """Byte-identical answer check: same chunk set, same values/counts."""
+    chunks_a = {chunk.number: chunk for chunk in a.chunks}
+    chunks_b = {chunk.number: chunk for chunk in b.chunks}
+    if chunks_a.keys() != chunks_b.keys():
+        return False
+    for number, chunk in chunks_a.items():
+        other = chunks_b[number]
+        if chunk.values.dtype != other.values.dtype:
+            return False
+        if not np.array_equal(chunk.values, other.values):
+            return False
+        if not np.array_equal(chunk.counts, other.counts):
+            return False
+    return True
+
+
+def run_adaptive_benchmark(
+    config: ExperimentConfig,
+    out_path: str | Path | None = None,
+) -> AdaptiveBenchResult:
+    """Run all three arms over both workloads; optionally export
+    ``BENCH_adaptive.json``."""
+    components = build_components(config)
+    fraction = config.cache_fractions[len(config.cache_fractions) // 2]
+    mixed = list(
+        QueryStreamGenerator(
+            components.schema,
+            max_extent=config.max_extent,
+            seed=config.seed + _MIXED_SEED_OFFSET,
+        ).generate(config.num_queries)
+    )
+    drift_queries = 3 * config.num_queries
+    drift = list(
+        DriftingZipfStream(
+            components.schema,
+            drift_every=config.num_queries,
+            max_extent=config.max_extent,
+            seed=config.seed + _DRIFT_SEED_OFFSET,
+        ).generate(drift_queries)
+    )
+    idle_every = max(1, config.num_queries // 4)
+
+    result = AdaptiveBenchResult(
+        config=config,
+        mixed_queries=len(mixed),
+        drift_queries=len(drift),
+    )
+
+    # Reference: same drifting stream with no plan cache and no
+    # adaptation — the ground truth the arms' answers must match.
+    reference_manager = AggregateCache(
+        components.schema,
+        components.backend,
+        capacity_bytes=components.capacity_for(fraction),
+        strategy="vcmc",
+        policy="benefit",
+        sizes=components.sizes,
+        plan_cache=False,
+    )
+    reference = [reference_manager.query(query) for query in drift]
+
+    for arm in ARMS:
+        ticks = idle_every if arm == "adaptive" else None
+
+        # Mixed stream, played twice through one service.
+        service = _build_arm(components, fraction, arm)
+        _serve(service, mixed, ticks)
+        _serve(service, mixed, ticks)
+        result.mixed[arm] = AdaptiveArmRun(
+            arm=arm, plan=service.manager.plan_cache.stats()
+        )
+
+        # Drifting Zipf stream through a fresh service.
+        service = _build_arm(components, fraction, arm)
+        outcomes = _serve(service, drift, ticks)
+        latencies = np.asarray([outcome.total_ms for outcome in outcomes])
+        run = AdaptiveArmRun(
+            arm=arm,
+            plan=service.manager.plan_cache.stats(),
+            complete_hit_ratio=(
+                sum(1 for o in outcomes if o.complete_hit) / len(outcomes)
+            ),
+            p50_ms=float(np.percentile(latencies, 50)),
+            p99_ms=float(np.percentile(latencies, 99)),
+        )
+        if service.adaptive is not None:
+            run.promotions = service.adaptive.promotions
+            run.demotions = service.adaptive.demotions
+        result.drift[arm] = run
+        identical = all(
+            _chunks_identical(outcome, ref)
+            for outcome, ref in zip(outcomes, reference)
+        )
+        result.answers_identical = result.answers_identical and identical
+
+    if out_path is not None:
+        result.write_json(out_path)
+    return result

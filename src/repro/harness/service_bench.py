@@ -48,10 +48,21 @@ class ServiceRunResult:
     reinforcements_skipped: int
     bytes_invariant_ok: bool
     counts_invariant_ok: bool
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_stale_hits: int = 0
 
     @property
     def hit_ratio(self) -> float:
         return self.complete_hits / self.queries if self.queries else 0.0
+
+    @property
+    def plan_hit_ratio(self) -> float:
+        """Plan-cache hit ratio with the honest denominator — stale hits
+        replan like misses, so they count against the cache (same
+        convention as the ``update`` experiment)."""
+        total = self.plan_hits + self.plan_misses + self.plan_stale_hits
+        return self.plan_hits / total if total else 0.0
 
     @property
     def qps(self) -> float:
@@ -74,7 +85,7 @@ class ServiceThroughputResult:
 
     def format(self) -> str:
         headers = [
-            "Workers", "Wall s", "Queries/s", "Hit %",
+            "Workers", "Wall s", "Queries/s", "Hit %", "Plan hit %",
             "Backend reqs", "Flights led", "Flights joined",
             "Replans", "Invariants",
         ]
@@ -85,6 +96,7 @@ class ServiceThroughputResult:
                 f"{run.wall_s:.2f}",
                 f"{run.qps:.1f}",
                 f"{100 * run.hit_ratio:.0f}%",
+                f"{100 * run.plan_hit_ratio:.0f}%",
                 run.backend_requests,
                 run.flights_led,
                 run.flights_joined,
@@ -184,6 +196,9 @@ def run_service_throughput(
                 ),
                 bytes_invariant_ok=check_bytes_invariant(manager),
                 counts_invariant_ok=check_counts_invariant(manager),
+                plan_hits=manager.plan_cache.hits,
+                plan_misses=manager.plan_cache.misses,
+                plan_stale_hits=manager.plan_cache.stale_hits,
             )
         )
     return result

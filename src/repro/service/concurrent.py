@@ -49,6 +49,8 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from collections.abc import Iterable, Sequence
 from dataclasses import replace
 
+from repro.adaptive.canonical import canonicalize
+from repro.adaptive.precompute import AdaptiveActions, AdaptivePrecomputer
 from repro.chunks.chunk import Chunk
 from repro.core.manager import (
     AggregateCache,
@@ -85,6 +87,13 @@ class ConcurrentAggregateCache:
     flight_timeout_s:
         Liveness backstop for single-flight followers; only fires if a
         leader thread died between claiming and publishing a fetch.
+    adaptive:
+        Optional :class:`~repro.adaptive.precompute.AdaptivePrecomputer`
+        over the same manager.  When attached, every served query feeds
+        its workload tracker (lock-free with respect to serving), and
+        :meth:`idle_tick` runs one promote/demote cycle under the write
+        lock — exclusive against all in-flight queries, exactly like a
+        warehouse refresh.
     """
 
     def __init__(
@@ -92,10 +101,12 @@ class ConcurrentAggregateCache:
         manager: AggregateCache,
         max_replans: int = 2,
         flight_timeout_s: float | None = 60.0,
+        adaptive: AdaptivePrecomputer | None = None,
     ) -> None:
         self.manager = manager
         self.max_replans = max_replans
         self.flight_timeout_s = flight_timeout_s
+        self.adaptive = adaptive
         self.flights = SingleFlightTable()
         self.replans = 0
         """Lifetime plan revalidations forced by racing evictions."""
@@ -177,6 +188,8 @@ class ConcurrentAggregateCache:
     def query(self, query: Query) -> QueryResult:
         """Answer one query; safe to call from any number of threads."""
         obs = self.manager.obs
+        if self.adaptive is not None:
+            self.adaptive.note_query(query)
         if obs.enabled:
             with self._inflight_lock:
                 self._inflight += 1
@@ -415,8 +428,26 @@ class ConcurrentAggregateCache:
         sliced = [_slice_chunk(chunk, cell_ranges) for chunk in result.chunks]
         return replace(result, chunks=sliced)
 
+    def query_spec(self, spec) -> QueryResult:
+        """Concurrent counterpart of :meth:`AggregateCache.query_spec`:
+        canonicalize a user-shaped spec, then serve its chunk-aligned
+        query — equivalent spellings share plan-cache memos and
+        single-flight fetches."""
+        return self.query(
+            canonicalize(self.manager.schema, spec).to_query()
+        )
+
     # ------------------------------------------------------------------ #
     # maintenance entry points (serialised against all serving)
+
+    def idle_tick(self) -> AdaptiveActions:
+        """Run one adaptive promote/demote cycle, exclusive against all
+        in-flight queries.  No-op (empty actions) without an attached
+        precomputer."""
+        if self.adaptive is None:
+            return AdaptiveActions()
+        with self._rw.write_locked():
+            return self.adaptive.run_idle_cycle()
 
     def refresh_from_backend(self, facts) -> tuple[list[int], int]:
         """Warehouse refresh, exclusive against every in-flight query."""

@@ -1,6 +1,13 @@
 """OLAP queries and query-stream generation."""
 
+from repro.workload.drift import DriftingZipfStream
 from repro.workload.query import Query
 from repro.workload.stream import QueryKind, QueryStreamGenerator, StreamMix
 
-__all__ = ["Query", "QueryKind", "QueryStreamGenerator", "StreamMix"]
+__all__ = [
+    "DriftingZipfStream",
+    "Query",
+    "QueryKind",
+    "QueryStreamGenerator",
+    "StreamMix",
+]

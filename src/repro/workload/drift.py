@@ -1,0 +1,131 @@
+"""A drifting-Zipf query workload.
+
+The adaptive precompute loop is only interesting under a workload whose
+hot set *moves*: a static skew is solved once by pre-loading, and a
+uniform workload gives adaptation nothing to exploit.  This generator
+produces the adversary the loop is designed for:
+
+* per query, a group-by level drawn from a **Zipf** distribution
+  (``P(rank r) ∝ 1/r^s``) over a permuted ranking of all lattice levels
+  — a few levels dominate, with a long tail;
+* every ``drift_every`` queries the ranking **rotates** by a third of
+  its length, so yesterday's hot levels slide into the tail and a new
+  hot set emerges — the drift that forces demotions;
+* regions are hotspot-biased towards low chunk indices (the same
+  ``power``-draw bias as :class:`QueryStreamGenerator`), keeping repeat
+  traffic concentrated enough for plan memos and pinned group-bys to
+  pay off.
+
+Deterministic for a fixed seed, like every workload generator here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.schema.cube import CubeSchema
+from repro.util.errors import ReproError
+from repro.util.rng import make_rng
+from repro.workload.query import Query
+
+
+class DriftingZipfStream:
+    """Zipf-skewed level choice over a ranking that rotates over time.
+
+    Parameters
+    ----------
+    schema:
+        The cube schema.
+    s:
+        Zipf exponent; larger is more skewed.  1.1 (the default) puts
+        roughly half the mass on the top three levels of apb_tiny.
+    drift_every:
+        Queries between ranking rotations.  Each rotation shifts the
+        ranking by ``num_levels // 3`` positions, so a former #1 level
+        needs three drifts to complete a full cycle.
+    max_extent:
+        Per-dimension region size cap in chunks.
+    hotspot:
+        In [0, 1): bias region starts towards low chunk indices.
+    seed:
+        RNG seed or generator.
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        s: float = 1.1,
+        drift_every: int = 50,
+        max_extent: int = 4,
+        hotspot: float = 0.6,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if s <= 0:
+            raise ReproError(f"zipf exponent must be positive, got {s}")
+        if drift_every <= 0:
+            raise ReproError(
+                f"drift_every must be positive, got {drift_every}"
+            )
+        if not 0.0 <= hotspot < 1.0:
+            raise ReproError(f"hotspot must be in [0, 1), got {hotspot}")
+        self.schema = schema
+        self.s = s
+        self.drift_every = drift_every
+        self.max_extent = max_extent
+        self.hotspot = hotspot
+        self.rng = make_rng(seed)
+        self._levels = list(schema.all_levels())
+        self._ranking = list(self.rng.permutation(len(self._levels)))
+        weights = 1.0 / np.arange(1, len(self._levels) + 1) ** s
+        self._probabilities = weights / weights.sum()
+        self._emitted = 0
+        self.drifts = 0
+        """Ranking rotations performed so far."""
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, count: int) -> list[Query]:
+        """``count`` queries; streaming state (drift position) carries on."""
+        return [self.next_query() for _ in range(count)]
+
+    def stream(self) -> Iterator[Query]:
+        while True:
+            yield self.next_query()
+
+    def next_query(self) -> Query:
+        if self._emitted and self._emitted % self.drift_every == 0:
+            self._drift()
+        self._emitted += 1
+        rank = int(self.rng.choice(len(self._ranking), p=self._probabilities))
+        level = self._levels[self._ranking[rank]]
+        shape = self.schema.chunk_shape(level)
+        ranges = tuple(self._extent(extent) for extent in shape)
+        return Query(level, ranges)
+
+    @property
+    def current_hot_level(self):
+        """The rank-1 level of the current ranking (tests/diagnostics)."""
+        return self._levels[self._ranking[0]]
+
+    # ------------------------------------------------------------------ #
+
+    def _drift(self) -> None:
+        """Rotate the ranking by a third: the hot set slides, it does not
+        teleport — consecutive windows share part of their tails, which
+        is what makes hysteresis (stickiness) worth having."""
+        shift = max(1, len(self._ranking) // 3)
+        self._ranking = self._ranking[shift:] + self._ranking[:shift]
+        self.drifts += 1
+
+    def _extent(self, num_chunks: int) -> tuple[int, int]:
+        limit = min(num_chunks, self.max_extent)
+        extent = int(self.rng.integers(1, limit + 1))
+        positions = num_chunks - extent + 1
+        if self.hotspot:
+            draw = 1.0 - self.rng.power(1.0 / (1.0 - self.hotspot))
+            start = min(int(draw * positions), positions - 1)
+        else:
+            start = int(self.rng.integers(0, positions))
+        return start, start + extent

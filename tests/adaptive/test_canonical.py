@@ -1,0 +1,121 @@
+"""Unit tests for the canonicalization layer's three collapses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.canonical import (
+    AVG,
+    COUNT,
+    SUM,
+    CanonicalQuery,
+    QuerySpec,
+    aggregate_answer,
+    canonicalize,
+)
+from repro.schema import apb_tiny_schema
+from repro.util.errors import SchemaError
+from repro.workload.query import Query
+
+SCHEMA = apb_tiny_schema()
+DIMS = [dim.name for dim in SCHEMA.dimensions]
+
+
+def test_commuted_group_by_dimensions_share_a_key():
+    spec_a = QuerySpec(group_by=((DIMS[0], 1), (DIMS[1], 1)))
+    spec_b = QuerySpec(group_by=((DIMS[1], 1), (DIMS[0], 1)))
+    assert canonicalize(SCHEMA, spec_a).key == canonicalize(SCHEMA, spec_b).key
+
+
+def test_unnamed_dimensions_are_fully_aggregated():
+    canonical = canonicalize(SCHEMA, QuerySpec(group_by=((DIMS[0], 1),)))
+    assert canonical.level == (1,) + (0,) * (SCHEMA.ndims - 1)
+    # and the ranges cover the whole chunk grid
+    assert canonical.chunk_ranges == tuple(
+        (0, extent) for extent in SCHEMA.chunk_shape(canonical.level)
+    )
+
+
+def test_empty_spec_is_the_apex():
+    canonical = canonicalize(SCHEMA, QuerySpec())
+    assert canonical.level == SCHEMA.apex_level
+
+
+def test_contained_ranges_snap_to_one_key():
+    """Two selections inside the same covering chunks canonicalize
+    identically — the containment collapse."""
+    dim = SCHEMA.dimensions[0]
+    level = dim.height
+    lo, hi = dim.chunk_range(level, 0)
+    if hi - lo < 2:
+        pytest.skip("first chunk too small to contain two distinct ranges")
+    wide = QuerySpec(
+        group_by=((dim.name, level),),
+        cell_ranges=((dim.name, lo, hi),),
+    )
+    narrow = QuerySpec(
+        group_by=((dim.name, level),),
+        cell_ranges=((dim.name, lo, lo + 1),),
+    )
+    assert (
+        canonicalize(SCHEMA, wide).key == canonicalize(SCHEMA, narrow).key
+    )
+
+
+def test_aggregate_is_erased_from_the_key():
+    for aggregate in (SUM, COUNT, AVG):
+        spec = QuerySpec(
+            group_by=((DIMS[0], 1),), aggregate=aggregate
+        )
+        assert (
+            canonicalize(SCHEMA, spec).key
+            == canonicalize(SCHEMA, QuerySpec(group_by=((DIMS[0], 1),))).key
+        )
+
+
+def test_to_query_round_trip():
+    canonical = canonicalize(SCHEMA, QuerySpec(group_by=((DIMS[0], 1),)))
+    query = canonical.to_query()
+    assert isinstance(query, Query)
+    assert query.level == canonical.level
+    assert query.chunk_ranges == canonical.chunk_ranges
+    keys = canonical.chunk_keys(SCHEMA)
+    assert keys == [
+        (canonical.level, n) for n in query.chunk_numbers(SCHEMA)
+    ]
+
+
+def test_canonical_query_is_hashable_single_flight_key():
+    a = CanonicalQuery((0,) * SCHEMA.ndims, ((0, 1),) * SCHEMA.ndims)
+    b = CanonicalQuery((0,) * SCHEMA.ndims, ((0, 1),) * SCHEMA.ndims)
+    assert a == b and hash(a.key) == hash(b.key)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        QuerySpec(group_by=(("nope", 0),)),
+        QuerySpec(group_by=((DIMS[0], 99),)),
+        QuerySpec(group_by=((DIMS[0], 0), (DIMS[0], 1))),
+        QuerySpec(cell_ranges=(("nope", 0, 1),)),
+        QuerySpec(aggregate="median"),
+    ],
+)
+def test_invalid_specs_raise(bad):
+    with pytest.raises(SchemaError):
+        canonicalize(SCHEMA, bad)
+
+
+def test_aggregate_answer_decomposes_avg():
+    class FakeChunk:
+        def __init__(self, values, counts):
+            import numpy as np
+
+            self.values = np.asarray(values, dtype=float)
+            self.counts = np.asarray(counts, dtype=np.int64)
+
+    chunks = [FakeChunk([10.0, 20.0], [2, 3]), FakeChunk([30.0], [5])]
+    assert aggregate_answer(chunks, SUM) == 60.0
+    assert aggregate_answer(chunks, COUNT) == 10.0
+    assert aggregate_answer(chunks, AVG) == 6.0
+    assert aggregate_answer([], AVG) == 0.0

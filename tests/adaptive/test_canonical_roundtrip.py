@@ -1,0 +1,147 @@
+"""Hypothesis round-trip suite for the canonicalizer.
+
+The property the canonical key exists to guarantee: **canonical-key
+equality implies bit-identical answers**.  Pairs of independently
+spelled but equivalent specs — commuted group-by order, different
+contained ranges snapping to the same chunks, any aggregate — must
+canonicalize to one key, and executing either spelling through the
+sequential manager or a 6-worker concurrent service must return chunks
+byte-identical to the no-cache path (the backend's own computation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BackendDatabase, CostModel, generate_fact_table
+from repro.adaptive.canonical import (
+    AGGREGATES,
+    AVG,
+    COUNT,
+    SUM,
+    QuerySpec,
+    aggregate_answer,
+    canonicalize,
+)
+from repro.core.manager import AggregateCache
+from repro.schema import apb_tiny_schema
+from repro.service.concurrent import ConcurrentAggregateCache
+
+SCHEMA = apb_tiny_schema()
+FACTS = generate_fact_table(SCHEMA, num_tuples=300, seed=99)
+BACKEND = BackendDatabase(SCHEMA, FACTS, CostModel())
+
+
+def _manager() -> AggregateCache:
+    return AggregateCache(
+        SCHEMA,
+        BACKEND,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        policy="benefit",
+        preload=False,
+    )
+
+
+# Shared across examples on purpose: cache state evolves between
+# examples, and bit-identity must hold REGARDLESS of what is resident.
+SEQUENTIAL = _manager()
+SERVICE = ConcurrentAggregateCache(_manager())
+
+
+@st.composite
+def equivalent_spec_pairs(draw):
+    """Two spellings of one semantic query."""
+    levels = [
+        draw(st.integers(0, dim.height)) for dim in SCHEMA.dimensions
+    ]
+
+    def cell_range(dim, level, chunk_lo, chunk_hi):
+        """Any ordinal range whose outward snap is [chunk_lo, chunk_hi)."""
+        lo_lo, lo_hi = dim.chunk_range(level, chunk_lo)
+        hi_lo, hi_hi = dim.chunk_range(level, chunk_hi - 1)
+        lo = draw(st.integers(lo_lo, lo_hi - 1))
+        hi = draw(st.integers(max(hi_lo, lo), hi_hi - 1)) + 1
+        return (dim.name, lo, hi)
+
+    ranges_a, ranges_b = [], []
+    for dim, level in zip(SCHEMA.dimensions, levels):
+        num_chunks = dim.num_chunks(level)
+        chunk_lo = draw(st.integers(0, num_chunks - 1))
+        chunk_hi = draw(st.integers(chunk_lo + 1, num_chunks))
+        ranges_a.append(cell_range(dim, level, chunk_lo, chunk_hi))
+        ranges_b.append(cell_range(dim, level, chunk_lo, chunk_hi))
+
+    indices = list(range(SCHEMA.ndims))
+    order_a = draw(st.permutations(indices))
+    order_b = draw(st.permutations(indices))
+
+    def spec(order, ranges, aggregate):
+        return QuerySpec(
+            group_by=tuple(
+                (SCHEMA.dimensions[i].name, levels[i]) for i in order
+            ),
+            cell_ranges=tuple(ranges[i] for i in order),
+            aggregate=aggregate,
+        )
+
+    return (
+        spec(order_a, ranges_a, draw(st.sampled_from(AGGREGATES))),
+        spec(order_b, ranges_b, draw(st.sampled_from(AGGREGATES))),
+    )
+
+
+def _reference_chunks(canonical) -> dict[int, object]:
+    """The no-cache path: every chunk computed directly by the backend."""
+    return {
+        number: BACKEND.compute_chunk(canonical.level, number)
+        for number in canonical.to_query().chunk_numbers(SCHEMA)
+    }
+
+
+def _assert_bit_identical(result, reference) -> None:
+    got = {chunk.number: chunk for chunk in result.chunks}
+    assert got.keys() == reference.keys()
+    for number, chunk in got.items():
+        expected = reference[number]
+        assert chunk.values.dtype == expected.values.dtype
+        assert np.array_equal(chunk.values, expected.values)
+        assert np.array_equal(chunk.counts, expected.counts)
+        for axis, expected_axis in zip(chunk.coords, expected.coords):
+            assert np.array_equal(axis, expected_axis)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pair=equivalent_spec_pairs())
+def test_equal_keys_imply_bit_identical_answers(pair):
+    spec_a, spec_b = pair
+    canonical_a = canonicalize(SCHEMA, spec_a)
+    canonical_b = canonicalize(SCHEMA, spec_b)
+    assert canonical_a.key == canonical_b.key, (
+        "equivalent spellings must canonicalize to one key"
+    )
+
+    reference = _reference_chunks(canonical_a)
+    # Sequential manager, both spellings.
+    for spec in (spec_a, spec_b):
+        _assert_bit_identical(SEQUENTIAL.query_spec(spec), reference)
+    # Concurrent service: 6 workers racing the same canonical query
+    # (the single-flight table dedupes the backend fetches) plus the
+    # spec entry point.
+    outcomes = SERVICE.serve([canonical_a.to_query()] * 6, workers=6)
+    for outcome in outcomes:
+        _assert_bit_identical(outcome, reference)
+    _assert_bit_identical(SERVICE.query_spec(spec_b), reference)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pair=equivalent_spec_pairs())
+def test_avg_decomposes_as_sum_over_count(pair):
+    spec, _ = pair
+    result = SEQUENTIAL.query_spec(spec)
+    total = aggregate_answer(result.chunks, SUM)
+    count = aggregate_answer(result.chunks, COUNT)
+    avg = aggregate_answer(result.chunks, AVG)
+    assert avg == (total / count if count else 0.0)

@@ -1,0 +1,193 @@
+"""AdaptivePrecomputer: warmup, pinning, drift-following and budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BackendDatabase, CostModel, generate_fact_table
+from repro.adaptive.precompute import AdaptivePrecomputer
+from repro.adaptive.tracker import WorkloadTracker
+from repro.core.manager import AggregateCache
+from repro.obs import Observability
+from repro.schema import apb_tiny_schema
+from repro.workload.query import Query
+
+SCHEMA = apb_tiny_schema()
+FACTS = generate_fact_table(SCHEMA, num_tuples=300, seed=7)
+BACKEND = BackendDatabase(SCHEMA, FACTS, CostModel())
+BASE = SCHEMA.base_level
+APEX = SCHEMA.apex_level
+
+
+def _setup(
+    capacity: int = 1 << 20,
+    obs: Observability | None = None,
+    **kwargs,
+):
+    manager = AggregateCache(
+        SCHEMA,
+        BACKEND,
+        capacity_bytes=capacity,
+        strategy="vcmc",
+        policy="benefit",
+        preload=False,
+        obs=obs,
+    )
+    tracker = WorkloadTracker(
+        SCHEMA, manager.sizes, half_life=kwargs.pop("half_life", 8.0)
+    )
+    adaptive = AdaptivePrecomputer(manager, tracker=tracker, **kwargs)
+    return manager, adaptive
+
+
+def _drive(adaptive, level, count):
+    for _ in range(count):
+        adaptive.note_query(Query.full_level(SCHEMA, level))
+
+
+def test_warmup_blocks_early_promotion():
+    _, adaptive = _setup(warmup=16)
+    _drive(adaptive, BASE, 15)
+    actions = adaptive.run_idle_cycle()
+    assert not actions.changed
+    assert adaptive.promotions == 0
+    _drive(adaptive, BASE, 1)
+    assert adaptive.run_idle_cycle().promoted
+
+
+def test_promotion_pins_resident_chunks():
+    manager, adaptive = _setup(warmup=1)
+    _drive(adaptive, BASE, 8)
+    actions = adaptive.run_idle_cycle()
+    assert BASE in actions.promoted
+    assert BASE in adaptive.pinned_levels
+    pinned = [
+        manager.cache.entry(BASE, number)
+        for number in range(SCHEMA.num_chunks(BASE))
+    ]
+    assert pinned and all(
+        entry is not None and entry.resident and entry.pinned
+        for entry in pinned
+    )
+
+
+def test_pinned_chunks_survive_churn():
+    # Capacity fits the base level plus very little else, so admitting
+    # every other level creates real eviction pressure.  Promotion pins
+    # only what actually landed (admission can reject under pressure);
+    # every one of THOSE must still be resident after the churn.
+    manager, adaptive = _setup(warmup=1, budget_fraction=0.8)
+    base_bytes = manager.sizes.level_bytes(BASE)
+    manager.cache.capacity_bytes = int(base_bytes * 1.5)
+    _drive(adaptive, BASE, 8)
+    assert BASE in adaptive.run_idle_cycle().promoted
+    pinned_numbers = list(adaptive._pinned[BASE])
+    assert pinned_numbers
+    for level in SCHEMA.all_levels():
+        if level != BASE:
+            manager.query(Query.full_level(SCHEMA, level))
+    for number in pinned_numbers:
+        entry = manager.cache.entry(BASE, number)
+        assert entry is not None and entry.resident and entry.pinned
+
+
+def test_demotion_unpins_without_evicting():
+    # Workload drifts from level A to an incomparable level B, so A's
+    # demand decays to noise.  The pin budget fits A alone but not the
+    # base level, and after the drift B's denser ancestors fill it
+    # before A's turn comes — A falls out of the winner set.  The cache
+    # itself is huge: demotion must leave A's chunks resident, merely
+    # unpinned (reclaim belongs to the replacement policy).
+    a = (SCHEMA.dimensions[0].height, SCHEMA.dimensions[1].height, 0)
+    b = (0, 0, SCHEMA.dimensions[2].height)
+    manager, adaptive = _setup(
+        warmup=1,
+        half_life=2.0,
+        stickiness=1.0,
+        budget_fraction=160 / (1 << 20),
+    )
+    _drive(adaptive, a, 8)
+    assert a in adaptive.run_idle_cycle().promoted
+    a_numbers = list(adaptive._pinned[a])
+    assert a_numbers
+    _drive(adaptive, b, 64)
+    actions = adaptive.run_idle_cycle()
+    assert a in actions.demoted
+    assert a not in adaptive.pinned_levels
+    for number in a_numbers:
+        entry = manager.cache.entry(a, number)
+        assert entry is not None and entry.resident
+        assert not entry.pinned
+
+
+def test_drift_promotes_the_new_hot_level():
+    _, adaptive = _setup(warmup=1, half_life=2.0, stickiness=1.0)
+    _drive(adaptive, BASE, 4)
+    first = adaptive.run_idle_cycle()
+    assert BASE in first.promoted
+    _drive(adaptive, APEX, 64)
+    second = adaptive.run_idle_cycle()
+    assert APEX in second.winners
+    assert APEX in adaptive.pinned_levels
+    assert adaptive.promotions >= 2
+
+
+def test_stickiness_keeps_near_tied_incumbent():
+    _, adaptive = _setup(warmup=1, half_life=1e9, stickiness=2.0)
+    # Make the cache only big enough for one of the two contenders.
+    manager = adaptive.manager
+    manager.cache.capacity_bytes = int(
+        manager.sizes.level_bytes(BASE) / adaptive.budget_fraction
+    ) + 1
+    _drive(adaptive, BASE, 10)
+    assert BASE in adaptive.run_idle_cycle().promoted
+    # A challenger with a slightly higher raw score must not displace
+    # the incumbent while the stickiness factor covers the gap.
+    _drive(adaptive, BASE, 2)
+    actions = adaptive.run_idle_cycle()
+    assert not actions.demoted
+    assert BASE in adaptive.pinned_levels
+
+
+def test_budget_fraction_bounds_the_pinned_set():
+    manager, adaptive = _setup(warmup=1, budget_fraction=0.3)
+    for level in SCHEMA.all_levels():
+        _drive(adaptive, level, 2)
+    adaptive.run_idle_cycle()
+    budget = 0.3 * manager.cache.capacity_bytes
+    used = sum(
+        manager.sizes.level_bytes(level)
+        for level in adaptive.pinned_levels
+    )
+    assert used <= budget
+
+
+def test_obs_counters_track_cycles_and_actions():
+    obs = Observability.in_memory()
+    a = (SCHEMA.dimensions[0].height, SCHEMA.dimensions[1].height, 0)
+    b = (0, 0, SCHEMA.dimensions[2].height)
+    _, adaptive = _setup(
+        obs=obs,
+        warmup=1,
+        half_life=2.0,
+        stickiness=1.0,
+        budget_fraction=160 / (1 << 20),
+    )
+    _drive(adaptive, a, 8)
+    adaptive.run_idle_cycle()
+    _drive(adaptive, b, 64)
+    adaptive.run_idle_cycle()
+    counters = obs.snapshot()["counters"]
+    assert counters["adaptive.cycles"] == 2
+    assert adaptive.promotions >= 2 and adaptive.demotions >= 1
+    assert counters["adaptive.promotions"] == adaptive.promotions
+    assert counters["adaptive.demotions"] == adaptive.demotions
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [{"budget_fraction": 0.0}, {"budget_fraction": 1.5}, {"stickiness": 0.5}],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        _setup(warmup=1, **kwargs)

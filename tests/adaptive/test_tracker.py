@@ -1,0 +1,105 @@
+"""WorkloadTracker: decay arithmetic, demand coverage and scoring."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.adaptive.tracker import WorkloadTracker
+from repro.cache.preload import benefit_density
+from repro.core.sizes import SizeEstimator
+from repro.schema import apb_tiny_schema
+
+SCHEMA = apb_tiny_schema()
+SIZES = SizeEstimator(SCHEMA, total_base_tuples=500)
+BASE = SCHEMA.base_level
+APEX = SCHEMA.apex_level
+
+
+def _tracker(half_life: float = 8.0) -> WorkloadTracker:
+    return WorkloadTracker(SCHEMA, SIZES, half_life=half_life)
+
+
+def test_mass_halves_after_half_life_idle_records():
+    tracker = _tracker(half_life=8.0)
+    tracker.record(BASE)
+    assert tracker.mass(BASE) == pytest.approx(1.0)
+    # 8 queries elsewhere = one half-life of idleness for BASE.
+    for _ in range(8):
+        tracker.record(APEX)
+    assert tracker.mass(BASE) == pytest.approx(0.5)
+    assert tracker.queries_recorded == 9
+
+
+def test_record_accumulates_on_top_of_decayed_mass():
+    tracker = _tracker(half_life=8.0)
+    tracker.record(BASE)
+    for _ in range(8):
+        tracker.record(APEX)
+    tracker.record(BASE)
+    # decayed 1.0 -> ~0.5 across the idle stretch, then one more decay
+    # step for the new tick, plus the fresh unit weight.
+    assert tracker.mass(BASE) == pytest.approx(
+        0.5 * tracker._decay + 1.0
+    )
+
+
+def test_unrecorded_level_has_zero_mass():
+    assert _tracker().mass(BASE) == 0.0
+
+
+def test_demand_covers_componentwise_lower_levels():
+    tracker = _tracker(half_life=1e9)  # effectively no decay
+    tracker.record(APEX)
+    tracker.record(BASE)
+    # The base level can answer both recorded levels; the apex only
+    # itself.
+    assert tracker.demand(BASE) == pytest.approx(2.0)
+    assert tracker.demand(APEX) == pytest.approx(1.0)
+
+
+def test_demand_excludes_incomparable_levels():
+    if SCHEMA.ndims < 2:
+        pytest.skip("needs two dimensions for incomparable levels")
+    a = (BASE[0],) + (0,) * (SCHEMA.ndims - 1)
+    b = (0, BASE[1]) + (0,) * (SCHEMA.ndims - 2)
+    tracker = _tracker(half_life=1e9)
+    tracker.record(a)
+    assert tracker.demand(b) == 0.0
+
+
+def test_score_is_demand_times_benefit_density():
+    tracker = _tracker(half_life=1e9)
+    tracker.record(BASE)
+    tracker.record(APEX)
+    for level in (BASE, APEX):
+        assert tracker.score(level) == pytest.approx(
+            tracker.demand(level) * benefit_density(SIZES, level)
+        )
+    snapshot = tracker.scores()
+    assert set(snapshot) == set(SCHEMA.all_levels())
+    assert snapshot[BASE] == pytest.approx(tracker.score(BASE))
+
+
+def test_invalid_half_life_rejected():
+    with pytest.raises(ValueError):
+        _tracker(half_life=0.0)
+
+
+def test_concurrent_records_are_not_lost():
+    tracker = _tracker(half_life=1e9)
+    per_thread = 200
+
+    def hammer():
+        for _ in range(per_thread):
+            tracker.record(BASE)
+
+    threads = [threading.Thread(target=hammer) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert tracker.queries_recorded == 6 * per_thread
+    # Negligible decay at this half-life: all mass survives.
+    assert tracker.mass(BASE) == pytest.approx(6 * per_thread, rel=1e-3)

@@ -89,6 +89,11 @@ def apply_scalar(store, op: str, keys) -> int:
 
 
 def apply_batched(store, op: str, keys) -> int:
+    # Force the vectorised wave path regardless of wave size: the oracle
+    # comparison must exercise the batched machinery, not the scalar
+    # small-wave shortcut the crossover would take for these tiny waves
+    # (the crossover itself is covered by test_batch_crossover.py).
+    store.batch_crossover = 0
     method = store.on_insert_many if op == "insert" else store.on_evict_many
     return method(keys)
 

@@ -1,11 +1,12 @@
-"""The generation-stamped plan cache.
+"""The region-scoped generation-stamped plan cache.
 
-Unit tests pin the invalidation algebra — a memo at level L is
-invalidated by chunk movement at level M iff M is a lattice ancestor of
-L (componentwise M >= L), tracked as per-level generation counters — and
-the integration tests verify the property the cache exists for: a valid
-hit skips the lattice search entirely, and a stale hit replans instead
-of serving an outdated plan.
+Unit tests pin the invalidation algebra — a memo for chunk ``(L, n)`` is
+invalidated by movement of chunk ``(M, m)`` iff M is a lattice ancestor
+of L (componentwise M >= L) AND ``m``'s chunk region overlaps the
+regions covering ``n``'s parents — and the integration tests verify the
+properties the cache exists for: a valid hit skips the lattice search
+entirely, a stale hit replans instead of serving an outdated plan, and
+movement in untouched regions causes ZERO stale replans.
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ from repro import (
 )
 from repro.cache.replacement import make_policy
 from repro.cache.store import ChunkCache
-from repro.core.plans import PlanCache, PlanNode
+from repro.core.plans import PlanCache, PlanNode, PlanOutcome
 from repro.core.sizes import SizeEstimator
 from repro.core.strategies import make_strategy
 from repro.schema import apb_tiny_schema
@@ -42,26 +43,28 @@ def test_hit_returns_stored_plan(plan_cache, schema):
     apex = tuple(0 for _ in schema.base_level)
     plan = PlanNode.leaf(apex, 0)
     plan_cache.store(apex, 0, plan)
-    found, got = plan_cache.lookup(apex, 0)
-    assert found and got is plan
+    outcome, got = plan_cache.lookup(apex, 0)
+    assert outcome is PlanOutcome.HIT and got is plan
     assert plan_cache.hits == 1 and plan_cache.misses == 0
 
 
 def test_none_verdicts_are_memoised(plan_cache, schema):
     apex = tuple(0 for _ in schema.base_level)
-    assert plan_cache.lookup(apex, 0) == (False, None)
+    assert plan_cache.lookup(apex, 0) == (PlanOutcome.MISS, None)
     plan_cache.store(apex, 0, None)
-    found, got = plan_cache.lookup(apex, 0)
-    assert found and got is None
+    outcome, got = plan_cache.lookup(apex, 0)
+    assert outcome is PlanOutcome.HIT and got is None
     assert plan_cache.misses == 1 and plan_cache.hits == 1
 
 
 def test_ancestor_movement_invalidates(plan_cache, schema):
-    """Base-level movement can change the answer for every level."""
+    """Base-level movement can change the answer for every level: the
+    apex chunk's parents span every base region, so ANY base bump lands
+    in its dependency set."""
     apex = tuple(0 for _ in schema.base_level)
     plan_cache.store(apex, 0, PlanNode.leaf(apex, 0))
-    plan_cache.bump([schema.base_level])
-    assert plan_cache.lookup(apex, 0) == (False, None)
+    plan_cache.bump([(schema.base_level, 0)])
+    assert plan_cache.lookup(apex, 0) == (PlanOutcome.STALE, None)
     assert plan_cache.stale_hits == 1
     assert len(plan_cache) == 0, "stale entries are dropped, not kept"
 
@@ -73,30 +76,85 @@ def test_non_ancestor_movement_preserves(plan_cache, schema):
     assert apex != base
     plan = PlanNode.leaf(base, 0)
     plan_cache.store(base, 0, plan)
-    plan_cache.bump([apex])
-    found, got = plan_cache.lookup(base, 0)
-    assert found and got is plan
+    plan_cache.bump([(apex, 0)])
+    outcome, got = plan_cache.lookup(base, 0)
+    assert outcome is PlanOutcome.HIT and got is plan
     assert plan_cache.stale_hits == 0
+
+
+def test_untouched_region_movement_preserves(plan_cache, schema):
+    """The storm fix: same-level movement in a DIFFERENT chunk region
+    leaves the memo valid — zero stale replans on untouched regions."""
+    base = schema.base_level
+    last = schema.num_chunks(base) - 1
+    assert plan_cache._region_index(base, 0) != plan_cache._region_index(
+        base, last
+    ), "fixture schema must give the base level at least two regions"
+    plan = PlanNode.leaf(base, 0)
+    plan_cache.store(base, 0, plan)
+    plan_cache.bump([(base, last)])
+    outcome, got = plan_cache.lookup(base, 0)
+    assert outcome is PlanOutcome.HIT and got is plan
+    assert plan_cache.stale_hits == 0
+
+
+def test_same_region_movement_invalidates(plan_cache, schema):
+    base = schema.base_level
+    plan_cache.store(base, 0, PlanNode.leaf(base, 0))
+    plan_cache.bump([(base, 0)])
+    assert plan_cache.lookup(base, 0) == (PlanOutcome.STALE, None)
+
+
+def test_single_region_reproduces_legacy_per_level_scheme(schema):
+    """``max_regions_per_level=1`` collapses region scoping back to the
+    seed's per-level generation counters: ANY movement at an ancestor
+    level invalidates, however far away."""
+    cache = PlanCache(schema, max_regions_per_level=1)
+    base = schema.base_level
+    last = schema.num_chunks(base) - 1
+    cache.store(base, 0, PlanNode.leaf(base, 0))
+    cache.bump([(base, last)])
+    assert cache.lookup(base, 0) == (PlanOutcome.STALE, None)
+    assert cache.num_regions == schema.num_levels
 
 
 def test_restore_after_bump_is_valid_again(plan_cache, schema):
     apex = tuple(0 for _ in schema.base_level)
     plan_cache.store(apex, 0, PlanNode.leaf(apex, 0))
-    plan_cache.bump([schema.base_level])
-    assert plan_cache.lookup(apex, 0) == (False, None)
+    plan_cache.bump([(schema.base_level, 0)])
+    assert plan_cache.lookup(apex, 0) == (PlanOutcome.STALE, None)
     plan = PlanNode.leaf(apex, 0)
     plan_cache.store(apex, 0, plan)
-    assert plan_cache.lookup(apex, 0) == (True, plan)
+    assert plan_cache.lookup(apex, 0) == (PlanOutcome.HIT, plan)
+
+
+def test_bump_batches_distinct_regions_once(plan_cache, schema):
+    """A wave bump advances each touched region's generation exactly
+    once, so a wave of many chunks in one region costs one increment."""
+    base = schema.base_level
+    index = plan_cache._region_index(base, 0)
+    before = int(plan_cache._gens[index])
+    same_region = [
+        (base, n)
+        for n in range(schema.num_chunks(base))
+        if plan_cache._region_index(base, n) == index
+    ]
+    assert len(same_region) >= 1
+    plan_cache.bump(same_region * 3)
+    assert int(plan_cache._gens[index]) == before + 1
 
 
 def test_fifo_cap_drops_oldest(schema):
     cache = PlanCache(schema, max_entries=3)
-    apex = tuple(0 for _ in schema.base_level)
+    base = schema.base_level
+    assert schema.num_chunks(base) >= 4
     for number in range(4):
-        cache.store(apex, number, None)
+        cache.store(base, number, None)
     assert len(cache) == 3
-    assert cache.lookup(apex, 0) == (False, None), "oldest memo dropped"
-    assert cache.lookup(apex, 3)[0], "newest memo kept"
+    assert cache.lookup(base, 0) == (PlanOutcome.MISS, None), (
+        "oldest memo dropped"
+    )
+    assert cache.lookup(base, 3)[0] is PlanOutcome.HIT, "newest memo kept"
 
 
 def test_hit_ratio_accounts_all_outcomes(plan_cache, schema):
@@ -104,9 +162,27 @@ def test_hit_ratio_accounts_all_outcomes(plan_cache, schema):
     plan_cache.lookup(apex, 0)                      # miss
     plan_cache.store(apex, 0, None)
     plan_cache.lookup(apex, 0)                      # hit
-    plan_cache.bump([schema.base_level])
+    plan_cache.bump([(schema.base_level, 0)])
     plan_cache.lookup(apex, 0)                      # stale
+    assert plan_cache.lookups == 3
     assert plan_cache.hit_ratio == pytest.approx(1 / 3)
+
+
+def test_stats_reports_honest_accounting(plan_cache, schema):
+    apex = tuple(0 for _ in schema.base_level)
+    plan_cache.lookup(apex, 0)
+    plan_cache.store(apex, 0, None)
+    plan_cache.lookup(apex, 0)
+    plan_cache.bump([(schema.base_level, 0)])
+    plan_cache.lookup(apex, 0)
+    stats = plan_cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["stale_hits"] == 1
+    assert stats["lookups"] == stats["hits"] + stats["misses"] + stats[
+        "stale_hits"
+    ]
+    assert stats["hit_ratio"] == pytest.approx(1 / 3)
 
 
 # ---------------------------------------------------------------------- #
@@ -161,6 +237,25 @@ def test_stale_plan_cache_entry_replans(schema):
             assert (leaf.level, leaf.number) != (schema.base_level, 0)
 
 
+def test_far_region_eviction_keeps_memo_valid(schema):
+    """End to end on a real strategy: evicting a base chunk in a far
+    region does not invalidate a same-level memo — the lookup stays a
+    HIT with zero lattice visits."""
+    strategy = loaded_strategy(schema, with_plan_cache=True)
+    base = schema.base_level
+    last = schema.num_chunks(base) - 1
+    cache = strategy.plan_cache
+    if cache._region_index(base, 0) == cache._region_index(base, last):
+        pytest.skip("schema too small for distinct base regions")
+    strategy.find(base, 0)
+    strategy.on_evict(base, last)
+    visits_before = strategy.total_visits
+    plan = strategy.find(base, 0)
+    assert plan is not None and plan.is_leaf
+    assert cache.stale_hits == 0
+    assert strategy.total_visits == visits_before
+
+
 def test_bare_strategy_visit_counts_unchanged(schema):
     """Without a plan cache every find walks the lattice — the setting
     the paper's measured visit counts (test_complexity) rely on."""
@@ -200,6 +295,15 @@ def test_manager_plan_cache_opt_out(tiny_schema, tiny_facts):
     assert manager.strategy.plan_cache is None
 
 
+def test_manager_accepts_ready_plan_cache_instance(tiny_schema, tiny_facts):
+    """Passing a configured instance (e.g. legacy single-region) wires it
+    into both the manager and the strategy."""
+    cache = PlanCache(tiny_schema, max_regions_per_level=1)
+    manager = make_manager(tiny_schema, tiny_facts, plan_cache=cache)
+    assert manager.plan_cache is cache
+    assert manager.strategy.plan_cache is cache
+
+
 def test_repeated_query_hits_plan_cache_and_counters(
     tiny_schema, tiny_facts
 ):
@@ -214,6 +318,37 @@ def test_repeated_query_hits_plan_cache_and_counters(
     counters = obs.snapshot()["counters"]
     assert counters["lookup.plan_cache.hits"] > 0
     assert counters["lookup.plan_cache.misses"] > 0
+
+
+def test_stale_hits_counted_apart_from_misses(tiny_schema, tiny_facts):
+    """The honesty satellite: stale hits surface under their own obs
+    counter, never folded into misses."""
+    obs = Observability.in_memory()
+    manager = make_manager(tiny_schema, tiny_facts, obs=obs)
+    base = tiny_schema.base_level
+    query = Query.full_level(tiny_schema, base)
+    manager.query(query)
+    manager.query(query)  # admissions from query 1 made these stale
+    manager.query(query)  # generations quiet: genuine hits
+    # Force movement across every base region so the memoised verdicts
+    # go stale, then look them up again.
+    victims = [
+        (base, number) for number in range(tiny_schema.num_chunks(base))
+        if manager.cache.contains(base, number)
+    ]
+    manager.cache.evict_many(victims)
+    manager.strategy.on_evict_many(victims)
+    stale_before = manager.plan_cache.stale_hits
+    manager.query(query)
+    assert manager.plan_cache.stale_hits > stale_before
+    counters = obs.snapshot()["counters"]
+    assert counters["lookup.plan_cache.stale_hits"] > 0
+    assert (
+        counters.get("lookup.plan_cache.hits", 0)
+        + counters.get("lookup.plan_cache.misses", 0)
+        + counters["lookup.plan_cache.stale_hits"]
+        == manager.plan_cache.lookups
+    )
 
 
 def test_plan_cache_results_match_opt_out_manager(tiny_schema, tiny_facts):

@@ -1,0 +1,79 @@
+"""DriftingZipfStream: determinism, skew, drift and query validity."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.schema import apb_tiny_schema
+from repro.util.errors import ReproError
+from repro.workload.drift import DriftingZipfStream
+
+SCHEMA = apb_tiny_schema()
+
+
+def test_same_seed_same_stream():
+    a = DriftingZipfStream(SCHEMA, seed=11).generate(200)
+    b = DriftingZipfStream(SCHEMA, seed=11).generate(200)
+    assert a == b
+
+
+def test_different_seeds_diverge():
+    a = DriftingZipfStream(SCHEMA, seed=1).generate(100)
+    b = DriftingZipfStream(SCHEMA, seed=2).generate(100)
+    assert a != b
+
+
+def test_queries_are_schema_valid():
+    stream = DriftingZipfStream(SCHEMA, seed=3, max_extent=4)
+    for query in stream.generate(300):
+        shape = SCHEMA.chunk_shape(query.level)
+        for (lo, hi), extent in zip(query.chunk_ranges, shape):
+            assert 0 <= lo < hi <= extent
+            assert hi - lo <= stream.max_extent
+
+
+def test_zipf_skews_towards_the_hot_level():
+    stream = DriftingZipfStream(
+        SCHEMA, s=1.5, drift_every=10_000, seed=5
+    )
+    hot = stream.current_hot_level
+    counts = Counter(q.level for q in stream.generate(500))
+    assert counts[hot] == max(counts.values())
+    # Clearly skewed: the hot level beats a uniform share by a margin.
+    assert counts[hot] > 2 * 500 / len(list(SCHEMA.all_levels()))
+
+
+def test_drift_rotates_the_ranking_on_schedule():
+    stream = DriftingZipfStream(SCHEMA, drift_every=25, seed=7)
+    before = stream.current_hot_level
+    stream.generate(25)
+    assert stream.drifts == 0  # rotation happens ON the next emission
+    stream.generate(1)
+    assert stream.drifts == 1
+    assert stream.current_hot_level != before
+    stream.generate(3 * 25)
+    assert stream.drifts == 4
+
+
+def test_hot_set_slides_rather_than_teleports():
+    """Consecutive rankings share their untouched middle — hysteresis
+    has something to hold on to."""
+    stream = DriftingZipfStream(SCHEMA, drift_every=1, seed=13)
+    ranking_before = list(stream._ranking)
+    stream.generate(2)  # second emission triggers the first drift
+    assert stream.drifts == 1
+    shift = max(1, len(ranking_before) // 3)
+    assert stream._ranking == (
+        ranking_before[shift:] + ranking_before[:shift]
+    )
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [{"s": 0.0}, {"drift_every": 0}, {"hotspot": 1.0}, {"hotspot": -0.1}],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ReproError):
+        DriftingZipfStream(SCHEMA, **kwargs)
