@@ -1,0 +1,86 @@
+"""Delta-refresh benchmark: patch-wave vs evict-and-refetch appends.
+
+Runs every refresh mode on identically warmed managers and gates the
+tentpole claims: the patch wave preserves the warm resident set (>= 80%
+survival where eviction destroys every overlapping chunk), costs no more
+backend work on the post-refresh replay than evicting did, and — the
+unconditional part — every answer after every mode is cell-for-cell
+identical to a backend rebuilt from the merged post-append fact table.
+Writes ``results/BENCH_delta.json``, the artifact CI uploads.  See
+``docs/updates.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.harness.delta_bench import run_delta_benchmark
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_delta_refresh_vs_evict(benchmark, config, emit, strict):
+    result = benchmark.pedantic(
+        lambda: run_delta_benchmark(config),
+        rounds=1,
+        iterations=1,
+    )
+    emit("delta_bench", result.format())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = result.write_json(RESULTS_DIR / "BENCH_delta.json")
+    payload = json.loads(out.read_text())
+    assert {arm["mode"] for arm in payload["arms"]} == {
+        "delta", "refetch", "evict",
+    }, "missing benchmark arms"
+
+    # Correctness is unconditional: every mode, every replayed query,
+    # cell-for-cell equal to the merged-fact-table rebuild — which makes
+    # the arms identical to each other too.
+    assert result.answers_identical, (
+        "a refresh mode produced answers differing from the "
+        "post-append fact-table rebuild"
+    )
+
+    delta = result.arm("delta")
+    refetch = result.arm("refetch")
+    evict = result.arm("evict")
+
+    # The append is the acceptance scenario: small and localized.  The
+    # tiny config's 8-chunk base level cannot express 10% (one chunk is
+    # 12.5%), so the ceiling scales with granularity.
+    max_fraction = max(0.10, 1.5 / max(result.base_chunks, 1))
+    assert result.affected_fraction <= max_fraction, (
+        f"append touched {result.affected_fraction:.0%} of base chunks; "
+        "the benchmark scenario requires a localized append"
+    )
+
+    # The tentpole: in-place patching preserves the warm resident set.
+    assert delta.survival >= 0.8, (
+        f"patch wave kept only {delta.survival:.0%} of resident chunks"
+    )
+    assert refetch.survival >= 0.8
+    assert delta.survivors >= evict.survivors
+
+    # The wave must actually patch (the warm cache overlaps the append),
+    # and eviction must actually evict — otherwise the comparison is
+    # measuring nothing.
+    assert delta.patched > 0
+    assert evict.evicted > 0
+
+    # Replaying the warm stream after patching must need no more backend
+    # work than after evicting: both the chunk count and the simulated
+    # backend charge (the stable cost-model milliseconds) are gated.
+    assert delta.replay_backend_chunks <= evict.replay_backend_chunks
+    assert delta.replay_backend_ms <= evict.replay_backend_ms * 1.01, (
+        f"patched replay backend cost {delta.replay_backend_ms:.2f}ms "
+        f"exceeds evicted replay {evict.replay_backend_ms:.2f}ms"
+    )
+
+    if strict:
+        # At full scale the resident-heavy cache makes the survival gap
+        # the headline: eviction must actually lose chunks the patch
+        # wave keeps, and the patched replay must answer strictly more
+        # from the cache.
+        assert evict.survival < delta.survival
+        assert delta.replay_backend_chunks < evict.replay_backend_chunks

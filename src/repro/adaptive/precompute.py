@@ -119,6 +119,41 @@ class AdaptivePrecomputer:
     def pinned_levels(self) -> tuple[Level, ...]:
         return tuple(self._pinned)
 
+    def reconcile_pins(self) -> int:
+        """Drop pin bookkeeping for chunks that are no longer resident.
+
+        Pinning protects chunks from the replacement policy's victim
+        sweep, but *forced* eviction
+        (:meth:`AggregateCache.invalidate_base_chunks`, capacity overflow
+        during a patch wave) removes pinned entries too.  Without
+        reconciliation the stale entry makes this loop believe the level
+        is still fully promoted: it never re-promotes (the level stays in
+        ``_pinned``) and a later demotion quietly no-ops on the missing
+        chunks.  A level that lost every chunk is forgotten entirely, so
+        the next cycle can promote it from scratch; partial survivors
+        keep the level pinned with the surviving numbers only.  Returns
+        the number of stale chunk entries dropped.
+        """
+        cache = self.manager.cache
+        dropped = 0
+        for level in list(self._pinned):
+            numbers = self._pinned[level]
+            survivors = []
+            for number in numbers:
+                entry = cache.entry(level, number)
+                if entry is not None and entry.resident:
+                    survivors.append(number)
+            dropped += len(numbers) - len(survivors)
+            if survivors:
+                self._pinned[level] = survivors
+            else:
+                del self._pinned[level]
+        if dropped and self.manager.obs.enabled:
+            self.manager.obs.metrics.counter(
+                "adaptive.stale_pins_dropped"
+            ).inc(dropped)
+        return dropped
+
     # ------------------------------------------------------------------ #
     # the idle cycle
 
@@ -127,6 +162,10 @@ class AdaptivePrecomputer:
         to the manager (see module docstring)."""
         manager = self.manager
         self.cycles += 1
+        # Forced evictions (refresh invalidation, patch-wave overflow) may
+        # have removed pinned chunks behind our back; reconcile first so
+        # winner selection and promotion see honest pin state.
+        self.reconcile_pins()
         if self.tracker.queries_recorded < self.warmup:
             return AdaptiveActions()
         scores = self.tracker.scores()

@@ -49,6 +49,28 @@ class BackendRequestStats:
 
 
 @dataclass
+class AppendOutcome:
+    """Everything one append changed, for incremental delta maintenance.
+
+    ``deltas`` holds the appended batch clustered into base-level chunks
+    — exactly the rows that arrived, NOT the merged store contents — so a
+    middle tier can roll each delta up the lattice and patch resident
+    aggregates in place (additive measures) instead of evicting them.
+    """
+
+    affected: list[int]
+    """Base chunk numbers whose contents changed, ascending."""
+    deltas: dict[int, Chunk]
+    """The appended rows clustered by base chunk number."""
+    created: list[int]
+    """The subset of ``affected`` that did not exist before the append."""
+    tuples_added: int
+    """Net growth in distinct base cells."""
+    generation: int
+    """The backend's refresh generation after this append."""
+
+
+@dataclass
 class BackendTotals:
     """Lifetime counters for one backend instance."""
 
@@ -62,6 +84,49 @@ class BackendTotals:
         self.chunks_served += stats.chunks_requested
         self.tuples_scanned += stats.tuples_scanned
         self.total_ms += stats.total_ms
+
+
+@dataclass(frozen=True, slots=True)
+class _BaseStore:
+    """One immutable generation of the chunked base-fact file.
+
+    ``apply_append`` never mutates a published store: it builds the
+    merged successor aside and swaps the backend's ``_store`` reference
+    in one assignment (atomic under the GIL).  A reader that captures
+    the reference once therefore sees a single consistent generation
+    for its whole scan, even while an append lands concurrently — the
+    service layer's phase-3 backend fetches deliberately run outside
+    every lock, so they rely on exactly this.
+    """
+
+    chunks: dict[int, Chunk]
+    numbers: np.ndarray
+    """Sorted non-empty base-chunk numbers (vectorised membership)."""
+
+    @classmethod
+    def from_chunks(cls, chunks: dict[int, Chunk]) -> _BaseStore:
+        return cls(
+            chunks=chunks,
+            numbers=np.fromiter(
+                sorted(chunks), dtype=np.int64, count=len(chunks)
+            ),
+        )
+
+    def stored_mask(self, numbers: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``numbers`` name a stored base chunk.
+
+        One ``searchsorted`` against the sorted stored-number array,
+        replacing a Python loop of per-element dict probes on the fetch
+        hot path.
+        """
+        stored = self.numbers
+        mask = np.zeros(len(numbers), dtype=bool)
+        if stored.size == 0:
+            return mask
+        idx = np.searchsorted(stored, numbers)
+        in_bounds = idx < stored.size
+        mask[in_bounds] = stored[idx[in_bounds]] == numbers[in_bounds]
+        return mask
 
 
 class BackendDatabase:
@@ -88,20 +153,49 @@ class BackendDatabase:
         cost_model: CostModel | None = None,
         obs: Observability | None = None,
     ) -> None:
-        if facts.schema is not schema:
-            raise ReproError("fact table was generated for a different schema")
         self.schema = schema
+        self._fingerprint: str | None = None
+        self._check_schema(facts)
         self.cost_model = cost_model or CostModel()
         self.obs = obs or NULL_OBS
         self.totals = BackendTotals()
-        self._base_chunks = self._cluster_facts(facts)
-        self._stored_numbers = self._sorted_chunk_numbers()
+        self._store = _BaseStore.from_chunks(self._cluster_facts(facts))
         self._num_tuples = facts.num_tuples
+        self.refresh_generation = 0
+        """Monotone append counter.  Snapshots are stamped with it so a
+        restore can detect that the warehouse has grown since the save
+        (see :mod:`repro.cache.snapshot`)."""
         self._totals_lock = threading.Lock()
         """Concurrent fetches (the service layer issues them outside any
         cache lock) serialise only their lifetime-counter updates; the
-        scans themselves run in parallel.  ``append`` is NOT safe against
-        concurrent fetches — refreshes must be externally quiesced."""
+        scans themselves run in parallel.  ``apply_append`` publishes a
+        new :class:`_BaseStore` with one reference assignment, so an
+        in-flight fetch reads either the pre- or the post-append store —
+        never a half-merged mix.  Appends racing *each other* are still
+        the caller's problem (the service layer's write lock serialises
+        them)."""
+
+    def _check_schema(self, facts: FactTable) -> None:
+        """Reject fact tables built for a different cube.
+
+        Identity is only a fast path: a table round-tripped through
+        :func:`~repro.backend.storage.load_fact_table` (or generated
+        against a separately constructed but structurally identical
+        schema) carries a *different* schema object describing the *same*
+        cube.  Equality is judged by
+        :func:`~repro.backend.storage.schema_fingerprint`, which hashes
+        everything chunk addressing depends on.
+        """
+        if facts.schema is self.schema:
+            return
+        from repro.backend.storage import schema_fingerprint
+
+        if self._fingerprint is None:
+            self._fingerprint = schema_fingerprint(self.schema)
+        if schema_fingerprint(facts.schema) != self._fingerprint:
+            raise ReproError(
+                "fact table was generated for a different schema"
+            )
 
     def _cluster_facts(self, facts: FactTable) -> dict[int, Chunk]:
         """Split the fact table into base-level chunks (the chunked file)."""
@@ -129,28 +223,6 @@ class BackendDatabase:
             )
         return chunks
 
-    def _sorted_chunk_numbers(self) -> np.ndarray:
-        """Sorted non-empty base-chunk numbers (vectorised membership)."""
-        return np.fromiter(
-            sorted(self._base_chunks), dtype=np.int64, count=len(self._base_chunks)
-        )
-
-    def _stored_mask(self, numbers: np.ndarray) -> np.ndarray:
-        """Boolean mask: which of ``numbers`` name a stored base chunk.
-
-        One ``searchsorted`` against the sorted stored-number array,
-        replacing a Python loop of per-element dict probes on the fetch
-        hot path.
-        """
-        stored = self._stored_numbers
-        mask = np.zeros(len(numbers), dtype=bool)
-        if stored.size == 0:
-            return mask
-        idx = np.searchsorted(stored, numbers)
-        in_bounds = idx < stored.size
-        mask[in_bounds] = stored[idx[in_bounds]] == numbers[in_bounds]
-        return mask
-
     # ------------------------------------------------------------------ #
     # introspection
 
@@ -165,7 +237,7 @@ class BackendDatabase:
 
     def base_chunk(self, number: int) -> Chunk:
         """The stored base chunk (empty chunk if no facts fall in it)."""
-        chunk = self._base_chunks.get(number)
+        chunk = self._store.chunks.get(number)
         if chunk is None:
             return Chunk.empty(
                 self.schema.base_level,
@@ -177,7 +249,7 @@ class BackendDatabase:
 
     def base_chunk_numbers(self) -> list[int]:
         """Numbers of the non-empty base chunks, ascending."""
-        return sorted(self._base_chunks)
+        return self._store.numbers.tolist()
 
     # ------------------------------------------------------------------ #
     # serving requests
@@ -203,6 +275,10 @@ class BackendDatabase:
         failpoint("backend.fetch", chunks=len(requests))
         watch = Stopwatch()
         results: list[Chunk | None] = [None] * len(requests)
+        # One snapshot for the whole request: a concurrent append swaps
+        # in a new store, but every chunk answered here comes from the
+        # same generation.
+        store = self._store
         base = self.schema.base_level
         by_level: dict[Level, list[int]] = {}
         for index, (level, _) in enumerate(requests):
@@ -216,8 +292,8 @@ class BackendDatabase:
                 covering = self.schema.get_parent_chunk_numbers(
                     level, number, base
                 )
-                present = covering[self._stored_mask(covering)]
-                sources = [self._base_chunks[int(n)] for n in present]
+                present = covering[store.stored_mask(covering)]
+                sources = [store.chunks[int(n)] for n in present]
                 sources_per_target.append(sources)
                 scanned_per_target.append(sum(c.size_tuples for c in sources))
             chunks = rollup_many(
@@ -269,20 +345,36 @@ class BackendDatabase:
         """Merge new fact rows into the store (warehouse refresh).
 
         Returns the base chunk numbers whose contents changed — the set a
-        middle tier must invalidate (see
+        middle tier must reconcile (see
         :meth:`AggregateCache.refresh_from_backend`).  Duplicate cells
-        merge additively, exactly like the initial load.
+        merge additively, exactly like the initial load.  Thin wrapper
+        over :meth:`apply_append` for callers that only need the numbers.
         """
-        if facts.schema is not self.schema:
-            raise ReproError("appended facts were generated for a different schema")
+        return self.apply_append(facts).affected
+
+    def apply_append(self, facts: FactTable) -> AppendOutcome:
+        """Merge new fact rows and return the full :class:`AppendOutcome`.
+
+        Beyond the affected chunk numbers, the outcome carries the
+        appended batch clustered into per-base-chunk *delta* chunks —
+        the raw material for a middle tier's roll-up patch wave — and
+        bumps :attr:`refresh_generation`.
+        """
+        self._check_schema(facts)
         incoming = self._cluster_facts(facts)
         affected = []
+        created = []
         delta = 0
+        # Copy-on-write: merge into a successor dict and publish it as
+        # one atomic reference swap, so lock-free in-flight fetches keep
+        # reading the previous generation (see _BaseStore).
+        merged_chunks = dict(self._store.chunks)
         for number, new_chunk in incoming.items():
-            existing = self._base_chunks.get(number)
+            existing = merged_chunks.get(number)
             if existing is None:
-                self._base_chunks[number] = new_chunk
+                merged_chunks[number] = new_chunk
                 delta += new_chunk.size_tuples
+                created.append(number)
             else:
                 merged = rollup_chunks(
                     self.schema,
@@ -292,14 +384,33 @@ class BackendDatabase:
                     origin=ChunkOrigin.BACKEND,
                 )
                 merged.compute_cost = 0.0
-                self._base_chunks[number] = merged
+                merged_chunks[number] = merged
                 delta += merged.size_tuples - existing.size_tuples
             affected.append(number)
+        self._store = _BaseStore.from_chunks(merged_chunks)
         # O(affected) maintenance: the tuple count moves by each touched
         # chunk's size change instead of being re-summed over every chunk.
         self._num_tuples += delta
-        self._stored_numbers = self._sorted_chunk_numbers()
-        return sorted(affected)
+        self.refresh_generation += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("backend.appends").inc()
+            self.obs.metrics.counter("backend.appended_chunks").inc(
+                len(affected)
+            )
+            self.obs.tracer.emit(
+                "backend.append",
+                affected=len(affected),
+                created=len(created),
+                tuples_added=delta,
+                generation=self.refresh_generation,
+            )
+        return AppendOutcome(
+            affected=sorted(affected),
+            deltas=incoming,
+            created=sorted(created),
+            tuples_added=delta,
+            generation=self.refresh_generation,
+        )
 
     def compute_chunk(self, level: Level, number: int) -> Chunk:
         """Compute one chunk without cost accounting (test/preload helper)."""

@@ -110,6 +110,60 @@ def generate_fact_table(
     )
 
 
+def merge_fact_tables(parts: "list[FactTable]") -> FactTable:
+    """Concatenate fact tables into one, merging duplicate cells additively.
+
+    The post-append "fact file": appending ``parts[1:]`` to a backend
+    holding ``parts[0]`` leaves the store equal (cell for cell) to a
+    fresh load of the merged table — refresh correctness oracles rebuild
+    from it.  All parts must describe the same cube; the first part's
+    schema object is reused for the result.
+    """
+    if not parts:
+        raise ReproError("merge_fact_tables needs at least one fact table")
+    schema = parts[0].schema
+    if len(parts) > 1:
+        from repro.backend.storage import schema_fingerprint
+
+        fingerprints = {schema_fingerprint(p.schema) for p in parts}
+        if len(fingerprints) > 1:
+            raise ReproError("fact tables describe different schemas")
+    coords = tuple(
+        np.concatenate([p.coords[d] for p in parts])
+        for d in range(schema.ndims)
+    )
+    values = np.concatenate([p.values for p in parts])
+    counts = np.concatenate([p.counts for p in parts])
+    extras = tuple(
+        np.concatenate([p.extras[m] for p in parts])
+        for m in range(schema.num_extra_measures)
+    )
+    cell_shape = schema.chunks.cell_shape(schema.base_level)
+    flat = np.ravel_multi_index(coords, cell_shape)
+    unique_flat, inverse = np.unique(flat, return_inverse=True)
+    merged_values = np.bincount(
+        inverse, weights=values, minlength=len(unique_flat)
+    )
+    merged_counts = np.bincount(
+        inverse, weights=counts.astype(np.float64), minlength=len(unique_flat)
+    )
+    merged_extras = tuple(
+        np.bincount(inverse, weights=extra, minlength=len(unique_flat))
+        for extra in extras
+    )
+    merged_coords = tuple(
+        axis.astype(np.int64)
+        for axis in np.unravel_index(unique_flat, cell_shape)
+    )
+    return FactTable(
+        schema=schema,
+        coords=merged_coords,
+        values=merged_values.astype(np.float64),
+        counts=np.rint(merged_counts).astype(np.int64),
+        extras=tuple(e.astype(np.float64) for e in merged_extras),
+    )
+
+
 def _uniform_coords(
     schema: CubeSchema, num_tuples: int, rng: np.random.Generator, skew: float
 ) -> list[np.ndarray]:

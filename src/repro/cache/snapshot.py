@@ -19,19 +19,29 @@ from repro.faults.errors import CorruptChunkError
 from repro.faults.registry import failpoint
 from repro.util.errors import ReproError
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def save_cache_snapshot(manager: AggregateCache, path: str | Path) -> int:
     """Write every resident chunk (with origin and benefit) to ``path``.
 
+    The snapshot is stamped with the backend's *refresh generation* —
+    the monotone counter :meth:`BackendDatabase.apply_append` bumps on
+    every append.  A snapshot written before an append is a picture of
+    the cache over the *old* fact table; silently restoring it over the
+    grown backend would serve stale aggregates forever (no refresh ever
+    tells the restored chunks they are behind).  The loader therefore
+    rejects a snapshot whose generation does not match the live backend.
+
     Returns the number of chunks saved.
     """
     entries = list(manager.cache.entries())
+    generation = int(getattr(manager.backend, "refresh_generation", 0))
     arrays: dict[str, np.ndarray] = {
         "version": np.asarray([_FORMAT_VERSION]),
         "count": np.asarray([len(entries)]),
         "ndims": np.asarray([manager.schema.ndims]),
+        "generation": np.asarray([generation]),
     }
     metadata = []
     for i, entry in enumerate(entries):
@@ -83,7 +93,7 @@ def load_cache_snapshot(manager: AggregateCache, path: str | Path) -> int:
     """
     with np.load(Path(path), allow_pickle=True) as data:
         version = int(data["version"][0])
-        if version != _FORMAT_VERSION:
+        if version not in (1, _FORMAT_VERSION):
             raise ReproError(
                 f"cache snapshot {path} has format version {version}, "
                 f"this build reads {_FORMAT_VERSION}"
@@ -94,6 +104,19 @@ def load_cache_snapshot(manager: AggregateCache, path: str | Path) -> int:
             raise ReproError(
                 f"cache snapshot {path} has {ndims} dimensions, the "
                 f"schema has {manager.schema.ndims}"
+            )
+        # Version-1 snapshots predate generation stamping; they could
+        # only have been written against a never-appended backend, so
+        # treat them as generation 0 and let the same check below decide.
+        snap_gen = int(data["generation"][0]) if version >= 2 else 0
+        live_gen = int(getattr(manager.backend, "refresh_generation", 0))
+        if snap_gen != live_gen:
+            raise ReproError(
+                f"cache snapshot {path} was taken at backend refresh "
+                f"generation {snap_gen}, but the backend is now at "
+                f"generation {live_gen}: the fact table changed since the "
+                "snapshot and its chunks would silently serve stale "
+                "aggregates — re-warm the cache instead of restoring"
             )
         restored = 0
         skipped = 0

@@ -321,6 +321,76 @@ class ChunkCache:
                 entries.append(entry)
             return [self._remove_entry(entry) for entry in entries]
 
+    def replace_many(
+        self, replacements: Iterable[tuple[Key, Chunk]]
+    ) -> list[Chunk]:
+        """Swap resident chunks' payloads in place (delta patch wave).
+
+        Each replacement chunk must carry the same key as the entry it
+        replaces; every other piece of entry state — benefit, pin, CLOCK
+        position, residency — survives untouched, which is the whole
+        point: a patched chunk is the *same* cache citizen with fresher
+        contents, not a new admission.  Byte accounting moves by each
+        chunk's size change under one lock acquisition.
+
+        A patch can grow the cache past capacity (appends add cells).
+        Overflow is reclaimed through the policy's ordinary victim sweep
+        — pinned and non-resident entries are skipped exactly as during
+        admission — and the evicted chunks are returned so the caller can
+        cascade count/cost maintenance.  When everything left is pinned
+        the cache is allowed to run over budget temporarily; the next
+        ordinary admission pressure works it back down.
+        """
+        replacements = list(replacements)
+        evicted: list[Chunk] = []
+        with self._lock:
+            anchor: CacheEntry | None = None
+            for (level, number), chunk in replacements:
+                entry = self._entries.get((level, number))
+                if entry is None:
+                    raise ReproError(
+                        f"cannot patch: chunk {number} of level {level} "
+                        "not cached"
+                    )
+                if chunk.key != (level, number):
+                    raise ReproError(
+                        f"patch payload {chunk.key} does not match "
+                        f"entry {(level, number)}"
+                    )
+                new_size = chunk.size_bytes(self.bytes_per_tuple)
+                self.used_bytes += new_size - entry.size_bytes
+                entry.chunk = chunk
+                entry.size_bytes = new_size
+                # The overflow sweep asks the policy for victims on behalf
+                # of one patched entry; prefer a backend-class anchor
+                # because the two-level policy lets it sweep both rings.
+                if anchor is None or (
+                    not anchor.is_backend_class and entry.is_backend_class
+                ):
+                    anchor = entry
+            if self.used_bytes > self.capacity_bytes and anchor is not None:
+                needed = self.used_bytes - self.capacity_bytes
+                victims: list[CacheEntry] = []
+                freed = 0
+                for victim in self.policy.victim_iter(anchor):
+                    if victim.pinned or not victim.resident:
+                        continue
+                    victims.append(victim)
+                    freed += victim.size_bytes
+                    if freed >= needed:
+                        break
+                evicted = [self._remove_entry(victim) for victim in victims]
+        if self.obs.enabled and replacements:
+            self.obs.metrics.counter("cache.patches").inc(len(replacements))
+            self.obs.metrics.gauge("cache.used_bytes").set(self.used_bytes)
+            self.obs.tracer.emit(
+                "cache.patch_wave",
+                patched=len(replacements),
+                evictions=len(evicted),
+                used_bytes=self.used_bytes,
+            )
+        return evicted
+
     def evict(self, level: Level, number: int) -> Chunk:
         """Forcibly remove one chunk (used by tests and maintenance)."""
         with self._lock:

@@ -159,6 +159,27 @@ class CostStore:
                 self._wave_update(keys, insert=True)
             return self.total_updates - before
 
+    def recalibrate(self, resident_keys: Sequence[tuple[Level, int]]) -> int:
+        """Rebuild the whole cost surface after the size estimator moved.
+
+        A warehouse append recalibrates :attr:`sizes`
+        (:meth:`SizeEstimator.observe_append`), which silently invalidates
+        every memoised aggregation cost and every maintained ``Cost``
+        entry derived from the old fills.  This drops the size-derived
+        memos (``_agg_cost`` — per-chunk geometry caches stay, they never
+        change) and re-derives cost/best-parent state from scratch for
+        exactly ``resident_keys``, through the same batched insertion
+        wave ordinary admissions use.  Returns the updates applied.
+        """
+        with self._lock:
+            self._agg_cost.clear()
+            for level in self.schema.all_levels():
+                n = self.schema.num_chunks(level)
+                self._cost[level].fill(np.inf)
+                self._best[level].fill(BEST_NONE)
+                self._cached[level] = np.zeros(n, dtype=bool)
+        return self.on_insert_many(list(resident_keys)) if resident_keys else 0
+
     def on_evict_many(self, keys: Sequence[tuple[Level, int]]) -> int:
         """A wave of chunks left the cache (mirror of ``on_insert_many``)."""
         with self._lock:

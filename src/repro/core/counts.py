@@ -12,6 +12,13 @@ just became computable, every more-aggregated child whose parent chunks at
 this level are now all computable gains one successful parent path —
 recurse.  Eviction is the exact mirror (the paper omits it for space;
 Section 4.1 notes it is symmetric).
+
+Counts depend on *residency only*, never on chunk contents: a warehouse
+refresh that patches resident chunks in place (the delta wave in
+:meth:`AggregateCache.refresh_from_backend`) leaves every count exact
+with zero maintenance — only the overflow evictions a patch may force go
+through :meth:`on_evict_many`, like any other eviction.  See
+``docs/updates.md``.
 """
 
 from __future__ import annotations

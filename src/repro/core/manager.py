@@ -142,6 +142,28 @@ class _PlanExecution:
     tuples_aggregated: int = 0
 
 
+@dataclass(frozen=True)
+class RefreshOutcome:
+    """What one warehouse refresh did to the backend and the cache."""
+
+    affected: tuple[int, ...]
+    """Base chunk numbers the append changed."""
+    mode: str
+    """``delta`` (in-place patch wave), ``refetch`` (in-place backend
+    refetch of affected residents) or ``evict`` (legacy invalidation)."""
+    patched: int = 0
+    """Resident chunks patched in place by the delta roll-up wave."""
+    refetched: int = 0
+    """Resident chunks refreshed in place from the backend."""
+    evicted: int = 0
+    """Chunks evicted — every overlapping resident in ``evict`` mode,
+    only capacity-overflow victims in the in-place modes."""
+    generation: int = 0
+    """The backend's refresh generation after the append."""
+    tuples_added: int = 0
+    """Net growth of the backend's distinct base-cell count."""
+
+
 class AggregateCache:
     """An active chunk cache in front of a backend database.
 
@@ -529,17 +551,183 @@ class AggregateCache:
             self.strategy.on_evict_many(victims)
         return len(victims)
 
-    def refresh_from_backend(self, facts) -> tuple[list[int], int]:
-        """Load new facts into the backend and invalidate stale cache
-        entries in one step.  Returns (affected base chunks, evictions).
+    def refresh_from_backend(self, facts, mode: str = "delta") -> RefreshOutcome:
+        """Load new facts into the backend and reconcile the cache in one
+        step.
 
-        Note: the size *estimator* is not recalibrated — estimates drift
-        slightly as the warehouse grows; rebuild the manager with a fresh
-        estimator after bulk loads if cost precision matters.
+        ``mode="delta"`` (the default) runs the incremental patch wave:
+        the appended batch is clustered into base-chunk deltas and rolled
+        up the lattice — every resident chunk whose data overlaps an
+        affected base chunk is patched *in place* by merging its delta
+        roll-up into the cached payload, preserving residency (and pins,
+        CLOCK positions, benefits).  This is exact for the additive
+        aggregates the cube stores (SUM in ``values``/``extras``, COUNT
+        in ``counts``; AVG derives from them) — see ``docs/updates.md``
+        for the exactness argument.
+
+        ``mode="refetch"`` patches the same resident set by refetching
+        the affected chunks from the backend instead of merging deltas —
+        the fallback for non-additive aggregates (MIN/MAX), exact for
+        *any* aggregate at the price of backend scans over only the
+        affected chunks.
+
+        ``mode="evict"`` is the legacy read-only-era behaviour: evict
+        every overlapping resident chunk and let queries refetch.
+
+        All modes keep Count/Cost state exact: the in-place modes leave
+        residency untouched except for capacity-overflow victims, which
+        (like ``evict``'s wave) go through the ordinary eviction
+        cascades.  The size estimator is recalibrated incrementally from
+        the batch and the cost store's size-derived surface is rebuilt,
+        so cost/benefit decisions track the grown warehouse.
         """
-        affected = self.backend.append(facts)
-        evicted = self.invalidate_base_chunks(affected)
-        return affected, evicted
+        if mode not in ("delta", "refetch", "evict"):
+            raise ReproError(
+                f"unknown refresh mode {mode!r}; "
+                "choose 'delta', 'refetch' or 'evict'"
+            )
+        append = self.backend.apply_append(facts)
+        patched = refetched = evicted = 0
+        if mode == "delta":
+            patched, evicted = self._patch_wave(append.deltas)
+        elif mode == "refetch":
+            refetched, evicted = self._refetch_affected(append.affected)
+        else:
+            evicted = self.invalidate_base_chunks(append.affected)
+        self.sizes.observe_append(facts, self.backend.num_tuples)
+        costs = getattr(self.strategy, "costs", None)
+        if costs is not None:
+            costs.recalibrate(self.cache.resident_keys())
+        outcome = RefreshOutcome(
+            affected=tuple(append.affected),
+            mode=mode,
+            patched=patched,
+            refetched=refetched,
+            evicted=evicted,
+            generation=append.generation,
+            tuples_added=append.tuples_added,
+        )
+        if self.obs.enabled:
+            self.obs.metrics.counter("refresh.count").inc()
+            self.obs.metrics.counter("refresh.patched").inc(patched)
+            self.obs.metrics.counter("refresh.refetched").inc(refetched)
+            self.obs.metrics.counter("refresh.evicted").inc(evicted)
+            self.obs.tracer.emit(
+                "refresh",
+                mode=mode,
+                affected=len(append.affected),
+                patched=patched,
+                refetched=refetched,
+                evicted=evicted,
+                generation=append.generation,
+            )
+        return outcome
+
+    def _overlapping_residents(
+        self, affected: set[int]
+    ) -> dict[Level, list[tuple[int, list[int]]]]:
+        """Resident chunks whose data overlaps the affected base chunks,
+        grouped by level: ``{level: [(number, overlapping base numbers)]}``
+        in resident-set order (deterministic under sequential use)."""
+        base = self.schema.base_level
+        by_level: dict[Level, list[tuple[int, list[int]]]] = {}
+        for level, number in self.cache.resident_keys():
+            covering = self.schema.get_parent_chunk_numbers(
+                level, number, base
+            )
+            overlap = [int(n) for n in covering if int(n) in affected]
+            if overlap:
+                by_level.setdefault(level, []).append((number, overlap))
+        return by_level
+
+    def _patch_wave(self, deltas: dict[int, Chunk]) -> tuple[int, int]:
+        """Roll the append's base-chunk deltas up to every overlapping
+        resident chunk and merge them into the cached payloads in place.
+
+        Two batched kernel passes per touched level: one
+        :func:`rollup_many` aggregates each target's deltas up to its
+        level, a second same-level pass merges ``[resident, delta]``
+        additively (the same merge the backend applies to its own base
+        chunks).  Residency, pins and replacement metadata are preserved
+        — only capacity overflow (patches grow chunks) evicts, through
+        the ordinary eviction cascade.  Returns ``(patched, evicted)``.
+        """
+        by_level = self._overlapping_residents(set(deltas))
+        if not by_level:
+            return 0, 0
+        replacements: list[tuple[Key, Chunk]] = []
+        for level in sorted(by_level, key=self.schema.level_index):
+            targets = by_level[level]
+            numbers = [number for number, _ in targets]
+            delta_chunks = rollup_many(
+                self.schema,
+                level,
+                numbers,
+                [
+                    [deltas[n] for n in overlap]
+                    for _, overlap in targets
+                ],
+                origin=ChunkOrigin.CACHE_COMPUTED,
+                obs=self.obs,
+            )
+            olds = [self.cache.peek(level, number) for number in numbers]
+            merged = rollup_many(
+                self.schema,
+                level,
+                numbers,
+                [[old, delta] for old, delta in zip(olds, delta_chunks)],
+                origin=ChunkOrigin.CACHE_COMPUTED,
+                obs=self.obs,
+            )
+            for old, chunk in zip(olds, merged):
+                # The patched chunk is the same cache citizen: keep its
+                # origin class and recorded reproduction cost.
+                chunk.origin = old.origin
+                chunk.compute_cost = old.compute_cost
+            replacements.extend(
+                ((level, number), chunk)
+                for number, chunk in zip(numbers, merged)
+            )
+        evicted_chunks = self.cache.replace_many(replacements)
+        if evicted_chunks:
+            self.strategy.on_evict_many(
+                [chunk.key for chunk in evicted_chunks]
+            )
+        if self.plan_cache is not None:
+            # Contents changed in exactly these regions; memos elsewhere
+            # stay valid — no global invalidation storm.
+            self.plan_cache.bump([key for key, _ in replacements])
+        return len(replacements), len(evicted_chunks)
+
+    def _refetch_affected(self, affected: list[int]) -> tuple[int, int]:
+        """The non-additive fallback: replace every overlapping resident
+        chunk's payload with a fresh backend computation, in one batched
+        fetch.  Exact for any aggregate function; residency and pins are
+        preserved exactly as in the delta wave.  Returns
+        ``(refetched, evicted)``."""
+        by_level = self._overlapping_residents(set(affected))
+        keys: list[Key] = [
+            (level, number)
+            for level, targets in by_level.items()
+            for number, _ in targets
+        ]
+        if not keys:
+            return 0, 0
+        fetched, _stats = self.backend.fetch(keys)
+        replacements: list[tuple[Key, Chunk]] = []
+        for key, chunk in zip(keys, fetched):
+            old = self.cache.peek(*key)
+            chunk.origin = old.origin
+            chunk.compute_cost = old.compute_cost
+            replacements.append((key, chunk))
+        evicted_chunks = self.cache.replace_many(replacements)
+        if evicted_chunks:
+            self.strategy.on_evict_many(
+                [chunk.key for chunk in evicted_chunks]
+            )
+        if self.plan_cache is not None:
+            self.plan_cache.bump(keys)
+        return len(keys), len(evicted_chunks)
 
     def range_query(
         self,

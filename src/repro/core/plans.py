@@ -179,6 +179,10 @@ class PlanCache:
         self.stale_hits = 0
         """Lookups whose memo entry existed but was generation-invalidated
         (each one replans instead of serving the stale plan)."""
+        self.regions_bumped = 0
+        """Lifetime distinct-region invalidations — the honest measure of
+        invalidation traffic (a refresh patch wave should bump only the
+        regions it touched, never the whole table)."""
         self._lock = threading.Lock()
 
     @property
@@ -278,6 +282,7 @@ class PlanCache:
             }
             for index in touched:
                 self._gens[index] += 1
+            self.regions_bumped += len(touched)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -303,4 +308,5 @@ class PlanCache:
             "hit_ratio": self.hit_ratio,
             "entries": len(self._entries),
             "regions": self.num_regions,
+            "regions_bumped": self.regions_bumped,
         }

@@ -38,6 +38,9 @@ class SizeEstimator:
         self.total_base_tuples = int(total_base_tuples)
         self._fill: dict[Level, float] = {}
         self._chunk_cells: dict[tuple[Level, int], int] = {}
+        self._exact = False
+        """True when ``_fill`` was calibrated from a fact table (see
+        :meth:`exact`); drives how :meth:`observe_append` recalibrates."""
 
     @classmethod
     def exact(cls, schema: CubeSchema, facts: "FactTable") -> "SizeEstimator":
@@ -51,23 +54,52 @@ class SizeEstimator:
         cost-based strategies.
         """
         estimator = cls(schema, facts.num_tuples)
-        base = schema.base_level
         for level in schema.all_levels():
-            if level == base:
-                estimator._fill[level] = facts.num_tuples / max(
-                    schema.num_cells(base), 1
-                )
-                continue
-            coords = [
-                dim.map_ordinals(dim.height, l, facts.coords[d])
-                for d, (dim, l) in enumerate(zip(schema.dimensions, level))
-            ]
-            cell_shape = schema.chunks.cell_shape(level)
-            distinct = len(
-                np.unique(np.ravel_multi_index(coords, cell_shape))
-            )
-            estimator._fill[level] = distinct / max(schema.num_cells(level), 1)
+            estimator._fill[level] = estimator._fill_of_facts(facts, level)
+        estimator._exact = True
         return estimator
+
+    def _fill_of_facts(self, facts: "FactTable", level: Level) -> float:
+        """The exact occupied-cell fraction of ``facts`` at ``level``."""
+        schema = self.schema
+        if level == schema.base_level:
+            return facts.num_tuples / max(schema.num_cells(level), 1)
+        coords = [
+            dim.map_ordinals(dim.height, l, facts.coords[d])
+            for d, (dim, l) in enumerate(zip(schema.dimensions, level))
+        ]
+        cell_shape = schema.chunks.cell_shape(level)
+        distinct = len(np.unique(np.ravel_multi_index(coords, cell_shape)))
+        return distinct / max(schema.num_cells(level), 1)
+
+    def observe_append(
+        self, facts: "FactTable", total_base_tuples: int
+    ) -> None:
+        """Recalibrate incrementally after a warehouse append.
+
+        ``total_base_tuples`` is the backend's distinct-cell count AFTER
+        the merge (appended cells may collide with stored ones, so it is
+        not derivable from the batch alone).  Analytic fills are simply
+        dropped — :meth:`level_fill` recomputes them lazily from the new
+        total.  Exact fills are updated per level from the batch's own
+        exact fill under the independence approximation
+        ``f' = 1 - (1 - f)(1 - f_batch)`` (the expected union occupancy);
+        the base level, where the union size is known exactly, is set
+        exactly.
+        """
+        self.total_base_tuples = int(total_base_tuples)
+        if not self._exact:
+            self._fill.clear()
+            return
+        for level in list(self._fill):
+            batch_fill = self._fill_of_facts(facts, level)
+            if level == self.schema.base_level:
+                self._fill[level] = self.total_base_tuples / max(
+                    self.schema.num_cells(level), 1
+                )
+            else:
+                old = self._fill[level]
+                self._fill[level] = old + batch_fill - old * batch_fill
 
     def level_fill(self, level: Level) -> float:
         """Expected fraction of occupied cells at ``level``.

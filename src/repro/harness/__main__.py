@@ -27,6 +27,7 @@ EXPERIMENTS = (
     "kernel",
     "update",
     "adaptive",
+    "delta",
     "benefit",
     "cost_variation",
     "table1",
@@ -157,6 +158,15 @@ def _run(args: argparse.Namespace) -> int:
         ).format()
 
     run("adaptive", _adaptive)
+
+    def _delta() -> str:
+        from repro.harness.delta_bench import run_delta_benchmark
+
+        return run_delta_benchmark(
+            config, out_path="BENCH_delta.json"
+        ).format()
+
+    run("delta", _delta)
     run("benefit", lambda: run_aggregation_benefit(config).format())
     run("cost_variation", lambda: run_cost_variation(config).format())
     run("table1", lambda: run_table1(config).format())

@@ -1,0 +1,401 @@
+"""The ``delta`` harness experiment: patch-wave vs evict-and-refetch
+refresh.
+
+The read-only era handled a warehouse append by evicting every resident
+chunk whose data overlapped an affected base chunk; the delta era patches
+those chunks in place (:meth:`AggregateCache.refresh_from_backend`,
+``mode="delta"``).  This experiment measures what that buys on a
+resident-warm cache:
+
+* **survival** — the fraction of previously resident chunks still
+  resident after the refresh (the patch wave should preserve nearly all
+  of them; eviction destroys every overlapping one);
+* **replay cost** — the simulated milliseconds to re-run the warm query
+  stream after the refresh (evicted chunks must be refetched from the
+  backend; patched chunks answer from the cache).
+
+Correctness is verified *in-run*, not assumed: every replayed query's
+chunks are compared cell-for-cell — exact ``==`` on the float64 arrays —
+against a backend freshly loaded from the merged post-append fact table
+(:func:`merge_fact_tables`).  The measures are integer-valued, so
+additive patching is exact regardless of accumulation order (see
+``docs/updates.md``); the comparison holds both arms to bit-identical
+answers.
+
+The append batch is restricted to at most 10% of the base level's
+chunks, matching the acceptance scenario: a small localized append
+should not cold-start the cache.
+
+Components are built fresh per arm — never through the memoised
+:func:`build_components` — because an append mutates the backend, and
+poisoning the shared memo would corrupt every other experiment run in
+the same process.
+
+The result renders as a table and exports as ``BENCH_delta.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import BackendDatabase, CostModel, generate_fact_table
+from repro.backend.generator import FactTable, merge_fact_tables
+from repro.core.manager import AggregateCache
+from repro.harness.config import ExperimentConfig
+from repro.schema.cube import CubeSchema
+from repro.util.errors import ReproError
+from repro.util.tables import render_table
+from repro.util.timers import Stopwatch
+from repro.workload.query import Query
+from repro.workload.stream import QueryStreamGenerator
+
+#: decorrelate the warm/replay stream from the figure experiments' streams
+_STREAM_SEED_OFFSET = 9001
+#: decorrelate the append batch from the initial fact table
+_APPEND_SEED_OFFSET = 9777
+#: the acceptance scenario: the append touches at most this fraction of
+#: the base level's chunks
+_AFFECTED_CHUNK_BUDGET = 0.10
+
+
+@dataclass
+class DeltaArm:
+    """One refresh mode measured on an identically warmed manager."""
+
+    mode: str
+    resident_before: int
+    survivors: int
+    patched: int
+    refetched: int
+    evicted: int
+    refresh_ms: float
+    """Wall-clock of the refresh call itself (append + reconcile)."""
+    replay_ms: float
+    """Simulated milliseconds to re-run the warm stream post-refresh."""
+    replay_backend_ms: float
+    """The backend-phase share of ``replay_ms`` — dominated by the cost
+    model's simulated charge, so it is the stable basis for the
+    'patching is no slower than evicting' regression gate."""
+    replay_backend_chunks: int
+    """Chunks the replay had to fetch from the backend."""
+    answers_exact: bool
+    """Every replayed chunk matched the merged-fact-table rebuild
+    cell-for-cell (exact float equality)."""
+
+    @property
+    def survival(self) -> float:
+        return (
+            self.survivors / self.resident_before
+            if self.resident_before
+            else 1.0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "resident_before": self.resident_before,
+            "survivors": self.survivors,
+            "survival": self.survival,
+            "patched": self.patched,
+            "refetched": self.refetched,
+            "evicted": self.evicted,
+            "refresh_ms": self.refresh_ms,
+            "replay_ms": self.replay_ms,
+            "replay_backend_ms": self.replay_backend_ms,
+            "replay_backend_chunks": self.replay_backend_chunks,
+            "answers_exact": self.answers_exact,
+        }
+
+
+@dataclass
+class DeltaBenchResult:
+    """All arms plus the shared append-batch accounting."""
+
+    config: ExperimentConfig
+    base_chunks: int
+    affected_chunks: int
+    batch_cells: int
+    arms: list[DeltaArm] = field(default_factory=list)
+
+    def arm(self, mode: str) -> DeltaArm:
+        for arm in self.arms:
+            if arm.mode == mode:
+                return arm
+        raise KeyError(mode)
+
+    @property
+    def affected_fraction(self) -> float:
+        return self.affected_chunks / self.base_chunks if self.base_chunks else 0.0
+
+    @property
+    def answers_identical(self) -> bool:
+        """Both arms matched the rebuild — hence each other."""
+        return all(arm.answers_exact for arm in self.arms)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.config.schema_name,
+            "num_tuples": self.config.num_tuples,
+            "num_queries": self.config.num_queries,
+            "base_chunks": self.base_chunks,
+            "affected_chunks": self.affected_chunks,
+            "affected_fraction": self.affected_fraction,
+            "batch_cells": self.batch_cells,
+            "answers_identical": self.answers_identical,
+            "python": platform.python_version(),
+            "arms": [arm.as_dict() for arm in self.arms],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def format(self) -> str:
+        headers = [
+            "Mode", "Resident", "Survived", "Survival", "Patched",
+            "Evicted", "Replay (ms)", "Backend chunks", "Exact",
+        ]
+        rows = [
+            [
+                arm.mode,
+                arm.resident_before,
+                arm.survivors,
+                f"{arm.survival:.0%}",
+                arm.patched + arm.refetched,
+                arm.evicted,
+                f"{arm.replay_ms:.2f}",
+                arm.replay_backend_chunks,
+                "yes" if arm.answers_exact else "NO",
+            ]
+            for arm in self.arms
+        ]
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Delta refresh: patch wave vs evict-and-refetch "
+                f"(append touched {self.affected_chunks}/{self.base_chunks} "
+                f"base chunks, {self.affected_fraction:.0%})."
+            ),
+        )
+        return table + (
+            "\nAnswers verified against a merged-fact-table rebuild: "
+            + ("identical in every arm." if self.answers_identical
+               else "MISMATCH — see arm flags.")
+        )
+
+
+def _build_append_batch(
+    schema: CubeSchema, stored_numbers: list[int], config: ExperimentConfig
+) -> FactTable:
+    """A deterministic append batch touching <= 10% of the base chunks.
+
+    Uniform draws over the whole cube are filtered down to an allowed
+    chunk set — the first stored base chunks up to the budget — so the
+    batch lands on data the warm cache genuinely overlaps.  The allowed
+    set widens (deterministically) only if the filter would come up
+    empty at the configured scale.
+    """
+    base = schema.base_level
+    raw = generate_fact_table(
+        schema,
+        num_tuples=max(64, config.num_tuples // 10),
+        seed=config.seed + _APPEND_SEED_OFFSET,
+        mode="uniform",
+    )
+    chunk_ids = schema.chunks.chunk_numbers_of_cells(base, raw.coords)
+    budget = max(1, int(_AFFECTED_CHUNK_BUDGET * schema.num_chunks(base)))
+    limit = budget
+    while True:
+        allowed = np.asarray(stored_numbers[:limit], dtype=chunk_ids.dtype)
+        mask = np.isin(chunk_ids, allowed)
+        if mask.any():
+            break
+        if limit >= len(stored_numbers):
+            raise ReproError(
+                "append batch missed every stored base chunk; enlarge the "
+                "batch or the schema"
+            )
+        limit = min(limit * 2, len(stored_numbers))
+    return FactTable(
+        schema=schema,
+        coords=tuple(axis[mask] for axis in raw.coords),
+        values=raw.values[mask],
+        counts=raw.counts[mask],
+        extras=tuple(extra[mask] for extra in raw.extras),
+    )
+
+
+def _chunk_matches(schema: CubeSchema, got, want) -> bool:
+    """Cell-for-cell equality of two chunks, order-independent.
+
+    Cells are aligned by their flat index within the level's cell grid;
+    every array — coords, SUM values, COUNT, extras — must then be
+    exactly equal (``==`` on float64: the generator's integer-valued
+    measures make additive maintenance exact, so nothing weaker is
+    accepted).
+    """
+    if got.level != want.level or got.number != want.number:
+        return False
+    if got.size_tuples != want.size_tuples:
+        return False
+    if got.size_tuples == 0:
+        return True
+    shape = schema.chunks.cell_shape(got.level)
+    a = np.argsort(np.ravel_multi_index(got.coords, shape), kind="stable")
+    b = np.argsort(np.ravel_multi_index(want.coords, shape), kind="stable")
+    if not all(
+        np.array_equal(ga[a], wa[b])
+        for ga, wa in zip(got.coords, want.coords)
+    ):
+        return False
+    if not np.array_equal(got.values[a], want.values[b]):
+        return False
+    if not np.array_equal(got.counts[a], want.counts[b]):
+        return False
+    return all(
+        np.array_equal(ge[a], we[b])
+        for ge, we in zip(got.extras, want.extras)
+    )
+
+
+def _verify_replay(
+    schema: CubeSchema,
+    truth: BackendDatabase,
+    queries: list[Query],
+    results,
+) -> bool:
+    """Every replayed chunk equals the merged-table rebuild's answer."""
+    for query, result in zip(queries, results):
+        numbers = query.chunk_numbers(schema)
+        if len(result.chunks) != len(numbers):
+            return False
+        want_chunks, _ = truth.fetch([(query.level, n) for n in numbers])
+        want_by_number = {chunk.number: chunk for chunk in want_chunks}
+        for got in result.chunks:
+            if not _chunk_matches(schema, got, want_by_number[got.number]):
+                return False
+    return True
+
+
+def _run_arm(
+    mode: str,
+    config: ExperimentConfig,
+    facts_seed_schema: CubeSchema,
+    batch_template: FactTable,
+    truth: BackendDatabase,
+    queries: list[Query],
+) -> DeltaArm:
+    """Build, warm, refresh and replay one fresh manager."""
+    schema = facts_seed_schema
+    facts = generate_fact_table(
+        schema,
+        num_tuples=config.num_tuples,
+        seed=config.seed,
+        skew=config.skew,
+        mode=config.data_mode,
+        combo_density=config.combo_density,
+        cell_fill=config.cell_fill,
+    )
+    backend = BackendDatabase(schema, facts, CostModel())
+    capacity = max(int(backend.base_size_bytes * 0.91), 1)
+    manager = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=capacity,
+        strategy="vcmc",
+        policy="benefit",
+    )
+    for query in queries:
+        manager.query(query)
+    resident_before = set(manager.cache.resident_keys())
+
+    batch = FactTable(
+        schema=schema,
+        coords=batch_template.coords,
+        values=batch_template.values,
+        counts=batch_template.counts,
+        extras=batch_template.extras,
+    )
+    watch = Stopwatch()
+    outcome = manager.refresh_from_backend(batch, mode=mode)
+    refresh_ms = watch.elapsed_ms()
+
+    resident_after = set(manager.cache.resident_keys())
+    survivors = len(resident_before & resident_after)
+
+    results = [manager.query(query) for query in queries]
+    replay_ms = sum(result.breakdown.total_ms for result in results)
+    replay_backend_ms = sum(result.breakdown.backend_ms for result in results)
+    replay_backend_chunks = sum(result.from_backend for result in results)
+    answers_exact = _verify_replay(schema, truth, queries, results)
+
+    return DeltaArm(
+        mode=mode,
+        resident_before=len(resident_before),
+        survivors=survivors,
+        patched=outcome.patched,
+        refetched=outcome.refetched,
+        evicted=outcome.evicted,
+        refresh_ms=refresh_ms,
+        replay_ms=replay_ms,
+        replay_backend_ms=replay_backend_ms,
+        replay_backend_chunks=replay_backend_chunks,
+        answers_exact=answers_exact,
+    )
+
+
+def run_delta_benchmark(
+    config: ExperimentConfig,
+    out_path: str | Path | None = None,
+    modes: tuple[str, ...] = ("delta", "refetch", "evict"),
+) -> DeltaBenchResult:
+    """Run every refresh mode on identically warmed fresh managers;
+    optionally export ``BENCH_delta.json``."""
+    schema = config.make_schema()
+    facts = generate_fact_table(
+        schema,
+        num_tuples=config.num_tuples,
+        seed=config.seed,
+        skew=config.skew,
+        mode=config.data_mode,
+        combo_density=config.combo_density,
+        cell_fill=config.cell_fill,
+    )
+    seed_backend = BackendDatabase(schema, facts, CostModel())
+    batch = _build_append_batch(
+        schema, seed_backend.base_chunk_numbers(), config
+    )
+    merged = merge_fact_tables([facts, batch])
+    truth = BackendDatabase(schema, merged, CostModel())
+    generator = QueryStreamGenerator(
+        schema,
+        max_extent=config.max_extent,
+        seed=config.seed + _STREAM_SEED_OFFSET,
+    )
+    queries = generator.generate(config.num_queries)
+
+    base = schema.base_level
+    affected = np.unique(
+        schema.chunks.chunk_numbers_of_cells(base, batch.coords)
+    )
+    result = DeltaBenchResult(
+        config=config,
+        base_chunks=len(seed_backend.base_chunk_numbers()),
+        affected_chunks=int(affected.size),
+        batch_cells=batch.num_tuples,
+    )
+    for mode in modes:
+        result.arms.append(
+            _run_arm(mode, config, schema, batch, truth, queries)
+        )
+
+    if out_path is not None:
+        result.write_json(out_path)
+    return result

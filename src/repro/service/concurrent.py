@@ -449,14 +449,31 @@ class ConcurrentAggregateCache:
         with self._rw.write_locked():
             return self.adaptive.run_idle_cycle()
 
-    def refresh_from_backend(self, facts) -> tuple[list[int], int]:
-        """Warehouse refresh, exclusive against every in-flight query."""
+    def refresh_from_backend(self, facts, mode: str = "delta"):
+        """Warehouse refresh, exclusive against every in-flight query.
+
+        The write lock quiesces all four query phases, so the append and
+        its patch wave (``mode="delta"`` — resident chunks patched in
+        place instead of evicted; see
+        :meth:`AggregateCache.refresh_from_backend`) never interleave
+        with a reader: a query observes the cache strictly before or
+        strictly after the whole refresh.  Returns the manager's
+        :class:`~repro.core.manager.RefreshOutcome`.
+        """
         with self._rw.write_locked():
-            return self.manager.refresh_from_backend(facts)
+            outcome = self.manager.refresh_from_backend(facts, mode=mode)
+            if self.adaptive is not None:
+                self.adaptive.reconcile_pins()
+            return outcome
 
     def invalidate_base_chunks(self, numbers: list[int]) -> int:
         with self._rw.write_locked():
-            return self.manager.invalidate_base_chunks(numbers)
+            evicted = self.manager.invalidate_base_chunks(numbers)
+            if self.adaptive is not None:
+                # Forced eviction ignores pins; drop any bookkeeping for
+                # chunks that no longer exist.
+                self.adaptive.reconcile_pins()
+            return evicted
 
     # ------------------------------------------------------------------ #
     # internals

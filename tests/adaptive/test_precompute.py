@@ -191,3 +191,108 @@ def test_obs_counters_track_cycles_and_actions():
 def test_invalid_parameters_rejected(kwargs):
     with pytest.raises(ValueError):
         _setup(warmup=1, **kwargs)
+
+
+def test_reconcile_pins_drops_forced_evictions():
+    # Regression: invalidate_base_chunks ignores pins, so a refresh used
+    # to leave _pinned claiming chunks the cache no longer holds.  A
+    # level that lost everything must be forgotten entirely.
+    manager, adaptive = _setup(warmup=1)
+    _drive(adaptive, BASE, 8)
+    assert BASE in adaptive.run_idle_cycle().promoted
+    evicted = manager.invalidate_base_chunks(
+        list(range(SCHEMA.num_chunks(BASE)))
+    )
+    assert evicted > 0
+    assert BASE in adaptive._pinned  # the stale bookkeeping
+    dropped = adaptive.reconcile_pins()
+    assert dropped > 0
+    assert BASE not in adaptive.pinned_levels
+    assert adaptive.reconcile_pins() == 0  # idempotent
+
+
+def test_reconcile_pins_keeps_partial_survivors():
+    manager, adaptive = _setup(warmup=1)
+    _drive(adaptive, BASE, 8)
+    adaptive.run_idle_cycle()
+    before = list(adaptive._pinned[BASE])
+    victim = before[0]
+    manager.invalidate_base_chunks([victim])
+    dropped = adaptive.reconcile_pins()
+    assert dropped == 1
+    assert adaptive._pinned[BASE] == [n for n in before if n != victim]
+    for number in adaptive._pinned[BASE]:
+        entry = manager.cache.entry(BASE, number)
+        assert entry is not None and entry.resident and entry.pinned
+
+
+def test_idle_cycle_repromotes_after_forced_eviction():
+    # With the stale bookkeeping gone, the very next cycle re-promotes
+    # the still-hot level instead of believing it already pinned.
+    manager, adaptive = _setup(warmup=1)
+    _drive(adaptive, BASE, 8)
+    adaptive.run_idle_cycle()
+    manager.invalidate_base_chunks(list(range(SCHEMA.num_chunks(BASE))))
+    _drive(adaptive, BASE, 4)
+    actions = adaptive.run_idle_cycle()
+    assert BASE in actions.promoted
+    assert all(
+        (entry := manager.cache.entry(BASE, n)) is not None
+        and entry.resident
+        and entry.pinned
+        for n in adaptive._pinned[BASE]
+    )
+
+
+def test_reconcile_pins_obs_counter():
+    obs = Observability.in_memory()
+    manager, adaptive = _setup(warmup=1, obs=obs)
+    _drive(adaptive, BASE, 8)
+    adaptive.run_idle_cycle()
+    pinned = len(adaptive._pinned[BASE])
+    manager.invalidate_base_chunks(list(range(SCHEMA.num_chunks(BASE))))
+    adaptive.reconcile_pins()
+    counters = obs.snapshot()["counters"]
+    assert counters["adaptive.stale_pins_dropped"] == pinned
+
+
+def test_concurrent_refresh_reconciles_pins():
+    # Through the service facade: a delta-mode refresh patches pinned
+    # chunks in place (pins survive), while an evict-mode invalidation
+    # reconciles the bookkeeping under the same write lock.
+    from repro import ConcurrentAggregateCache
+
+    schema = apb_tiny_schema()
+    facts = generate_fact_table(schema, num_tuples=300, seed=7)
+    backend = BackendDatabase(schema, facts, CostModel())
+    manager = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        policy="benefit",
+        preload=False,
+    )
+    tracker = WorkloadTracker(schema, manager.sizes, half_life=8.0)
+    adaptive = AdaptivePrecomputer(manager, tracker=tracker, warmup=1)
+    service = ConcurrentAggregateCache(manager, adaptive=adaptive)
+    base = schema.base_level
+    for _ in range(8):
+        adaptive.note_query(Query.full_level(schema, base))
+    assert base in service.idle_tick().promoted
+    pinned = list(adaptive._pinned[base])
+
+    delta = generate_fact_table(schema, num_tuples=40, seed=9)
+    outcome = service.refresh_from_backend(delta)
+    assert outcome.mode == "delta" and outcome.patched > 0
+    assert adaptive._pinned[base] == pinned  # patched in place, pins intact
+    for number in pinned:
+        entry = manager.cache.entry(base, number)
+        assert entry is not None and entry.resident and entry.pinned
+
+    more = generate_fact_table(schema, num_tuples=40, seed=10)
+    service.refresh_from_backend(more, mode="evict")
+    assert base not in adaptive.pinned_levels or all(
+        (entry := manager.cache.entry(base, n)) is not None and entry.resident
+        for n in adaptive._pinned.get(base, [])
+    )

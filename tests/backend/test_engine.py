@@ -99,10 +99,24 @@ def test_compute_level(schema, tiny_backend, tiny_facts):
 
 
 def test_schema_mismatch_rejected(schema):
-    other = apb_tiny_schema()
+    from repro.schema import CubeSchema, Dimension
+
+    other = CubeSchema(
+        [Dimension.flat("A", 4, 2), Dimension.flat("B", 2, 1)],
+        measure="Units",
+    )
     facts = generate_fact_table(other, num_tuples=10, seed=1)
     with pytest.raises(ReproError, match="different schema"):
         BackendDatabase(schema, facts)
+
+
+def test_equal_schema_different_instance_accepted(schema, tiny_facts):
+    # Regression: schemas used to be compared by object identity, so a
+    # separately constructed (but identical) schema was rejected here.
+    facts = generate_fact_table(apb_tiny_schema(), num_tuples=10, seed=1)
+    assert facts.schema is not schema
+    backend = BackendDatabase(schema, facts)
+    assert backend.num_tuples == facts.num_tuples
 
 
 def test_custom_cost_model_used(tiny_schema, tiny_facts):

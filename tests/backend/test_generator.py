@@ -164,3 +164,70 @@ class TestExactSizes:
                 for n in range(schema.num_chunks(level))
             )
             assert total == pytest.approx(sizes.level_tuples(level))
+
+
+class TestMergeFactTables:
+    def test_merge_equals_backend_after_appends(self, schema):
+        from repro import BackendDatabase
+        from repro.backend.generator import merge_fact_tables
+
+        parts = [
+            generate_fact_table(schema, num_tuples=n, seed=s)
+            for n, s in [(200, 1), (60, 2), (40, 3)]
+        ]
+        merged = merge_fact_tables(parts)
+        backend = BackendDatabase(schema, parts[0])
+        for part in parts[1:]:
+            backend.append(part)
+        rebuilt = BackendDatabase(schema, merged)
+        assert backend.num_tuples == rebuilt.num_tuples
+        for level in schema.all_levels():
+            for number in range(schema.num_chunks(level)):
+                a = backend.compute_chunk(level, number)
+                b = rebuilt.compute_chunk(level, number)
+                # Exact ==: integer-valued measures, additive merge.
+                assert a.cell_dict() == b.cell_dict(), (level, number)
+
+    def test_merge_sums_counts_and_extras(self):
+        from repro.backend.generator import merge_fact_tables
+        from repro.schema import CubeSchema, Dimension
+
+        schema = CubeSchema(
+            [Dimension.flat("A", 4, 2), Dimension.flat("B", 2, 1)],
+            measure=["Units", "Dollars"],
+        )
+        a = generate_fact_table(schema, num_tuples=50, seed=1)
+        b = generate_fact_table(schema, num_tuples=50, seed=2)
+        merged = merge_fact_tables([a, b])
+        assert merged.values.sum() == a.values.sum() + b.values.sum()
+        assert merged.counts.sum() == a.counts.sum() + b.counts.sum()
+        assert merged.extras[0].sum() == pytest.approx(
+            a.extras[0].sum() + b.extras[0].sum()
+        )
+        shape = schema.chunks.cell_shape(schema.base_level)
+        flat = np.ravel_multi_index(merged.coords, shape)
+        assert len(np.unique(flat)) == merged.num_tuples
+
+    def test_single_part_is_identity(self, schema):
+        from repro.backend.generator import merge_fact_tables
+
+        facts = generate_fact_table(schema, num_tuples=100, seed=4)
+        merged = merge_fact_tables([facts])
+        assert merged.num_tuples == facts.num_tuples
+        assert merged.total() == facts.total()
+
+    def test_empty_and_mismatched_parts_rejected(self, schema):
+        from repro.backend.generator import merge_fact_tables
+        from repro.schema import CubeSchema, Dimension
+
+        with pytest.raises(ReproError, match="at least one"):
+            merge_fact_tables([])
+        other = CubeSchema(
+            [Dimension.flat("A", 4, 2), Dimension.flat("B", 2, 1)],
+            measure="Units",
+        )
+        with pytest.raises(ReproError, match="different schemas"):
+            merge_fact_tables([
+                generate_fact_table(schema, num_tuples=10, seed=1),
+                generate_fact_table(other, num_tuples=10, seed=1),
+            ])

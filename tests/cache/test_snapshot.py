@@ -97,6 +97,66 @@ def test_queries_work_after_restore(
     assert result.total_value() == pytest.approx(tiny_facts.total())
 
 
+def test_stale_snapshot_rejected_after_append(
+    tiny_schema, tiny_facts, tmp_path
+):
+    """A snapshot saved before a warehouse append must not silently
+    restore over the grown backend: its chunks describe the old fact
+    table and would serve stale aggregates forever."""
+    from repro import BackendDatabase, generate_fact_table
+
+    backend = BackendDatabase(tiny_schema, tiny_facts)
+    manager = AggregateCache(
+        tiny_schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    manager.query(Query.full_level(tiny_schema, (1, 1, 0)))
+    path = tmp_path / "cache.npz"
+    save_cache_snapshot(manager, path)
+
+    delta = generate_fact_table(tiny_schema, num_tuples=30, seed=9)
+    manager.refresh_from_backend(delta)
+
+    fresh = AggregateCache(
+        tiny_schema,
+        backend,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        preload=False,
+    )
+    with pytest.raises(ReproError, match="refresh generation"):
+        load_cache_snapshot(fresh, path)
+    assert len(fresh.cache) == 0
+
+
+def test_snapshot_roundtrip_after_append(tiny_schema, tiny_facts, tmp_path):
+    """A snapshot taken AFTER the append restores cleanly into a manager
+    over the same (appended) backend: the generations match."""
+    from repro import BackendDatabase, generate_fact_table
+
+    backend = BackendDatabase(tiny_schema, tiny_facts)
+    manager = AggregateCache(
+        tiny_schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    delta = generate_fact_table(tiny_schema, num_tuples=30, seed=9)
+    manager.refresh_from_backend(delta)
+    manager.query(Query.full_level(tiny_schema, (1, 1, 0)))
+    path = tmp_path / "cache.npz"
+    saved = save_cache_snapshot(manager, path)
+
+    fresh = AggregateCache(
+        tiny_schema,
+        backend,
+        capacity_bytes=1 << 20,
+        strategy="vcmc",
+        preload=False,
+    )
+    restored = load_cache_snapshot(fresh, path)
+    assert restored == saved
+    assert set(fresh.cache.resident_keys()) == set(
+        manager.cache.resident_keys()
+    )
+
+
 def test_dimension_mismatch_rejected(warm_manager, tmp_path):
     from repro import BackendDatabase, generate_fact_table
     from repro.schema import CubeSchema, Dimension

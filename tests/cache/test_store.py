@@ -142,3 +142,73 @@ def test_stats_counters():
     assert cache.stats.inserts == 3
     assert cache.stats.evictions == 1
     assert cache.stats.hits == 1
+
+
+def test_replace_many_swaps_payload_preserving_entry_state():
+    cache = make_cache(capacity=200)
+    cache.insert(make_chunk(number=0), benefit=3.5)
+    entry = cache.entry((1,), 0)
+    entry.pinned = True
+    clock_before = entry.clock
+    patched = make_chunk(number=0, cells=4)
+    patched.values[:] = 7.0
+    evicted = cache.replace_many([(((1,), 0), patched)])
+    assert evicted == []
+    entry = cache.entry((1,), 0)
+    assert entry.chunk is patched
+    assert entry.benefit == 3.5
+    assert entry.pinned
+    assert entry.resident
+    assert entry.clock == clock_before
+    assert cache.get((1,), 0).values[0] == 7.0
+
+
+def test_replace_many_adjusts_byte_accounting():
+    cache = make_cache(capacity=200)
+    cache.insert(make_chunk(number=0, cells=4), benefit=1.0)  # 40 bytes
+    assert cache.used_bytes == 40
+    cache.replace_many([(((1,), 0), make_chunk(number=0, cells=6))])
+    assert cache.used_bytes == 60
+    cache.replace_many([(((1,), 0), make_chunk(number=0, cells=2))])
+    assert cache.used_bytes == 20
+
+
+def test_replace_many_rejects_missing_entry():
+    cache = make_cache()
+    with pytest.raises(ReproError, match="not cached"):
+        cache.replace_many([(((1,), 0), make_chunk(number=0))])
+
+
+def test_replace_many_rejects_mismatched_key():
+    cache = make_cache()
+    cache.insert(make_chunk(number=0), benefit=1.0)
+    with pytest.raises(ReproError, match="does not match"):
+        cache.replace_many([(((1,), 0), make_chunk(number=1))])
+
+
+def test_replace_many_overflow_evicts_unpinned_victims():
+    # Growing a patched chunk past capacity reclaims space through the
+    # ordinary victim sweep; the patched (pinned) entry itself survives.
+    cache = make_cache(capacity=100)
+    cache.insert(make_chunk(number=0, cells=4), benefit=0.0)
+    cache.insert(make_chunk(number=1, cells=4), benefit=0.0)
+    cache.entry((1,), 0).pinned = True
+    grown = make_chunk(number=0, cells=9)  # 40 -> 90 bytes
+    evicted = cache.replace_many([(((1,), 0), grown)])
+    assert [c.number for c in evicted] == [1]
+    assert cache.contains((1,), 0)
+    assert cache.used_bytes <= 100
+
+
+def test_replace_many_all_pinned_runs_over_budget():
+    cache = make_cache(capacity=100)
+    cache.insert(make_chunk(number=0, cells=4), benefit=0.0)
+    cache.insert(make_chunk(number=1, cells=4), benefit=0.0)
+    for n in range(2):
+        cache.entry((1,), n).pinned = True
+    evicted = cache.replace_many(
+        [(((1,), 0), make_chunk(number=0, cells=9))]
+    )
+    assert evicted == []
+    assert cache.used_bytes == 130  # temporarily over budget, by design
+    assert cache.contains((1,), 0) and cache.contains((1,), 1)

@@ -51,9 +51,43 @@ def test_append_merges_duplicate_cells(world):
 
 def test_append_schema_mismatch_rejected(world):
     schema, initial, delta, backend = world
-    other = generate_fact_table(apb_tiny_schema(), num_tuples=10, seed=3)
+    from repro.schema import CubeSchema, Dimension
+
+    other_schema = CubeSchema(
+        [Dimension.flat("A", 4, 2), Dimension.flat("B", 2, 1)],
+        measure="Units",
+    )
+    other = generate_fact_table(other_schema, num_tuples=10, seed=3)
     with pytest.raises(ReproError, match="different schema"):
         backend.append(other)
+
+
+def test_append_accepts_equal_schema_different_instance(world):
+    """Regression: schemas were compared by object identity, so a batch
+    generated against a separately constructed (but identical) schema —
+    the normal shape after a fact-file round trip — was rejected.
+    Equality is now judged by fingerprint."""
+    schema, initial, delta, backend = world
+    same_cube = generate_fact_table(apb_tiny_schema(), num_tuples=10, seed=3)
+    assert same_cube.schema is not schema
+    affected = backend.append(same_cube)
+    assert affected
+
+
+def test_append_accepts_fact_file_round_trip(world, tmp_path):
+    """A batch saved to disk and loaded against a fresh schema instance
+    appends cleanly (the identity-comparison bug's real-world shape)."""
+    from repro.backend.storage import load_fact_table, save_fact_table
+
+    schema, initial, delta, backend = world
+    path = tmp_path / "delta.npz"
+    save_fact_table(delta, path)
+    reloaded = load_fact_table(apb_tiny_schema(), path)
+    assert reloaded.schema is not schema
+    before = backend.num_tuples
+    backend.append(reloaded)
+    union = merged_truth(schema, [initial, delta], schema.base_level)
+    assert backend.num_tuples == len(union) >= before
 
 
 def test_stale_aggregates_never_served(world):
@@ -65,12 +99,40 @@ def test_stale_aggregates_never_served(world):
     stale = manager.query(query)
     assert stale.total_value() == pytest.approx(initial.total())
 
-    affected, evicted = manager.refresh_from_backend(delta)
-    assert evicted > 0
+    outcome = manager.refresh_from_backend(delta)
+    assert outcome.mode == "delta"
+    assert outcome.patched > 0
     fresh = manager.query(query)
     assert fresh.total_value() == pytest.approx(
         initial.total() + delta.total()
     )
+
+
+def test_stale_aggregates_never_served_evict_mode(world):
+    """The legacy mode still works: overlapping residents are evicted and
+    the next query refetches fresh data."""
+    schema, initial, delta, backend = world
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    query = Query.full_level(schema, (1, 1, 0))
+    manager.query(query)
+    outcome = manager.refresh_from_backend(delta, mode="evict")
+    assert outcome.evicted > 0
+    assert outcome.patched == 0
+    fresh = manager.query(query)
+    assert fresh.total_value() == pytest.approx(
+        initial.total() + delta.total()
+    )
+
+
+def test_unknown_refresh_mode_rejected(world):
+    schema, initial, delta, backend = world
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    with pytest.raises(ReproError, match="unknown refresh mode"):
+        manager.refresh_from_backend(delta, mode="nonsense")
 
 
 def test_unaffected_chunks_survive_refresh():
@@ -84,7 +146,8 @@ def test_unaffected_chunks_survive_refresh():
     # A delta touching exactly one base cell.
     delta = generate_fact_table(schema, num_tuples=1, seed=7)
     resident_before = set(manager.cache.resident_keys())
-    affected, evicted = manager.refresh_from_backend(delta)
+    outcome = manager.refresh_from_backend(delta, mode="evict")
+    affected = outcome.affected
     assert len(affected) == 1
     survivors = set(manager.cache.resident_keys())
     # Base chunks not covering the updated cell must still be cached.
@@ -94,7 +157,71 @@ def test_unaffected_chunks_survive_refresh():
         if n not in affected
     }
     assert untouched_base <= survivors
-    assert survivors < resident_before or evicted == 0
+    assert survivors < resident_before or outcome.evicted == 0
+
+
+def test_delta_refresh_preserves_all_residents():
+    """The tentpole: in delta mode the whole resident set survives the
+    append — overlapping chunks are patched in place, not evicted."""
+    schema = apb_tiny_schema()
+    initial = generate_fact_table(schema, num_tuples=200, seed=1)
+    backend = BackendDatabase(schema, initial)
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    manager.query(Query.full_level(schema, schema.base_level))
+    manager.query(Query.full_level(schema, (1, 1, 0)))
+    delta = generate_fact_table(schema, num_tuples=40, seed=7)
+    resident_before = set(manager.cache.resident_keys())
+    outcome = manager.refresh_from_backend(delta)
+    assert set(manager.cache.resident_keys()) == resident_before
+    assert outcome.patched > 0
+    assert outcome.evicted == 0
+    # And the patched chunks answer exactly like a rebuilt backend.
+    for level in [schema.base_level, (1, 1, 0)]:
+        result = manager.query(Query.full_level(schema, level))
+        truth = merged_truth(schema, [initial, delta], level)
+        got: dict = {}
+        for chunk in result.chunks:
+            got.update(chunk.cell_dict())
+        assert got == pytest.approx(truth), level
+
+
+def test_refetch_mode_matches_delta_answers():
+    """The non-additive fallback produces the same post-refresh answers
+    as the delta wave (both exact), while preserving residency."""
+    schema = apb_tiny_schema()
+    initial = generate_fact_table(schema, num_tuples=200, seed=1)
+    delta = generate_fact_table(schema, num_tuples=40, seed=7)
+    totals = {}
+    for mode in ("delta", "refetch"):
+        backend = BackendDatabase(schema, initial)
+        manager = AggregateCache(
+            schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+        )
+        manager.query(Query.full_level(schema, (1, 1, 0)))
+        before = set(manager.cache.resident_keys())
+        outcome = manager.refresh_from_backend(delta, mode=mode)
+        assert set(manager.cache.resident_keys()) == before
+        assert (outcome.patched if mode == "delta" else outcome.refetched) > 0
+        result = manager.query(Query.full_level(schema, (1, 1, 0)))
+        totals[mode] = {
+            cell: value
+            for chunk in result.chunks
+            for cell, value in chunk.cell_dict().items()
+        }
+    assert totals["delta"] == totals["refetch"]
+
+
+def test_estimator_recalibrated_after_refresh(world):
+    schema, initial, delta, backend = world
+    manager = AggregateCache(
+        schema, backend, capacity_bytes=1 << 20, strategy="vcmc"
+    )
+    manager.refresh_from_backend(delta)
+    assert manager.sizes.total_base_tuples == backend.num_tuples
+    union = merged_truth(schema, [initial, delta], schema.base_level)
+    assert manager.sizes.total_base_tuples == len(union)
 
 
 def test_counts_oracle_consistent_after_refresh(world):
