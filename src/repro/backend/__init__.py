@@ -1,5 +1,8 @@
-"""The backend database substrate: synthetic data, cost model, engine."""
+"""The backend database substrate: synthetic data, cost model, engine,
+pluggable chunk stores."""
 
+from repro.backend.chunkstore import ChunkStore, DictChunkStore, make_chunk_store
+from repro.backend.columnar import MmapColumnarStore
 from repro.backend.cost_model import CostModel
 from repro.backend.engine import BackendDatabase, BackendRequestStats
 from repro.backend.generator import FactTable, generate_fact_table
@@ -9,8 +12,12 @@ __all__ = [
     "BackendDatabase",
     "BackendRequestStats",
     "BreakerState",
+    "ChunkStore",
     "CostModel",
+    "DictChunkStore",
     "FactTable",
+    "MmapColumnarStore",
     "ResilientBackend",
     "generate_fact_table",
+    "make_chunk_store",
 ]

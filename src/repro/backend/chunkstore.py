@@ -1,0 +1,204 @@
+"""Pluggable chunk stores: the storage layer behind :class:`BackendDatabase`.
+
+The engine models the paper's *chunked file organisation*: facts clustered
+by base chunk number, so a chunk request scans exactly the base chunks
+that cover it.  *Where* those clustered chunks live is this module's
+concern.  :class:`ChunkStore` is the interface — one immutable generation
+of the chunked base-fact file — with two implementations:
+
+* :class:`DictChunkStore` — the original in-process store: chunks held as
+  materialised numpy arrays in a Python dict.  Fast, simple, bounded by
+  RAM.
+* :class:`~repro.backend.columnar.MmapColumnarStore` — a single
+  page-aligned columnar file opened with ``np.memmap``; ``get`` returns
+  chunks whose arrays are zero-copy views into the file, so the dataset
+  can exceed RAM and multiple processes can share one data file (see
+  ``docs/storage.md``).
+
+Copy-on-write contract
+----------------------
+A published store is never mutated.  ``with_changes`` builds the
+*successor generation* aside — for the dict store a copied dict, for the
+columnar store new extents appended to the file tail plus a new directory
+— and returns it; the engine installs it with one reference assignment
+(atomic under the GIL).  A reader that captured the old reference keeps
+seeing a single consistent generation for its whole scan, even while an
+append lands concurrently: the service layer's phase-3 backend fetches
+deliberately run outside every lock and rely on exactly this.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.chunks.chunk import Chunk
+from repro.util.errors import ReproError
+
+#: Column payload of one scan: per-dimension ordinal arrays, the measure
+#: sums, the base-tuple counts, and the extra-measure arrays.
+ScanColumns = tuple[
+    tuple[np.ndarray, ...], np.ndarray, np.ndarray, tuple[np.ndarray, ...]
+]
+
+
+class ChunkStore(abc.ABC):
+    """One immutable generation of the chunked base-fact file."""
+
+    #: Registry name of the implementation (``"dict"`` / ``"mmap"``).
+    kind: str = "abstract"
+
+    #: Monotone generation counter: 0 for the initial load, +1 per
+    #: ``with_changes`` publication.
+    generation: int = 0
+
+    @property
+    @abc.abstractmethod
+    def numbers(self) -> np.ndarray:
+        """Sorted non-empty base-chunk numbers (int64)."""
+
+    @abc.abstractmethod
+    def get(self, number: int) -> Chunk | None:
+        """The stored chunk for ``number``, or None when no facts fall in
+        it.  Implementations may return shared/zero-copy payloads; callers
+        must treat the arrays as read-only."""
+
+    @abc.abstractmethod
+    def with_changes(self, changed: dict[int, Chunk]) -> "ChunkStore":
+        """The successor generation with ``changed`` chunks replacing (or
+        joining) the current ones.  ``self`` is left untouched — in-flight
+        readers holding it keep a consistent pre-append view."""
+
+    @abc.abstractmethod
+    def scan_columns(self) -> ScanColumns:
+        """Every stored cell, concatenated in ascending chunk-number order.
+
+        Returns ``(coords, values, counts, extras)``.  The columnar store
+        answers a single-generation scan with zero-copy views over the
+        whole file; the dict store must materialise the concatenation.
+        """
+
+    def stored_mask(self, numbers: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``numbers`` name a stored base chunk.
+
+        One ``searchsorted`` against the sorted stored-number array,
+        replacing a Python loop of per-element probes on the fetch hot
+        path.  Duplicate query numbers are answered independently (the
+        mask is positional, not set-like).
+        """
+        stored = self.numbers
+        mask = np.zeros(len(numbers), dtype=bool)
+        if stored.size == 0:
+            return mask
+        idx = np.searchsorted(stored, numbers)
+        in_bounds = idx < stored.size
+        mask[in_bounds] = stored[idx[in_bounds]] == numbers[in_bounds]
+        return mask
+
+    def close(self) -> None:
+        """Release held resources (file handles, maps).  No-op by default."""
+
+
+class DictChunkStore(ChunkStore):
+    """The in-process store: chunk payloads in a dict, an array of sorted
+    numbers for vectorised membership.  The original ``_BaseStore``."""
+
+    kind = "dict"
+
+    __slots__ = ("_chunks", "_numbers", "generation")
+
+    def __init__(
+        self,
+        chunks: dict[int, Chunk],
+        numbers: np.ndarray,
+        generation: int = 0,
+    ) -> None:
+        self._chunks = chunks
+        self._numbers = numbers
+        self.generation = generation
+
+    @classmethod
+    def from_chunks(
+        cls, chunks: dict[int, Chunk], generation: int = 0
+    ) -> "DictChunkStore":
+        return cls(
+            chunks=chunks,
+            numbers=np.fromiter(
+                sorted(chunks), dtype=np.int64, count=len(chunks)
+            ),
+            generation=generation,
+        )
+
+    @property
+    def numbers(self) -> np.ndarray:
+        return self._numbers
+
+    def get(self, number: int) -> Chunk | None:
+        return self._chunks.get(number)
+
+    def with_changes(self, changed: dict[int, Chunk]) -> "DictChunkStore":
+        if not changed:
+            return self
+        merged = dict(self._chunks)
+        merged.update(changed)
+        return DictChunkStore.from_chunks(merged, self.generation + 1)
+
+    def scan_columns(self) -> ScanColumns:
+        ordered = [self._chunks[int(n)] for n in self._numbers]
+        return _concatenate_chunks(ordered)
+
+
+def _concatenate_chunks(ordered: list[Chunk]) -> ScanColumns:
+    """Materialise a scan by concatenating chunk columns (copies rows)."""
+    if not ordered:
+        return (
+            (),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            (),
+        )
+    ndims = len(ordered[0].coords)
+    num_extras = len(ordered[0].extras)
+    coords = tuple(
+        np.concatenate([c.coords[d] for c in ordered]) for d in range(ndims)
+    )
+    values = np.concatenate([c.values for c in ordered])
+    counts = np.concatenate([c.counts for c in ordered])
+    extras = tuple(
+        np.concatenate([c.extras[m] for c in ordered])
+        for m in range(num_extras)
+    )
+    return coords, values, counts, extras
+
+
+def make_chunk_store(
+    kind: str,
+    chunks: dict[int, Chunk],
+    *,
+    level: tuple[int, ...],
+    ndims: int,
+    num_extras: int,
+    path=None,
+) -> ChunkStore:
+    """Build the initial generation of the named store kind.
+
+    ``"dict"`` ignores ``path``; ``"mmap"`` lays ``chunks`` out in a
+    columnar file at ``path`` (a private temporary file when omitted,
+    unlinked when the store is garbage collected).
+    """
+    if kind == "dict":
+        return DictChunkStore.from_chunks(chunks)
+    if kind == "mmap":
+        from repro.backend.columnar import MmapColumnarStore
+
+        if path is None:
+            return MmapColumnarStore.create_temp(
+                level=level, ndims=ndims, num_extras=num_extras, chunks=chunks
+            )
+        return MmapColumnarStore.create(
+            path, level=level, ndims=ndims, num_extras=num_extras, chunks=chunks
+        )
+    raise ReproError(
+        f"unknown chunk store kind {kind!r}; choose 'dict' or 'mmap'"
+    )

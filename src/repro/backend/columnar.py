@@ -1,0 +1,482 @@
+"""A memory-mapped columnar chunk store: one page-aligned file, zero-copy
+scans, copy-on-write generations.
+
+File format (``docs/storage.md`` has the full walkthrough)::
+
+    page 0          header: magic, version, ndims, num_extras,
+                    generation, directory offset/entries, tail, level
+    page-aligned    segment 0: the initial load's chunks, column-major
+    page-aligned    directory 0 (generation 0)
+    page-aligned    segment 1: chunks changed by append 1
+    page-aligned    directory 1 (generation 1)
+    ...
+
+A **segment** holds the rows of one publication (the initial load, or the
+chunks an append created/patched) laid out column-major: every column —
+one int64 array per dimension ordinal, the float64 measure sums, the
+int64 base-tuple counts, one float64 array per extra measure — is
+contiguous over the whole segment, and chunks occupy contiguous row runs
+within it (ascending chunk number).  A chunk is therefore addressed by
+``(segment offset, segment rows, row start, row count)`` and each of its
+columns is one contiguous slice: :meth:`MmapColumnarStore.get` returns a
+:class:`Chunk` whose arrays are **zero-copy read-only views** into the
+``np.memmap`` — no rows are materialised, and the OS pages data in on
+demand, so the file may exceed RAM.
+
+A **directory** maps chunk numbers to extents, stored as an ``(N, 5)``
+int64 array ``[number, seg_off, seg_rows, row_start, n_rows]`` sorted by
+number.  The file is append-only: :meth:`with_changes` writes the
+changed chunks as a new segment at the tail, writes the *merged*
+directory after it (unchanged chunks keep pointing into their old
+segments), and finally rewrites the header to name the new directory —
+the same copy-on-write generation discipline the in-process store uses,
+now at the file level.  In-process, publication is one reference
+assignment; on disk, the header flip.  Readers holding an older
+generation keep consistent views either way, because no published byte
+is ever overwritten.
+
+Integer header fields are native-endian int64 (the file is a
+single-machine cache artifact, not an interchange format).  Writes are
+flushed to the OS on publish but not fsynced; a machine crash mid-append
+can lose the tail, never corrupt published generations (the header is
+rewritten last).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import weakref
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend.chunkstore import (
+    ChunkStore,
+    ScanColumns,
+    _concatenate_chunks,
+)
+from repro.chunks.chunk import Chunk, ChunkOrigin
+from repro.util.errors import ReproError
+
+PAGE_SIZE = 4096
+MAGIC = b"RCOLCHNK"
+FORMAT_VERSION = 1
+_ITEM = 8  # every column is an 8-byte type (int64 / float64)
+_DIR_FIELDS = 5  # number, seg_off, seg_rows, row_start, n_rows
+_HEADER_INTS = 8  # version, ndims, num_extras, generation, dir_off,
+#                   dir_entries, tail, reserved
+_LEVEL_OFFSET = len(MAGIC) + _HEADER_INTS * _ITEM
+
+
+def _align(offset: int) -> int:
+    return (offset + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+
+def _cleanup(handle, unlink_path: str | None) -> None:
+    try:
+        handle.close()
+    finally:
+        if unlink_path is not None:
+            try:
+                os.unlink(unlink_path)
+            except OSError:
+                pass
+
+
+class _ColumnarFile:
+    """The shared append-only file behind every generation of one store.
+
+    Snapshots (:class:`MmapColumnarStore`) reference this object; the
+    file handle closes (and a temporary file unlinks) when the last
+    snapshot is garbage collected.  Appends serialise on ``lock`` —
+    callers above (the service layer's write lock) already serialise
+    appends, the lock just makes the file layer safe on its own.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        level: tuple[int, ...],
+        num_extras: int,
+        generation: int,
+        tail: int,
+        owns_path: bool,
+    ) -> None:
+        self.path = path
+        self.level = level
+        self.ndims = len(level)
+        self.num_extras = num_extras
+        self.ncols = self.ndims + 2 + num_extras
+        self.generation = generation
+        self.tail = tail
+        self.lock = threading.Lock()
+        self.handle = open(path, "r+b")
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self.handle, str(path) if owns_path else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # column schema
+
+    def column_dtype(self, col: int) -> np.dtype:
+        """coords[0..ndims) are int64; values float64; counts int64;
+        extras float64."""
+        if col < self.ndims:
+            return np.dtype(np.int64)
+        if col == self.ndims:
+            return np.dtype(np.float64)
+        if col == self.ndims + 1:
+            return np.dtype(np.int64)
+        return np.dtype(np.float64)
+
+    def _column_of(self, chunk: Chunk, col: int) -> np.ndarray:
+        if col < self.ndims:
+            return chunk.coords[col]
+        if col == self.ndims:
+            return chunk.values
+        if col == self.ndims + 1:
+            return chunk.counts
+        return chunk.extras[col - self.ndims - 2]
+
+    # ------------------------------------------------------------------ #
+    # writing (callers hold self.lock)
+
+    def append_segment(self, chunks: list[tuple[int, Chunk]]) -> np.ndarray:
+        """Write ``chunks`` (ascending number, non-empty) as one segment
+        at the tail; returns their ``(n, 5)`` directory entries."""
+        seg_rows = sum(c.size_tuples for _, c in chunks)
+        entries = np.empty((len(chunks), _DIR_FIELDS), dtype=np.int64)
+        if seg_rows == 0:
+            return entries[:0]
+        seg_off = _align(self.tail)
+        row_start = 0
+        for i, (number, chunk) in enumerate(chunks):
+            entries[i] = (
+                number, seg_off, seg_rows, row_start, chunk.size_tuples,
+            )
+            row_start += chunk.size_tuples
+        handle = self.handle
+        handle.seek(seg_off)
+        for col in range(self.ncols):
+            dtype = self.column_dtype(col)
+            for _, chunk in chunks:
+                handle.write(
+                    np.ascontiguousarray(self._column_of(chunk, col), dtype)
+                )
+        self.tail = seg_off + self.ncols * seg_rows * _ITEM
+        return entries
+
+    def publish(self, entries: np.ndarray, generation: int) -> None:
+        """Write the merged directory, then flip the header to it."""
+        dir_off = _align(self.tail)
+        handle = self.handle
+        handle.seek(dir_off)
+        handle.write(np.ascontiguousarray(entries, dtype=np.int64))
+        self.tail = dir_off + entries.nbytes
+        self.generation = generation
+        header = bytearray(PAGE_SIZE)
+        header[: len(MAGIC)] = MAGIC
+        fields = np.array(
+            [
+                FORMAT_VERSION,
+                self.ndims,
+                self.num_extras,
+                generation,
+                dir_off,
+                len(entries),
+                self.tail,
+                0,
+            ],
+            dtype=np.int64,
+        )
+        header[len(MAGIC):_LEVEL_OFFSET] = fields.tobytes()
+        level = np.asarray(self.level, dtype=np.int64)
+        header[_LEVEL_OFFSET:_LEVEL_OFFSET + level.nbytes] = level.tobytes()
+        handle.seek(0)
+        handle.write(header)
+        handle.flush()
+
+
+class MmapColumnarStore(ChunkStore):
+    """One generation of the memory-mapped columnar chunk file.
+
+    Immutable snapshot semantics: ``with_changes`` appends to the shared
+    file and returns a *new* store; this one keeps answering from its own
+    directory and its own map of the file prefix it was published with.
+    """
+
+    kind = "mmap"
+
+    def __init__(
+        self,
+        file: _ColumnarFile,
+        mm: np.memmap,
+        entries: np.ndarray,
+        generation: int,
+    ) -> None:
+        self._file = file
+        self._mm = mm
+        self._entries = entries
+        self._numbers = np.ascontiguousarray(entries[:, 0])
+        self.generation = generation
+        # Wrapper chunks memoised per generation: the arrays are views,
+        # only the (cheap) Chunk shell is built lazily, once per number.
+        self._wrappers: dict[int, Chunk] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        *,
+        level: tuple[int, ...],
+        ndims: int,
+        num_extras: int,
+        chunks: dict[int, Chunk],
+        owns_path: bool = False,
+    ) -> "MmapColumnarStore":
+        """Lay ``chunks`` out as generation 0 of a new file at ``path``."""
+        level = tuple(level)
+        if len(level) != ndims:
+            raise ReproError(
+                f"columnar store: level {level} does not have {ndims} dims"
+            )
+        path = Path(path)
+        with open(path, "wb") as handle:
+            handle.write(bytes(PAGE_SIZE))
+        file = _ColumnarFile(
+            path,
+            level=level,
+            num_extras=num_extras,
+            generation=0,
+            tail=PAGE_SIZE,
+            owns_path=owns_path,
+        )
+        ordered = [
+            (number, chunk)
+            for number, chunk in sorted(chunks.items())
+            if not chunk.is_empty
+        ]
+        with file.lock:
+            entries = file.append_segment(ordered)
+            file.publish(entries, generation=0)
+        return cls._snapshot(file, entries)
+
+    @classmethod
+    def create_temp(
+        cls,
+        *,
+        level: tuple[int, ...],
+        ndims: int,
+        num_extras: int,
+        chunks: dict[int, Chunk],
+    ) -> "MmapColumnarStore":
+        """``create`` into a private temporary file, unlinked when the
+        last generation referencing it is garbage collected."""
+        fd, name = tempfile.mkstemp(prefix="repro-columnar-", suffix=".rcol")
+        os.close(fd)
+        return cls.create(
+            name,
+            level=level,
+            ndims=ndims,
+            num_extras=num_extras,
+            chunks=chunks,
+            owns_path=True,
+        )
+
+    @classmethod
+    def open(cls, path: str | Path) -> "MmapColumnarStore":
+        """Map an existing columnar file at its latest generation."""
+        path = Path(path)
+        with open(path, "rb") as handle:
+            head = handle.read(PAGE_SIZE)
+        if len(head) < PAGE_SIZE or head[: len(MAGIC)] != MAGIC:
+            raise ReproError(f"{path} is not a columnar chunk file")
+        fields = np.frombuffer(
+            head, dtype=np.int64, count=_HEADER_INTS, offset=len(MAGIC)
+        )
+        version, ndims, num_extras, generation, dir_off, dir_entries, tail = (
+            int(x) for x in fields[:7]
+        )
+        if version != FORMAT_VERSION:
+            raise ReproError(
+                f"columnar file {path} has format version {version}, "
+                f"this build reads {FORMAT_VERSION}"
+            )
+        level = tuple(
+            int(x)
+            for x in np.frombuffer(
+                head, dtype=np.int64, count=ndims, offset=_LEVEL_OFFSET
+            )
+        )
+        file = _ColumnarFile(
+            path,
+            level=level,
+            num_extras=num_extras,
+            generation=generation,
+            tail=tail,
+            owns_path=False,
+        )
+        mm = np.memmap(path, dtype=np.uint8, mode="r", shape=(tail,))
+        entries = (
+            np.frombuffer(
+                mm, dtype=np.int64, count=dir_entries * _DIR_FIELDS,
+                offset=dir_off,
+            ).reshape(dir_entries, _DIR_FIELDS)
+            if dir_entries
+            else np.empty((0, _DIR_FIELDS), dtype=np.int64)
+        )
+        return cls(file, mm, entries, generation)
+
+    @classmethod
+    def _snapshot(
+        cls, file: _ColumnarFile, entries: np.ndarray
+    ) -> "MmapColumnarStore":
+        mm = np.memmap(file.path, dtype=np.uint8, mode="r", shape=(file.tail,))
+        return cls(file, mm, entries, file.generation)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    @property
+    def path(self) -> Path:
+        return self._file.path
+
+    @property
+    def file_bytes(self) -> int:
+        """Bytes of file this generation spans (header through directory)."""
+        return int(self._mm.shape[0])
+
+    @property
+    def level(self) -> tuple[int, ...]:
+        return self._file.level
+
+    # ------------------------------------------------------------------ #
+    # ChunkStore interface
+
+    @property
+    def numbers(self) -> np.ndarray:
+        return self._numbers
+
+    def get(self, number: int) -> Chunk | None:
+        number = int(number)
+        chunk = self._wrappers.get(number)
+        if chunk is not None:
+            return chunk
+        idx = int(np.searchsorted(self._numbers, number))
+        if idx >= len(self._numbers) or self._numbers[idx] != number:
+            return None
+        _, seg_off, seg_rows, row_start, n_rows = (
+            int(x) for x in self._entries[idx]
+        )
+        file = self._file
+        chunk = Chunk(
+            level=file.level,
+            number=number,
+            coords=tuple(
+                self._col(d, seg_off, seg_rows, row_start, n_rows)
+                for d in range(file.ndims)
+            ),
+            values=self._col(file.ndims, seg_off, seg_rows, row_start, n_rows),
+            counts=self._col(
+                file.ndims + 1, seg_off, seg_rows, row_start, n_rows
+            ),
+            origin=ChunkOrigin.BACKEND,
+            extras=tuple(
+                self._col(
+                    file.ndims + 2 + m, seg_off, seg_rows, row_start, n_rows
+                )
+                for m in range(file.num_extras)
+            ),
+        )
+        self._wrappers[number] = chunk
+        return chunk
+
+    def _col(
+        self, col: int, seg_off: int, seg_rows: int, row_start: int, n: int
+    ) -> np.ndarray:
+        """One chunk's slice of one column: a zero-copy read-only view."""
+        offset = seg_off + (col * seg_rows + row_start) * _ITEM
+        return np.frombuffer(
+            self._mm, dtype=self._file.column_dtype(col), count=n,
+            offset=offset,
+        )
+
+    def with_changes(self, changed: dict[int, Chunk]) -> "MmapColumnarStore":
+        if not changed:
+            return self
+        file = self._file
+        with file.lock:
+            ordered = [
+                (number, chunk)
+                for number, chunk in sorted(changed.items())
+                if not chunk.is_empty
+            ]
+            new_entries = file.append_segment(ordered)
+            changed_numbers = np.fromiter(
+                sorted(changed), dtype=np.int64, count=len(changed)
+            )
+            keep = ~np.isin(self._numbers, changed_numbers)
+            merged = np.concatenate([self._entries[keep], new_entries])
+            merged = np.ascontiguousarray(
+                merged[np.argsort(merged[:, 0], kind="stable")]
+            )
+            file.publish(merged, file.generation + 1)
+            return MmapColumnarStore._snapshot(file, merged)
+
+    def scan_columns(self) -> ScanColumns:
+        entries = self._entries
+        if len(entries) == 0:
+            return _concatenate_chunks([])
+        file = self._file
+        seg_off = int(entries[0, 1])
+        seg_rows = int(entries[0, 2])
+        contiguous = (
+            np.all(entries[:, 1] == seg_off)
+            and entries[0, 3] == 0
+            and np.array_equal(
+                entries[1:, 3], np.cumsum(entries[:-1, 4])
+            )
+            and int(entries[:, 4].sum()) == seg_rows
+        )
+        if contiguous:
+            # Single-segment generation (the common case before any
+            # append, and the layout `compact` restores): every column of
+            # the whole scan is one zero-copy view.
+            def col(c: int) -> np.ndarray:
+                return self._col(c, seg_off, seg_rows, 0, seg_rows)
+
+            return (
+                tuple(col(d) for d in range(file.ndims)),
+                col(file.ndims),
+                col(file.ndims + 1),
+                tuple(
+                    col(file.ndims + 2 + m) for m in range(file.num_extras)
+                ),
+            )
+        ordered = [self.get(int(n)) for n in self._numbers]
+        return _concatenate_chunks([c for c in ordered if c is not None])
+
+    def compact(self, path: str | Path, owns_path: bool = False) -> "MmapColumnarStore":
+        """Rewrite this generation into a fresh single-segment file —
+        reclaims superseded extents after many appends and restores the
+        zero-copy whole-file scan path."""
+        chunks = {int(n): self.get(int(n)) for n in self._numbers}
+        return MmapColumnarStore.create(
+            path,
+            level=self._file.level,
+            ndims=self._file.ndims,
+            num_extras=self._file.num_extras,
+            chunks=chunks,
+            owns_path=owns_path,
+        )
+
+    def close(self) -> None:
+        """Flush and close the shared file handle (and unlink a temporary
+        file).  Every generation of this store becomes unusable."""
+        self._wrappers.clear()
+        self._file._finalizer()

@@ -8,8 +8,14 @@ achieved this with a clustered index on the chunk number).
 A request is a batch of (level, chunk-number) pairs — the middle tier
 translates all of a query's missing chunks into a single backend request,
 as in Section 2 of the paper.  The engine really computes the answers
-(scanning its numpy chunk files and aggregating), and additionally charges
-the simulated connection/transfer overhead from :class:`CostModel`.
+(scanning its chunk store and aggregating), and additionally charges the
+simulated connection/transfer overhead from :class:`CostModel`.
+
+Where the clustered chunks live is pluggable (``store=``): the in-process
+dict store, or the memory-mapped columnar file whose scans are zero-copy
+views (:mod:`repro.backend.chunkstore` / :mod:`repro.backend.columnar`,
+``docs/storage.md``).  Both publish appends copy-on-write, so the
+lock-free fetch path reads one consistent generation either way.
 """
 
 from __future__ import annotations
@@ -17,10 +23,16 @@ from __future__ import annotations
 import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.aggregation.aggregate import rollup_chunks, rollup_many
+from repro.backend.chunkstore import (
+    ChunkStore,
+    DictChunkStore,
+    make_chunk_store,
+)
 from repro.backend.cost_model import CostModel
 from repro.backend.generator import FactTable
 from repro.chunks.chunk import Chunk, ChunkOrigin
@@ -29,6 +41,9 @@ from repro.obs import NULL_OBS, Observability
 from repro.schema.cube import CubeSchema, Level
 from repro.util.errors import ReproError
 from repro.util.timers import Stopwatch
+
+#: Backward-compatible name: the original in-process store class.
+_BaseStore = DictChunkStore
 
 
 @dataclass
@@ -86,49 +101,6 @@ class BackendTotals:
         self.total_ms += stats.total_ms
 
 
-@dataclass(frozen=True, slots=True)
-class _BaseStore:
-    """One immutable generation of the chunked base-fact file.
-
-    ``apply_append`` never mutates a published store: it builds the
-    merged successor aside and swaps the backend's ``_store`` reference
-    in one assignment (atomic under the GIL).  A reader that captures
-    the reference once therefore sees a single consistent generation
-    for its whole scan, even while an append lands concurrently — the
-    service layer's phase-3 backend fetches deliberately run outside
-    every lock, so they rely on exactly this.
-    """
-
-    chunks: dict[int, Chunk]
-    numbers: np.ndarray
-    """Sorted non-empty base-chunk numbers (vectorised membership)."""
-
-    @classmethod
-    def from_chunks(cls, chunks: dict[int, Chunk]) -> _BaseStore:
-        return cls(
-            chunks=chunks,
-            numbers=np.fromiter(
-                sorted(chunks), dtype=np.int64, count=len(chunks)
-            ),
-        )
-
-    def stored_mask(self, numbers: np.ndarray) -> np.ndarray:
-        """Boolean mask: which of ``numbers`` name a stored base chunk.
-
-        One ``searchsorted`` against the sorted stored-number array,
-        replacing a Python loop of per-element dict probes on the fetch
-        hot path.
-        """
-        stored = self.numbers
-        mask = np.zeros(len(numbers), dtype=bool)
-        if stored.size == 0:
-            return mask
-        idx = np.searchsorted(stored, numbers)
-        in_bounds = idx < stored.size
-        mask[in_bounds] = stored[idx[in_bounds]] == numbers[in_bounds]
-        return mask
-
-
 class BackendDatabase:
     """A chunk-organised fact store that can answer chunk requests.
 
@@ -144,6 +116,15 @@ class BackendDatabase:
         Observability handle; ``backend.fetch`` events and request
         counters are recorded when it is enabled.  It may also be rebound
         after construction (the harness does this for instrumented runs).
+    store:
+        Which :class:`~repro.backend.chunkstore.ChunkStore` holds the
+        clustered base chunks: ``"dict"`` (in-process, the default) or
+        ``"mmap"`` (the memory-mapped columnar file — zero-copy scans,
+        datasets beyond RAM; see ``docs/storage.md``).
+    store_path:
+        For ``store="mmap"``: where to put the columnar file.  Omitted,
+        a private temporary file is used and unlinked when the backend
+        is garbage collected.
     """
 
     def __init__(
@@ -152,6 +133,8 @@ class BackendDatabase:
         facts: FactTable,
         cost_model: CostModel | None = None,
         obs: Observability | None = None,
+        store: str = "dict",
+        store_path: str | Path | None = None,
     ) -> None:
         self.schema = schema
         self._fingerprint: str | None = None
@@ -159,21 +142,30 @@ class BackendDatabase:
         self.cost_model = cost_model or CostModel()
         self.obs = obs or NULL_OBS
         self.totals = BackendTotals()
-        self._store = _BaseStore.from_chunks(self._cluster_facts(facts))
+        self._store: ChunkStore = make_chunk_store(
+            store,
+            self._cluster_facts(facts),
+            level=schema.base_level,
+            ndims=schema.ndims,
+            num_extras=schema.num_extra_measures,
+            path=store_path,
+        )
         self._num_tuples = facts.num_tuples
-        self.refresh_generation = 0
+        self.refresh_generation = int(getattr(facts, "generation", 0))
         """Monotone append counter.  Snapshots are stamped with it so a
         restore can detect that the warehouse has grown since the save
-        (see :mod:`repro.cache.snapshot`)."""
+        (see :mod:`repro.cache.snapshot`).  Seeded from the fact table's
+        own stamp, so a table round-tripped through the v2 fact file
+        restores the generation its snapshots were taken against."""
         self._totals_lock = threading.Lock()
         """Concurrent fetches (the service layer issues them outside any
         cache lock) serialise only their lifetime-counter updates; the
         scans themselves run in parallel.  ``apply_append`` publishes a
-        new :class:`_BaseStore` with one reference assignment, so an
-        in-flight fetch reads either the pre- or the post-append store —
-        never a half-merged mix.  Appends racing *each other* are still
-        the caller's problem (the service layer's write lock serialises
-        them)."""
+        new :class:`~repro.backend.chunkstore.ChunkStore` generation with
+        one reference assignment, so an in-flight fetch reads either the
+        pre- or the post-append store — never a half-merged mix.  Appends
+        racing *each other* are still the caller's problem (the service
+        layer's write lock serialises them)."""
 
     def _check_schema(self, facts: FactTable) -> None:
         """Reject fact tables built for a different cube.
@@ -235,9 +227,19 @@ class BackendDatabase:
     def base_size_bytes(self) -> int:
         return self._num_tuples * self.schema.bytes_per_tuple
 
+    @property
+    def store(self) -> ChunkStore:
+        """The current chunk-store generation (advances on every append)."""
+        return self._store
+
+    @property
+    def store_kind(self) -> str:
+        """The configured store implementation (``"dict"`` / ``"mmap"``)."""
+        return self._store.kind
+
     def base_chunk(self, number: int) -> Chunk:
         """The stored base chunk (empty chunk if no facts fall in it)."""
-        chunk = self._store.chunks.get(number)
+        chunk = self._store.get(number)
         if chunk is None:
             return Chunk.empty(
                 self.schema.base_level,
@@ -250,6 +252,11 @@ class BackendDatabase:
     def base_chunk_numbers(self) -> list[int]:
         """Numbers of the non-empty base chunks, ascending."""
         return self._store.numbers.tolist()
+
+    def close(self) -> None:
+        """Release store resources (the columnar store's file handle and
+        map; a no-op for the dict store)."""
+        self._store.close()
 
     # ------------------------------------------------------------------ #
     # serving requests
@@ -293,7 +300,7 @@ class BackendDatabase:
                     level, number, base
                 )
                 present = covering[store.stored_mask(covering)]
-                sources = [store.chunks[int(n)] for n in present]
+                sources = [store.get(int(n)) for n in present]
                 sources_per_target.append(sources)
                 scanned_per_target.append(sum(c.size_tuples for c in sources))
             chunks = rollup_many(
@@ -365,14 +372,18 @@ class BackendDatabase:
         affected = []
         created = []
         delta = 0
-        # Copy-on-write: merge into a successor dict and publish it as
-        # one atomic reference swap, so lock-free in-flight fetches keep
-        # reading the previous generation (see _BaseStore).
-        merged_chunks = dict(self._store.chunks)
+        # Copy-on-write: build the changed chunks aside and publish the
+        # successor store generation as one atomic reference swap, so
+        # lock-free in-flight fetches keep reading the previous
+        # generation (see ChunkStore.with_changes — the columnar store
+        # extends the same discipline to the on-disk file: changed
+        # extents at the tail, a new directory, the header flipped last).
+        store = self._store
+        changed: dict[int, Chunk] = {}
         for number, new_chunk in incoming.items():
-            existing = merged_chunks.get(number)
+            existing = store.get(number)
             if existing is None:
-                merged_chunks[number] = new_chunk
+                changed[number] = new_chunk
                 delta += new_chunk.size_tuples
                 created.append(number)
             else:
@@ -384,10 +395,10 @@ class BackendDatabase:
                     origin=ChunkOrigin.BACKEND,
                 )
                 merged.compute_cost = 0.0
-                merged_chunks[number] = merged
+                changed[number] = merged
                 delta += merged.size_tuples - existing.size_tuples
             affected.append(number)
-        self._store = _BaseStore.from_chunks(merged_chunks)
+        self._store = store.with_changes(changed)
         # O(affected) maintenance: the tuple count moves by each touched
         # chunk's size change instead of being re-summed over every chunk.
         self._num_tuples += delta

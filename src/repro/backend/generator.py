@@ -34,6 +34,10 @@ class FactTable:
     counts: np.ndarray
     extras: tuple[np.ndarray, ...] = ()
     """Additional additive measures (``schema.measures[1:]``)."""
+    generation: int = 0
+    """Backend refresh generation this table snapshots (0 for generated
+    tables).  Restored by the v2 fact file so a rebuilt backend matches
+    the generation its cache snapshots were stamped against."""
 
     @property
     def num_tuples(self) -> int:
@@ -161,6 +165,10 @@ def merge_fact_tables(parts: "list[FactTable]") -> FactTable:
         values=merged_values.astype(np.float64),
         counts=np.rint(merged_counts).astype(np.int64),
         extras=tuple(e.astype(np.float64) for e in merged_extras),
+        # The merge models the post-append fact file; keep the highest
+        # stamp any part carried (callers appending N waves onto a
+        # generation-g part typically override via save_fact_table).
+        generation=max(p.generation for p in parts),
     )
 
 

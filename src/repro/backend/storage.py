@@ -4,12 +4,21 @@ A saved fact table embeds a fingerprint of the schema it was generated
 for: loading against a structurally different schema is refused rather
 than silently mis-addressed, since every chunk number and ordinal would
 otherwise shift meaning.
+
+Format version 2 additionally embeds the backend's *refresh generation*
+(:attr:`BackendDatabase.refresh_generation` at save time), so a table
+round-tripped through disk rebuilds a backend at the same generation its
+cache snapshots were stamped against (``repro.cache.snapshot`` format v2
+refuses a generation mismatch).  Version-1 files still load, at
+generation 0 — they could only have been written before generations
+existed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import weakref
 from pathlib import Path
 
 import numpy as np
@@ -18,11 +27,28 @@ from repro.backend.generator import FactTable
 from repro.schema.cube import CubeSchema
 from repro.util.errors import ReproError
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: ``schema_fingerprint`` memo, keyed by schema object identity.  The
+#: full boundary/parent dump is quadratic-ish in the hierarchy sizes and
+#: used to be recomputed on every save/load and on every append's schema
+#: compare; a schema is immutable after construction, so one computation
+#: per object is enough.  Weak keys: dropping a schema drops its entry.
+_fingerprint_memo: "weakref.WeakKeyDictionary[CubeSchema, str]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def schema_fingerprint(schema: CubeSchema) -> str:
-    """A stable hash of everything chunk addressing depends on."""
+    """A stable hash of everything chunk addressing depends on.
+
+    Memoised per schema *object* (schemas are immutable once built);
+    structurally equal schemas still hash equal — the memo only skips
+    recomputation, never changes the digest.
+    """
+    cached = _fingerprint_memo.get(schema)
+    if cached is not None:
+        return cached
     description = {
         "measures": list(schema.measures),
         "bytes_per_tuple": schema.bytes_per_tuple,
@@ -45,12 +71,25 @@ def schema_fingerprint(schema: CubeSchema) -> str:
         ],
     }
     canonical = json.dumps(description, sort_keys=True).encode()
-    return hashlib.sha256(canonical).hexdigest()
+    digest = hashlib.sha256(canonical).hexdigest()
+    _fingerprint_memo[schema] = digest
+    return digest
 
 
-def save_fact_table(facts: FactTable, path: str | Path) -> Path:
-    """Write a fact table to ``path`` (npz).  Returns the path written."""
+def save_fact_table(
+    facts: FactTable, path: str | Path, generation: int | None = None
+) -> Path:
+    """Write a fact table to ``path`` (npz).  Returns the path written.
+
+    ``generation`` stamps the file with a backend refresh generation
+    (defaults to ``facts.generation``): pass the owning backend's
+    :attr:`~repro.backend.engine.BackendDatabase.refresh_generation` when
+    persisting a post-append table, so a backend rebuilt from the file
+    accepts the cache snapshots taken at that generation.
+    """
     path = Path(path)
+    if generation is None:
+        generation = int(getattr(facts, "generation", 0))
     arrays = {
         f"coords_{d}": axis for d, axis in enumerate(facts.coords)
     }
@@ -67,6 +106,7 @@ def save_fact_table(facts: FactTable, path: str | Path) -> Path:
         version=np.asarray([_FORMAT_VERSION]),
         ndims=np.asarray([facts.schema.ndims]),
         num_extras=np.asarray([len(facts.extras)]),
+        generation=np.asarray([generation]),
         **arrays,
     )
     # np.savez appends .npz when missing; normalise the reported path.
@@ -83,7 +123,7 @@ def load_fact_table(schema: CubeSchema, path: str | Path) -> FactTable:
     """
     with np.load(Path(path)) as data:
         version = int(data["version"][0])
-        if version != _FORMAT_VERSION:
+        if version not in (1, _FORMAT_VERSION):
             raise ReproError(
                 f"fact file {path} has format version {version}, "
                 f"this build reads {_FORMAT_VERSION}"
@@ -99,10 +139,14 @@ def load_fact_table(schema: CubeSchema, path: str | Path) -> FactTable:
         coords = tuple(data[f"coords_{d}"] for d in range(ndims))
         num_extras = int(data["num_extras"][0]) if "num_extras" in data else 0
         extras = tuple(data[f"extra_{m}"] for m in range(num_extras))
+        # v1 predates generation stamping: such a file can only describe
+        # a never-appended (or externally merged) table — generation 0.
+        generation = int(data["generation"][0]) if version >= 2 else 0
         return FactTable(
             schema=schema,
             coords=coords,
             values=data["values"],
             counts=data["counts"],
             extras=extras,
+            generation=generation,
         )

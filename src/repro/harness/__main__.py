@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 
 from repro.aggregation import set_default_validation
 from repro.harness.config import default_config, quick_config
@@ -28,6 +29,7 @@ EXPERIMENTS = (
     "update",
     "adaptive",
     "delta",
+    "storage",
     "benefit",
     "cost_variation",
     "table1",
@@ -61,6 +63,16 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help="seconds-scale configuration (tiny schema) for smoke runs",
+    )
+    parser.add_argument(
+        "--store",
+        choices=("dict", "mmap"),
+        default=None,
+        help=(
+            "backend chunk store: in-process dict (default) or the "
+            "memory-mapped columnar file with zero-copy scans; outputs "
+            "are cell-identical either way (see docs/storage.md)"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -100,6 +112,8 @@ def main(argv: list[str] | None = None) -> int:
 
 def _run(args: argparse.Namespace) -> int:
     config = quick_config() if args.quick else default_config()
+    if args.store is not None:
+        config = replace(config, store=args.store)
     selected = args.experiments
     explicit = not isinstance(selected, str)
     if isinstance(selected, str):
@@ -167,6 +181,15 @@ def _run(args: argparse.Namespace) -> int:
         ).format()
 
     run("delta", _delta)
+
+    def _storage() -> str:
+        from repro.harness.storage_bench import run_storage_benchmark
+
+        return run_storage_benchmark(
+            config, out_path="BENCH_storage.json"
+        ).format()
+
+    run("storage", _storage)
     run("benefit", lambda: run_aggregation_benefit(config).format())
     run("cost_variation", lambda: run_cost_variation(config).format())
     run("table1", lambda: run_table1(config).format())

@@ -50,7 +50,7 @@ def build_components(config: ExperimentConfig) -> Components:
         combo_density=config.combo_density,
         cell_fill=config.cell_fill,
     )
-    backend = BackendDatabase(schema, facts, CostModel())
+    backend = BackendDatabase(schema, facts, CostModel(), store=config.store)
     if config.exact_sizes:
         sizes = SizeEstimator.exact(schema, facts)
     else:

@@ -53,6 +53,11 @@ class ExperimentConfig:
     """Clustered mode: density of each combo over Time/Channel/Scenario."""
     exact_sizes: bool = True
     """Calibrate the size estimator with exact per-level sizes."""
+    store: str = "dict"
+    """Backend chunk store: 'dict' (in-process) or 'mmap' (memory-mapped
+    columnar file; zero-copy scans, datasets beyond RAM — docs/storage.md).
+    Experiment outputs are cell-identical across stores; BENCH_storage.json
+    gates that, plus the scan-throughput ordering."""
 
     def make_schema(self) -> CubeSchema:
         try:

@@ -303,7 +303,7 @@ def _run_arm(
         combo_density=config.combo_density,
         cell_fill=config.cell_fill,
     )
-    backend = BackendDatabase(schema, facts, CostModel())
+    backend = BackendDatabase(schema, facts, CostModel(), store=config.store)
     capacity = max(int(backend.base_size_bytes * 0.91), 1)
     manager = AggregateCache(
         schema,
@@ -368,7 +368,7 @@ def run_delta_benchmark(
         combo_density=config.combo_density,
         cell_fill=config.cell_fill,
     )
-    seed_backend = BackendDatabase(schema, facts, CostModel())
+    seed_backend = BackendDatabase(schema, facts, CostModel(), store=config.store)
     batch = _build_append_batch(
         schema, seed_backend.base_chunk_numbers(), config
     )

@@ -164,7 +164,10 @@ def run_faults_experiment(
         cell_fill=config.cell_fill,
     )
     backend = BackendDatabase(
-        components.schema, facts, components.backend.cost_model
+        components.schema,
+        facts,
+        components.backend.cost_model,
+        store=config.store,
     )
     resilient = ResilientBackend(
         backend,

@@ -1,0 +1,353 @@
+"""The ``storage`` harness experiment: dict vs mmap chunk store.
+
+Measures what the memory-mapped columnar store
+(:class:`~repro.backend.columnar.MmapColumnarStore`) buys and costs
+relative to the in-process dict store, at the same dataset scales the
+kernel benchmark sweeps (1k / 10k / the configured size):
+
+* **scan throughput** — a full-store column scan
+  (:meth:`~repro.backend.chunkstore.ChunkStore.scan_columns` plus a
+  reduction over the SUM column, which forces every page in).  The dict
+  store pays a concatenation per scan; a single-segment columnar file
+  returns zero-copy views, so at full scale mmap must be at least as
+  fast — ``BENCH_storage.json`` is the trajectory and the bench-smoke
+  gate asserts the ordering.
+* **fetch latency** — p50/p99 wall-clock of single-chunk ``fetch``
+  calls at the kernel bench level (compute included; the simulated
+  connection/transfer charges are identical across stores).
+* **append publish latency** — one ``apply_append`` of a ~10% batch on
+  a fresh backend: the dict store swaps a dict, the columnar store
+  writes a tail segment + directory and flips the header.
+
+Correctness is verified *in-run*, not assumed: at every scale, every
+chunk of every level is fetched from both backends and compared
+cell-for-cell (exact ``==`` on the float64 arrays, the delta-bench
+standard), and the seeded query stream is served through an
+:class:`AggregateCache` over each store with every answer compared the
+same way.  ``answers_identical`` summarises all of it.
+
+Backends are built fresh per scale — never through the memoised
+:func:`build_components` — because the append arm mutates them.
+
+The result renders as a table and exports as ``BENCH_storage.json``;
+see ``docs/storage.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.aggregation import set_default_validation
+from repro.backend import BackendDatabase, CostModel, generate_fact_table
+from repro.core.manager import AggregateCache
+from repro.harness.config import ExperimentConfig
+from repro.harness.kernel_bench import _best_of, _sweep_configs, pick_bench_level
+from repro.schema.cube import CubeSchema, Level
+from repro.util.tables import render_table
+from repro.util.timers import Stopwatch
+from repro.workload.stream import QueryStreamGenerator
+
+#: decorrelate the identity-check stream from the figure experiments'
+_STREAM_SEED_OFFSET = 7103
+#: decorrelate the append batch from the initial fact table
+_APPEND_SEED_OFFSET = 7901
+
+_STORE_KINDS = ("dict", "mmap")
+
+
+@dataclass
+class StoreScale:
+    """One store kind measured at one dataset scale."""
+
+    kind: str
+    tuples: int
+    rows: int
+    """Stored rows (cells) the scan touches."""
+    scan_tuples_per_s: float
+    fetch_p50_ms: float
+    fetch_p99_ms: float
+    append_publish_ms: float
+    file_bytes: int
+    """On-disk size of the columnar file (0 for the dict store)."""
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "tuples": self.tuples,
+            "rows": self.rows,
+            "scan_tuples_per_s": self.scan_tuples_per_s,
+            "fetch_p50_ms": self.fetch_p50_ms,
+            "fetch_p99_ms": self.fetch_p99_ms,
+            "append_publish_ms": self.append_publish_ms,
+            "file_bytes": self.file_bytes,
+        }
+
+
+@dataclass
+class StorageBenchResult:
+    """All store/scale measurements plus the identity verdict."""
+
+    config: ExperimentConfig
+    level: Level
+    repeats: int
+    scales: list[StoreScale] = field(default_factory=list)
+    answers_identical: bool = True
+
+    def scale(self, kind: str, tuples: int | None = None) -> StoreScale:
+        """The measurement for ``kind`` — full configured scale by
+        default."""
+        if tuples is None:
+            tuples = self.config.num_tuples
+        for scale in self.scales:
+            if scale.kind == kind and scale.tuples == tuples:
+                return scale
+        raise KeyError((kind, tuples))
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.config.schema_name,
+            "num_tuples": self.config.num_tuples,
+            "bench_level": list(self.level),
+            "repeats": self.repeats,
+            "python": platform.python_version(),
+            "answers_identical": self.answers_identical,
+            "scales": [scale.as_dict() for scale in self.scales],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def format(self) -> str:
+        headers = [
+            "Store", "Tuples", "Rows", "Scan (Mrow/s)",
+            "Fetch p50 (ms)", "Fetch p99 (ms)",
+            "Append publish (ms)", "File (KB)",
+        ]
+        rows = []
+        for scale in self.scales:
+            rows.append([
+                scale.kind,
+                scale.tuples,
+                scale.rows,
+                f"{scale.scan_tuples_per_s / 1e6:.2f}",
+                f"{scale.fetch_p50_ms:.3f}",
+                f"{scale.fetch_p99_ms:.3f}",
+                f"{scale.append_publish_ms:.3f}",
+                f"{scale.file_bytes / 1024:.0f}" if scale.file_bytes else "-",
+            ])
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                f"Storage benchmark: dict vs mmap chunk store "
+                f"(fetch level {self.level}, best of {self.repeats})."
+            ),
+        )
+        full_dict = self.scale("dict")
+        full_mmap = self.scale("mmap")
+        ratio = (
+            full_mmap.scan_tuples_per_s / full_dict.scan_tuples_per_s
+            if full_dict.scan_tuples_per_s
+            else 0.0
+        )
+        verdict = "yes" if self.answers_identical else "NO"
+        return table + (
+            f"\nmmap/dict scan throughput at full scale: {ratio:.2f}x."
+            f"\nAnswers cell-identical across stores: {verdict}."
+        )
+
+
+def _chunks_identical(schema: CubeSchema, got, want) -> bool:
+    """Cell-for-cell equality, order-independent (delta-bench standard:
+    exact ``==`` on float64 — the integer-valued measures make anything
+    weaker unnecessary)."""
+    if got.level != want.level or got.number != want.number:
+        return False
+    if got.size_tuples != want.size_tuples:
+        return False
+    if got.size_tuples == 0:
+        return True
+    shape = schema.chunks.cell_shape(got.level)
+    a = np.argsort(np.ravel_multi_index(got.coords, shape), kind="stable")
+    b = np.argsort(np.ravel_multi_index(want.coords, shape), kind="stable")
+    if not all(
+        np.array_equal(ga[a], wa[b])
+        for ga, wa in zip(got.coords, want.coords)
+    ):
+        return False
+    if not np.array_equal(got.values[a], want.values[b]):
+        return False
+    if not np.array_equal(got.counts[a], want.counts[b]):
+        return False
+    return all(
+        np.array_equal(ge[a], we[b])
+        for ge, we in zip(got.extras, want.extras)
+    )
+
+
+def _fetches_identical(
+    schema: CubeSchema, left: BackendDatabase, right: BackendDatabase
+) -> bool:
+    """Every chunk of every level, fetched from both backends, exact."""
+    for level in schema.all_levels():
+        requests = [(level, n) for n in range(schema.num_chunks(level))]
+        got, _ = left.fetch(requests)
+        want, _ = right.fetch(requests)
+        if len(got) != len(want):
+            return False
+        if not all(
+            _chunks_identical(schema, g, w) for g, w in zip(got, want)
+        ):
+            return False
+    return True
+
+
+def _streams_identical(
+    config: ExperimentConfig,
+    schema: CubeSchema,
+    left: BackendDatabase,
+    right: BackendDatabase,
+) -> bool:
+    """Serve the seeded stream through a manager over each store and
+    compare every answer cell-for-cell."""
+    managers = [
+        AggregateCache(
+            schema,
+            backend,
+            capacity_bytes=1 << 34,
+            strategy="vcmc",
+            policy="benefit",
+            preload=False,
+        )
+        for backend in (left, right)
+    ]
+    stream = QueryStreamGenerator(
+        schema,
+        max_extent=config.max_extent,
+        seed=config.seed + _STREAM_SEED_OFFSET,
+    ).generate(config.num_queries)
+    for query in stream:
+        answers = [m.query(query).chunks for m in managers]
+        key = lambda c: (c.level, c.number)  # noqa: E731
+        got = sorted(answers[0], key=key)
+        want = sorted(answers[1], key=key)
+        if len(got) != len(want):
+            return False
+        if not all(
+            _chunks_identical(schema, g, w) for g, w in zip(got, want)
+        ):
+            return False
+    return True
+
+
+def _measure_scale(
+    config: ExperimentConfig, repeats: int, result: StorageBenchResult
+) -> None:
+    """Build both stores over identical facts; verify, then measure."""
+    schema = config.make_schema()
+    facts = generate_fact_table(
+        schema,
+        num_tuples=config.num_tuples,
+        seed=config.seed,
+        skew=config.skew,
+        mode=config.data_mode,
+        combo_density=config.combo_density,
+        cell_fill=config.cell_fill,
+    )
+    backends = {
+        kind: BackendDatabase(schema, facts, CostModel(), store=kind)
+        for kind in _STORE_KINDS
+    }
+    wave = generate_fact_table(
+        schema,
+        num_tuples=max(config.num_tuples // 10, 10),
+        seed=config.seed + _APPEND_SEED_OFFSET,
+        mode="uniform",
+    )
+
+    # Identity first, on the un-appended stores (validation on: these are
+    # correctness checks, not timed sections).
+    previous = set_default_validation(True)
+    try:
+        identical = _fetches_identical(
+            schema, backends["mmap"], backends["dict"]
+        ) and _streams_identical(
+            config, schema, backends["mmap"], backends["dict"]
+        )
+    finally:
+        set_default_validation(previous)
+    result.answers_identical = result.answers_identical and identical
+
+    level = result.level
+    numbers = list(range(schema.num_chunks(level)))
+    requests = [(level, n) for n in numbers]
+    for kind in _STORE_KINDS:
+        backend = backends[kind]
+        store = backend.store
+        rows = int(store.scan_columns()[1].shape[0])
+
+        def scan() -> float:
+            _, values, _, _ = store.scan_columns()
+            return float(values.sum())
+
+        scan_ms = _best_of(repeats, scan)
+        scan_tuples_per_s = (
+            rows / (scan_ms / 1000.0) if scan_ms > 0 else 0.0
+        )
+
+        samples: list[float] = []
+        watch = Stopwatch()
+        for _ in range(repeats):
+            for request in requests:
+                watch.restart()
+                backend.fetch([request])
+                samples.append(watch.elapsed_ms())
+
+        # The append mutates the backend, so it is the last measurement;
+        # a one-shot wall-clock (publishing is a one-time cost, and the
+        # store has a new generation afterwards — best-of cannot rerun).
+        watch.restart()
+        backend.apply_append(wave)
+        append_ms = watch.elapsed_ms()
+
+        result.scales.append(
+            StoreScale(
+                kind=kind,
+                tuples=config.num_tuples,
+                rows=rows,
+                scan_tuples_per_s=scan_tuples_per_s,
+                fetch_p50_ms=float(np.percentile(samples, 50)),
+                fetch_p99_ms=float(np.percentile(samples, 99)),
+                append_publish_ms=append_ms,
+                file_bytes=getattr(backend.store, "file_bytes", 0),
+            )
+        )
+        backend.close()
+
+
+def run_storage_benchmark(
+    config: ExperimentConfig,
+    repeats: int = 5,
+    out_path: str | Path | None = None,
+) -> StorageBenchResult:
+    """Run the dict-vs-mmap comparison across dataset scales; optionally
+    export ``BENCH_storage.json``."""
+    level = pick_bench_level(config.make_schema())
+    result = StorageBenchResult(config=config, level=level, repeats=repeats)
+    previous = set_default_validation(False)
+    try:
+        for scale_config in _sweep_configs(config):
+            _measure_scale(scale_config, repeats, result)
+    finally:
+        set_default_validation(previous)
+
+    if out_path is not None:
+        result.write_json(out_path)
+    return result

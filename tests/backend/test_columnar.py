@@ -1,0 +1,231 @@
+"""Columnar file-format tests: round-trips, zero-copy, CoW on disk."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BackendDatabase, CostModel, generate_fact_table
+from repro.backend.columnar import (
+    FORMAT_VERSION,
+    MAGIC,
+    PAGE_SIZE,
+    MmapColumnarStore,
+)
+from repro.util.errors import ReproError
+
+
+@pytest.fixture
+def base_chunks(tiny_backend):
+    store = tiny_backend.store
+    return {int(n): store.get(int(n)) for n in store.numbers}
+
+
+@pytest.fixture
+def store(tiny_schema, base_chunks, tmp_path):
+    store = MmapColumnarStore.create(
+        tmp_path / "facts.rcol",
+        level=tiny_schema.base_level,
+        ndims=tiny_schema.ndims,
+        num_extras=tiny_schema.num_extra_measures,
+        chunks=base_chunks,
+    )
+    yield store
+    store.close()
+
+
+def test_create_open_roundtrip(store, base_chunks):
+    reopened = MmapColumnarStore.open(store.path)
+    assert reopened.generation == 0
+    assert reopened.level == store.level
+    assert np.array_equal(reopened.numbers, store.numbers)
+    for number, want in base_chunks.items():
+        got = reopened.get(number)
+        for a, b in zip(got.coords, want.coords):
+            assert np.array_equal(a, b)
+        assert np.array_equal(got.values, want.values)
+        assert np.array_equal(got.counts, want.counts)
+    reopened.close()
+
+
+def test_get_is_zero_copy_and_readonly(store):
+    chunk = store.get(int(store.numbers[0]))
+    assert np.shares_memory(chunk.values, store._mm)
+    assert np.shares_memory(chunk.counts, store._mm)
+    assert all(np.shares_memory(c, store._mm) for c in chunk.coords)
+    assert not chunk.values.flags.writeable
+    with pytest.raises(ValueError):
+        chunk.values[0] = 1.0
+
+
+def test_get_memoises_wrappers(store):
+    number = int(store.numbers[0])
+    assert store.get(number) is store.get(number)
+
+
+def test_get_missing_number_is_none(store):
+    assert store.get(int(store.numbers.max()) + 1) is None
+
+
+def test_single_segment_scan_is_zero_copy(store):
+    coords, values, counts, extras = store.scan_columns()
+    assert np.shares_memory(values, store._mm)
+    assert np.shares_memory(counts, store._mm)
+    assert all(np.shares_memory(c, store._mm) for c in coords)
+    assert values.shape[0] == int(
+        sum(store.get(int(n)).size_tuples for n in store.numbers)
+    )
+
+
+def test_file_is_page_aligned(store):
+    assert store.file_bytes > PAGE_SIZE
+    header = store._mm[:PAGE_SIZE].tobytes()
+    assert header.startswith(MAGIC)
+
+
+def test_with_changes_publishes_new_generation(store, tiny_schema):
+    number = int(store.numbers[0])
+    old_chunk = store.get(number)
+    patched = generate_fact_table(tiny_schema, num_tuples=40, seed=5)
+    backend = BackendDatabase(tiny_schema, patched, CostModel())
+    replacement = backend.store.get(int(backend.store.numbers[0]))
+    # Re-key the replacement under the stored number for a valid patch.
+    changed = {
+        number: type(replacement)(
+            level=replacement.level,
+            number=number,
+            coords=replacement.coords,
+            values=replacement.values,
+            counts=replacement.counts,
+            origin=replacement.origin,
+            extras=replacement.extras,
+        )
+    }
+    successor = store.with_changes(changed)
+    assert successor.generation == store.generation + 1
+    assert successor.file_bytes > store.file_bytes
+    # The old snapshot still reads its original bytes.
+    assert np.array_equal(store.get(number).values, old_chunk.values)
+    # The successor reads the patch.
+    assert np.array_equal(
+        successor.get(number).values, replacement.values
+    )
+    # Unchanged chunks are shared: same extents, equal payloads.
+    for other in store.numbers[1:]:
+        assert np.array_equal(
+            successor.get(int(other)).values, store.get(int(other)).values
+        )
+
+
+def test_reopen_sees_latest_generation(tiny_schema, tiny_facts, tmp_path):
+    backend = BackendDatabase(
+        tiny_schema,
+        tiny_facts,
+        CostModel(),
+        store="mmap",
+        store_path=tmp_path / "facts.rcol",
+    )
+    wave = generate_fact_table(tiny_schema, num_tuples=60, seed=17)
+    backend.apply_append(wave)
+    current = backend.store
+
+    reopened = MmapColumnarStore.open(current.path)
+    assert reopened.generation == current.generation == 1
+    assert np.array_equal(reopened.numbers, current.numbers)
+    for number in current.numbers:
+        assert np.array_equal(
+            reopened.get(int(number)).values,
+            current.get(int(number)).values,
+        )
+    reopened.close()
+    backend.close()
+
+
+def test_many_appends_keep_every_snapshot_consistent(
+    tiny_schema, tiny_facts
+):
+    backend = BackendDatabase(
+        tiny_schema, tiny_facts, CostModel(), store="mmap"
+    )
+    snapshots = [backend.store]
+    totals = [
+        sum(
+            float(backend.store.get(int(n)).values.sum())
+            for n in backend.store.numbers
+        )
+    ]
+    for wave in range(3):
+        batch = generate_fact_table(
+            tiny_schema, num_tuples=50, seed=100 + wave
+        )
+        backend.apply_append(batch)
+        snapshots.append(backend.store)
+        totals.append(
+            sum(
+                float(backend.store.get(int(n)).values.sum())
+                for n in backend.store.numbers
+            )
+        )
+    # Every retained generation still sums to what it summed at publish.
+    for snapshot, want in zip(snapshots, totals):
+        got = sum(
+            float(snapshot.get(int(n)).values.sum())
+            for n in snapshot.numbers
+        )
+        assert got == pytest.approx(want)
+    backend.close()
+
+
+def test_compact_restores_zero_copy_scan(tiny_schema, tiny_facts, tmp_path):
+    backend = BackendDatabase(
+        tiny_schema, tiny_facts, CostModel(), store="mmap"
+    )
+    backend.apply_append(
+        generate_fact_table(tiny_schema, num_tuples=50, seed=23)
+    )
+    multi = backend.store
+    # Post-append the generation spans two segments: the scan must
+    # materialise, and compaction must restore the single-segment view.
+    _, values_multi, _, _ = multi.scan_columns()
+    compacted = multi.compact(tmp_path / "compacted.rcol")
+    _, values_flat, _, _ = compacted.scan_columns()
+    assert np.shares_memory(values_flat, compacted._mm)
+    assert np.array_equal(np.sort(values_flat), np.sort(values_multi))
+    assert compacted.file_bytes <= multi.file_bytes
+    compacted.close()
+    backend.close()
+
+
+def test_open_rejects_non_columnar_file(tmp_path):
+    path = tmp_path / "junk.rcol"
+    path.write_bytes(b"\x00" * PAGE_SIZE)
+    with pytest.raises(ReproError, match="not a columnar chunk file"):
+        MmapColumnarStore.open(path)
+
+
+def test_open_rejects_truncated_file(tmp_path):
+    path = tmp_path / "short.rcol"
+    path.write_bytes(MAGIC)
+    with pytest.raises(ReproError, match="not a columnar chunk file"):
+        MmapColumnarStore.open(path)
+
+
+def test_open_rejects_future_version(store, tmp_path):
+    raw = bytearray(store.path.read_bytes())
+    future = np.array([FORMAT_VERSION + 1], dtype=np.int64)
+    raw[len(MAGIC):len(MAGIC) + 8] = future.tobytes()
+    path = tmp_path / "future.rcol"
+    path.write_bytes(bytes(raw))
+    with pytest.raises(ReproError, match="format version"):
+        MmapColumnarStore.open(path)
+
+
+def test_level_dims_mismatch_rejected(tiny_schema, base_chunks, tmp_path):
+    with pytest.raises(ReproError, match="does not have"):
+        MmapColumnarStore.create(
+            tmp_path / "bad.rcol",
+            level=tiny_schema.base_level,
+            ndims=tiny_schema.ndims + 1,
+            num_extras=0,
+            chunks=base_chunks,
+        )

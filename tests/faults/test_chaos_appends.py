@@ -64,8 +64,8 @@ def make_wave(schema, rng) -> FactTable:
     )
 
 
-def build_service(schema, facts):
-    backend = BackendDatabase(schema, facts, CostModel())
+def build_service(schema, facts, store: str = "dict"):
+    backend = BackendDatabase(schema, facts, CostModel(), store=store)
     manager = AggregateCache(
         schema,
         backend,
@@ -77,14 +77,16 @@ def build_service(schema, facts):
     return ConcurrentAggregateCache(manager, flight_timeout_s=15.0)
 
 
-def run_append_chaos(schema, facts, seed: int, mode: str):
+def run_append_chaos(
+    schema, facts, seed: int, mode: str, store: str = "dict"
+):
     """Serve segments of a seeded stream with an append between each.
 
     Returns ``(service, parts, segments)`` where ``segments`` holds, per
     segment, the queries, their results, and how many fact-table parts
     (initial + waves) had been applied when the segment ran.
     """
-    service = build_service(schema, facts)
+    service = build_service(schema, facts, store=store)
     stream = list(
         QueryStreamGenerator(schema, max_extent=3, seed=seed).generate(
             (NUM_WAVES + 1) * QUERIES_PER_SEGMENT
@@ -182,6 +184,20 @@ def test_append_chaos_seed_matrix(tiny_schema, tiny_facts, seed):
         raise
 
 
+@pytest.mark.parametrize("seed", CHAOS_SEED_MATRIX)
+def test_append_chaos_seed_matrix_mmap_store(tiny_schema, tiny_facts, seed):
+    # Same schedule, columnar store: every append publishes a new on-disk
+    # generation; answers stay exact against the merged fact file.
+    try:
+        service, parts, segments = run_append_chaos(
+            tiny_schema, tiny_facts, seed, mode="delta", store="mmap"
+        )
+        check_append_run(tiny_schema, service, parts, segments)
+    except Exception:
+        record_failing_seed(seed)
+        raise
+
+
 @pytest.mark.parametrize("mode", ["refetch", "evict"])
 def test_append_chaos_other_modes(tiny_schema, tiny_facts, mode):
     seed = CHAOS_SEED_MATRIX[0]
@@ -215,14 +231,18 @@ def test_random_append_schedules(tiny_schema, tiny_facts, seed, mode):
         raise
 
 
+@pytest.mark.parametrize("store", ["dict", "mmap"])
 @pytest.mark.parametrize("seed", CHAOS_SEED_MATRIX[:2])
-def test_append_races_with_serving(tiny_schema, tiny_facts, seed):
+def test_append_races_with_serving(tiny_schema, tiny_facts, seed, store):
     """Appends fired from a separate thread mid-serve: no query raises,
     and every answered chunk matches SOME generation's truth — the write
     lock makes each refresh atomic with respect to any single lock hold,
-    so a chunk can never show a half-applied patch."""
+    so a chunk can never show a half-applied patch.  Under the mmap
+    store this additionally exercises the file-level CoW: a mid-append
+    reader holds one published on-disk generation (directory + mapped
+    prefix) for its whole scan."""
     try:
-        service = build_service(tiny_schema, tiny_facts)
+        service = build_service(tiny_schema, tiny_facts, store=store)
         stream = list(
             QueryStreamGenerator(tiny_schema, max_extent=3, seed=seed)
             .generate(3 * QUERIES_PER_SEGMENT)

@@ -87,8 +87,8 @@ def build_schedule(seed: int) -> FailpointRegistry:
     return registry
 
 
-def run_chaos(schema, facts, seed: int):
-    backend = BackendDatabase(schema, facts, CostModel())
+def run_chaos(schema, facts, seed: int, store: str = "dict"):
+    backend = BackendDatabase(schema, facts, CostModel(), store=store)
     resilient = ResilientBackend(
         backend,
         max_retries=1,
@@ -211,11 +211,15 @@ def check_run(schema, facts, service, resilient, stream, results) -> int:
     return degraded_with_answers
 
 
+@pytest.mark.parametrize("store", ["dict", "mmap"])
 @pytest.mark.parametrize("seed", CHAOS_SEED_MATRIX)
-def test_chaos_seed_matrix(tiny_schema, tiny_facts, seed):
+def test_chaos_seed_matrix(tiny_schema, tiny_facts, seed, store):
+    # The whole schedule runs against both chunk stores: the fault sites
+    # and resilience wrapper sit above the storage layer, so the mmap
+    # store owes the same zero-unhandled-exceptions/exactness story.
     try:
         service, resilient, stream, results = run_chaos(
-            tiny_schema, tiny_facts, seed
+            tiny_schema, tiny_facts, seed, store=store
         )
         check_run(tiny_schema, tiny_facts, service, resilient, stream, results)
     except Exception:

@@ -66,6 +66,16 @@ def test_custom_schema(capsys):
     assert "complete hit" in out
 
 
+def test_larger_than_ram_scan(capsys):
+    load_example("larger_than_ram_scan").main(
+        num_waves=3, wave_tuples=1_000
+    )
+    out = capsys.readouterr().out
+    assert "Old snapshot still consistent" in out
+    assert "Compacted scan" in out
+    assert "share memory with the mapped file" in out
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -75,6 +85,7 @@ def test_custom_schema(capsys):
         "capacity_planning",
         "sql_interface",
         "custom_schema",
+        "larger_than_ram_scan",
     ],
 )
 def test_examples_have_docstrings_and_main(name):
