@@ -221,6 +221,7 @@ class MmapColumnarStore(ChunkStore):
         self._entries = entries
         self._numbers = np.ascontiguousarray(entries[:, 0])
         self.generation = generation
+        self._closed = False
         # Wrapper chunks memoised per generation: the arrays are views,
         # only the (cheap) Chunk shell is built lazily, once per number.
         self._wrappers: dict[int, Chunk] = {}
@@ -355,6 +356,11 @@ class MmapColumnarStore(ChunkStore):
     def level(self) -> tuple[int, ...]:
         return self._file.level
 
+    @property
+    def row_count(self) -> int:
+        """Distinct stored base cells in this generation (directory sum)."""
+        return int(self._entries[:, 4].sum()) if len(self._entries) else 0
+
     # ------------------------------------------------------------------ #
     # ChunkStore interface
 
@@ -477,6 +483,29 @@ class MmapColumnarStore(ChunkStore):
 
     def close(self) -> None:
         """Flush and close the shared file handle (and unlink a temporary
-        file).  Every generation of this store becomes unusable."""
+        file).  Every generation of this store becomes unusable for
+        *new* ``get``/``scan`` calls; arrays already handed out stay
+        valid because the ``np.memmap`` holds its own mapping until the
+        views are garbage collected.
+
+        Idempotent: worker processes tear their snapshot down in a
+        ``finally`` block *and* again on interpreter exit, and a second
+        (or concurrent-generation) close must be a no-op rather than a
+        double release of the shared handle.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._wrappers.clear()
         self._file._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run on this snapshot."""
+        return self._closed
+
+    def __enter__(self) -> "MmapColumnarStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

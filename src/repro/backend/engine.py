@@ -151,6 +151,7 @@ class BackendDatabase:
             path=store_path,
         )
         self._num_tuples = facts.num_tuples
+        self._closed = False
         self.refresh_generation = int(getattr(facts, "generation", 0))
         """Monotone append counter.  Snapshots are stamped with it so a
         restore can detect that the warehouse has grown since the save
@@ -166,6 +167,45 @@ class BackendDatabase:
         pre- or the post-append store — never a half-merged mix.  Appends
         racing *each other* are still the caller's problem (the service
         layer's write lock serialises them)."""
+
+    @classmethod
+    def from_columnar(
+        cls,
+        schema: CubeSchema,
+        path: str | Path,
+        cost_model: CostModel | None = None,
+        obs: Observability | None = None,
+    ) -> "BackendDatabase":
+        """Open a backend over an *existing* columnar chunk file.
+
+        This is how sharded worker processes attach to the warehouse:
+        the router's process lays the fact table out once as a
+        :class:`~repro.backend.columnar.MmapColumnarStore` file, and
+        every worker maps that same read-only file — facts are never
+        duplicated per process, the OS page cache is shared.  The tuple
+        count is recovered from the file's directory, so no fact table
+        is needed.
+        """
+        from repro.backend.columnar import MmapColumnarStore
+
+        store = MmapColumnarStore.open(path)
+        if store.level != schema.base_level:
+            raise ReproError(
+                f"columnar file {path} stores level {store.level}, "
+                f"schema base level is {schema.base_level}"
+            )
+        self = cls.__new__(cls)
+        self.schema = schema
+        self._fingerprint = None
+        self.cost_model = cost_model or CostModel()
+        self.obs = obs or NULL_OBS
+        self.totals = BackendTotals()
+        self._store = store
+        self._num_tuples = store.row_count
+        self._closed = False
+        self.refresh_generation = store.generation
+        self._totals_lock = threading.Lock()
+        return self
 
     def _check_schema(self, facts: FactTable) -> None:
         """Reject fact tables built for a different cube.
@@ -255,8 +295,29 @@ class BackendDatabase:
 
     def close(self) -> None:
         """Release store resources (the columnar store's file handle and
-        map; a no-op for the dict store)."""
+        map; a no-op for the dict store).
+
+        Idempotent, and safe when generations have advanced: sharded
+        worker processes close their backend both on orderly shutdown
+        and from ``finally`` blocks, so a double close must not raise
+        (``BufferError`` from a second mmap release) or touch an
+        already-released handle.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._store.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "BackendDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # serving requests

@@ -21,6 +21,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.values import CacheValueBackend, InProcessValues
 from repro.chunks.chunk import Chunk
 from repro.faults.registry import failpoint
 from repro.obs import NULL_OBS, Observability
@@ -88,6 +89,7 @@ class ChunkCache:
         policy: ReplacementPolicy,
         bytes_per_tuple: int,
         obs: Observability | None = None,
+        values: CacheValueBackend | None = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise ReproError(f"capacity must be positive, got {capacity_bytes}")
@@ -98,8 +100,10 @@ class ChunkCache:
         self.stats = CacheStats()
         self.obs = obs or NULL_OBS
         self.policy.obs = self.obs
+        self.values = values if values is not None else InProcessValues()
         self._entries: dict[Key, CacheEntry] = {}
         self._lock = threading.RLock()
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # membership / reads
@@ -201,6 +205,7 @@ class ChunkCache:
                     return InsertOutcome(inserted=False)
 
             evicted = [self._remove_entry(victim) for victim in victims]
+            entry.chunk = self.values.put(key, chunk)
             self._entries[key] = entry
             self.used_bytes += size
             self.policy.on_insert(entry)
@@ -280,6 +285,7 @@ class ChunkCache:
                         outcomes.append(InsertOutcome(inserted=False))
                         continue
                 evicted = [self._remove_entry(victim) for victim in victims]
+                entry.chunk = self.values.put(key, chunk)
                 self._entries[key] = entry
                 self.used_bytes += size
                 pending.append(entry)
@@ -359,7 +365,7 @@ class ChunkCache:
                     )
                 new_size = chunk.size_bytes(self.bytes_per_tuple)
                 self.used_bytes += new_size - entry.size_bytes
-                entry.chunk = chunk
+                entry.chunk = self.values.put((level, number), chunk)
                 entry.size_bytes = new_size
                 # The overflow sweep asks the policy for victims on behalf
                 # of one patched entry; prefer a backend-class anchor
@@ -428,6 +434,10 @@ class ChunkCache:
         del self._entries[entry.key]
         self.used_bytes -= entry.size_bytes
         entry.resident = False
+        # The returned chunk stays readable: both shm and spill backends
+        # only unlink the payload's *name* here; the mapping survives
+        # under the entry's live array views.
+        self.values.discard(entry.key)
         self.policy.on_remove(entry)
         self.stats.evictions += 1
         if self.obs.enabled:
@@ -440,6 +450,20 @@ class ChunkCache:
                 origin=entry.chunk.origin.value,
             )
         return entry.chunk
+
+    def close(self) -> None:
+        """Release the value backend's payloads.  Idempotent; the entry
+        map itself is left intact (already-held chunk views stay valid)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.values.close()
+
+    def __enter__(self) -> "ChunkCache":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _note_reject(self, chunk: Chunk, size: int, reason: str) -> None:
         self.stats.rejects += 1

@@ -1,0 +1,315 @@
+"""Pluggable cache *value* backends: where resident chunk payloads live.
+
+The :class:`~repro.cache.store.ChunkCache` owns admission, eviction and
+byte accounting; *where the admitted payload bytes live* is this module's
+concern.  The default (:class:`InProcessValues`) keeps the chunk's numpy
+arrays on the Python heap exactly as before — zero overhead, zero copies.
+The alternative backends let a serving shard trade process RAM for
+capacity independently of its neighbours (PartitionCache's
+interchangeable cache-handler idea, applied to the value store):
+
+* :class:`SharedMemoryValues` — payloads serialised into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment per chunk;
+  the cached chunk's arrays are zero-copy views over the segment, so the
+  bytes live outside the Python heap and are shareable across processes.
+* :class:`DiskSpillValues` — payloads spilled to one file per chunk under
+  a spill directory and mapped back with ``np.memmap``: the OS pages
+  cold chunks out, so a shard's cache capacity can exceed its RAM share.
+
+All backends round-trip the arrays bit-exactly (raw little-endian
+int64/float64 bytes — the same dtypes the columnar store uses), so query
+answers are identical whichever backend a shard picks; the equivalence
+suite in ``tests/cache/test_values.py`` pins that.
+
+Eviction calls :meth:`CacheValueBackend.discard`, which releases the
+chunk's segment/file *name* immediately; the payload memory itself lives
+until the last numpy view over it is garbage collected (both ``shm`` and
+``mmap`` keep the mapping alive underneath live views), so an evicted
+chunk a caller still holds stays readable.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import shutil
+import struct
+import tempfile
+import uuid
+
+import numpy as np
+
+from repro.chunks.chunk import Chunk, ChunkOrigin
+from repro.util.errors import ReproError
+
+Key = tuple[tuple[int, ...], int]
+
+#: Column payload header: rows, ndims, num_extras, origin code.
+_HEADER = struct.Struct("<qqqq")
+
+_ORIGIN_CODES = {origin: i for i, origin in enumerate(ChunkOrigin)}
+_ORIGIN_BY_CODE = {i: origin for origin, i in _ORIGIN_CODES.items()}
+
+
+def payload_nbytes(chunk: Chunk) -> int:
+    ncols = len(chunk.coords) + 2 + len(chunk.extras)
+    return _HEADER.size + ncols * chunk.size_tuples * 8
+
+
+def write_payload(chunk: Chunk, buffer: memoryview) -> None:
+    """Serialise ``chunk``'s columns into ``buffer`` (raw 8-byte columns
+    in coords/values/counts/extras order, little-endian)."""
+    n = chunk.size_tuples
+    _HEADER.pack_into(
+        buffer,
+        0,
+        n,
+        len(chunk.coords),
+        len(chunk.extras),
+        _ORIGIN_CODES[chunk.origin],
+    )
+    offset = _HEADER.size
+    for column, dtype in _iter_columns(chunk):
+        out = np.frombuffer(buffer, dtype=dtype, count=n, offset=offset)
+        out[:] = column
+        offset += n * 8
+
+
+def read_payload(
+    level: tuple[int, ...],
+    number: int,
+    compute_cost: float,
+    buffer,
+) -> Chunk:
+    """Rebuild a chunk whose arrays are views over ``buffer``."""
+    n, ndims, num_extras, origin_code = _HEADER.unpack_from(buffer, 0)
+    offset = _HEADER.size
+
+    def col(dtype) -> np.ndarray:
+        nonlocal offset
+        out = np.frombuffer(buffer, dtype=dtype, count=n, offset=offset)
+        offset += n * 8
+        return out
+
+    return Chunk(
+        level=level,
+        number=number,
+        coords=tuple(col(np.int64) for _ in range(ndims)),
+        values=col(np.float64),
+        counts=col(np.int64),
+        origin=_ORIGIN_BY_CODE[int(origin_code)],
+        compute_cost=compute_cost,
+        extras=tuple(col(np.float64) for _ in range(num_extras)),
+    )
+
+
+def _iter_columns(chunk: Chunk):
+    for axis in chunk.coords:
+        yield axis, np.int64
+    yield chunk.values, np.float64
+    yield chunk.counts, np.int64
+    for extra in chunk.extras:
+        yield extra, np.float64
+
+
+class CacheValueBackend(abc.ABC):
+    """Where admitted chunk payloads are stored."""
+
+    #: Registry name (``"dict"`` / ``"shm"`` / ``"spill"``).
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def put(self, key: Key, chunk: Chunk) -> Chunk:
+        """Store ``chunk``'s payload for ``key`` and return the chunk to
+        keep in the cache entry (possibly the same object, possibly a
+        rebuilt chunk whose arrays view backend memory)."""
+
+    @abc.abstractmethod
+    def discard(self, key: Key) -> None:
+        """Release the payload stored for ``key`` (no-op if absent)."""
+
+    def close(self) -> None:
+        """Release every stored payload.  Idempotent."""
+
+
+class InProcessValues(CacheValueBackend):
+    """The default: payloads stay on the Python heap, untouched."""
+
+    kind = "dict"
+
+    def put(self, key: Key, chunk: Chunk) -> Chunk:
+        return chunk
+
+    def discard(self, key: Key) -> None:
+        pass
+
+
+class SharedMemoryValues(CacheValueBackend):
+    """Payloads in named POSIX shared-memory segments (one per chunk).
+
+    The returned chunk's arrays are zero-copy views over the segment, so
+    the payload bytes live in ``/dev/shm`` rather than the process heap
+    — and another process that knows the segment name could map the same
+    bytes.  ``discard`` unlinks the segment name and drops this
+    backend's reference; the mapping itself survives until the last
+    array view dies.
+    """
+
+    kind = "shm"
+
+    def __init__(self, prefix: str = "repro-cache") -> None:
+        from multiprocessing import shared_memory  # noqa: F401 (probe)
+
+        self._prefix = prefix
+        self._segments: dict[Key, object] = {}
+        self._closed = False
+
+    def put(self, key: Key, chunk: Chunk) -> Chunk:
+        self.discard(key)
+        nbytes = payload_nbytes(chunk)
+        name = f"{self._prefix}-{uuid.uuid4().hex[:16]}"
+        segment = _Segment(name=name, create=True, size=max(nbytes, 1))
+        write_payload(chunk, segment.buf)
+        self._segments[key] = segment
+        return read_payload(
+            chunk.level, chunk.number, chunk.compute_cost, segment.buf
+        )
+
+    def discard(self, key: Key) -> None:
+        segment = self._segments.pop(key, None)
+        if segment is not None:
+            _unlink_segment(segment)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments.values():
+            _unlink_segment(segment)
+        self._segments.clear()
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+
+def _unlink_segment(segment) -> None:
+    """Remove the segment's name; the mapping stays alive under any
+    numpy views still referencing its buffer (closing it here would
+    raise ``BufferError`` while views are exported)."""
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - double unlink race
+        pass
+
+
+_SEGMENT_CLS = None
+
+
+def _Segment(*args, **kwargs):
+    """A ``SharedMemory`` whose finalizer tolerates live numpy views.
+
+    ``SharedMemory.__del__`` closes the mapping, which raises
+    ``BufferError`` while views are exported; the interpreter prints
+    that as "Exception ignored" noise.  Swallowing it is safe: the
+    mapping is released when the last view dies (or at process exit),
+    and the name was already unlinked on discard.  Resolved lazily so
+    importing this module never pulls in multiprocessing machinery for
+    users of the default backend.
+    """
+    global _SEGMENT_CLS
+    if _SEGMENT_CLS is None:
+        from multiprocessing import shared_memory
+
+        class _QuietSegment(shared_memory.SharedMemory):
+            def __del__(self) -> None:
+                try:
+                    super().__del__()
+                except BufferError:
+                    pass
+
+        _SEGMENT_CLS = _QuietSegment
+    return _SEGMENT_CLS(*args, **kwargs)
+
+
+class DiskSpillValues(CacheValueBackend):
+    """Payloads spilled to one file per chunk, mapped back read-only.
+
+    The returned chunk's arrays are ``np.memmap`` views, so the OS pages
+    cold payloads out under memory pressure: a shard can run a cache
+    budget larger than its RAM share at the price of page-in latency on
+    touch.  ``discard`` unlinks the file (POSIX keeps the data alive
+    under live mappings); ``close`` removes the whole spill directory.
+    """
+
+    kind = "spill"
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-spill-")
+            self._owns_dir = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self._owns_dir = False
+        self._dir = str(directory)
+        self._paths: dict[Key, str] = {}
+        self._counter = 0
+        self._closed = False
+
+    @property
+    def directory(self) -> str:
+        return self._dir
+
+    def put(self, key: Key, chunk: Chunk) -> Chunk:
+        self.discard(key)
+        self._counter += 1
+        path = os.path.join(self._dir, f"chunk-{self._counter:08d}.bin")
+        nbytes = payload_nbytes(chunk)
+        buffer = bytearray(nbytes)
+        write_payload(chunk, memoryview(buffer))
+        with open(path, "wb") as handle:
+            handle.write(buffer)
+        self._paths[key] = path
+        mapped = np.memmap(path, dtype=np.uint8, mode="r", shape=(nbytes,))
+        return read_payload(
+            chunk.level, chunk.number, chunk.compute_cost, mapped
+        )
+
+    def discard(self, key: Key) -> None:
+        path = self._paths.pop(key, None)
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._paths.clear()
+        if self._owns_dir:
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+
+def make_value_backend(
+    kind: "str | CacheValueBackend | None",
+    path: str | os.PathLike | None = None,
+) -> CacheValueBackend:
+    """Resolve a backend name (or pass a ready instance through)."""
+    if kind is None:
+        return InProcessValues()
+    if isinstance(kind, CacheValueBackend):
+        return kind
+    if kind == "dict":
+        return InProcessValues()
+    if kind == "shm":
+        return SharedMemoryValues()
+    if kind == "spill":
+        return DiskSpillValues(path)
+    raise ReproError(
+        f"unknown cache value backend {kind!r}; "
+        "choose 'dict', 'shm' or 'spill'"
+    )

@@ -22,6 +22,7 @@ from repro.cache.preload import choose_preload_level
 from repro.cache.replacement import make_policy
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.store import ChunkCache
+from repro.cache.values import CacheValueBackend, make_value_backend
 from repro.chunks.chunk import Chunk, ChunkOrigin
 from repro.core.plans import PlanCache, PlanNode
 from repro.core.sizes import SizeEstimator
@@ -218,6 +219,14 @@ class AggregateCache:
         pre-existing raise-through behaviour is unchanged unless opted
         in.  Pair with :class:`~repro.backend.ResilientBackend` so only
         post-retry failures degrade.
+    cache_values:
+        Where cached chunk payloads live (see :mod:`repro.cache.values`):
+        ``None``/``"dict"`` keeps them on the Python heap (the default,
+        unchanged behaviour), ``"shm"`` stores them in shared-memory
+        segments and ``"spill"`` in per-chunk disk files the OS can page
+        out.  A ready :class:`~repro.cache.values.CacheValueBackend`
+        instance is accepted too.  Answers are identical across
+        backends; only the payloads' residence changes.
     obs:
         An :class:`~repro.obs.Observability` handle, shared with the
         chunk store, the replacement policy and the lookup strategy.
@@ -240,6 +249,7 @@ class AggregateCache:
         keep_log: bool = False,
         plan_cache: bool | PlanCache = True,
         degraded_mode: bool = False,
+        cache_values: "str | CacheValueBackend | None" = None,
         obs: Observability | None = None,
     ) -> None:
         self.schema = schema
@@ -250,7 +260,11 @@ class AggregateCache:
         if isinstance(policy, str):
             policy = make_policy(policy)
         self.cache = ChunkCache(
-            capacity_bytes, policy, schema.bytes_per_tuple, obs=self.obs
+            capacity_bytes,
+            policy,
+            schema.bytes_per_tuple,
+            obs=self.obs,
+            values=make_value_backend(cache_values),
         )
         if isinstance(strategy, str):
             strategy = make_strategy(

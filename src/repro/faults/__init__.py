@@ -9,6 +9,7 @@ from repro.faults.errors import (
     CircuitOpenError,
     CorruptChunkError,
     FaultError,
+    ShardDeadError,
     TransientBackendError,
 )
 from repro.faults.registry import (
@@ -26,6 +27,7 @@ __all__ = [
     "FailpointRegistry",
     "FaultError",
     "SITES",
+    "ShardDeadError",
     "TransientBackendError",
     "arm",
     "disarm",

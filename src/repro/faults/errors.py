@@ -43,3 +43,11 @@ class CorruptChunkError(FaultError):
 class CircuitOpenError(FaultError):
     """The circuit breaker is open: the request failed fast without
     touching the backend."""
+
+
+class ShardDeadError(FaultError):
+    """A shard worker process stopped answering (died, hung past the RPC
+    deadline, or an injected ``shard.rpc`` fault).  The router degrades
+    the query — the dead shard's chunks become ``unanswered`` with the
+    coverage accounting of :mod:`repro.service`'s degraded mode — rather
+    than failing it."""

@@ -3,7 +3,8 @@ seeded-probabilistic triggers.
 
 Instrumented code calls :func:`failpoint` at a handful of named sites
 (``backend.fetch``, ``backend.scan``, ``cache.insert``,
-``snapshot.load``, ``service.lock``).  With no registry armed — the
+``snapshot.load``, ``service.lock``, ``shard.rpc``).  With no registry
+armed — the
 default, and the only state production code ever runs in — the call is
 one module-global read and a ``None`` check; the overhead budget is
 enforced by ``benchmarks/test_faults_overhead.py``.
@@ -45,6 +46,7 @@ SITES = (
     "cache.insert",
     "snapshot.load",
     "service.lock",
+    "shard.rpc",
 )
 
 _ACTIVE: "FailpointRegistry | None" = None

@@ -43,6 +43,7 @@ EXPERIMENTS = (
     "locality",
     "ablations",
     "service",
+    "shards",
     "faults",
 )
 
@@ -82,6 +83,17 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "service experiment: compare sequential serving against N "
             "concurrent workers (default: compare 1, 4 and 8)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "shards experiment: compare a one-shard router against N "
+            "worker processes (default: 1 vs 4); --shards 1 runs only "
+            "the field-identity gate against the single-process service"
         ),
     )
     parser.add_argument(
@@ -226,6 +238,24 @@ def _run(args: argparse.Namespace) -> int:
         return run_service_throughput(config, worker_counts=counts).format()
 
     run("service", _service)
+
+    def _shards() -> str:
+        from repro.harness.shards_bench import (
+            DEFAULT_SHARD_COUNTS,
+            run_shards_benchmark,
+        )
+
+        if args.shards is None:
+            counts = DEFAULT_SHARD_COUNTS
+        elif args.shards <= 1:
+            counts = (1,)
+        else:
+            counts = (1, args.shards)
+        return run_shards_benchmark(
+            config, shard_counts=counts, out_path="BENCH_shards.json"
+        ).format()
+
+    run("shards", _shards)
 
     def _faults() -> str:
         from repro.harness.faults_run import run_faults_experiment

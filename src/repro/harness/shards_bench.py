@@ -1,0 +1,402 @@
+"""The ``shards`` harness experiment: multi-process serving throughput.
+
+Lays the configured fact table out once as a memory-mapped columnar
+warehouse file, then serves the seeded service stream through a
+:class:`~repro.sharding.ShardRouter` at several shard counts — every
+worker process mapping the same read-only file — and reports wall-clock,
+aggregate QPS and the N-shard speedup over one shard.
+
+Correctness comes first and is verified *in-run*, storage-bench style:
+
+* **field identity** — the stream is served through the existing
+  single-process :class:`~repro.service.ConcurrentAggregateCache` and
+  through a one-shard router, and every
+  :class:`~repro.core.manager.QueryResult` is compared field for field
+  (the concurrency-equivalence field set) plus cell-for-cell over the
+  answer chunks.  ``identity_ok`` summarises it; the bench-smoke CI gate
+  asserts it.
+* **cross-shard value identity** — at every other shard count the
+  merged answers' totals are compared against the one-shard arm's.
+
+Methodology of the throughput arms:
+
+* **weak scaling** — per-shard cache capacity is held constant, so the
+  fleet's aggregate cache grows with N.  That is what sharding is *for*
+  (every added worker brings its own memory and its own core); dividing
+  one fixed budget N ways instead starves every worker of the summary
+  tier that makes aggregate-aware caching work in the first place.
+* **warm measurement** — the stream is served once unmeasured, then
+  measured, so the arms compare steady-state serving (not first-touch
+  backend compute, which the storage bench already covers).
+* **host honesty** — a wall-clock speedup from N processes needs N
+  cores.  ``cpus`` is recorded in the JSON, and the CI gate skips the
+  speedup assertion (never the identity one) on hosts with too few
+  cores to express parallelism at all.
+
+The result renders as a table and exports as ``BENCH_shards.json`` with
+the speedup the CI gate enforces (N=4 aggregate QPS ≥ 1.5× N=1 on a
+capable host).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import BackendDatabase, CostModel, generate_fact_table
+from repro.core.manager import AggregateCache, QueryResult
+from repro.core.sizes import SizeEstimator
+from repro.harness.config import ExperimentConfig
+from repro.harness.storage_bench import _chunks_identical
+from repro.harness.streams import _STREAM_SEED_OFFSET
+from repro.schema.cube import CubeSchema
+from repro.service import ConcurrentAggregateCache
+from repro.sharding import ShardRouter
+from repro.util.tables import render_table
+from repro.workload.stream import QueryStreamGenerator
+
+DEFAULT_SHARD_COUNTS = (1, 4)
+
+#: Router thread-pool width for the throughput arms: enough in-flight
+#: batches to keep every shard of the largest fleet busy.
+ROUTER_WORKERS = 8
+
+#: The throughput stream is this many times the configured query count
+#: (identity still runs the plain configured stream): quick-config wall
+#: times land in the milliseconds otherwise.
+THROUGHPUT_MULTIPLIER = 5
+
+#: The QueryResult fields that must match between the single-process
+#: service and a one-shard router (the service equivalence-test set).
+COMPARED_FIELDS = (
+    "complete_hit",
+    "direct_hits",
+    "aggregated",
+    "from_backend",
+    "tuples_aggregated",
+    "lookup_visits",
+    "state_updates",
+    "reinforcements_skipped",
+    "degraded",
+    "coverage",
+    "unanswered",
+)
+
+
+def host_cpus() -> int:
+    """Cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ShardRun:
+    """One warm throughput measurement at one shard count."""
+
+    shards: int
+    queries: int
+    wall_s: float
+    complete_hits: int
+    degraded: int
+    totals_match: bool
+    shard_queries: list[int] = field(default_factory=list)
+    """Per-shard queries_run — how evenly ownership spread the slices."""
+
+    @property
+    def qps(self) -> float:
+        return self.queries / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.complete_hits / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "queries": self.queries,
+            "wall_s": self.wall_s,
+            "qps": self.qps,
+            "complete_hits": self.complete_hits,
+            "degraded": self.degraded,
+            "totals_match": self.totals_match,
+            "shard_queries": self.shard_queries,
+        }
+
+
+@dataclass
+class ShardsBenchResult:
+    """Identity verdicts plus the shard-count throughput curve."""
+
+    config: ExperimentConfig
+    fraction: float
+    cpus: int = 1
+    identity_ok: bool = True
+    identity_queries: int = 0
+    identity_mismatches: list[str] = field(default_factory=list)
+    runs: list[ShardRun] = field(default_factory=list)
+
+    def run_for(self, shards: int) -> ShardRun:
+        for run in self.runs:
+            if run.shards == shards:
+                return run
+        raise KeyError(shards)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate QPS of the largest fleet over one shard."""
+        if len(self.runs) < 2:
+            return 1.0
+        base = self.run_for(min(r.shards for r in self.runs)).qps
+        top = self.run_for(max(r.shards for r in self.runs)).qps
+        return top / base if base > 0 else 0.0
+
+    @property
+    def totals_ok(self) -> bool:
+        return all(run.totals_match for run in self.runs)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.config.schema_name,
+            "num_tuples": self.config.num_tuples,
+            "cache_fraction": self.fraction,
+            "python": platform.python_version(),
+            "cpus": self.cpus,
+            "identity_ok": self.identity_ok,
+            "identity_queries": self.identity_queries,
+            "identity_mismatches": self.identity_mismatches[:10],
+            "totals_ok": self.totals_ok,
+            "speedup": self.speedup,
+            "runs": [run.as_dict() for run in self.runs],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def format(self) -> str:
+        headers = [
+            "Shards", "Queries", "Wall s", "QPS", "Hit %",
+            "Degraded", "Totals", "Per-shard queries",
+        ]
+        rows = []
+        for run in self.runs:
+            rows.append([
+                run.shards,
+                run.queries,
+                f"{run.wall_s:.2f}",
+                f"{run.qps:.1f}",
+                f"{100 * run.hit_ratio:.0f}%",
+                run.degraded,
+                "ok" if run.totals_match else "DIFFER",
+                "/".join(map(str, run.shard_queries)),
+            ])
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Sharded serving throughput, warm, weak scaling "
+                f"(per-shard cache={self.config.cache_label(self.fraction)}, "
+                f"host cpus={self.cpus})."
+            ),
+        )
+        verdict = "yes" if self.identity_ok else "NO"
+        lines = [
+            table,
+            f"--shards 1 field-identical to the single-process service "
+            f"over {self.identity_queries} queries: {verdict}.",
+            f"Speedup (largest fleet vs one shard): {self.speedup:.2f}x.",
+        ]
+        if self.cpus < max((run.shards for run in self.runs), default=1):
+            lines.append(
+                f"Note: {self.cpus} core(s) cannot run "
+                "the fleet in parallel; the speedup here measures "
+                "overhead, not scaling."
+            )
+        return "\n".join(lines)
+
+
+def _results_identical(
+    schema: CubeSchema,
+    baseline: QueryResult,
+    sharded: QueryResult,
+    index: int,
+    mismatches: list[str],
+) -> bool:
+    ok = True
+    for name in COMPARED_FIELDS:
+        got, want = getattr(sharded, name), getattr(baseline, name)
+        if got != want:
+            mismatches.append(f"query {index}: {name} {got!r} != {want!r}")
+            ok = False
+    got_keys = [(c.level, c.number) for c in sharded.chunks]
+    want_keys = [(c.level, c.number) for c in baseline.chunks]
+    if got_keys != want_keys:
+        mismatches.append(f"query {index}: answer chunk keys differ")
+        return False
+    for got, want in zip(sharded.chunks, baseline.chunks):
+        if not _chunks_identical(schema, got, want):
+            mismatches.append(
+                f"query {index}: chunk {want.number} cells differ"
+            )
+            ok = False
+    return ok
+
+
+def _spawn_router(
+    num_shards: int,
+    schema: CubeSchema,
+    per_shard_capacity: int,
+    store_path: str,
+    sizes: SizeEstimator,
+    config: ExperimentConfig,
+) -> ShardRouter:
+    """Weak scaling: ``spawn`` divides the given total by N, so passing
+    ``per_shard_capacity * N`` holds every worker's budget constant."""
+    return ShardRouter.spawn(
+        num_shards,
+        schema,
+        per_shard_capacity * num_shards,
+        store_path=store_path,
+        cost_model=CostModel(),
+        sizes=sizes,
+        preload_headroom=config.preload_headroom,
+        validate_aggregation=False,
+    )
+
+
+def run_shards_benchmark(
+    config: ExperimentConfig,
+    shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+    out_path: str | Path | None = None,
+    router_workers: int = ROUTER_WORKERS,
+) -> ShardsBenchResult:
+    """Gate one-shard identity in-run, then measure the shard curve."""
+    schema = config.make_schema()
+    facts = generate_fact_table(
+        schema,
+        num_tuples=config.num_tuples,
+        seed=config.seed,
+        skew=config.skew,
+        mode=config.data_mode,
+        combo_density=config.combo_density,
+        cell_fill=config.cell_fill,
+    )
+    if config.exact_sizes:
+        sizes = SizeEstimator.exact(schema, facts)
+    else:
+        sizes = SizeEstimator(schema, facts.num_tuples)
+    fraction = config.cache_fractions[len(config.cache_fractions) // 2]
+
+    workdir = tempfile.mkdtemp(prefix="repro-shards-")
+    store_path = os.path.join(workdir, "warehouse.rcol")
+    # Lay the warehouse out once; the writer handle is only needed for
+    # the layout and for the baseline's byte-identical backend.
+    warehouse = BackendDatabase(
+        schema, facts, CostModel(), store="mmap", store_path=store_path
+    )
+    result = ShardsBenchResult(
+        config=config, fraction=fraction, cpus=host_cpus()
+    )
+    capacity = max(int(warehouse.base_size_bytes * fraction), 1)
+
+    stream = list(
+        QueryStreamGenerator(
+            schema,
+            max_extent=config.max_extent,
+            seed=config.seed + _STREAM_SEED_OFFSET,
+        ).generate(config.num_queries)
+    )
+
+    try:
+        # ---- identity gate: single-process service vs one-shard router.
+        baseline_backend = BackendDatabase.from_columnar(
+            schema, store_path, cost_model=CostModel()
+        )
+        baseline = ConcurrentAggregateCache(
+            AggregateCache(
+                schema,
+                baseline_backend,
+                capacity_bytes=capacity,
+                preload_headroom=config.preload_headroom,
+                sizes=sizes,
+            )
+        )
+        base_results = [baseline.query(query) for query in stream]
+        baseline_backend.close()
+        with _spawn_router(
+            1, schema, capacity, store_path, sizes, config
+        ) as router:
+            shard_results = [router.query(query) for query in stream]
+        result.identity_queries = len(stream)
+        for index, (want, got) in enumerate(
+            zip(base_results, shard_results)
+        ):
+            if not _results_identical(
+                schema, want, got, index, result.identity_mismatches
+            ):
+                result.identity_ok = False
+
+        # ---- warm throughput curve on the longer stream.
+        bench_stream = list(
+            QueryStreamGenerator(
+                schema,
+                max_extent=config.max_extent,
+                seed=config.seed + _STREAM_SEED_OFFSET,
+            ).generate(config.num_queries * THROUGHPUT_MULTIPLIER)
+        )
+        base_totals: list[float] | None = None
+        for num_shards in shard_counts:
+            with _spawn_router(
+                num_shards, schema, capacity, store_path, sizes, config
+            ) as router:
+                router.serve(bench_stream, workers=router_workers)
+                start = time.perf_counter()
+                outcomes = router.serve(
+                    bench_stream, workers=router_workers
+                )
+                wall_s = time.perf_counter() - start
+                stats = router.stats()
+            totals = [outcome.total_value() for outcome in outcomes]
+            if base_totals is None:
+                base_totals = totals
+                totals_match = True
+            else:
+                totals_match = bool(
+                    np.allclose(totals, base_totals, rtol=1e-9, atol=1e-6)
+                )
+            result.runs.append(
+                ShardRun(
+                    shards=num_shards,
+                    queries=len(outcomes),
+                    wall_s=wall_s,
+                    complete_hits=sum(
+                        1 for o in outcomes if o.complete_hit
+                    ),
+                    degraded=sum(1 for o in outcomes if o.degraded),
+                    totals_match=totals_match,
+                    shard_queries=[
+                        s.get("queries_run", 0) for s in stats
+                    ],
+                )
+            )
+    finally:
+        warehouse.close()
+        try:
+            os.unlink(store_path)
+            os.rmdir(workdir)
+        except OSError:
+            pass
+
+    if out_path is not None:
+        result.write_json(out_path)
+    return result

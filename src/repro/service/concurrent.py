@@ -187,6 +187,28 @@ class ConcurrentAggregateCache:
 
     def query(self, query: Query) -> QueryResult:
         """Answer one query; safe to call from any number of threads."""
+        return self._serve_one(query, None)
+
+    def query_subset(
+        self, query: Query, numbers: Sequence[int]
+    ) -> QueryResult:
+        """Answer only the given chunk numbers of ``query``.
+
+        This is the shard-local entry point of the fan-out router
+        (:mod:`repro.sharding`): each worker serves exactly the slice of
+        the canonical plan it owns, and the returned result's
+        accounting — ``complete_hit``, ``coverage``, ``unanswered`` — is
+        relative to that slice.  ``numbers`` must be chunk numbers of
+        ``query.level``; with the full plan it is equivalent to
+        :meth:`query`, field for field.
+        """
+        if not numbers:
+            raise ReproError("query_subset needs at least one chunk number")
+        return self._serve_one(query, list(numbers))
+
+    def _serve_one(
+        self, query: Query, numbers: list[int] | None
+    ) -> QueryResult:
         obs = self.manager.obs
         if self.adaptive is not None:
             self.adaptive.note_query(query)
@@ -196,7 +218,7 @@ class ConcurrentAggregateCache:
                 obs.metrics.gauge("service.queue_depth").set(self._inflight)
         try:
             with span(obs, "service", chunks=query.num_chunks):
-                return self._query(query)
+                return self._query(query, numbers)
         finally:
             if obs.enabled:
                 with self._inflight_lock:
@@ -205,10 +227,13 @@ class ConcurrentAggregateCache:
                         self._inflight
                     )
 
-    def _query(self, query: Query) -> QueryResult:
+    def _query(
+        self, query: Query, numbers: list[int] | None = None
+    ) -> QueryResult:
         manager = self.manager
         obs = manager.obs
-        numbers = query.chunk_numbers(manager.schema)
+        if numbers is None:
+            numbers = query.chunk_numbers(manager.schema)
         breakdown = TimeBreakdown()
         visits = 0
 

@@ -1,0 +1,45 @@
+"""Sharded multi-process serving: hash-partitioned caches, one shared
+warehouse file, a fan-out/merge router.
+
+See ``docs/sharding.md`` for the architecture, the ownership hashing
+and the failure semantics.
+"""
+
+from repro.sharding.ownership import ShardMap, mix64
+from repro.sharding.router import (
+    LocalShard,
+    ProcessShard,
+    ShardRouter,
+    merge_partials,
+)
+from repro.sharding.wire import (
+    ShardPartial,
+    decode_chunk,
+    decode_partial,
+    encode_chunk,
+    encode_partial,
+)
+from repro.sharding.worker import (
+    WorkerSpec,
+    build_shard_service,
+    shard_stats,
+    worker_main,
+)
+
+__all__ = [
+    "LocalShard",
+    "ProcessShard",
+    "ShardMap",
+    "ShardPartial",
+    "ShardRouter",
+    "WorkerSpec",
+    "build_shard_service",
+    "decode_chunk",
+    "decode_partial",
+    "encode_chunk",
+    "encode_partial",
+    "merge_partials",
+    "mix64",
+    "shard_stats",
+    "worker_main",
+]

@@ -1,0 +1,103 @@
+"""Chunk ownership: which shard serves which ``(level, chunk_number)``.
+
+Every cache decision in the system — residency, virtual counts, cost
+estimates, replacement state — is keyed by ``(level, chunk_number)``, so
+partitioning that key space partitions the *entire* serving state with
+no shared mutable data.  Ownership must be:
+
+* **deterministic across processes** — the router and every worker must
+  agree without coordination, so Python's salted ``hash()`` is out; we
+  use an explicit splitmix64-style integer mixer;
+* **balanced** — per-shard cache budgets are the fleet total divided by
+  N, so a shard that owns much more than 1/N of a level's chunks
+  thrashes while its siblings idle.  Raw ``hash % N`` is only balanced
+  in expectation — over a level with a handful of chunks (small cubes,
+  coarse group-bys) the skew is routinely 2×.  So within each level the
+  chunks are *ranked* by their hash and ownership is ``rank % N``: the
+  spread is still pseudo-random (no stride correlation with the chunk
+  grid) but exactly balanced to ±1 chunk per level;
+* **level-aware** — the level coordinates are folded into the hash, so
+  the same chunk number at different group-bys need not co-locate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.schema.cube import CubeSchema, Level
+from repro.util.errors import ReproError
+
+_MASK = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finaliser: a fast, well-distributed 64-bit mixer
+    (Steele et al.), stable across Python versions and processes."""
+    x &= _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def chunk_hash(level: Level, number: int) -> int:
+    """The 64-bit spreading hash of one ``(level, number)`` key."""
+    h = mix64(number + _GOLDEN)
+    for coord in level:
+        h = mix64(h ^ (coord + _GOLDEN))
+    return h
+
+
+@dataclass(frozen=True, eq=False)
+class ShardMap:
+    """Deterministic, balanced partitioning of the lattice chunk space.
+
+    With a ``schema`` the map ranks each level's chunk population by
+    hash and assigns ``rank % num_shards`` — exactly balanced per level.
+    Without one (no chunk counts available) it falls back to plain
+    ``hash % num_shards``; both sides of a deployment must simply agree,
+    which they do because the router and every worker build their map
+    the same way.
+    """
+
+    num_shards: int
+    schema: CubeSchema | None = None
+    _ranks: dict = field(default_factory=dict, repr=False)
+    """Per-level ``{number: rank}`` cache (levels are few, reads are hot).
+    Benign under threads: racing recomputes produce identical dicts."""
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ReproError(
+                f"need at least one shard, got {self.num_shards}"
+            )
+
+    def owner(self, level: Level, number: int) -> int:
+        """The shard index that owns chunk ``number`` of ``level``."""
+        if self.num_shards == 1:
+            return 0
+        if self.schema is None:
+            return chunk_hash(level, number) % self.num_shards
+        return self._level_ranks(tuple(level))[number] % self.num_shards
+
+    def _level_ranks(self, level: Level) -> dict[int, int]:
+        ranks = self._ranks.get(level)
+        if ranks is None:
+            count = self.schema.num_chunks(level)
+            order = sorted(
+                range(count), key=lambda n: (chunk_hash(level, n), n)
+            )
+            ranks = {number: rank for rank, number in enumerate(order)}
+            self._ranks[level] = ranks
+        return ranks
+
+    def split(
+        self, level: Level, numbers: Sequence[int]
+    ) -> dict[int, list[int]]:
+        """Group ``numbers`` by owning shard, preserving their order
+        within each shard (the order the service's answer lists use)."""
+        by_owner: dict[int, list[int]] = {}
+        for number in numbers:
+            by_owner.setdefault(self.owner(level, number), []).append(number)
+        return by_owner

@@ -1,0 +1,173 @@
+"""Pluggable cache value backends: dict / shm / spill equivalence.
+
+Whatever backend holds the payload bytes, the cache must answer with
+bit-identical chunks — the round trip through shared memory or a spill
+file is an implementation detail the query path never sees.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import AggregateCache, BackendDatabase, CostModel, Query
+from repro.cache.values import (
+    DiskSpillValues,
+    InProcessValues,
+    SharedMemoryValues,
+    make_value_backend,
+    payload_nbytes,
+    read_payload,
+    write_payload,
+)
+from repro.util.errors import ReproError
+
+BACKENDS = ("dict", "shm", "spill")
+
+
+def _chunks(tiny_schema, tiny_facts):
+    backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+    return list(backend.compute_level(tiny_schema.base_level))
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_payload_roundtrip_is_bit_exact(tiny_schema, tiny_facts, kind):
+    values = make_value_backend(kind)
+    try:
+        for chunk in _chunks(tiny_schema, tiny_facts):
+            stored = values.put((chunk.level, chunk.number), chunk)
+            assert stored.level == chunk.level
+            assert stored.number == chunk.number
+            assert stored.origin == chunk.origin
+            for got, want in zip(stored.coords, chunk.coords):
+                np.testing.assert_array_equal(got, want)
+            np.testing.assert_array_equal(stored.values, chunk.values)
+            np.testing.assert_array_equal(stored.counts, chunk.counts)
+            assert stored.cell_dict() == chunk.cell_dict()
+    finally:
+        values.close()
+
+
+def test_buffer_codec_roundtrip(tiny_schema, tiny_facts):
+    chunk = _chunks(tiny_schema, tiny_facts)[0]
+    buffer = bytearray(payload_nbytes(chunk))
+    write_payload(chunk, memoryview(buffer))
+    back = read_payload(
+        chunk.level, chunk.number, chunk.compute_cost, memoryview(buffer)
+    )
+    assert back.cell_dict() == chunk.cell_dict()
+    assert back.origin == chunk.origin
+    assert back.compute_cost == chunk.compute_cost
+
+
+def test_dict_backend_stores_the_same_object(tiny_schema, tiny_facts):
+    values = InProcessValues()
+    chunk = _chunks(tiny_schema, tiny_facts)[0]
+    assert values.put((chunk.level, chunk.number), chunk) is chunk
+    values.discard((chunk.level, chunk.number))
+    values.close()
+
+
+def test_shm_discard_releases_segment_but_not_live_views(
+    tiny_schema, tiny_facts
+):
+    values = SharedMemoryValues()
+    chunk = _chunks(tiny_schema, tiny_facts)[0]
+    key = (chunk.level, chunk.number)
+    stored = values.put(key, chunk)
+    assert len(values) == 1
+    cells = stored.cell_dict()
+    values.discard(key)
+    assert len(values) == 0
+    # The view must stay readable after the segment name is unlinked.
+    assert stored.cell_dict() == cells
+    values.close()
+    values.close()
+
+
+def test_spill_backend_cleans_up_its_directory(tiny_schema, tiny_facts):
+    values = DiskSpillValues()
+    directory = values.directory
+    chunk = _chunks(tiny_schema, tiny_facts)[0]
+    values.put((chunk.level, chunk.number), chunk)
+    assert len(os.listdir(directory)) == 1
+    values.discard((chunk.level, chunk.number))
+    assert len(os.listdir(directory)) == 0
+    values.close()
+    values.close()
+    assert not os.path.exists(directory)
+
+
+def test_spill_backend_respects_caller_directory(
+    tiny_schema, tiny_facts, tmp_path
+):
+    spill_dir = tmp_path / "spill"
+    values = DiskSpillValues(spill_dir)
+    chunk = _chunks(tiny_schema, tiny_facts)[0]
+    values.put((chunk.level, chunk.number), chunk)
+    values.close()
+    # A caller-owned directory is never removed on close.
+    assert spill_dir.exists()
+
+
+def test_unknown_backend_kind_rejected():
+    with pytest.raises(ReproError, match="unknown cache value backend"):
+        make_value_backend("redis")
+
+
+def test_make_value_backend_passes_instances_through():
+    values = InProcessValues()
+    assert make_value_backend(values) is values
+    assert make_value_backend(None).kind == "dict"
+
+
+@pytest.mark.parametrize("kind", ("shm", "spill"))
+def test_manager_answers_identically_on_any_backend(
+    tiny_schema, tiny_facts, kind
+):
+    """End to end: a manager whose cache payloads live in shared memory
+    or spill files serves the same answers as the default."""
+    queries = [
+        Query(
+            level=tiny_schema.base_level,
+            chunk_ranges=tuple(
+                (0, extent)
+                for extent in tiny_schema.chunk_shape(tiny_schema.base_level)
+            ),
+        )
+    ]
+    for level in list(tiny_schema.all_levels())[:4]:
+        queries.append(
+            Query(
+                level=level,
+                chunk_ranges=tuple(
+                    (0, 1) for _ in tiny_schema.chunk_shape(level)
+                ),
+            )
+        )
+
+    def serve(cache_values):
+        backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+        manager = AggregateCache(
+            tiny_schema,
+            backend,
+            backend.base_size_bytes * 2,
+            cache_values=cache_values,
+        )
+        out = [manager.query(query) for query in queries]
+        cells = [
+            [c.cell_dict() for c in result.chunks] for result in out
+        ]
+        stats = [
+            (r.complete_hit, r.direct_hits, r.aggregated, r.from_backend)
+            for r in out
+        ]
+        manager.cache.close()
+        return cells, stats
+
+    want_cells, want_stats = serve("dict")
+    got_cells, got_stats = serve(kind)
+    assert got_stats == want_stats
+    assert got_cells == want_cells

@@ -19,7 +19,8 @@ by default) between segments.  The properties:
   anything in between).
 
 A failing seed is appended to ``$CHAOS_REPLAY_PATH`` (default
-``chaos_replay.txt``), same protocol as ``test_chaos_properties``.
+``artifacts/chaos_replay.txt``, git-ignored), same protocol as
+``test_chaos_properties``.
 """
 
 from __future__ import annotations

@@ -16,8 +16,9 @@ over a :class:`ResilientBackend` in degraded mode.  The properties:
   and queries stop degrading.
 
 A failing seed is appended to ``$CHAOS_REPLAY_PATH`` (default
-``chaos_replay.txt``) before the assertion propagates, so CI can attach
-it as an artifact and the run can be replayed locally with
+``artifacts/chaos_replay.txt``, git-ignored) before the assertion
+propagates, so CI can attach it as an artifact and the run can be
+replayed locally with
 ``CHAOS_SEEDS=<seed> pytest tests/faults/test_chaos_properties.py``.
 """
 
@@ -63,7 +64,15 @@ CHAOS_SEED_MATRIX = tuple(
 
 
 def record_failing_seed(seed: int) -> None:
-    path = os.environ.get("CHAOS_REPLAY_PATH", "chaos_replay.txt")
+    """Append ``seed`` to the replay file (default: the git-ignored
+    ``artifacts/`` directory, so a local failure never lands in a
+    commit; CI uploads the same path)."""
+    path = os.environ.get(
+        "CHAOS_REPLAY_PATH", os.path.join("artifacts", "chaos_replay.txt")
+    )
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "a") as handle:
         handle.write(f"{seed}\n")
 

@@ -1,0 +1,78 @@
+"""ShardMap: deterministic, balanced, order-preserving ownership."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.sharding import ShardMap
+from repro.sharding.ownership import chunk_hash, mix64
+from repro.util.errors import ReproError
+
+
+def test_mix64_is_stable_and_well_spread():
+    # Fixed values pin the cross-process contract: a worker built by a
+    # different interpreter must agree with the router byte for byte.
+    assert mix64(0) == 0
+    assert mix64(1) == mix64(1)
+    outputs = {mix64(i) for i in range(1000)}
+    assert len(outputs) == 1000
+    low_bits = collections.Counter(mix64(i) & 7 for i in range(4096))
+    assert max(low_bits.values()) < 2 * min(low_bits.values())
+
+
+def test_single_shard_owns_everything(tiny_schema):
+    shard_map = ShardMap(1, tiny_schema)
+    for level in tiny_schema.all_levels():
+        for number in range(tiny_schema.num_chunks(level)):
+            assert shard_map.owner(level, number) == 0
+
+
+def test_zero_shards_rejected():
+    with pytest.raises(ReproError):
+        ShardMap(0)
+
+
+def test_ownership_is_deterministic_across_instances(tiny_schema):
+    a = ShardMap(4, tiny_schema)
+    b = ShardMap(4, tiny_schema)
+    for level in tiny_schema.all_levels():
+        for number in range(tiny_schema.num_chunks(level)):
+            assert a.owner(level, number) == b.owner(level, number)
+
+
+def test_ownership_is_balanced_within_one_chunk(tiny_schema):
+    """Rank-based assignment: every level splits to ±1 chunk per shard."""
+    for num_shards in (2, 3, 4):
+        shard_map = ShardMap(num_shards, tiny_schema)
+        for level in tiny_schema.all_levels():
+            count = tiny_schema.num_chunks(level)
+            owners = collections.Counter(
+                shard_map.owner(level, n) for n in range(count)
+            )
+            sizes = [owners.get(s, 0) for s in range(num_shards)]
+            assert sum(sizes) == count
+            assert max(sizes) - min(sizes) <= 1, (
+                f"level {level}: {sizes}"
+            )
+
+
+def test_schemaless_fallback_hashes_consistently(tiny_schema):
+    shard_map = ShardMap(4)
+    level = tiny_schema.base_level
+    for number in range(tiny_schema.num_chunks(level)):
+        expected = chunk_hash(level, number) % 4
+        assert shard_map.owner(level, number) == expected
+
+
+def test_split_partitions_and_preserves_order(tiny_schema):
+    shard_map = ShardMap(3, tiny_schema)
+    level = tiny_schema.base_level
+    numbers = list(range(tiny_schema.num_chunks(level)))
+    parts = shard_map.split(level, numbers)
+    merged = sorted(n for owned in parts.values() for n in owned)
+    assert merged == numbers
+    for index, owned in parts.items():
+        assert owned == sorted(owned), "plan order lost within a shard"
+        assert all(shard_map.owner(level, n) == index for n in owned)

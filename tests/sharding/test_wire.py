@@ -1,0 +1,86 @@
+"""Wire codec: ndarray-free chunk payloads and partial round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AggregateCache, BackendDatabase, CostModel
+from repro.sharding import (
+    ShardPartial,
+    decode_chunk,
+    decode_partial,
+    encode_chunk,
+    encode_partial,
+)
+
+
+def _base_chunks(tiny_schema, tiny_facts):
+    backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+    return list(backend.compute_level(tiny_schema.base_level))
+
+
+def test_chunk_roundtrip_is_exact(tiny_schema, tiny_facts):
+    for chunk in _base_chunks(tiny_schema, tiny_facts):
+        wire = encode_chunk(chunk)
+        assert isinstance(wire[3], bytes), "payload must be raw bytes"
+        back = decode_chunk(wire)
+        assert back.level == tuple(chunk.level)
+        assert back.number == chunk.number
+        assert back.compute_cost == chunk.compute_cost
+        np.testing.assert_array_equal(back.coords, chunk.coords)
+        np.testing.assert_array_equal(back.values, chunk.values)
+        np.testing.assert_array_equal(back.counts, chunk.counts)
+        assert back.cell_dict() == chunk.cell_dict()
+
+
+def test_wire_chunk_contains_no_ndarrays(tiny_schema, tiny_facts):
+    """The whole point of the codec: nothing pickled over the pipe is a
+    numpy array (arrays pickle through slow __reduce__ machinery)."""
+
+    def flat(value):
+        if isinstance(value, (tuple, list)):
+            for item in value:
+                yield from flat(item)
+        else:
+            yield value
+
+    chunk = _base_chunks(tiny_schema, tiny_facts)[0]
+    for leaf in flat(encode_chunk(chunk)):
+        assert not isinstance(leaf, np.ndarray)
+    result_like = ShardPartial(
+        shard=0, chunks=[chunk], complete_hit=True, direct_hits=1,
+        aggregated=0, from_backend=0, tuples_aggregated=0,
+        lookup_visits=1, state_updates=1, reinforcements_skipped=0,
+        degraded=False, coverage=1.0, unanswered=(),
+        breakdown_ms=(0.1, 0.2, 0.3, 0.4),
+    )
+    for leaf in flat(encode_partial(result_like)):
+        assert not isinstance(leaf, np.ndarray)
+
+
+def test_partial_roundtrip_from_real_result(tiny_schema, tiny_facts):
+    backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+    manager = AggregateCache(
+        tiny_schema, backend, backend.base_size_bytes * 2
+    )
+    from repro import Query
+
+    ranges = tuple(
+        (0, extent)
+        for extent in tiny_schema.chunk_shape(tiny_schema.base_level)
+    )
+    result = manager.query(
+        Query(level=tiny_schema.base_level, chunk_ranges=ranges)
+    )
+    partial = ShardPartial.from_result(3, result)
+    back = decode_partial(encode_partial(partial))
+    assert back.shard == 3
+    assert back.complete_hit == result.complete_hit
+    assert back.direct_hits == result.direct_hits
+    assert back.aggregated == result.aggregated
+    assert back.from_backend == result.from_backend
+    assert back.coverage == result.coverage
+    assert back.unanswered == tuple(result.unanswered)
+    assert len(back.chunks) == len(result.chunks)
+    for got, want in zip(back.chunks, result.chunks):
+        assert got.cell_dict() == want.cell_dict()
