@@ -1,0 +1,77 @@
+"""Approximate-tier benchmark: the error-vs-speedup curve and its gate.
+
+Runs :func:`repro.harness.approx_bench.run_approx_benchmark` — one
+full-cube query per lattice level, exact (backend-computed) versus
+estimated from the reservoir at several sample fractions — and gates
+the tentpole claim: some point on the curve answers at **>= 2x** the
+exact wall-clock while keeping the observed grand-total relative error
+**<= 5%**.
+
+Writes ``results/BENCH_approx.json``, the artifact CI uploads.  See
+``docs/approx.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.harness.approx_bench import run_approx_benchmark
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The CI gate from the issue: approx wall vs exact wall on full-cube
+#: queries, at <= MAX_REL_ERROR observed grand-total error.
+SPEEDUP_GATE = 2.0
+MAX_REL_ERROR = 0.05
+
+
+def _approx_config(config):
+    """A population the estimator can say something about.
+
+    The smoke schema's uniform 300-tuple table merges to ~16 base cells,
+    so even a 40% reservoir holds six records and every interval is
+    vacuous.  ``apb_small`` at a few thousand tuples keeps the run in
+    seconds while giving the 5%-error gate a real sampling problem.
+    """
+    if config.schema_name != "apb_tiny":
+        return config
+    return dataclasses.replace(
+        config, schema_name="apb_small", num_tuples=3000
+    )
+
+
+def test_approx_error_speedup(benchmark, config, emit):
+    result = benchmark.pedantic(
+        lambda: run_approx_benchmark(_approx_config(config)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("approx_bench", result.format())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = result.write_json(RESULTS_DIR / "BENCH_approx.json")
+    payload = json.loads(out.read_text())
+    assert payload["runs"], "no approx runs recorded"
+    assert payload["levels"] > 0
+
+    # Every arm must actually have estimated every chunk of every query
+    # (prefer_sample leaves nothing to the backend).
+    for run in result.runs:
+        assert run.estimated_chunks > 0
+        assert run.sample_size >= 2
+
+    best = result.best_within(MAX_REL_ERROR)
+    assert best is not None, (
+        "no sample fraction reached <= "
+        f"{MAX_REL_ERROR:.0%} observed grand-total error: "
+        + ", ".join(
+            f"{run.fraction:.2f}->{run.total_rel_error:.1%}"
+            for run in result.runs
+        )
+    )
+    assert best.speedup >= SPEEDUP_GATE, (
+        f"approx tier at fraction {best.fraction:.2f} reached only "
+        f"{best.speedup:.2f}x the exact wall (gate {SPEEDUP_GATE}x) at "
+        f"{best.total_rel_error:.1%} error"
+    )

@@ -26,6 +26,12 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
 reproduction results.
 """
 
+from repro.approx import (
+    ApproxAnswerer,
+    CellEstimate,
+    QueryContract,
+    approx,
+)
 from repro.backend import (
     BackendDatabase,
     CostModel,
@@ -64,7 +70,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregateCache",
+    "ApproxAnswerer",
     "BackendDatabase",
+    "CellEstimate",
     "Chunk",
     "ChunkCache",
     "ChunkOrigin",
@@ -81,6 +89,7 @@ __all__ = [
     "OlapSession",
     "PlanNode",
     "Query",
+    "QueryContract",
     "QueryKind",
     "QueryResult",
     "QueryStreamGenerator",
@@ -92,6 +101,7 @@ __all__ = [
     "apb_schema",
     "apb_small_schema",
     "apb_tiny_schema",
+    "approx",
     "generate_fact_table",
     "make_policy",
     "make_strategy",

@@ -1,0 +1,49 @@
+"""Approximate answering: contracts, sampling, and HT estimation.
+
+The cache answers what it covers exactly; this package fills the rest
+from a maintained reservoir sample of the fact table, with per-chunk
+95% confidence intervals for SUM/COUNT/AVG — see ``docs/approx.md``.
+"""
+
+from repro.approx.answering import (
+    DEFAULT_FRACTION,
+    ApproxAnswerer,
+    make_answerer,
+)
+from repro.approx.contract import (
+    EXACT,
+    PARTIAL,
+    QueryContract,
+    approx,
+    decode_contract,
+    encode_contract,
+    resolve_contract,
+)
+from repro.approx.estimator import (
+    Z95,
+    CellEstimate,
+    RegionEstimate,
+    combine_estimates,
+    estimate_chunks,
+)
+from repro.approx.sample import ReservoirSample, SampleView
+
+__all__ = [
+    "DEFAULT_FRACTION",
+    "EXACT",
+    "PARTIAL",
+    "Z95",
+    "ApproxAnswerer",
+    "CellEstimate",
+    "QueryContract",
+    "RegionEstimate",
+    "ReservoirSample",
+    "SampleView",
+    "approx",
+    "combine_estimates",
+    "decode_contract",
+    "encode_contract",
+    "estimate_chunks",
+    "make_answerer",
+    "resolve_contract",
+]

@@ -1,0 +1,123 @@
+"""The approximate answerer: a maintained sample plus cached moments.
+
+One :class:`ApproxAnswerer` hangs off a manager (or the sharded
+router): it owns the reservoir (:class:`~repro.approx.sample.
+ReservoirSample`), keeps it fed through the append path
+(:meth:`observe_append`), and serves per-chunk estimates
+(:meth:`estimate`) off the latest sample snapshot.  Per-level moment
+tables are memoised against the snapshot's generation, so a stream of
+queries over the same sample pays the bincount pass once per level —
+estimation is then O(#requested chunks) array reads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.approx.estimator import (
+    CellEstimate,
+    estimate_from_moments,
+    level_moments,
+)
+from repro.approx.sample import ReservoirSample, SampleView
+from repro.schema.cube import CubeSchema, Level
+
+#: Default fraction of the fact table the reservoir retains.
+DEFAULT_FRACTION = 0.1
+
+
+class ApproxAnswerer:
+    """Maintains the sample and answers chunk-estimate requests."""
+
+    def __init__(
+        self, schema: CubeSchema, sample: ReservoirSample
+    ) -> None:
+        self.schema = schema
+        self.sample = sample
+        self.estimates_served = 0
+        """Lifetime count of chunk estimates produced."""
+        self._moments_lock = threading.Lock()
+        self._moments_generation = -1
+        self._moments: dict[Level, object] = {}
+
+    @classmethod
+    def from_backend(
+        cls,
+        schema: CubeSchema,
+        backend,
+        fraction: float = DEFAULT_FRACTION,
+        seed: int = 7,
+        capacity: int | None = None,
+    ) -> "ApproxAnswerer":
+        """Build the initial sample from the backend's stored base cells.
+
+        Chunks stream through the reservoir in ascending base-chunk
+        order (row order as stored), so any two handles on the same
+        warehouse — e.g. every worker of a sharded fleet — build the
+        *same* sample for the same seed.
+        """
+        store = backend.store
+        if capacity is None:
+            total = int(backend.num_tuples)
+            capacity = max(2, int(round(total * fraction)))
+        sample = ReservoirSample(schema.ndims, capacity, seed=seed)
+        for number in backend.base_chunk_numbers():
+            chunk = store.get(number)
+            if chunk is None:
+                continue
+            sample.observe(chunk.coords, chunk.values, chunk.counts)
+        return cls(schema, sample)
+
+    @property
+    def sample_fraction(self) -> float:
+        return self.sample.view().fraction
+
+    def observe_append(self, facts) -> None:
+        """Feed one appended batch's raw rows through the reservoir
+        (called from the manager's refresh path, under its write lock)."""
+        self.sample.observe(facts.coords, facts.values, facts.counts)
+
+    def view(self) -> SampleView:
+        return self.sample.view()
+
+    def estimate(
+        self, level: Level, numbers, view: SampleView | None = None
+    ) -> list[CellEstimate]:
+        """One :class:`CellEstimate` per chunk number of ``level``."""
+        if view is None:
+            view = self.sample.view()
+        with self._moments_lock:
+            if self._moments_generation != view.generation:
+                self._moments = {}
+                self._moments_generation = view.generation
+            moments = self._moments.get(level)
+            if moments is None:
+                moments = level_moments(self.schema, view, level)
+                self._moments[level] = moments
+        estimates = estimate_from_moments(
+            moments, level, numbers, view.size, view.population
+        )
+        self.estimates_served += len(estimates)
+        return estimates
+
+
+def make_answerer(
+    approx,
+    schema: CubeSchema,
+    backend,
+    seed: int = 7,
+) -> ApproxAnswerer | None:
+    """Coerce a manager's ``approx=`` argument into an answerer.
+
+    Accepts ``None`` (approx disabled), a ready :class:`ApproxAnswerer`,
+    ``True`` (the default sampling fraction) or a float fraction.
+    """
+    if approx is None or approx is False:
+        return None
+    if isinstance(approx, ApproxAnswerer):
+        return approx
+    if approx is True:
+        return ApproxAnswerer.from_backend(schema, backend, seed=seed)
+    return ApproxAnswerer.from_backend(
+        schema, backend, fraction=float(approx), seed=seed
+    )

@@ -1,0 +1,120 @@
+"""Per-query answering contracts: ``exact`` | ``partial`` | ``approx``.
+
+PR 5's degraded mode is a *manager-level* switch: every query of a
+``degraded_mode`` manager tolerates backend faults and comes back as an
+exact partial.  The contract makes that choice *per query* and adds a
+third tier: ``approx`` queries fill whatever the cache (and, on fault,
+the salvage pass) could not answer exactly with Horvitz–Thompson
+estimates off a maintained backend sample, each carrying a 95%
+confidence interval (see :mod:`repro.approx.estimator` and
+``docs/approx.md``).
+
+``contract=None`` everywhere preserves the legacy behaviour exactly:
+the manager's ``degraded_mode`` flag decides between ``exact`` and
+``partial``, and nothing is ever estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+#: Contract modes, weakest guarantee last.
+MODES = ("exact", "partial", "approx")
+
+
+@dataclass(frozen=True, slots=True)
+class QueryContract:
+    """What a caller accepts in exchange for an answer.
+
+    ``exact``
+        Every chunk exact or the query raises (the pre-PR 5 behaviour,
+        regardless of the manager's ``degraded_mode``).
+    ``partial``
+        Backend faults degrade instead of raising: exact chunks where
+        the cache covers them, the rest reported ``unanswered`` (PR 5's
+        degraded mode, opted into per query).
+    ``approx``
+        Like ``partial``, but chunks that would be unanswered — and,
+        with ``prefer_sample``, *every* chunk that would need the
+        backend — are estimated from the maintained sample with a
+        per-chunk confidence interval (:class:`~repro.approx.estimator.
+        CellEstimate`).
+
+    Parameters
+    ----------
+    max_rel_error:
+        ``approx`` only — accept an estimate for a chunk only when its
+        SUM CI half-width is within this fraction of the point estimate;
+        chunks whose estimate is wider fall back to the backend (under
+        ``prefer_sample``) or stay unanswered (on backend fault).
+        ``None`` accepts every estimate.
+    prefer_sample:
+        ``approx`` only — estimate backend misses *instead of* fetching
+        them, even with a healthy backend: the latency dial.  Cache
+        hits (direct or by aggregation) are still answered exactly.
+    """
+
+    mode: str = "exact"
+    max_rel_error: float | None = None
+    prefer_sample: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ReproError(
+                f"unknown contract mode {self.mode!r}; choose one of {MODES}"
+            )
+        if self.mode != "approx" and (
+            self.max_rel_error is not None or self.prefer_sample
+        ):
+            raise ReproError(
+                "max_rel_error/prefer_sample only apply to approx contracts"
+            )
+        if self.max_rel_error is not None and not self.max_rel_error > 0:
+            raise ReproError("max_rel_error must be positive")
+
+    @property
+    def degrade_ok(self) -> bool:
+        """Whether a backend fault degrades the query instead of raising."""
+        return self.mode != "exact"
+
+    @property
+    def wants_estimates(self) -> bool:
+        return self.mode == "approx"
+
+
+EXACT = QueryContract("exact")
+PARTIAL = QueryContract("partial")
+
+
+def approx(
+    max_rel_error: float | None = None, prefer_sample: bool = False
+) -> QueryContract:
+    """An ``approx`` contract (the ``approx(max_rel_error)`` spelling)."""
+    return QueryContract("approx", max_rel_error, prefer_sample)
+
+
+def resolve_contract(
+    contract: QueryContract | None, degraded_mode: bool
+) -> QueryContract:
+    """The effective contract of one query: an explicit contract wins;
+    ``None`` defers to the manager's ``degraded_mode`` flag (the legacy
+    behaviour, bit for bit)."""
+    if contract is None:
+        return PARTIAL if degraded_mode else EXACT
+    return contract
+
+
+def encode_contract(contract: QueryContract | None):
+    """Wire form for the sharded router (plain tuple, no ndarray)."""
+    if contract is None:
+        return None
+    return (contract.mode, contract.max_rel_error, contract.prefer_sample)
+
+
+def decode_contract(wire) -> QueryContract | None:
+    if wire is None:
+        return None
+    mode, max_rel_error, prefer_sample = wire
+    return QueryContract(mode, max_rel_error, prefer_sample)

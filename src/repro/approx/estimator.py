@@ -1,0 +1,273 @@
+"""Horvitz–Thompson estimation of per-chunk SUM/COUNT/AVG with 95% CIs.
+
+The sample (:mod:`repro.approx.sample`) is a uniform size-``n`` subset
+of a population of ``N`` additive contribution records.  For a query
+chunk ``D`` (a rectangular cell region at some group-by level), define
+the domain-restricted variables ``z_i = y_i·1[i∈D]`` (SUM) and
+``w_i = c_i·1[i∈D]`` (COUNT).  The estimators are the classical
+SRSWOR domain expansions:
+
+* ``SUM:   t̂ = (N/n)·Σ_{i∈s} z_i``, with
+  ``V̂(t̂) = N²·(1-f)·s_z²/n`` where ``f = n/N`` and ``s_z²`` is the
+  sample variance of ``z`` over the *whole* sample (zeros included —
+  that is what makes the domain expansion unbiased);
+* ``COUNT``: the same with ``w``;
+* ``AVG:   R̂ = Σz/Σw`` (the ratio estimator), with the delta-method
+  variance ``V̂(R̂) = (1-f)·s_e²/(n·w̄²)`` where ``e_i = z_i − R̂·w_i``
+  and ``w̄ = Σw/n``.
+
+Intervals are ``estimate ± z₀.₉₅·√V̂`` with ``z₀.₉₅ = 1.96``.  They are
+*invalid* (reported as infinite half-widths) when the sample holds
+fewer than two records of the domain — and they are never produced for
+non-additive aggregates (MIN/MAX), which no scale-up of a uniform
+sample can bound; see ``docs/approx.md``.
+
+All chunks of a level are estimated in one vectorised pass: the sample's
+base coords map to the level's cells (:meth:`Dimension.map_ordinals`),
+cells to chunk numbers (:meth:`ChunkAddressing.chunk_numbers_of_cells`),
+and every per-chunk moment (Σz, Σz², Σw, Σw², Σzw, support) is one
+``np.bincount`` — O(n + chunks) for the whole level, independent of how
+many chunks the query asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.sample import SampleView
+from repro.schema.cube import CubeSchema, Level
+
+#: The 95% two-sided normal critical value.
+Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True, slots=True)
+class CellEstimate:
+    """One chunk's approximate answer: point estimates and 95% CIs.
+
+    ``sample_units`` is the number of sample records that fell inside
+    the chunk (the domain support); ``sample_size``/``population`` are
+    the HT n and N the estimate was scaled with.  Half-widths are
+    ``inf`` when the CI is invalid (support < 2).
+    """
+
+    level: Level
+    number: int
+    sum_est: float
+    sum_half: float
+    count_est: float
+    count_half: float
+    avg_est: float
+    avg_half: float
+    sample_units: int
+    sample_size: int
+    population: int
+
+    @property
+    def rel_error(self) -> float:
+        """The SUM CI half-width as a fraction of the point estimate
+        (``inf`` when the estimate is zero or the CI invalid)."""
+        if not np.isfinite(self.sum_half):
+            return float("inf")
+        if self.sum_est == 0.0:
+            return 0.0 if self.sum_half == 0.0 else float("inf")
+        return abs(self.sum_half / self.sum_est)
+
+    def ci(self, aggregate: str = "sum") -> tuple[float, float]:
+        """The 95% interval for ``"sum"`` / ``"count"`` / ``"avg"``."""
+        est = getattr(self, f"{aggregate}_est")
+        half = getattr(self, f"{aggregate}_half")
+        return (est - half, est + half)
+
+    def encode(self) -> tuple:
+        """Wire form (plain scalars — see :mod:`repro.sharding.wire`)."""
+        return (
+            tuple(self.level), self.number,
+            self.sum_est, self.sum_half,
+            self.count_est, self.count_half,
+            self.avg_est, self.avg_half,
+            self.sample_units, self.sample_size, self.population,
+        )
+
+    @classmethod
+    def decode(cls, wire: tuple) -> "CellEstimate":
+        (
+            level, number, sum_est, sum_half, count_est, count_half,
+            avg_est, avg_half, sample_units, sample_size, population,
+        ) = wire
+        return cls(
+            level=tuple(level), number=number,
+            sum_est=sum_est, sum_half=sum_half,
+            count_est=count_est, count_half=count_half,
+            avg_est=avg_est, avg_half=avg_half,
+            sample_units=sample_units, sample_size=sample_size,
+            population=population,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RegionEstimate:
+    """SUM/COUNT/AVG over a union of estimated chunks (see
+    :func:`combine_estimates`)."""
+
+    sum_est: float
+    sum_half: float
+    count_est: float
+    count_half: float
+    avg_est: float
+    avg_half: float
+
+
+@dataclass(frozen=True, slots=True)
+class _LevelMoments:
+    """Per-chunk sample moments of one level (dense over chunk numbers)."""
+
+    support: np.ndarray
+    sz: np.ndarray
+    szz: np.ndarray
+    sw: np.ndarray
+    sww: np.ndarray
+    szw: np.ndarray
+
+
+def level_moments(
+    schema: CubeSchema, view: SampleView, level: Level
+) -> _LevelMoments:
+    """All per-chunk domain moments of ``level`` in one bincount pass."""
+    nbins = schema.num_chunks(level)
+    if view.size == 0:
+        zeros = np.zeros(nbins)
+        return _LevelMoments(
+            support=np.zeros(nbins, dtype=np.int64),
+            sz=zeros, szz=zeros, sw=zeros, sww=zeros, szw=zeros,
+        )
+    mapped = tuple(
+        dim.map_ordinals(dim.height, l, axis)
+        for dim, l, axis in zip(schema.dimensions, level, view.coords)
+    )
+    ids = schema.chunks.chunk_numbers_of_cells(level, mapped)
+    y = view.values
+    c = view.counts.astype(np.float64)
+    return _LevelMoments(
+        support=np.bincount(ids, minlength=nbins).astype(np.int64),
+        sz=np.bincount(ids, weights=y, minlength=nbins),
+        szz=np.bincount(ids, weights=y * y, minlength=nbins),
+        sw=np.bincount(ids, weights=c, minlength=nbins),
+        sww=np.bincount(ids, weights=c * c, minlength=nbins),
+        szw=np.bincount(ids, weights=y * c, minlength=nbins),
+    )
+
+
+def estimate_from_moments(
+    moments: _LevelMoments,
+    level: Level,
+    numbers,
+    n: int,
+    population: int,
+    z: float = Z95,
+) -> list[CellEstimate]:
+    """Build one :class:`CellEstimate` per requested chunk number."""
+    inf = float("inf")
+    out: list[CellEstimate] = []
+    f = n / population if population else 1.0
+    fpc = max(0.0, 1.0 - f)
+    scale = population / n if n else 0.0
+    for number in numbers:
+        m = int(moments.support[number]) if n else 0
+        sz = float(moments.sz[number]) if n else 0.0
+        sw = float(moments.sw[number]) if n else 0.0
+        sum_est = scale * sz
+        count_est = scale * sw
+        if m >= 2 and n >= 2:
+            szz = float(moments.szz[number])
+            sww = float(moments.sww[number])
+            szw = float(moments.szw[number])
+            s2_z = max(0.0, (szz - sz * sz / n) / (n - 1))
+            s2_w = max(0.0, (sww - sw * sw / n) / (n - 1))
+            sum_half = z * population * np.sqrt(fpc * s2_z / n)
+            count_half = z * population * np.sqrt(fpc * s2_w / n)
+            if sw > 0.0:
+                ratio = sz / sw
+                sse = max(0.0, szz - 2.0 * ratio * szw + ratio * ratio * sww)
+                wbar = sw / n
+                var_r = fpc * (sse / (n - 1)) / (n * wbar * wbar)
+                avg_est = ratio
+                avg_half = z * np.sqrt(var_r)
+            else:
+                avg_est = 0.0
+                avg_half = inf
+        else:
+            sum_half = count_half = avg_half = inf
+            avg_est = sz / sw if sw > 0.0 else 0.0
+        out.append(
+            CellEstimate(
+                level=level,
+                number=int(number),
+                sum_est=sum_est,
+                sum_half=float(sum_half),
+                count_est=count_est,
+                count_half=float(count_half),
+                avg_est=float(avg_est),
+                avg_half=float(avg_half),
+                sample_units=m,
+                sample_size=n,
+                population=population,
+            )
+        )
+    return out
+
+
+def estimate_chunks(
+    schema: CubeSchema,
+    view: SampleView,
+    level: Level,
+    numbers,
+    z: float = Z95,
+) -> list[CellEstimate]:
+    """Estimate the given chunks of ``level`` from one sample snapshot."""
+    moments = level_moments(schema, view, level)
+    return estimate_from_moments(
+        moments, level, numbers, view.size, view.population, z=z
+    )
+
+
+def combine_estimates(estimates) -> RegionEstimate:
+    """SUM/COUNT/AVG over a union of disjoint estimated chunks.
+
+    Point estimates add; CI half-widths combine in quadrature
+    (``√Σhalf²``) — chunk domains are disjoint, and the per-chunk
+    domain indicators are treated as independent, the standard AQP
+    approximation (exact covariance terms would need cross-chunk
+    sample moments; the quadrature form is what lets shard-local CI
+    widths combine associatively across the router merge).  AVG over
+    the region recomposes as ΣSUM/ΣCOUNT with a delta-method interval
+    from the combined SUM/COUNT widths.
+    """
+    estimates = list(estimates)
+    sum_est = sum(e.sum_est for e in estimates)
+    count_est = sum(e.count_est for e in estimates)
+    sum_half = float(np.sqrt(sum(e.sum_half**2 for e in estimates)))
+    count_half = float(np.sqrt(sum(e.count_half**2 for e in estimates)))
+    if count_est > 0.0:
+        avg_est = sum_est / count_est
+        if np.isfinite(sum_half) and np.isfinite(count_half):
+            rel = 0.0
+            if sum_est != 0.0:
+                rel += (sum_half / sum_est) ** 2
+            rel += (count_half / count_est) ** 2
+            avg_half = abs(avg_est) * float(np.sqrt(rel))
+        else:
+            avg_half = float("inf")
+    else:
+        avg_est = 0.0
+        avg_half = float("inf")
+    return RegionEstimate(
+        sum_est=float(sum_est),
+        sum_half=sum_half,
+        count_est=float(count_est),
+        count_half=count_half,
+        avg_est=float(avg_est),
+        avg_half=avg_half,
+    )

@@ -1,0 +1,155 @@
+"""A seeded reservoir sample of the fact table's contribution records.
+
+The sample's population is the stream of *contribution records* the
+backend has absorbed: the distinct base cells of the initial load (in
+ascending base-chunk order, row order within a chunk as stored) followed
+by the raw rows of every appended batch, in append order.  Because every
+stored aggregate is additive (SUM in ``values``/``extras``, COUNT in
+``counts``; AVG derives from them), any domain total is the sum of its
+records' contributions no matter how the records partition the cells —
+so a uniform sample of records supports unbiased Horvitz–Thompson
+scale-up for SUM/COUNT (and ratio estimation for AVG) even when an
+append touches cells the initial load already contained.
+
+The reservoir is Algorithm R, seeded: for a fixed seed and the same
+record stream the retained set — and therefore every estimate computed
+from it — is bit-for-bit deterministic.  That is what lets N sharded
+workers, each building the sample from its own handle on the same
+warehouse, produce *identical* per-chunk estimates (the sharded-parity
+guarantee, ``tests/approx/test_sharded_parity.py``).
+
+Readers never lock: :meth:`ReservoirSample.view` returns an immutable
+:class:`SampleView` snapshot published by a single attribute store, so
+estimation proceeds concurrently with appends exactly like the mmap
+store's generation snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True, slots=True)
+class SampleView:
+    """One immutable snapshot of the reservoir.
+
+    ``coords`` are *base-level* ordinals (one array per dimension);
+    ``values``/``counts`` are the records' SUM/COUNT contributions.
+    ``population`` is the total number of records observed (the HT
+    scale-up's N), ``generation`` increments on every publish so
+    estimate caches can key on it.
+    """
+
+    coords: tuple[np.ndarray, ...]
+    values: np.ndarray
+    counts: np.ndarray
+    population: int
+    generation: int
+
+    @property
+    def size(self) -> int:
+        """Records retained (the HT n); ``min(capacity, population)``."""
+        return int(self.values.shape[0])
+
+    @property
+    def fraction(self) -> float:
+        """Effective sampling fraction n/N (1.0 for an empty population)."""
+        return self.size / self.population if self.population else 1.0
+
+
+class ReservoirSample:
+    """A fixed-capacity uniform sample of the record stream (Algorithm R).
+
+    ``observe`` must be called from one writer at a time (the manager's
+    refresh path already serialises appends); ``view`` is safe from any
+    thread at any moment.
+    """
+
+    def __init__(self, ndims: int, capacity: int, seed: int = 7) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self._rng = make_rng(seed)
+        self._coords = tuple(
+            np.zeros(self.capacity, dtype=np.int64) for _ in range(ndims)
+        )
+        self._values = np.zeros(self.capacity, dtype=np.float64)
+        self._counts = np.zeros(self.capacity, dtype=np.int64)
+        self._filled = 0
+        self._population = 0
+        self._view: SampleView | None = None
+        self._generation = 0
+
+    @property
+    def population(self) -> int:
+        return self._population
+
+    def observe(
+        self,
+        coords: tuple[np.ndarray, ...],
+        values: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Stream one batch of records through the reservoir."""
+        m = int(values.shape[0])
+        if m == 0:
+            return
+        start = self._population
+        take = 0
+        if self._filled < self.capacity:
+            take = min(self.capacity - self._filled, m)
+            lo, hi = self._filled, self._filled + take
+            for dst, src in zip(self._coords, coords):
+                dst[lo:hi] = src[:take]
+            self._values[lo:hi] = values[:take]
+            self._counts[lo:hi] = counts[:take]
+            self._filled = hi
+        if take < m:
+            # Record i (0-based stream position start+take+j) replaces a
+            # reservoir slot with probability capacity/(position+1): one
+            # vectorised draw per batch, scalar writes only for the hits.
+            positions = np.arange(
+                start + take + 1, start + m + 1, dtype=np.int64
+            )
+            draws = self._rng.integers(0, positions)
+            hits = np.flatnonzero(draws < self.capacity)
+            for j in hits:
+                slot = int(draws[j])
+                row = take + int(j)
+                for dst, src in zip(self._coords, coords):
+                    dst[slot] = src[row]
+                self._values[slot] = values[row]
+                self._counts[slot] = counts[row]
+        self._population = start + m
+        self._publish()
+
+    def _publish(self) -> None:
+        n = self._filled
+        coords = tuple(axis[:n].copy() for axis in self._coords)
+        values = self._values[:n].copy()
+        counts = self._counts[:n].copy()
+        for array in (*coords, values, counts):
+            array.setflags(write=False)
+        self._generation += 1
+        # A single attribute store publishes the snapshot atomically.
+        self._view = SampleView(
+            coords=coords,
+            values=values,
+            counts=counts,
+            population=self._population,
+            generation=self._generation,
+        )
+
+    def view(self) -> SampleView:
+        """The latest immutable snapshot (empty view before any data)."""
+        view = self._view
+        if view is None:
+            self._publish()
+            view = self._view
+        assert view is not None
+        return view

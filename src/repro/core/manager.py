@@ -17,6 +17,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.aggregation.aggregate import rollup_chunks, rollup_many
+from repro.approx.answering import ApproxAnswerer, make_answerer
+from repro.approx.contract import QueryContract, resolve_contract
+from repro.approx.estimator import CellEstimate
 from repro.backend.engine import BackendDatabase
 from repro.cache.preload import choose_preload_level
 from repro.cache.replacement import make_policy
@@ -64,15 +67,44 @@ class QueryResult:
     assembled from the cache alone (``degraded_mode``).  Every chunk that
     *is* present is exact; ``unanswered`` lists the ones that are not."""
     coverage: float = 1.0
-    """Fraction of the query's chunks actually answered (1.0 unless the
-    query is degraded)."""
+    """Fraction of the query's chunks answered *exactly*.  Populated on
+    every result — 1.0 with ``unanswered == ()`` on a fully exact
+    answer — so downstream consumers never need a degraded/approx
+    branch."""
     unanswered: tuple[int, ...] = ()
-    """Chunk numbers the degraded path could not answer (missing from
-    ``chunks``); empty unless ``degraded``."""
+    """Chunk numbers neither answered exactly nor estimated (missing
+    from ``chunks`` and ``estimated``); empty on exact answers."""
+    contract: str = "exact"
+    """The requested contract mode (``exact`` when none was passed —
+    the manager's ``degraded_mode`` may still degrade such queries)."""
+    estimated: tuple[CellEstimate, ...] = ()
+    """Per-chunk sample estimates (approx contracts only), in plan
+    order.  ``chunks`` + ``estimated`` + ``unanswered`` partition the
+    query's chunk numbers exactly."""
 
     def total_value(self) -> float:
-        """Grand total of the measure over the answered query region."""
+        """Grand total of the measure over the exactly answered region."""
         return sum(chunk.total() for chunk in self.chunks)
+
+    @property
+    def answered_fraction(self) -> float:
+        """Fraction answered exactly *or* approximately."""
+        total = self.query.num_chunks
+        return (
+            (total - len(self.unanswered)) / total if total else 1.0
+        )
+
+    def estimate_total(self):
+        """SUM over the whole answered region — exact chunk totals plus
+        sample estimates — with its combined 95% half-width (0.0 when
+        nothing was estimated).  Returns ``(estimate, half_width)``."""
+        from repro.approx.estimator import combine_estimates
+
+        exact = sum(chunk.total() for chunk in self.chunks)
+        if not self.estimated:
+            return exact, 0.0
+        region = combine_estimates(self.estimated)
+        return exact + region.sum_est, region.sum_half
 
     @property
     def total_ms(self) -> float:
@@ -96,6 +128,8 @@ class QueryLogRecord:
     backend_ms: float
     tuples_aggregated: int
     cache_used_bytes: int
+    coverage: float = 1.0
+    estimated: int = 0
 
     @classmethod
     def from_result(
@@ -116,6 +150,8 @@ class QueryLogRecord:
             backend_ms=b.backend_ms,
             tuples_aggregated=result.tuples_aggregated,
             cache_used_bytes=manager.cache.used_bytes,
+            coverage=result.coverage,
+            estimated=len(result.estimated),
         )
 
 
@@ -219,6 +255,20 @@ class AggregateCache:
         pre-existing raise-through behaviour is unchanged unless opted
         in.  Pair with :class:`~repro.backend.ResilientBackend` so only
         post-retry failures degrade.
+    approx:
+        Enable the approximate answering tier (see :mod:`repro.approx`
+        and ``docs/approx.md``): ``True`` maintains a reservoir sample
+        at the default fraction, a float sets the fraction, a ready
+        :class:`~repro.approx.answering.ApproxAnswerer` is used as-is.
+        With it attached, ``query(..., contract=approx(...))`` fills
+        backend misses (``prefer_sample``) or fault-unanswered chunks
+        with Horvitz–Thompson estimates carrying 95% CIs.  The sample
+        follows appends through :meth:`refresh_from_backend`.  ``None``
+        (default) disables estimation; non-approx queries are
+        bit-identical either way.
+    approx_seed:
+        Seed of the reservoir when ``approx`` asks this manager to
+        build one (ignored for a ready answerer).
     cache_values:
         Where cached chunk payloads live (see :mod:`repro.cache.values`):
         ``None``/``"dict"`` keeps them on the Python heap (the default,
@@ -249,6 +299,8 @@ class AggregateCache:
         keep_log: bool = False,
         plan_cache: bool | PlanCache = True,
         degraded_mode: bool = False,
+        approx: "bool | float | ApproxAnswerer | None" = None,
+        approx_seed: int = 7,
         cache_values: "str | CacheValueBackend | None" = None,
         obs: Observability | None = None,
     ) -> None:
@@ -291,6 +343,11 @@ class AggregateCache:
         self.degraded_queries = 0
         """Queries answered (fully or partially) without the backend
         after a backend fault (``degraded_mode`` only)."""
+        self.approx: ApproxAnswerer | None = make_answerer(
+            approx, schema, backend, seed=approx_seed
+        )
+        self.approx_queries = 0
+        """Queries that returned at least one sample estimate."""
         self.keep_log = keep_log
         self.query_log: list[QueryLogRecord] = []
         """Structured per-query records when ``keep_log`` is set."""
@@ -345,9 +402,22 @@ class AggregateCache:
     # ------------------------------------------------------------------ #
     # the query path
 
-    def query(self, query: Query) -> QueryResult:
-        """Answer one query, returning its chunks and full accounting."""
+    def query(
+        self, query: Query, contract: QueryContract | None = None
+    ) -> QueryResult:
+        """Answer one query, returning its chunks and full accounting.
+
+        ``contract`` selects the per-query answering tier (see
+        :mod:`repro.approx.contract`): ``None`` keeps the legacy
+        behaviour — ``degraded_mode`` decides between raise-through and
+        exact-partial answers — while an explicit contract overrides
+        the flag for this query, and an ``approx`` contract additionally
+        estimates what cannot be answered exactly (requires ``approx=``
+        at construction).
+        """
         numbers = query.chunk_numbers(self.schema)
+        effective = resolve_contract(contract, self.degraded_mode)
+        approx_mode = effective.wants_estimates and self.approx is not None
         breakdown = TimeBreakdown()
         visits_before = self.strategy.total_visits
         obs = self.obs
@@ -410,9 +480,18 @@ class AggregateCache:
         # answers where the lattice still covers them) and the rest are
         # reported as unanswered.
         missing = [n for n, plan in plans.items() if plan is None]
+        any_missing = bool(missing)
         fetched: list[Chunk] = []
         degraded = False
         unanswered: tuple[int, ...] = ()
+        estimated: list[CellEstimate] = []
+        if missing and approx_mode and effective.prefer_sample:
+            # The latency dial: estimate backend misses instead of
+            # fetching them.  Chunks whose estimate is wider than
+            # max_rel_error still go to the backend.
+            estimated, missing = self._estimate_chunks(
+                query.level, missing, effective
+            )
         if missing:
             with span(
                 obs, "backend", chunks=len(missing)
@@ -423,7 +502,7 @@ class AggregateCache:
                     )
                     backend_span.record(stats.total_ms)
                 except FaultError:
-                    if not self.degraded_mode:
+                    if not effective.degrade_ok:
                         raise
                     degraded = True
             breakdown.backend_ms = backend_span.elapsed_ms
@@ -434,6 +513,14 @@ class AggregateCache:
                     direct, executions, leftovers = self._salvage_from_cache(
                         query.level, missing
                     )
+                    if approx_mode and leftovers:
+                        # What neither backend nor cache could answer is
+                        # estimated; only estimates too wide for the
+                        # contract stay unanswered.
+                        extra, leftovers = self._estimate_chunks(
+                            query.level, leftovers, effective
+                        )
+                        estimated.extend(extra)
                     unanswered = tuple(leftovers)
                     for number, chunk in direct.items():
                         results[number] = chunk
@@ -466,11 +553,17 @@ class AggregateCache:
         breakdown.update_ms = update_span.elapsed_ms
 
         self.queries_run += 1
-        complete_hit = not missing or (degraded and not unanswered)
+        complete_hit = not estimated and (
+            not any_missing or (degraded and not unanswered)
+        )
         if complete_hit:
             self.complete_hits += 1
         if degraded:
             self.degraded_queries += 1
+        if estimated:
+            self.approx_queries += 1
+            order = {n: i for i, n in enumerate(numbers)}
+            estimated.sort(key=lambda e: order[e.number])
         result = QueryResult(
             query=query,
             chunks=[results[n] for n in numbers if n in results],
@@ -484,14 +577,42 @@ class AggregateCache:
             state_updates=state_updates,
             reinforcements_skipped=reinforcements_skipped,
             degraded=degraded,
-            coverage=(len(numbers) - len(unanswered)) / len(numbers),
+            coverage=(
+                (len(numbers) - len(unanswered) - len(estimated))
+                / len(numbers)
+            ),
             unanswered=unanswered,
+            contract=contract.mode if contract is not None else "exact",
+            estimated=tuple(estimated),
         )
         if obs.enabled:
             self._emit_query_event(result)
         if self.keep_log:
             self.query_log.append(QueryLogRecord.from_result(self, result))
         return result
+
+    def _estimate_chunks(
+        self,
+        level: Level,
+        numbers: list[int],
+        contract: QueryContract,
+    ) -> tuple[list[CellEstimate], list[int]]:
+        """Estimate the given chunks from the sample, splitting them into
+        (accepted estimates, numbers whose estimate the contract's
+        ``max_rel_error`` rejects)."""
+        assert self.approx is not None
+        estimates = self.approx.estimate(level, numbers)
+        tolerance = contract.max_rel_error
+        if tolerance is None:
+            return estimates, []
+        kept: list[CellEstimate] = []
+        rejected: list[int] = []
+        for number, estimate in zip(numbers, estimates):
+            if estimate.rel_error <= tolerance:
+                kept.append(estimate)
+            else:
+                rejected.append(number)
+        return kept, rejected
 
     def _emit_query_event(self, result: QueryResult) -> None:
         """Record one query's accounting into the observability layer."""
@@ -508,9 +629,13 @@ class AggregateCache:
             result.lookup_visits
         )
         obs.metrics.gauge("cache.used_bytes").set(self.cache.used_bytes)
-        # Degraded-serving accounting only exists on degraded queries, so
-        # a fault-free run's counters and events are bit-identical to a
-        # build without the degraded path at all.
+        # Degraded/approx *counters* only move on degraded/approx
+        # queries, so a fault-free exact run's metrics are bit-identical
+        # to a build without those paths at all.  The event's coverage,
+        # unanswered and estimated fields, by contrast, are populated on
+        # EVERY query (1.0 / [] / 0 on exact answers) — consumers need
+        # no branch, and the fault-free streams still compare equal
+        # because both sides carry the same uniform fields.
         degraded_fields = {}
         if result.degraded:
             obs.metrics.counter("backend.degraded_queries").inc()
@@ -520,13 +645,17 @@ class AggregateCache:
             obs.metrics.counter("backend.unanswered_chunks").inc(
                 len(result.unanswered)
             )
-            degraded_fields = dict(
-                degraded=True,
-                coverage=result.coverage,
-                unanswered=list(result.unanswered),
+            degraded_fields = dict(degraded=True)
+        if result.estimated:
+            obs.metrics.counter("approx.queries").inc()
+            obs.metrics.counter("approx.estimated_chunks").inc(
+                len(result.estimated)
             )
         obs.tracer.emit(
             "query",
+            coverage=result.coverage,
+            unanswered=list(result.unanswered),
+            estimated=len(result.estimated),
             query_seq=self.queries_run,
             level=list(result.query.level),
             chunks=result.query.num_chunks,
@@ -601,6 +730,11 @@ class AggregateCache:
                 "choose 'delta', 'refetch' or 'evict'"
             )
         append = self.backend.apply_append(facts)
+        if self.approx is not None:
+            # The reservoir sees every appended record, so estimates
+            # keep tracking the grown warehouse (HT over the extended
+            # record stream — see docs/approx.md).
+            self.approx.observe_append(facts)
         patched = refetched = evicted = 0
         if mode == "delta":
             patched, evicted = self._patch_wave(append.deltas)

@@ -44,6 +44,7 @@ EXPERIMENTS = (
     "ablations",
     "service",
     "shards",
+    "approx",
     "faults",
 )
 
@@ -256,6 +257,15 @@ def _run(args: argparse.Namespace) -> int:
         ).format()
 
     run("shards", _shards)
+
+    def _approx() -> str:
+        from repro.harness.approx_bench import run_approx_benchmark
+
+        return run_approx_benchmark(
+            config, out_path="BENCH_approx.json"
+        ).format()
+
+    run("approx", _approx)
 
     def _faults() -> str:
         from repro.harness.faults_run import run_faults_experiment

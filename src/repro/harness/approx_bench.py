@@ -1,0 +1,319 @@
+"""The ``approx`` harness experiment: error vs speedup of the sample tier.
+
+Serves one full-cube query per lattice level twice — once exactly
+(every chunk computed by the backend; a 1-byte cache keeps the arm
+honest by never retaining anything) and once under the ``approx``
+contract with ``prefer_sample=True`` (every chunk estimated from the
+reservoir, the backend never touched) — at several sample fractions,
+and reports the error-vs-speedup curve:
+
+* **speedup** — exact wall over approx wall for the same query list
+  (both arms serve ``REPEATS`` passes; the approx arm's per-level
+  moment memo is part of the product path and is timed as such);
+* **observed error** — per estimated chunk, ``|SUM estimate − true
+  SUM| / |true SUM|`` against the exact arm's answers (mean and max
+  over chunks with non-trivial truth);
+* **CI calibration** — the fraction of estimated chunks whose true SUM
+  falls inside the reported 95% interval, and the per-query fraction
+  whose true grand total falls inside the combined region interval
+  (:meth:`~repro.core.manager.QueryResult.estimate_total`).
+
+The result renders as a table and exports as ``BENCH_approx.json``; the
+bench-smoke CI gate asserts that some fraction on the curve clears a
+2× speedup at ≤ 5% mean observed relative error.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.approx.contract import approx
+from repro.backend import BackendDatabase, CostModel, generate_fact_table
+from repro.core.manager import AggregateCache
+from repro.harness.config import ExperimentConfig
+from repro.util.tables import render_table
+from repro.workload.query import Query
+
+DEFAULT_FRACTIONS = (0.05, 0.1, 0.2, 0.4)
+
+#: Passes over the level list per timed arm: full-cube answers at quick
+#: configurations land in the milliseconds otherwise.
+REPEATS = 3
+
+#: A cache that can hold nothing: the exact arm recomputes every chunk
+#: from the backend on every pass, which is precisely the "slow exact
+#: path" the approximate tier is an alternative to.
+NO_CACHE = 1
+
+#: Lookup visit cap, applied to BOTH arms.  With an empty cache the
+#: aggregate-lookup traversal is guaranteed futile, and uncapped it
+#: dominates both arms identically — drowning the quantity this bench
+#: measures (backend compute vs sample estimation).
+VISIT_BUDGET = 64
+
+
+@dataclass
+class ApproxRun:
+    """One sample fraction's arm of the error-vs-speedup curve."""
+
+    fraction: float
+    sample_size: int
+    population: int
+    build_s: float
+    """Seconds to stream the warehouse into the reservoir (one-off)."""
+    wall_s: float
+    queries: int
+    estimated_chunks: int
+    mean_rel_error: float
+    max_rel_error: float
+    total_rel_error: float
+    """Mean observed relative error of the query grand totals — the
+    figure the CI speedup/accuracy gate checks."""
+    ci_coverage: float
+    """Fraction of estimated chunks whose true SUM is inside the 95% CI."""
+    total_ci_coverage: float
+    """Fraction of queries whose true grand total is inside the combined CI."""
+    invalid_cis: int
+    """Chunks whose CI is infinite (domain support < 2 in the sample)."""
+    speedup: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "fraction": self.fraction,
+            "sample_size": self.sample_size,
+            "population": self.population,
+            "build_s": self.build_s,
+            "wall_s": self.wall_s,
+            "queries": self.queries,
+            "estimated_chunks": self.estimated_chunks,
+            "mean_rel_error": self.mean_rel_error,
+            "max_rel_error": self.max_rel_error,
+            "total_rel_error": self.total_rel_error,
+            "ci_coverage": self.ci_coverage,
+            "total_ci_coverage": self.total_ci_coverage,
+            "invalid_cis": self.invalid_cis,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class ApproxBenchResult:
+    """The exact baseline plus the per-fraction error/speedup curve."""
+
+    config: ExperimentConfig
+    levels: int = 0
+    exact_wall_s: float = 0.0
+    exact_backend_ms: float = 0.0
+    """Summed backend phase time of the exact arm (where the work is)."""
+    runs: list[ApproxRun] = field(default_factory=list)
+
+    def run_for(self, fraction: float) -> ApproxRun:
+        for run in self.runs:
+            if abs(run.fraction - fraction) < 1e-12:
+                return run
+        raise KeyError(fraction)
+
+    def best_within(self, max_rel_error: float) -> ApproxRun | None:
+        """The fastest run whose observed grand-total error clears the
+        bound — the point on the curve the CI gate checks."""
+        eligible = [
+            run for run in self.runs if run.total_rel_error <= max_rel_error
+        ]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda run: run.speedup)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.config.schema_name,
+            "num_tuples": self.config.num_tuples,
+            "python": platform.python_version(),
+            "levels": self.levels,
+            "repeats": REPEATS,
+            "exact_wall_s": self.exact_wall_s,
+            "exact_backend_ms": self.exact_backend_ms,
+            "runs": [run.as_dict() for run in self.runs],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def format(self) -> str:
+        headers = [
+            "Fraction", "Sample n", "Wall s", "Speedup", "Total err",
+            "Chunk err", "Max err", "Chunk CI", "Total CI", "Inf CI",
+        ]
+        rows = []
+        for run in self.runs:
+            rows.append([
+                f"{run.fraction:.2f}",
+                run.sample_size,
+                f"{run.wall_s:.3f}",
+                f"{run.speedup:.1f}x",
+                f"{100 * run.total_rel_error:.2f}%",
+                f"{100 * run.mean_rel_error:.2f}%",
+                f"{100 * run.max_rel_error:.2f}%",
+                f"{100 * run.ci_coverage:.0f}%",
+                f"{100 * run.total_ci_coverage:.0f}%",
+                run.invalid_cis,
+            ])
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                "Approximate tier: error vs speedup over "
+                f"{self.levels} full-cube queries x{REPEATS} "
+                f"(exact arm {self.exact_wall_s:.3f} s)."
+            ),
+        )
+        return "\n".join([
+            table,
+            "Speedup = exact wall / approx wall; 'Total err' is the "
+            "grand-total relative error per query (the gated figure), "
+            "'Chunk err' the mean per-chunk SUM error; CI columns are "
+            "observed 95%-interval coverage (chunk-level and grand-total).",
+        ])
+
+
+def _serve_passes(cache, queries, contract=None):
+    """One unmeasured warm pass, then ``REPEATS`` timed passes.
+
+    The warm pass is the same steady-state methodology as the shards
+    bench: it pays the one-off per-level plan machinery (and, on the
+    approx arm, the per-level moment memo) so the timed passes compare
+    what the arms actually repeat — backend compute versus estimation.
+    A 1-byte cache retains no chunks, so the exact arm's timed passes
+    still hit the backend every time.
+    """
+    results = [cache.query(query, contract) for query in queries]
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        [cache.query(query, contract) for query in queries]
+    return time.perf_counter() - start, results
+
+
+def run_approx_benchmark(
+    config: ExperimentConfig,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    out_path: str | Path | None = None,
+) -> ApproxBenchResult:
+    """Measure the error-vs-speedup curve over the sample fractions."""
+    schema = config.make_schema()
+    facts = generate_fact_table(
+        schema,
+        num_tuples=config.num_tuples,
+        seed=config.seed,
+        skew=config.skew,
+        mode=config.data_mode,
+        combo_density=config.combo_density,
+        cell_fill=config.cell_fill,
+    )
+    backend = BackendDatabase(schema, facts, CostModel())
+    levels = list(schema.all_levels())
+    queries = [Query.full_level(schema, level) for level in levels]
+    result = ApproxBenchResult(config=config, levels=len(levels))
+
+    # ---- exact arm: every chunk recomputed from the backend each pass.
+    exact_cache = AggregateCache(
+        schema,
+        backend,
+        capacity_bytes=NO_CACHE,
+        preload=False,
+        visit_budget=VISIT_BUDGET,
+    )
+    result.exact_wall_s, exact_results = _serve_passes(exact_cache, queries)
+    result.exact_backend_ms = sum(
+        r.breakdown.backend_ms for r in exact_results
+    )
+    truth = {
+        (chunk.level, chunk.number): (
+            chunk.total(), float(chunk.counts.sum())
+        )
+        for r in exact_results
+        for chunk in r.chunks
+    }
+    true_totals = [r.total_value() for r in exact_results]
+
+    # ---- approx arms: every chunk estimated from the reservoir.
+    contract = approx(prefer_sample=True)
+    for fraction in fractions:
+        build_start = time.perf_counter()
+        cache = AggregateCache(
+            schema,
+            backend,
+            capacity_bytes=NO_CACHE,
+            preload=False,
+            visit_budget=VISIT_BUDGET,
+            approx=fraction,
+            approx_seed=config.seed,
+        )
+        build_s = time.perf_counter() - build_start
+        wall_s, results = _serve_passes(cache, queries, contract)
+        view = cache.approx.view()
+
+        rel_errors: list[float] = []
+        covered = 0
+        valid = 0
+        invalid = 0
+        estimated = 0
+        for r in results:
+            for est in r.estimated:
+                estimated += 1
+                true_sum, _ = truth.get((est.level, est.number), (0.0, 0.0))
+                if est.sum_half == float("inf"):
+                    invalid += 1
+                else:
+                    valid += 1
+                    if abs(true_sum - est.sum_est) <= est.sum_half:
+                        covered += 1
+                if abs(true_sum) > 1e-9:
+                    rel_errors.append(
+                        abs(est.sum_est - true_sum) / abs(true_sum)
+                    )
+        totals_covered = 0
+        total_errors: list[float] = []
+        for r, true_total in zip(results, true_totals):
+            est_total, half = r.estimate_total()
+            if abs(true_total - est_total) <= half:
+                totals_covered += 1
+            if abs(true_total) > 1e-9:
+                total_errors.append(
+                    abs(est_total - true_total) / abs(true_total)
+                )
+
+        run = ApproxRun(
+            fraction=fraction,
+            sample_size=view.size,
+            population=view.population,
+            build_s=build_s,
+            wall_s=wall_s,
+            queries=len(results),
+            estimated_chunks=estimated,
+            mean_rel_error=(
+                sum(rel_errors) / len(rel_errors) if rel_errors else 0.0
+            ),
+            max_rel_error=max(rel_errors, default=0.0),
+            total_rel_error=(
+                sum(total_errors) / len(total_errors)
+                if total_errors else 0.0
+            ),
+            ci_coverage=covered / valid if valid else 0.0,
+            total_ci_coverage=(
+                totals_covered / len(results) if results else 0.0
+            ),
+            invalid_cis=invalid,
+            speedup=(
+                result.exact_wall_s / wall_s if wall_s > 0 else 0.0
+            ),
+        )
+        result.runs.append(run)
+
+    if out_path is not None:
+        result.write_json(out_path)
+    return result

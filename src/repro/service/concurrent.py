@@ -51,6 +51,8 @@ from dataclasses import replace
 
 from repro.adaptive.canonical import canonicalize
 from repro.adaptive.precompute import AdaptiveActions, AdaptivePrecomputer
+from repro.approx.contract import QueryContract, resolve_contract
+from repro.approx.estimator import CellEstimate
 from repro.chunks.chunk import Chunk
 from repro.core.manager import (
     AggregateCache,
@@ -156,26 +158,30 @@ class ConcurrentAggregateCache:
     # the serving driver
 
     def serve(
-        self, queries: Iterable[Query], workers: int = 4
+        self,
+        queries: Iterable[Query],
+        workers: int = 4,
+        contract: QueryContract | None = None,
     ) -> list[QueryResult]:
         """Answer a stream of queries on a bounded thread pool.
 
         Results come back in submission order regardless of completion
         order, so per-stream accounting (hit ratios, per-query
-        comparisons against a sequential run) is preserved.
+        comparisons against a sequential run) is preserved.  An optional
+        ``contract`` applies to every query of the stream.
         """
         queries = list(queries)
         obs = self.manager.obs
         if obs.enabled:
             obs.metrics.gauge("service.workers").set(workers)
         if workers <= 1:
-            return [self.query(query) for query in queries]
+            return [self.query(query, contract) for query in queries]
         results: list[QueryResult | None] = [None] * len(queries)
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         ) as pool:
             futures = {
-                pool.submit(self.query, query): index
+                pool.submit(self.query, query, contract): index
                 for index, query in enumerate(queries)
             }
             for future in as_completed(futures):
@@ -185,12 +191,18 @@ class ConcurrentAggregateCache:
     # ------------------------------------------------------------------ #
     # one query, phase by phase
 
-    def query(self, query: Query) -> QueryResult:
-        """Answer one query; safe to call from any number of threads."""
-        return self._serve_one(query, None)
+    def query(
+        self, query: Query, contract: QueryContract | None = None
+    ) -> QueryResult:
+        """Answer one query; safe to call from any number of threads.
+        ``contract`` has :meth:`AggregateCache.query` semantics."""
+        return self._serve_one(query, None, contract)
 
     def query_subset(
-        self, query: Query, numbers: Sequence[int]
+        self,
+        query: Query,
+        numbers: Sequence[int],
+        contract: QueryContract | None = None,
     ) -> QueryResult:
         """Answer only the given chunk numbers of ``query``.
 
@@ -204,10 +216,13 @@ class ConcurrentAggregateCache:
         """
         if not numbers:
             raise ReproError("query_subset needs at least one chunk number")
-        return self._serve_one(query, list(numbers))
+        return self._serve_one(query, list(numbers), contract)
 
     def _serve_one(
-        self, query: Query, numbers: list[int] | None
+        self,
+        query: Query,
+        numbers: list[int] | None,
+        contract: QueryContract | None = None,
     ) -> QueryResult:
         obs = self.manager.obs
         if self.adaptive is not None:
@@ -218,7 +233,7 @@ class ConcurrentAggregateCache:
                 obs.metrics.gauge("service.queue_depth").set(self._inflight)
         try:
             with span(obs, "service", chunks=query.num_chunks):
-                return self._query(query, numbers)
+                return self._query(query, numbers, contract)
         finally:
             if obs.enabled:
                 with self._inflight_lock:
@@ -228,10 +243,14 @@ class ConcurrentAggregateCache:
                     )
 
     def _query(
-        self, query: Query, numbers: list[int] | None = None
+        self,
+        query: Query,
+        numbers: list[int] | None = None,
+        contract: QueryContract | None = None,
     ) -> QueryResult:
         manager = self.manager
         obs = manager.obs
+        effective = resolve_contract(contract, manager.degraded_mode)
         if numbers is None:
             numbers = query.chunk_numbers(manager.schema)
         breakdown = TimeBreakdown()
@@ -305,7 +324,7 @@ class ConcurrentAggregateCache:
             return self._finish_query(
                 query, numbers, breakdown, results, computed,
                 reinforcements, missing, direct_hits, tuples_aggregated,
-                visits, redirects, led_keys,
+                visits, redirects, led_keys, contract, effective,
             )
         except BaseException as exc:
             if led_keys:
@@ -326,22 +345,41 @@ class ConcurrentAggregateCache:
         visits: int,
         redirects: int,
         led_keys: list[Key],
+        contract: QueryContract | None = None,
+        effective: QueryContract | None = None,
     ) -> QueryResult:
         """Phases 3 (backend / single-flight) and 4 (admit + publish) of
         one query.  ``led_keys`` is the caller's flight guard list and is
         mutated in place so the caller can abandon claims on error."""
         manager = self.manager
         obs = manager.obs
+        if effective is None:
+            effective = resolve_contract(contract, manager.degraded_mode)
+        approx_mode = (
+            effective.wants_estimates and manager.approx is not None
+        )
 
         # Phase 3 — backend, under no lock, deduplicated per chunk.
         led_chunks: list[Chunk] = []
         degraded = False
+        any_missing = bool(missing)
         unanswered: tuple[int, ...] = ()
+        estimated: list[CellEstimate] = []
         backend_count = 0
+        if missing and approx_mode and effective.prefer_sample:
+            # Estimate backend misses instead of fetching them (the
+            # latency dial); estimation reads an immutable sample
+            # snapshot, so no lock is needed.
+            estimated, missing = manager._estimate_chunks(
+                query.level, missing, effective
+            )
         if missing:
             with span(obs, "backend", chunks=len(missing)) as backend_span:
                 led_chunks, shared, failed_keys, charge_ms = (
-                    self._fetch_missing(query.level, missing, led_keys)
+                    self._fetch_missing(
+                        query.level, missing, led_keys,
+                        degrade_ok=effective.degrade_ok,
+                    )
                 )
                 if led_keys:
                     backend_span.record(charge_ms)
@@ -391,6 +429,11 @@ class ConcurrentAggregateCache:
                             else:
                                 leftovers.append(number)
                 breakdown.aggregate_ms += salvage_span.elapsed_ms
+                if approx_mode and leftovers:
+                    extra, leftovers = manager._estimate_chunks(
+                        query.level, leftovers, effective
+                    )
+                    estimated.extend(extra)
                 unanswered = tuple(leftovers)
 
         # Phase 4 — admit and maintain state, under the write lock.
@@ -412,11 +455,17 @@ class ConcurrentAggregateCache:
                 led_keys.clear()
             manager.optimizer_redirects += redirects
             manager.queries_run += 1
-            complete_hit = not missing or (degraded and not unanswered)
+            complete_hit = not estimated and (
+                not any_missing or (degraded and not unanswered)
+            )
             if complete_hit:
                 manager.complete_hits += 1
             if degraded:
                 manager.degraded_queries += 1
+            if estimated:
+                manager.approx_queries += 1
+                order = {n: i for i, n in enumerate(numbers)}
+                estimated.sort(key=lambda e: order[e.number])
             answered = [n for n in numbers if n in results]
             result = QueryResult(
                 query=query,
@@ -433,6 +482,8 @@ class ConcurrentAggregateCache:
                 degraded=degraded,
                 coverage=len(answered) / len(numbers),
                 unanswered=unanswered,
+                contract=contract.mode if contract is not None else "exact",
+                estimated=tuple(estimated),
             )
             if obs.enabled:
                 manager._emit_query_event(result)
@@ -548,7 +599,11 @@ class ConcurrentAggregateCache:
                 return None, None, visits
 
     def _fetch_missing(
-        self, level: Level, missing: Sequence[int], led_keys: list[Key]
+        self,
+        level: Level,
+        missing: Sequence[int],
+        led_keys: list[Key],
+        degrade_ok: bool | None = None,
     ) -> tuple[list[Chunk], dict[Key, Chunk], list[Key], float]:
         """Resolve the missing chunks through the single-flight table.
 
@@ -570,7 +625,9 @@ class ConcurrentAggregateCache:
         """
         manager = self.manager
         obs = manager.obs
-        degrade = manager.degraded_mode
+        degrade = (
+            manager.degraded_mode if degrade_ok is None else degrade_ok
+        )
         keys: list[Key] = [(level, number) for number in missing]
         claimed, joined = self.flights.claim(keys)
         led_keys.extend(claimed)

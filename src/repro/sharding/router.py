@@ -35,6 +35,9 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 
 from repro.adaptive import SUM, aggregate_answer
 from repro.adaptive.canonical import canonicalize
+from repro.approx.answering import ApproxAnswerer
+from repro.approx.contract import QueryContract
+from repro.approx.estimator import CellEstimate
 from repro.chunks.chunk import Chunk
 from repro.core.manager import QueryResult
 from repro.faults.errors import ShardDeadError
@@ -58,24 +61,39 @@ def merge_partials(
     numbers: Sequence[int],
     partials: Sequence[ShardPartial],
     dead_numbers: Sequence[int] = (),
+    extra_estimates: Sequence[CellEstimate] = (),
+    contract: QueryContract | None = None,
 ) -> QueryResult:
     """Merge shard partials into one :class:`QueryResult`.
 
     ``numbers`` is the full canonical plan (all shards' slices in plan
-    order); ``dead_numbers`` are chunks whose owner never answered.
+    order); ``dead_numbers`` are chunks whose owner never answered;
+    ``extra_estimates`` are router-side sample estimates covering some
+    of the dead chunks (approx contracts with a router answerer).
     With a single partial covering the whole plan the merged result is
-    field-identical to the shard's own result.
+    field-identical to the shard's own result.  Per-chunk estimates —
+    point values AND CI half-widths — pass through the merge untouched,
+    so they are identical to the single-process path; region CIs then
+    combine in quadrature (:func:`repro.approx.combine_estimates`),
+    which is associative across any shard split.
     """
     cells: dict[int, Chunk] = {}
     for partial in partials:
         for chunk in partial.chunks:
             cells[chunk.number] = chunk
     answered = [n for n in numbers if n in cells]
+    by_number: dict[int, CellEstimate] = {}
+    for estimate in itertools.chain(
+        (e for p in partials for e in p.estimated), extra_estimates
+    ):
+        by_number[estimate.number] = estimate
+    estimated = tuple(by_number[n] for n in numbers if n in by_number)
     dead = set(dead_numbers)
     unanswered = tuple(
         itertools.chain(
-            (n for p in partials for n in p.unanswered),
-            (n for n in numbers if n in dead),
+            (n for p in partials for n in p.unanswered
+             if n not in by_number),
+            (n for n in numbers if n in dead and n not in by_number),
         )
     )
     breakdown = TimeBreakdown()
@@ -88,6 +106,7 @@ def merge_partials(
     degraded = bool(dead) or any(p.degraded for p in partials)
     complete_hit = (
         not dead
+        and not estimated
         and bool(partials)
         and all(p.complete_hit for p in partials)
     )
@@ -108,7 +127,37 @@ def merge_partials(
         degraded=degraded,
         coverage=len(answered) / len(numbers) if numbers else 1.0,
         unanswered=unanswered,
+        contract=contract.mode if contract is not None else "exact",
+        estimated=estimated,
     )
+
+
+def _build_router_answerer(
+    schema: CubeSchema,
+    store_path: str | None,
+    backend,
+    fraction: float,
+    seed: int,
+) -> ApproxAnswerer:
+    """The router's own reservoir, built exactly like a worker's.
+
+    The sample copies records into private arrays, so a temporary
+    columnar handle can be closed as soon as the stream is done.
+    """
+    from repro.backend.engine import BackendDatabase
+
+    if backend is not None:
+        return ApproxAnswerer.from_backend(
+            schema, backend, fraction=fraction, seed=seed
+        )
+    if store_path is None:
+        raise ReproError(
+            "approx_fraction needs a store_path or a backend to sample"
+        )
+    with BackendDatabase.from_columnar(schema, store_path) as handle:
+        return ApproxAnswerer.from_backend(
+            schema, handle, fraction=fraction, seed=seed
+        )
 
 
 class ProcessShard:
@@ -169,11 +218,17 @@ class ProcessShard:
         return body
 
     def query_partial(
-        self, query: Query, numbers: Sequence[int], timeout_s=60.0
+        self,
+        query: Query,
+        numbers: Sequence[int],
+        timeout_s=60.0,
+        contract: QueryContract | None = None,
     ) -> ShardPartial:
         wire = self.request(
             "query",
-            encode_query(query.level, query.chunk_ranges, numbers),
+            encode_query(
+                query.level, query.chunk_ranges, numbers, contract
+            ),
             timeout_s,
         )
         return decode_partial(wire)
@@ -182,6 +237,7 @@ class ProcessShard:
         self,
         slices: Sequence[tuple[Query, Sequence[int]]],
         timeout_s=60.0,
+        contract: QueryContract | None = None,
     ) -> list[ShardPartial]:
         """Serve many query slices in ONE round trip.
 
@@ -192,7 +248,9 @@ class ProcessShard:
         wire = self.request(
             "query_batch",
             tuple(
-                encode_query(query.level, query.chunk_ranges, numbers)
+                encode_query(
+                    query.level, query.chunk_ranges, numbers, contract
+                )
                 for query, numbers in slices
             ),
             timeout_s,
@@ -248,9 +306,13 @@ class LocalShard:
         self.alive = True
 
     def query_partial(
-        self, query: Query, numbers: Sequence[int], timeout_s=None
+        self,
+        query: Query,
+        numbers: Sequence[int],
+        timeout_s=None,
+        contract: QueryContract | None = None,
     ) -> ShardPartial:
-        result = self.service.query_subset(query, list(numbers))
+        result = self.service.query_subset(query, list(numbers), contract)
         partial = ShardPartial.from_result(self.index, result)
         if self.serialize:
             from repro.sharding.wire import encode_partial
@@ -262,9 +324,10 @@ class LocalShard:
         self,
         slices: Sequence[tuple[Query, Sequence[int]]],
         timeout_s=None,
+        contract: QueryContract | None = None,
     ) -> list[ShardPartial]:
         return [
-            self.query_partial(query, numbers)
+            self.query_partial(query, numbers, contract=contract)
             for query, numbers in slices
         ]
 
@@ -288,6 +351,7 @@ class ShardRouter:
         shards: Sequence,
         schema: CubeSchema,
         rpc_timeout_s: float | None = 60.0,
+        approx: ApproxAnswerer | None = None,
     ) -> None:
         if not shards:
             raise ReproError("a ShardRouter needs at least one shard")
@@ -295,6 +359,11 @@ class ShardRouter:
         self.schema = schema
         self.shard_map = ShardMap(len(self.shards), schema)
         self.rpc_timeout_s = rpc_timeout_s
+        self.approx = approx
+        """Router-side answerer (same seed as the workers'): under an
+        approx contract a DEAD shard's chunks are estimated here instead
+        of reported unanswered, so shard death degrades coverage, not
+        availability."""
         self.shard_deaths = 0
         """Shards marked dead after a failed RPC (lifetime count)."""
         self.queries_run = 0
@@ -310,11 +379,18 @@ class ShardRouter:
         store_path: str | None = None,
         backend=None,
         rpc_timeout_s: float | None = 60.0,
+        approx_fraction: float | None = None,
+        approx_seed: int = 7,
         **spec_kwargs,
     ) -> "ShardRouter":
         """Fork ``num_shards`` workers splitting ``capacity_bytes``
         between them; remaining keyword arguments flow into each
-        :class:`~repro.sharding.worker.WorkerSpec`."""
+        :class:`~repro.sharding.worker.WorkerSpec`.
+
+        With ``approx_fraction`` set, every worker maintains the
+        identically seeded reservoir (see :class:`WorkerSpec`) and the
+        router builds its own copy for dead-shard estimation.
+        """
         per_shard = max(1, capacity_bytes // num_shards)
         shards = [
             ProcessShard(
@@ -326,12 +402,21 @@ class ShardRouter:
                     capacity_bytes=per_shard,
                     store_path=store_path,
                     backend=backend,
+                    approx_fraction=approx_fraction,
+                    approx_seed=approx_seed,
                     **spec_kwargs,
                 ),
             )
             for index in range(num_shards)
         ]
-        return cls(shards, schema, rpc_timeout_s=rpc_timeout_s)
+        approx = None
+        if approx_fraction is not None:
+            approx = _build_router_answerer(
+                schema, store_path, backend, approx_fraction, approx_seed
+            )
+        return cls(
+            shards, schema, rpc_timeout_s=rpc_timeout_s, approx=approx
+        )
 
     @property
     def num_shards(self) -> int:
@@ -344,8 +429,13 @@ class ShardRouter:
     # ------------------------------------------------------------------ #
     # serving
 
-    def query(self, query: Query) -> QueryResult:
-        """Answer one query: split by ownership, fan out, merge."""
+    def query(
+        self, query: Query, contract: QueryContract | None = None
+    ) -> QueryResult:
+        """Answer one query: split by ownership, fan out, merge.
+        ``contract`` (see :mod:`repro.approx.contract`) is forwarded to
+        every shard; under ``approx`` a dead shard's chunks are filled
+        from the router's own sample."""
         numbers = query.chunk_numbers(self.schema)
         by_owner = self.shard_map.split(query.level, numbers)
         partials: list[ShardPartial] = []
@@ -361,14 +451,40 @@ class ShardRouter:
                     "shard.rpc", shard=index, op="query", chunks=len(owned)
                 )
                 partials.append(
-                    shard.query_partial(query, owned, self.rpc_timeout_s)
+                    shard.query_partial(
+                        query, owned, self.rpc_timeout_s, contract
+                    )
                 )
             except ShardDeadError:
                 self._mark_dead(shard)
                 dead_numbers.extend(owned)
         with self._count_lock:
             self.queries_run += 1
-        return merge_partials(query, numbers, partials, dead_numbers)
+        extra = self._estimate_dead(query.level, dead_numbers, contract)
+        return merge_partials(
+            query, numbers, partials, dead_numbers, extra, contract
+        )
+
+    def _estimate_dead(
+        self,
+        level,
+        dead_numbers: Sequence[int],
+        contract: QueryContract | None,
+    ) -> Sequence[CellEstimate]:
+        """Router-side estimates for chunks whose owner shard is dead
+        (approx contracts with a router answerer only)."""
+        if (
+            not dead_numbers
+            or self.approx is None
+            or contract is None
+            or not contract.wants_estimates
+        ):
+            return ()
+        estimates = self.approx.estimate(level, list(dead_numbers))
+        tolerance = contract.max_rel_error
+        if tolerance is None:
+            return estimates
+        return [e for e in estimates if e.rel_error <= tolerance]
 
     def _mark_dead(self, shard) -> None:
         if shard.alive:
@@ -381,6 +497,7 @@ class ShardRouter:
         queries: Iterable[Query],
         workers: int = 4,
         batch_size: int | None = None,
+        contract: QueryContract | None = None,
     ) -> list[QueryResult]:
         """Answer a stream, results in submission order.
 
@@ -406,7 +523,7 @@ class ShardRouter:
         """
         queries = list(queries)
         if workers <= 1:
-            return [self.query(query) for query in queries]
+            return [self.query(query, contract) for query in queries]
         if batch_size is None:
             batch_size = max(
                 1, min(32, -(-len(queries) // (2 * self.num_shards)))
@@ -417,7 +534,7 @@ class ShardRouter:
                 max_workers=workers, thread_name_prefix="repro-router"
             ) as pool:
                 futures = {
-                    pool.submit(self.query, query): index
+                    pool.submit(self.query, query, contract): index
                     for index, query in enumerate(queries)
                 }
                 for future in as_completed(futures):
@@ -435,7 +552,7 @@ class ShardRouter:
             pending = None
             for start in range(0, len(queries), batch_size):
                 batch = queries[start:start + batch_size]
-                dispatched = self._dispatch_batch(pools, batch)
+                dispatched = self._dispatch_batch(pools, batch, contract)
                 if pending is not None:
                     out.extend(self._collect_batch(*pending))
                 pending = dispatched
@@ -446,7 +563,12 @@ class ShardRouter:
                 pool.shutdown(wait=False)
         return out
 
-    def _dispatch_batch(self, pools: dict[int, ThreadPoolExecutor], batch):
+    def _dispatch_batch(
+        self,
+        pools: dict[int, ThreadPoolExecutor],
+        batch,
+        contract: QueryContract | None = None,
+    ):
         """Send every shard its slices of ``batch`` (one RPC each, on
         the shard's own FIFO queue) and return the handles; collection
         happens a batch later."""
@@ -462,14 +584,16 @@ class ShardRouter:
             index: (
                 entries,
                 pools[index].submit(
-                    self._shard_batch, self.shards[index], entries
+                    self._shard_batch, self.shards[index], entries, contract
                 ),
             )
             for index, entries in by_shard.items()
         }
-        return batch, plans, futures
+        return batch, plans, futures, contract
 
-    def _shard_batch(self, shard, entries) -> list[ShardPartial]:
+    def _shard_batch(
+        self, shard, entries, contract: QueryContract | None = None
+    ) -> list[ShardPartial]:
         if not shard.alive:
             raise ShardDeadError(f"shard {shard.index} is marked dead")
         failpoint(
@@ -481,9 +605,12 @@ class ShardRouter:
         return shard.query_batch(
             [(query, owned) for _, query, owned in entries],
             self.rpc_timeout_s,
+            contract,
         )
 
-    def _collect_batch(self, batch, plans, futures) -> list[QueryResult]:
+    def _collect_batch(
+        self, batch, plans, futures, contract=None
+    ) -> list[QueryResult]:
         """Await one dispatched batch and merge per query; a shard dying
         mid-batch degrades every slice it owned, nothing else."""
         partials: list[list[ShardPartial]] = [[] for _ in batch]
@@ -501,7 +628,14 @@ class ShardRouter:
         with self._count_lock:
             self.queries_run += len(batch)
         return [
-            merge_partials(query, plans[pos], partials[pos], dead[pos])
+            merge_partials(
+                query,
+                plans[pos],
+                partials[pos],
+                dead[pos],
+                self._estimate_dead(query.level, dead[pos], contract),
+                contract,
+            )
             for pos, query in enumerate(batch)
         ]
 

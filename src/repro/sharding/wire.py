@@ -19,8 +19,10 @@ identity gate) and merge several partials additively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.approx.contract import QueryContract, encode_contract
+from repro.approx.estimator import CellEstimate
 from repro.cache.values import payload_nbytes, read_payload, write_payload
 from repro.chunks.chunk import Chunk
 from repro.schema.cube import Level
@@ -66,6 +68,9 @@ class ShardPartial:
     unanswered: tuple[int, ...]
     breakdown_ms: tuple[float, float, float, float]
     """(lookup, aggregate, update, backend) milliseconds."""
+    estimated: tuple[CellEstimate, ...] = field(default=())
+    """Sample estimates for the slice's approx-answered chunks; plain
+    scalars on the wire (:meth:`CellEstimate.encode`)."""
 
     @classmethod
     def from_result(cls, shard: int, result) -> "ShardPartial":
@@ -87,6 +92,7 @@ class ShardPartial:
             breakdown_ms=(
                 b.lookup_ms, b.aggregate_ms, b.update_ms, b.backend_ms
             ),
+            estimated=tuple(result.estimated),
         )
 
 
@@ -106,6 +112,7 @@ def encode_partial(partial: ShardPartial) -> tuple:
         partial.coverage,
         tuple(partial.unanswered),
         tuple(partial.breakdown_ms),
+        tuple(e.encode() for e in partial.estimated),
     )
 
 
@@ -114,6 +121,7 @@ def decode_partial(wire: tuple) -> ShardPartial:
         shard, chunks, complete_hit, direct_hits, aggregated, from_backend,
         tuples_aggregated, lookup_visits, state_updates,
         reinforcements_skipped, degraded, coverage, unanswered, breakdown_ms,
+        estimated,
     ) = wire
     return ShardPartial(
         shard=shard,
@@ -130,10 +138,22 @@ def decode_partial(wire: tuple) -> ShardPartial:
         coverage=coverage,
         unanswered=tuple(unanswered),
         breakdown_ms=tuple(breakdown_ms),
+        estimated=tuple(CellEstimate.decode(e) for e in estimated),
     )
 
 
-def encode_query(level: Level, ranges, numbers) -> tuple:
+def encode_query(
+    level: Level,
+    ranges,
+    numbers,
+    contract: QueryContract | None = None,
+) -> tuple:
     """A query request: the level, the chunk ranges (to rebuild the
-    :class:`~repro.workload.query.Query`) and the owned chunk numbers."""
-    return (tuple(level), tuple(tuple(r) for r in ranges), tuple(numbers))
+    :class:`~repro.workload.query.Query`), the owned chunk numbers and
+    the per-query contract (``None`` for the legacy default)."""
+    return (
+        tuple(level),
+        tuple(tuple(r) for r in ranges),
+        tuple(numbers),
+        encode_contract(contract),
+    )

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.adaptive.precompute import AdaptivePrecomputer
 from repro.aggregation.aggregate import set_default_validation
+from repro.approx.contract import decode_contract
 from repro.backend.cost_model import CostModel
 from repro.backend.engine import BackendDatabase
 from repro.backend.resilient import ResilientBackend
@@ -65,6 +66,14 @@ class WorkerSpec:
     preload_headroom: float = 1.0
     visit_budget: int | None = None
     degraded_mode: bool = False
+    approx_fraction: float | None = None
+    """Enable the approximate tier: every worker builds its own
+    reservoir from its backend handle.  Workers stream the same
+    warehouse in the same order with the same seed, so the N samples —
+    and every estimate computed from them — are identical across the
+    fleet and to a single-process manager (the sharded-parity
+    guarantee)."""
+    approx_seed: int = 7
     cache_values: str = "dict"
     max_replans: int = 2
     resilient: bool = False
@@ -101,6 +110,8 @@ def build_shard_service(spec: WorkerSpec) -> ConcurrentAggregateCache:
         visit_budget=spec.visit_budget,
         sizes=spec.sizes,
         degraded_mode=spec.degraded_mode,
+        approx=spec.approx_fraction,
+        approx_seed=spec.approx_seed,
         cache_values=spec.cache_values,
         **spec.extra_manager_kwargs,
     )
@@ -158,6 +169,7 @@ def shard_stats(service: ConcurrentAggregateCache) -> dict:
         "queries_run": manager.queries_run,
         "complete_hits": manager.complete_hits,
         "degraded_queries": manager.degraded_queries,
+        "approx_queries": manager.approx_queries,
         "replans": service.replans,
         "cache_chunks": len(manager.cache),
         "cache_used_bytes": manager.cache.used_bytes,
@@ -195,9 +207,11 @@ def worker_main(conn, spec: WorkerSpec) -> None:
                 os._exit(17)
             try:
                 if op == "query":
-                    level, ranges, numbers = message[2]
+                    level, ranges, numbers, contract = message[2]
                     query = Query(level=level, chunk_ranges=ranges)
-                    result = service.query_subset(query, list(numbers))
+                    result = service.query_subset(
+                        query, list(numbers), decode_contract(contract)
+                    )
                     payload = encode_partial(
                         ShardPartial.from_result(spec.index, result)
                     )
@@ -207,10 +221,10 @@ def worker_main(conn, spec: WorkerSpec) -> None:
                     # are served in order, so per-shard cache evolution
                     # matches the unbatched stream exactly.
                     answers = []
-                    for level, ranges, numbers in message[2]:
+                    for level, ranges, numbers, contract in message[2]:
                         query = Query(level=level, chunk_ranges=ranges)
                         result = service.query_subset(
-                            query, list(numbers)
+                            query, list(numbers), decode_contract(contract)
                         )
                         answers.append(
                             encode_partial(

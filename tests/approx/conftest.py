@@ -1,0 +1,33 @@
+"""Fixtures for the approximate-tier tests.
+
+The statistical-guarantee tests need a population the estimator can say
+something about: ``apb_tiny``'s 16-cell cube makes every reservoir
+degenerate, so this package runs on ``apb_small`` with a few thousand
+uniform tuples (~4k distinct base cells).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BackendDatabase,
+    CostModel,
+    apb_small_schema,
+    generate_fact_table,
+)
+
+
+@pytest.fixture(scope="package")
+def small_schema():
+    return apb_small_schema()
+
+
+@pytest.fixture(scope="package")
+def small_facts(small_schema):
+    return generate_fact_table(small_schema, num_tuples=4000, seed=7)
+
+
+@pytest.fixture(scope="package")
+def small_backend(small_schema, small_facts):
+    return BackendDatabase(small_schema, small_facts, CostModel())

@@ -1,0 +1,140 @@
+"""Reservoir-sample unit tests: determinism, uniformity, snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.sample import ReservoirSample
+
+
+def _stream(n: int, ndims: int = 2, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    coords = tuple(
+        rng.integers(0, 50, size=n).astype(np.int64) for _ in range(ndims)
+    )
+    values = rng.uniform(0, 100, size=n)
+    counts = rng.integers(1, 5, size=n).astype(np.int64)
+    return coords, values, counts
+
+
+def test_fills_to_capacity_then_holds():
+    sample = ReservoirSample(ndims=2, capacity=10, seed=3)
+    coords, values, counts = _stream(25)
+    sample.observe(coords, values, counts)
+    view = sample.view()
+    assert view.size == 10
+    assert view.population == 25
+    assert view.fraction == pytest.approx(10 / 25)
+
+
+def test_small_stream_is_kept_verbatim():
+    sample = ReservoirSample(ndims=2, capacity=100, seed=3)
+    coords, values, counts = _stream(7)
+    sample.observe(coords, values, counts)
+    view = sample.view()
+    assert view.size == 7
+    assert np.array_equal(view.values, values)
+    assert np.array_equal(view.counts, counts)
+    for axis, src in zip(view.coords, coords):
+        assert np.array_equal(axis, src)
+
+
+def test_same_seed_same_stream_is_bit_identical():
+    streams = [_stream(40, seed=s) for s in range(5)]
+    views = []
+    for _ in range(2):
+        sample = ReservoirSample(ndims=2, capacity=12, seed=9)
+        for coords, values, counts in streams:
+            sample.observe(coords, values, counts)
+        views.append(sample.view())
+    a, b = views
+    assert a.population == b.population
+    assert np.array_equal(a.values, b.values)
+    assert np.array_equal(a.counts, b.counts)
+    for axis_a, axis_b in zip(a.coords, b.coords):
+        assert np.array_equal(axis_a, axis_b)
+
+
+def test_batch_split_does_not_change_the_sample():
+    """Algorithm R's draws depend only on stream position, so observing
+    one batch or the same records in many batches retains the same set."""
+    coords, values, counts = _stream(60, seed=4)
+    whole = ReservoirSample(ndims=2, capacity=8, seed=11)
+    whole.observe(coords, values, counts)
+    split = ReservoirSample(ndims=2, capacity=8, seed=11)
+    for lo, hi in ((0, 13), (13, 20), (20, 60)):
+        split.observe(
+            tuple(axis[lo:hi] for axis in coords),
+            values[lo:hi],
+            counts[lo:hi],
+        )
+    assert np.array_equal(whole.view().values, split.view().values)
+
+
+def test_views_are_immutable_snapshots():
+    sample = ReservoirSample(ndims=1, capacity=5, seed=1)
+    coords, values, counts = _stream(5, ndims=1)
+    sample.observe(coords, values, counts)
+    before = sample.view()
+    frozen = before.values.copy()
+    with pytest.raises(ValueError):
+        before.values[0] = -1.0
+    sample.observe(*_stream(50, ndims=1, seed=2))
+    after = sample.view()
+    assert after.generation > before.generation
+    # The old snapshot still shows the old data.
+    assert np.array_equal(before.values, frozen)
+
+
+def test_empty_view_before_any_data():
+    sample = ReservoirSample(ndims=3, capacity=4, seed=0)
+    view = sample.view()
+    assert view.size == 0
+    assert view.population == 0
+    assert view.fraction == 1.0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ReservoirSample(ndims=1, capacity=0)
+
+
+def test_reservoir_is_approximately_uniform():
+    """Every stream position should be retained with probability ~n/N:
+    over many seeds, per-position retention counts stay within a loose
+    binomial band (this is the property HT unbiasedness rests on)."""
+    n_stream, capacity, trials = 40, 10, 400
+    hits = np.zeros(n_stream)
+    values = np.arange(n_stream, dtype=np.float64)
+    coords = (np.zeros(n_stream, dtype=np.int64),)
+    counts = np.ones(n_stream, dtype=np.int64)
+    for seed in range(trials):
+        sample = ReservoirSample(ndims=1, capacity=capacity, seed=seed)
+        sample.observe(coords, values, counts)
+        hits[sample.view().values.astype(np.int64)] += 1
+    expected = trials * capacity / n_stream
+    sd = np.sqrt(trials * (capacity / n_stream) * (1 - capacity / n_stream))
+    assert np.all(np.abs(hits - expected) < 5 * sd), (
+        hits.min(), hits.max(), expected
+    )
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    sizes=st.lists(st.integers(1, 30), min_size=1, max_size=6),
+    capacity=st.integers(1, 20),
+)
+@settings(max_examples=50, deadline=None)
+def test_invariants_hold_for_any_stream(seed, sizes, capacity):
+    sample = ReservoirSample(ndims=2, capacity=capacity, seed=seed)
+    total = 0
+    for index, m in enumerate(sizes):
+        sample.observe(*_stream(m, seed=seed + index))
+        total += m
+        view = sample.view()
+        assert view.population == total
+        assert view.size == min(capacity, total)
+        assert 0.0 < view.fraction <= 1.0

@@ -1,0 +1,181 @@
+"""Sharded approximate answering is bit-identical to single-process.
+
+Per-worker reservoirs are seeded identically and fed the same warehouse
+stream, so an N-shard router under an ``approx`` contract must produce
+the same estimates — points AND interval half-widths — as one
+unsharded manager, through the wire codec, with a shard dead mid-run,
+and over the batched serve path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AggregateCache,
+    BackendDatabase,
+    ConcurrentAggregateCache,
+    CostModel,
+    Query,
+    QueryStreamGenerator,
+)
+from repro.approx.answering import ApproxAnswerer
+from repro.approx.contract import approx
+from repro.sharding import (
+    LocalShard,
+    ShardRouter,
+    WorkerSpec,
+    build_shard_service,
+)
+
+FRACTION = 0.3
+SEED = 7
+
+
+def _estimate_key(estimate):
+    return (
+        estimate.number,
+        estimate.sum_est,
+        estimate.sum_half,
+        estimate.count_est,
+        estimate.count_half,
+    )
+
+
+def _reference(tiny_schema, tiny_facts):
+    backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+    manager = AggregateCache(
+        tiny_schema,
+        backend,
+        capacity_bytes=max(int(backend.base_size_bytes * 0.6), 1),
+        preload=False,
+        approx=FRACTION,
+        approx_seed=SEED,
+    )
+    return ConcurrentAggregateCache(manager)
+
+
+def _local_router(tiny_schema, tiny_facts, num_shards):
+    shards = []
+    for index in range(num_shards):
+        backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+        shards.append(
+            LocalShard(
+                index,
+                build_shard_service(
+                    WorkerSpec(
+                        index=index,
+                        num_shards=num_shards,
+                        schema=tiny_schema,
+                        capacity_bytes=max(
+                            int(backend.base_size_bytes * 0.6), 1
+                        ),
+                        backend=backend,
+                        preload=False,
+                        approx_fraction=FRACTION,
+                        approx_seed=SEED,
+                    )
+                ),
+                serialize=True,
+            )
+        )
+    answerer = ApproxAnswerer.from_backend(
+        tiny_schema,
+        BackendDatabase(tiny_schema, tiny_facts, CostModel()),
+        fraction=FRACTION,
+        seed=SEED,
+    )
+    return ShardRouter(shards, tiny_schema, approx=answerer)
+
+
+def _stream(tiny_schema, n=20, seed=515):
+    return list(
+        QueryStreamGenerator(tiny_schema, max_extent=3, seed=seed).generate(n)
+    )
+
+
+@pytest.mark.parametrize("num_shards", (2, 3))
+def test_sharded_estimates_match_single_process(
+    tiny_schema, tiny_facts, num_shards
+):
+    reference = _reference(tiny_schema, tiny_facts)
+    router = _local_router(tiny_schema, tiny_facts, num_shards)
+    contract = approx(prefer_sample=True)
+    query = Query.full_level(tiny_schema, tiny_schema.base_level)
+    want = reference.query(query, contract)
+    got = router.query(query, contract)
+    assert want.estimated, "reference produced no estimates"
+    assert [_estimate_key(e) for e in got.estimated] == [
+        _estimate_key(e) for e in want.estimated
+    ]
+    assert got.coverage == want.coverage
+    assert got.contract == "approx"
+    assert tuple(got.unanswered) == tuple(want.unanswered)
+    # Combined region interval is identical too (quadrature combine is
+    # associative over the shard split).
+    assert got.estimate_total() == want.estimate_total()
+
+
+def test_dead_shard_estimates_match_reference(tiny_schema, tiny_facts):
+    reference = _reference(tiny_schema, tiny_facts)
+    router = _local_router(tiny_schema, tiny_facts, num_shards=2)
+    contract = approx(prefer_sample=True)
+    query = Query.full_level(tiny_schema, tiny_schema.base_level)
+    want = reference.query(query, contract)
+    router.shards[0].alive = False
+    got = router.query(query, contract)
+    assert got.degraded
+    assert got.unanswered == ()
+    # The router's own reservoir fills the dead shard's chunks with the
+    # exact same estimates the live path would have produced.
+    assert [_estimate_key(e) for e in got.estimated] == [
+        _estimate_key(e) for e in want.estimated
+    ]
+
+
+def test_batched_serve_parity(tiny_schema, tiny_facts):
+    contract = approx(prefer_sample=True)
+    stream = _stream(tiny_schema)
+    reference = _reference(tiny_schema, tiny_facts)
+    want = [reference.query(query, contract) for query in stream]
+    router = _local_router(tiny_schema, tiny_facts, num_shards=2)
+    got = router.serve(stream, workers=4, batch_size=8, contract=contract)
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert [_estimate_key(e) for e in a.estimated] == [
+            _estimate_key(e) for e in b.estimated
+        ]
+        assert tuple(a.unanswered) == tuple(b.unanswered)
+
+
+def test_process_shards_match_single_process(tiny_schema, tiny_facts):
+    """Same parity over real worker processes and pipes."""
+    backend = BackendDatabase(tiny_schema, tiny_facts, CostModel())
+    reference = _reference(tiny_schema, tiny_facts)
+    contract = approx(prefer_sample=True)
+    query = Query.full_level(tiny_schema, tiny_schema.base_level)
+    want = reference.query(query, contract)
+    capacity = max(int(backend.base_size_bytes * 0.6), 1) * 2
+    with ShardRouter.spawn(
+        2,
+        tiny_schema,
+        capacity,
+        backend=backend,
+        preload=False,
+        approx_fraction=FRACTION,
+        approx_seed=SEED,
+    ) as router:
+        got = router.query(query, contract)
+        assert [_estimate_key(e) for e in got.estimated] == [
+            _estimate_key(e) for e in want.estimated
+        ]
+        # Kill one worker: the router-side reservoir takes over and the
+        # answer (points and half-widths) does not change.
+        router.shards[0].crash()
+        after = router.query(query, contract)
+        assert after.degraded
+        assert after.unanswered == ()
+        assert [_estimate_key(e) for e in after.estimated] == [
+            _estimate_key(e) for e in want.estimated
+        ]
+    backend.close()

@@ -164,7 +164,7 @@ def test_dead_shard_slices_surface_as_exact_partials(
     router = _local_router(tiny_schema, tiny_facts, num_shards=2)
     victim = router.shards[1]
 
-    def dead_rpc(query, numbers, timeout_s=None):
+    def dead_rpc(query, numbers, timeout_s=None, contract=None):
         raise ShardDeadError("injected: shard 1 stopped answering")
 
     victim.query_partial = dead_rpc
